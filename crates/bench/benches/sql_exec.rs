@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the per-source SQL engine: the multi-source Q2
+//! join of Fig. 2 and the set-oriented IN query Q4, on the Small dataset.
+
+use aig_bench::dataset;
+use aig_datagen::DatasetSize;
+use aig_relstore::{Relation, Value};
+use aig_sql::{execute, ParamValue, Params, Query};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sql_benches(c: &mut Criterion) {
+    let data = dataset(DatasetSize::Small);
+    let q2 = Query::parse(
+        "select distinct t.trId as trId, t.tname as tname \
+         from DB1:visitInfo i, DB2:cover c, DB4:treatment t \
+         where i.SSN = $SSN and i.date = $date and t.trId = i.trId \
+         and c.trId = i.trId and c.policy = $policy",
+    )
+    .unwrap();
+    let mut q2_params = Params::new();
+    q2_params.insert("SSN".into(), ParamValue::scalar("100000007"));
+    q2_params.insert("date".into(), ParamValue::scalar(data.dates[0].as_str()));
+    q2_params.insert("policy".into(), ParamValue::scalar("pol007"));
+
+    let q4 = Query::parse(
+        "select b.trId as trId, b.price as price from DB3:billing b where b.trId in $trIdS",
+    )
+    .unwrap();
+    let mut q4_params = Params::new();
+    q4_params.insert(
+        "trIdS".into(),
+        ParamValue::Rel(Relation::single_column(
+            "trId",
+            (0..40).map(|i| Value::str(format!("t{i:04}"))),
+        )),
+    );
+
+    let scan =
+        Query::parse("select v.SSN, v.trId from DB1:visitInfo v where v.date = $date").unwrap();
+    let mut scan_params = Params::new();
+    scan_params.insert("date".into(), ParamValue::scalar(data.dates[0].as_str()));
+
+    c.bench_function("sql_q2_three_way_join", |b| {
+        b.iter(|| black_box(execute(&q2, &data.catalog, &q2_params).unwrap()))
+    });
+    c.bench_function("sql_q4_in_set", |b| {
+        b.iter(|| black_box(execute(&q4, &data.catalog, &q4_params).unwrap()))
+    });
+    c.bench_function("sql_filtered_scan", |b| {
+        b.iter(|| black_box(execute(&scan, &data.catalog, &scan_params).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = sql_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation B: merging gain vs network bandwidth. The paper ran Fig. 10 at
+//! 1 Mbps; this sweep shows how the gain shifts as communication costs
+//! shrink relative to per-query overheads.
+
+use aig_bench::{dataset, fig10_cell, markdown_table, spec};
+use aig_datagen::DatasetSize;
+
+fn main() {
+    let aig = spec();
+    let data = dataset(DatasetSize::Large);
+    let unfold = 5;
+    let mut rows = Vec::new();
+    for mbps in [0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0] {
+        let cell = fig10_cell(&aig, &data, DatasetSize::Large, unfold, mbps);
+        rows.push(vec![
+            format!("{mbps}"),
+            format!("{:.2}", cell.run.response_unmerged_secs),
+            format!("{:.2}", cell.run.response_merged_secs),
+            format!("{:.2}", cell.ratio()),
+            cell.run.merges.to_string(),
+        ]);
+    }
+    println!("Ablation B: merging gain vs bandwidth (Large, unfold {unfold})\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["Mbps", "unmerged (s)", "merged (s)", "ratio", "merges"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Figure 10** of the paper: the improvement due to query
+//! merging — the ratio of AIG evaluation time *without* merging to the time
+//! *with* merging — for the three dataset sizes and recursion unfoldings of
+//! 2–7 levels, with 1 Mbps links between the mediator and the sources.
+//!
+//! Usage: `fig10 [--mbps <f64>] [--explain]`
+//! `--explain` additionally prints the task-graph summary per cell.
+
+use aig_bench::{dataset, fig10_cell, markdown_table, spec};
+use aig_datagen::DatasetSize;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mbps = args
+        .iter()
+        .position(|a| a == "--mbps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let explain = args.iter().any(|a| a == "--explain");
+
+    let aig = spec();
+    let unfolds: Vec<usize> = (2..=7).collect();
+    let mut rows = Vec::new();
+    println!("Figure 10: improvement due to query merging (bandwidth {mbps} Mbps)\n");
+    for size in DatasetSize::ALL {
+        let data = dataset(size);
+        let mut row = vec![size.name().to_string()];
+        for &unfold in &unfolds {
+            let cell = fig10_cell(&aig, &data, size, unfold, mbps);
+            row.push(format!("{:.2}", cell.ratio()));
+            if explain {
+                eprintln!(
+                    "[{} u{}] tasks={} queries={} merges={} unmerged={:.3}s merged={:.3}s",
+                    size.name(),
+                    unfold,
+                    cell.run.tasks,
+                    cell.run.source_queries,
+                    cell.run.merges,
+                    cell.run.response_unmerged_secs,
+                    cell.run.response_merged_secs,
+                );
+            }
+        }
+        rows.push(row);
+    }
+    let mut header: Vec<String> = vec!["dataset".to_string()];
+    header.extend(unfolds.iter().map(|u| format!("unfold {u}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    println!("{}", markdown_table(&header_refs, &rows));
+    println!(
+        "(each cell: evaluation time without merging / with merging; paper reports up to 2.2)"
+    );
+}

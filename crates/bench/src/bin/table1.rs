@@ -1,0 +1,51 @@
+//! Regenerates **Table 1** of the paper: cardinalities of the hospital
+//! tables for the small/medium/large datasets, plus the procedure self-join
+//! sizes the paper quotes for Large (§6).
+
+use aig_bench::{dataset, markdown_table};
+use aig_datagen::DatasetSize;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut large_joins = None;
+    for size in DatasetSize::ALL {
+        let data = dataset(size);
+        let [patient, visit, cover, billing, treatment, procedure] =
+            data.cardinalities().expect("cardinalities");
+        rows.push(vec![
+            size.name().to_string(),
+            patient.to_string(),
+            visit.to_string(),
+            cover.to_string(),
+            billing.to_string(),
+            treatment.to_string(),
+            procedure.to_string(),
+        ]);
+        if size == DatasetSize::Large {
+            large_joins = Some((
+                data.procedure_self_join(3).expect("join"),
+                data.procedure_self_join(4).expect("join"),
+            ));
+        }
+    }
+    println!("Table 1: cardinalities of tables for different datasets\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "dataset",
+                "patient",
+                "visitInfo",
+                "cover",
+                "billing",
+                "treatment",
+                "procedure"
+            ],
+            &rows
+        )
+    );
+    if let Some((j3, j4)) = large_joins {
+        println!("procedure self-joins (Large): 3-way = {j3}, 4-way = {j4}");
+        println!("(paper: 3-way = 4055, 4-way = 6837)");
+    }
+}

@@ -1,0 +1,312 @@
+//! Static analyses of AIGs (paper §4).
+//!
+//! For AIGs whose rules use conjunctive queries, the paper shows that
+//! termination and reachability are decidable by symbolic execution. We
+//! implement the decision procedures over the element graph:
+//!
+//! * an element **may be reached** if some instance makes every production
+//!   step on a root path fire: sequence children always fire; starred and
+//!   choice children fire on some instance exactly when their query is
+//!   satisfiable (for our conjunctive queries: no contradictory
+//!   constant predicates);
+//! * an element **must be reached** if it lies on a root path of plain
+//!   sequence children only (stars can be empty and choices can pick
+//!   another branch on some instance);
+//! * the AIG **terminates on all instances** iff no *may*-cycle is
+//!   reachable: a reachable cycle whose queries are satisfiable can be
+//!   driven forever by a cyclic instance;
+//! * the AIG **terminates on some instance** iff no *must*-cycle is
+//!   reachable: a cycle of mandatory children unfolds forever on every
+//!   instance, while stars/choices stop on the empty instance.
+//!
+//! The paper also proves the limits of this analysis: with arbitrary SQL
+//! (negation, arithmetic) satisfiability is undecidable, and with key +
+//! inclusion constraints termination is undecidable even for non-recursive
+//! DTDs. Correspondingly, [`analyze`] treats every non-contradictory query
+//! as satisfiable — exact for conjunctive queries, conservative beyond.
+
+use crate::spec::{Aig, ElemIdx, Generator, Prod};
+
+/// The result of the static analysis.
+#[derive(Debug, Clone)]
+pub struct StaticAnalysis {
+    /// Per element: reachable on *some* instance.
+    pub may_reach: Vec<bool>,
+    /// Per element: reachable on *every* instance.
+    pub must_reach: Vec<bool>,
+    /// No reachable may-cycle: evaluation terminates on every instance.
+    pub terminates_on_all: bool,
+    /// No reachable must-cycle: evaluation terminates on at least one
+    /// instance.
+    pub terminates_on_some: bool,
+    /// A witness cycle (element names) when `terminates_on_all` is false.
+    pub cycle_witness: Option<Vec<String>>,
+}
+
+impl StaticAnalysis {
+    pub fn may_reach(&self, elem: ElemIdx) -> bool {
+        self.may_reach[elem.index()]
+    }
+
+    pub fn must_reach(&self, elem: ElemIdx) -> bool {
+        self.must_reach[elem.index()]
+    }
+}
+
+/// Runs the full static analysis.
+pub fn analyze(aig: &Aig) -> StaticAnalysis {
+    let n = aig.len();
+    // Edges: (child, fires_on_some_instance, fires_on_every_instance).
+    let mut may_edges: Vec<Vec<ElemIdx>> = vec![Vec::new(); n];
+    let mut must_edges: Vec<Vec<ElemIdx>> = vec![Vec::new(); n];
+    for idx in aig.elements() {
+        let info = aig.elem_info(idx);
+        match &info.prod {
+            Prod::Pcdata { .. } | Prod::Empty => {}
+            Prod::Items(items) => {
+                for item in items {
+                    if item.star {
+                        let satisfiable = match item.generator.as_ref().expect("validated") {
+                            Generator::Query(qr) => !aig.query(qr.query).has_contradiction(),
+                            // A set generator iterates data collected
+                            // elsewhere; conservatively satisfiable.
+                            Generator::Set(_) => true,
+                        };
+                        if satisfiable {
+                            may_edges[idx.index()].push(item.elem);
+                        }
+                        // Stars are empty on the empty instance: no must edge.
+                    } else {
+                        may_edges[idx.index()].push(item.elem);
+                        must_edges[idx.index()].push(item.elem);
+                    }
+                }
+            }
+            Prod::Choice { branches, .. } => {
+                // Some branch fires whenever the element fires, but which one
+                // is data-driven: may edges to all branches, must edges only
+                // if there is a single branch.
+                for branch in branches {
+                    may_edges[idx.index()].push(branch.elem);
+                }
+                if branches.len() == 1 {
+                    must_edges[idx.index()].push(branches[0].elem);
+                }
+            }
+        }
+    }
+
+    let may_reach = reachable(n, aig.root, &may_edges);
+    let must_reach = reachable(n, aig.root, &must_edges);
+    let cycle_witness = reachable_cycle(aig, &may_edges, &may_reach);
+    let must_cycle = reachable_cycle(aig, &must_edges, &must_reach);
+    StaticAnalysis {
+        terminates_on_all: cycle_witness.is_none(),
+        terminates_on_some: must_cycle.is_none(),
+        may_reach,
+        must_reach,
+        cycle_witness,
+    }
+}
+
+fn reachable(n: usize, root: ElemIdx, edges: &[Vec<ElemIdx>]) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut stack = vec![root];
+    seen[root.index()] = true;
+    while let Some(e) = stack.pop() {
+        for &c in &edges[e.index()] {
+            if !seen[c.index()] {
+                seen[c.index()] = true;
+                stack.push(c);
+            }
+        }
+    }
+    seen
+}
+
+/// Finds a cycle among reachable nodes, returning its element names.
+fn reachable_cycle(aig: &Aig, edges: &[Vec<ElemIdx>], reachable: &[bool]) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = edges.len();
+    let mut marks = vec![Mark::White; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    for start in 0..n {
+        if !reachable[start] || marks[start] != Mark::White {
+            continue;
+        }
+        // Iterative DFS with a cycle reconstruction on back edges.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        marks[start] = Mark::Grey;
+        while let Some(&mut (node, ref mut edge)) = stack.last_mut() {
+            if *edge < edges[node].len() {
+                let next = edges[node][*edge].index();
+                *edge += 1;
+                if !reachable[next] {
+                    continue;
+                }
+                match marks[next] {
+                    Mark::White => {
+                        marks[next] = Mark::Grey;
+                        parent[next] = Some(node);
+                        stack.push((next, 0));
+                    }
+                    Mark::Grey => {
+                        // Back edge: walk up from `node` to `next`.
+                        let mut cycle = vec![aig.elem_name(ElemIdx(next as u32)).to_string()];
+                        let mut cur = node;
+                        while cur != next {
+                            cycle.push(aig.elem_name(ElemIdx(cur as u32)).to_string());
+                            cur = parent[cur].expect("path to the grey ancestor");
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                marks[node] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::sigma0;
+    use crate::parser::parse_aig;
+
+    #[test]
+    fn sigma0_is_recursive_but_terminates_on_some() {
+        let aig = sigma0().unwrap();
+        let a = analyze(&aig);
+        // treatment/procedure recursion: termination depends on the data.
+        assert!(!a.terminates_on_all);
+        assert!(a.terminates_on_some);
+        let witness = a.cycle_witness.clone().unwrap();
+        assert!(witness.iter().any(|n| n == "treatment"), "{witness:?}");
+        // Everything is may-reachable; only the fixed part is must-reachable.
+        for e in aig.elements() {
+            assert!(a.may_reach(e), "{}", aig.elem_name(e));
+        }
+        assert!(a.must_reach(aig.elem("report").unwrap()));
+        assert!(!a.must_reach(aig.elem("patient").unwrap())); // star child
+    }
+
+    #[test]
+    fn non_recursive_aig_terminates_on_all() {
+        let aig = parse_aig(
+            r#"
+            aig flat {
+              dtd {
+                <!ELEMENT list (entry*)>
+                <!ELEMENT entry (id)>
+                <!ELEMENT id (#PCDATA)>
+              }
+              elem list {
+                inh(day);
+                child entry* from sql { select t.id as id from DB1:items t
+                                        where t.day = $day };
+              }
+              elem entry {
+                inh(id);
+                child id { val = $id; }
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&aig);
+        assert!(a.terminates_on_all);
+        assert!(a.terminates_on_some);
+        assert!(a.cycle_witness.is_none());
+        // id is must-reached only through entry, which is starred.
+        assert!(!a.must_reach(aig.elem("id").unwrap()));
+        assert!(a.may_reach(aig.elem("id").unwrap()));
+    }
+
+    #[test]
+    fn contradictory_query_blocks_reachability_and_recursion() {
+        // The recursive star can never fire: its query is contradictory, so
+        // the AIG terminates on all instances and `node`'s child is still
+        // only may-reached via itself.
+        let aig = parse_aig(
+            r#"
+            aig dead {
+              dtd {
+                <!ELEMENT node (node*)>
+              }
+              elem node {
+                inh(cur);
+                child node* from sql { select e.dst as cur from DB1:edges e
+                                       where e.src = $cur and 'a' = 'b' };
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&aig);
+        assert!(a.terminates_on_all);
+        assert!(a.terminates_on_some);
+    }
+
+    #[test]
+    fn mandatory_cycle_never_terminates() {
+        // a -> b, b -> a through plain sequence children: infinite on every
+        // instance.
+        let aig = parse_aig(
+            r#"
+            aig forever {
+              dtd {
+                <!ELEMENT a (b)>
+                <!ELEMENT b (a)>
+              }
+              elem a { inh(x); child b { y = $x; } }
+              elem b { inh(y); child a { x = $y; } }
+            }
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&aig);
+        assert!(!a.terminates_on_all);
+        assert!(!a.terminates_on_some);
+    }
+
+    #[test]
+    fn single_branch_choice_is_mandatory() {
+        let aig = parse_aig(
+            r#"
+            aig onebranch {
+              dtd {
+                <!ELEMENT doc (x)>
+                <!ELEMENT x (only | other)>
+                <!ELEMENT only (#PCDATA)>
+                <!ELEMENT other (#PCDATA)>
+              }
+              elem doc { inh(day); child x { day = $day; } }
+              elem x {
+                inh(day);
+                case sql { select t.id as pick from DB1:items t where t.day = $day } {
+                  1 => only { val = 'a'; }
+                  2 => other { val = 'b'; }
+                }
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&aig);
+        // Two branches: neither is must-reached, both may-reached.
+        assert!(!a.must_reach(aig.elem("only").unwrap()));
+        assert!(a.may_reach(aig.elem("only").unwrap()));
+        assert!(a.may_reach(aig.elem("other").unwrap()));
+        assert!(a.must_reach(aig.elem("x").unwrap()));
+    }
+}

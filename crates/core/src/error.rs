@@ -1,0 +1,90 @@
+//! Error types for the AIG core.
+
+use aig_relstore::StoreError;
+use aig_sql::SqlError;
+use aig_xml::XmlError;
+use std::fmt;
+
+/// Errors from building, validating, or evaluating AIGs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AigError {
+    /// A syntax error in the AIG DSL.
+    Syntax { line: usize, msg: String },
+    /// A specification error: undeclared element/field, type mismatch, rule
+    /// missing or duplicated, etc.
+    Spec(String),
+    /// The dependency relation of a production is cyclic (§3.1 requires
+    /// acyclicity).
+    CyclicDependency { elem: String, cycle: Vec<String> },
+    /// A compiled constraint guard failed during evaluation: the paper's
+    /// *abort* semantics (§3.3).
+    ConstraintViolation {
+        constraint: String,
+        context: String,
+        value: String,
+    },
+    /// Evaluation exceeded the depth bound — the AIG recursed through cyclic
+    /// data without converging.
+    DepthExceeded(usize),
+    /// A condition query of a choice production returned something other
+    /// than a single integer in `[1, n]`.
+    BadConditionResult { elem: String, detail: String },
+    /// Underlying SQL error.
+    Sql(SqlError),
+    /// Underlying XML/DTD error.
+    Xml(XmlError),
+    /// Underlying storage error.
+    Store(StoreError),
+}
+
+impl fmt::Display for AigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigError::Syntax { line, msg } => write!(f, "AIG syntax error (line {line}): {msg}"),
+            AigError::Spec(msg) => write!(f, "AIG specification error: {msg}"),
+            AigError::CyclicDependency { elem, cycle } => write!(
+                f,
+                "cyclic dependency in the production of `{elem}`: {}",
+                cycle.join(" -> ")
+            ),
+            AigError::ConstraintViolation {
+                constraint,
+                context,
+                value,
+            } => write!(
+                f,
+                "evaluation aborted: constraint {constraint} violated at {context} (value {value:?})"
+            ),
+            AigError::DepthExceeded(limit) => {
+                write!(f, "evaluation exceeded the recursion depth bound of {limit}")
+            }
+            AigError::BadConditionResult { elem, detail } => write!(
+                f,
+                "condition query of choice production `{elem}` returned an invalid result: {detail}"
+            ),
+            AigError::Sql(e) => write!(f, "{e}"),
+            AigError::Xml(e) => write!(f, "{e}"),
+            AigError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AigError {}
+
+impl From<SqlError> for AigError {
+    fn from(e: SqlError) -> AigError {
+        AigError::Sql(e)
+    }
+}
+
+impl From<XmlError> for AigError {
+    fn from(e: XmlError) -> AigError {
+        AigError::Xml(e)
+    }
+}
+
+impl From<StoreError> for AigError {
+    fn from(e: StoreError) -> AigError {
+        AigError::Store(e)
+    }
+}

@@ -1,0 +1,28 @@
+//! Attribute Integration Grammars (AIGs) — the core of the SIGMOD 2003 paper
+//! *"Capturing both Types and Constraints in Data Integration"*.
+
+pub mod analysis;
+pub mod attrs;
+pub mod builder;
+pub mod compile;
+pub mod copyelim;
+pub mod decompose;
+pub mod error;
+pub mod eval;
+pub mod paper;
+pub mod parser;
+pub mod spec;
+
+pub use analysis::{analyze, StaticAnalysis};
+pub use attrs::{AttrValue, FieldDecl, FieldType, FieldValue};
+pub use builder::{AigBuilder, BranchSpec, ItemSpec, ProdSpec};
+pub use compile::compile_constraints;
+pub use copyelim::{census, resolve_scalar, ResolvedScalar, RuleCensus};
+pub use decompose::{decompose_queries, DecomposeReport};
+pub use error::AigError;
+pub use eval::{evaluate, evaluate_with, EvalOptions, EvalStats, Evaluation};
+pub use parser::parse_aig;
+pub use spec::{
+    Aig, ChoiceBranch, ElemIdx, ElemInfo, FieldRule, Generator, Guard, GuardKind, ParamSource,
+    Prod, QueryId, QueryRule, SeqItem, SetExpr, SynRule, ValueExpr,
+};

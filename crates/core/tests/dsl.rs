@@ -1,0 +1,285 @@
+//! Integration tests for the AIG DSL: the semantic-rule forms of §3.1
+//! exercised end to end through parsing and conceptual evaluation.
+
+use aig_core::eval::evaluate;
+use aig_core::{parse_aig, AigError};
+use aig_relstore::{Catalog, Database, Table, TableSchema, Value};
+use aig_xml::serialize::to_string;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let mut db = Database::new("DB1");
+    let mut items = Table::new(TableSchema::strings("items", &["id", "day", "grp"], &[]));
+    for (id, day, grp) in [
+        ("i1", "mon", "g1"),
+        ("i2", "mon", "g2"),
+        ("i3", "tue", "g1"),
+        ("i4", "mon", "g1"),
+    ] {
+        items
+            .insert(vec![Value::str(id), Value::str(day), Value::str(grp)])
+            .unwrap();
+    }
+    db.add_table(items).unwrap();
+    let mut names = Table::new(TableSchema::strings("names", &["id", "label"], &["id"]));
+    for (id, label) in [
+        ("i1", "one"),
+        ("i2", "two"),
+        ("i3", "three"),
+        ("i4", "four"),
+    ] {
+        names
+            .insert(vec![Value::str(id), Value::str(label)])
+            .unwrap();
+    }
+    db.add_table(names).unwrap();
+    c.add_source(db).unwrap();
+    c
+}
+
+/// A query parameter bound to a *sibling's synthesized set* — the paper's
+/// `f(Inh(A), Syn(B~i))` with a set-valued Syn member passed as a temporary
+/// relation ("a temporary relation is created in the database if some member
+/// is a set", §3.1).
+#[test]
+fn query_parameter_from_sibling_synthesized_set() {
+    let aig = parse_aig(
+        r#"
+        aig sibling {
+          dtd {
+            <!ELEMENT doc (picked, labels)>
+            <!ELEMENT picked (id*)>
+            <!ELEMENT labels (label*)>
+            <!ELEMENT id (#PCDATA)>
+            <!ELEMENT label (#PCDATA)>
+          }
+          elem doc {
+            inh(day);
+            child picked { day = $day; }
+            child labels { ids = syn(picked).ids; }
+          }
+          elem picked {
+            inh(day);
+            syn(ids: set(id));
+            child id* from sql { select t.id as val from DB1:items t
+                                 where t.day = $day };
+            syn ids = collect(id.val);
+          }
+          elem labels {
+            // The sibling's synthesized set arrives as a set-valued
+            // inherited field and is used as a relation parameter in FROM.
+            inh(ids: set(id));
+            child label* from sql {
+              select n.label as val from DB1:names n, $ids P
+              where n.id = P.id
+            };
+          }
+        }
+        "#,
+    )
+    .unwrap();
+    let result = evaluate(&aig, &catalog(), &[("day", Value::str("mon"))]).unwrap();
+    let text = to_string(&result.tree);
+    assert!(text.contains("<id>i1</id>"), "{text}");
+    for label in ["one", "two", "four"] {
+        assert!(text.contains(&format!("<label>{label}</label>")), "{text}");
+    }
+    assert!(!text.contains("three"), "{text}");
+}
+
+/// `labels` above has no inherited fields at all — `child labels { }` and an
+/// empty `inh` are both fine.
+#[test]
+fn empty_attribute_tuples_are_allowed() {
+    let aig = parse_aig(
+        r#"
+        aig minimal {
+          dtd {
+            <!ELEMENT a (b)>
+            <!ELEMENT b EMPTY>
+          }
+          elem a { inh(); child b { } }
+          elem b { empty; }
+        }
+        "#,
+    )
+    .unwrap();
+    let result = evaluate(&aig, &catalog(), &[]).unwrap();
+    assert_eq!(to_string(&result.tree), "<a><b/></a>");
+}
+
+#[test]
+fn union_singleton_and_empty_constructors() {
+    let aig = parse_aig(
+        r#"
+        aig constructors {
+          dtd {
+            <!ELEMENT doc (src, out)>
+            <!ELEMENT src (id*)>
+            <!ELEMENT out (id*)>
+            <!ELEMENT id (#PCDATA)>
+          }
+          elem doc {
+            inh(day);
+            child src { day = $day; }
+            child out { vals = syn(src).all; }
+          }
+          elem src {
+            inh(day);
+            syn(all: set(val));
+            child id* from sql { select t.id as val from DB1:items t
+                                 where t.day = $day };
+            // union of the collected set, a literal singleton, and empty.
+            syn all = union(collect(id.val), { 'extra' }, empty);
+          }
+          elem out {
+            inh(vals: set(val));
+            child id* from $vals;
+          }
+        }
+        "#,
+    )
+    .unwrap();
+    let result = evaluate(&aig, &catalog(), &[("day", Value::str("tue"))]).unwrap();
+    let text = to_string(&result.tree);
+    assert!(
+        text.contains("<out><id>i3</id><id>extra</id></out>"),
+        "{text}"
+    );
+}
+
+#[test]
+fn duplicate_syn_rule_rejected() {
+    let err = parse_aig(
+        r#"
+        aig dup {
+          dtd { <!ELEMENT a (b*)> <!ELEMENT b (#PCDATA)> }
+          elem a {
+            inh(day);
+            syn(s: set(val));
+            child b* from sql { select t.id as val from DB1:items t where t.day = $day };
+            syn s = collect(b.val);
+            syn s = collect(b.val);
+          }
+        }
+        "#,
+    )
+    .unwrap_err();
+    assert!(matches!(err, AigError::Spec(msg) if msg.contains("more than once")));
+}
+
+#[test]
+fn collect_on_non_star_child_rejected() {
+    let err = parse_aig(
+        r#"
+        aig badcollect {
+          dtd { <!ELEMENT a (b)> <!ELEMENT b (#PCDATA)> }
+          elem a {
+            inh(x);
+            syn(s: set(val));
+            child b { val = $x; }
+            syn s = collect(b.val);
+          }
+        }
+        "#,
+    )
+    .unwrap_err();
+    assert!(matches!(err, AigError::Spec(msg) if msg.contains("starred")));
+}
+
+#[test]
+fn scalar_reference_to_starred_child_rejected() {
+    // (any Spec error naming the problem is acceptable)
+    let err = parse_aig(
+        r#"
+        aig badscalar {
+          dtd { <!ELEMENT a (b*)> <!ELEMENT b (#PCDATA)> }
+          elem a {
+            inh(day);
+            syn(first);
+            child b* from sql { select t.id as val from DB1:items t where t.day = $day };
+            syn first = syn(b).val;
+          }
+        }
+        "#,
+    )
+    .unwrap_err();
+    match err {
+        AigError::Spec(msg) => assert!(msg.contains("collect") || msg.contains("starred"), "{msg}"),
+        AigError::Syntax { msg, .. } => {
+            assert!(msg.contains("collect") || msg.contains("starred"), "{msg}")
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_sql_source_fails_at_runtime_not_parse() {
+    // Source names are resolved against the catalog at evaluation time.
+    let aig = parse_aig(
+        r#"
+        aig ghost {
+          dtd { <!ELEMENT a (b*)> <!ELEMENT b (#PCDATA)> }
+          elem a {
+            inh(day);
+            child b* from sql { select t.id as val from NOPE:items t where t.day = $day };
+          }
+        }
+        "#,
+    )
+    .unwrap();
+    let err = evaluate(&aig, &catalog(), &[("day", Value::str("mon"))]).unwrap_err();
+    assert!(matches!(err, AigError::Sql(_)), "{err:?}");
+}
+
+#[test]
+fn nested_choices_evaluate() {
+    let aig = parse_aig(
+        r#"
+        aig nested {
+          dtd {
+            <!ELEMENT doc (x)>
+            <!ELEMENT x (y | z)>
+            <!ELEMENT y (p | q)>
+            <!ELEMENT z EMPTY>
+            <!ELEMENT p (#PCDATA)>
+            <!ELEMENT q (#PCDATA)>
+          }
+          elem doc { inh(n); child x { n = $n; } }
+          elem x {
+            inh(n);
+            case sql { select t.id as pick from DB1:items t where t.day = $n }
+              bind { n = '__never'; }
+            {
+              1 => y { m = '2'; }
+              2 => z { }
+            }
+          }
+          elem y {
+            inh(m);
+            case sql { select v.c as pick from $m V } bind { m = '__unused'; } {
+              1 => p { val = 'one'; }
+              2 => q { val = 'two'; }
+            }
+          }
+          elem z { empty; }
+        }
+        "#,
+    );
+    // This spec is deliberately contrived; the point is that nested choice
+    // *parses* and type-checks (binding a scalar to a FROM-relation is a
+    // runtime error, caught below).
+    match aig {
+        Ok(aig) => {
+            let err = evaluate(&aig, &catalog(), &[("n", Value::str("mon"))]).unwrap_err();
+            assert!(
+                matches!(err, AigError::Sql(_) | AigError::BadConditionResult { .. }),
+                "{err:?}"
+            );
+        }
+        Err(e) => {
+            // Rejecting at validation time is also acceptable.
+            assert!(matches!(e, AigError::Spec(_) | AigError::Syntax { .. }));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The five semantic-rule forms of §3.1, exercised one by one through the
+//! builder API:
+//!
+//! 1. `A → S` with `Syn(A) = g(Inh(A))` and `Inh(S) = f(Inh(A))`;
+//! 2. `A → B1, …, Bn` with sibling-dependent inherited rules;
+//! 3. `A → B1 + … + Bn` with a condition query and per-branch `gi`;
+//! 4. `A → B*` with query iteration and collected synthesized sets;
+//! 5. `A → ε` with `Syn(A) = g(Inh(A))`.
+
+use aig_core::builder::{scalar, set, AigBuilder, BranchSpec, ItemSpec, ProdSpec};
+use aig_core::eval::evaluate;
+use aig_core::spec::{FieldRule, Generator, SetExpr, ValueExpr};
+use aig_relstore::{Catalog, Database, Table, TableSchema, Value};
+use aig_xml::serialize::to_string;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let mut db = Database::new("DB1");
+    let mut t = Table::new(TableSchema::strings("kv", &["k", "v"], &["k"]));
+    for (k, v) in [("a", "1"), ("b", "2"), ("c", "1")] {
+        t.insert(vec![Value::str(k), Value::str(v)]).unwrap();
+    }
+    db.add_table(t).unwrap();
+    c.add_source(db).unwrap();
+    c
+}
+
+/// Form 1 + form 5: a PCDATA leaf whose synthesized value feeds an
+/// EMPTY-production sibling's synthesized attribute chain via the parent.
+#[test]
+fn pcdata_and_empty_forms_compute_syn_from_inh() {
+    let mut b = AigBuilder::new("forms15");
+    b.dtd_text("<!ELEMENT doc (word, nothing)> <!ELEMENT word (#PCDATA)> <!ELEMENT nothing EMPTY>")
+        .unwrap();
+    b.inh("doc", vec![scalar("x")]).unwrap();
+    b.syn("doc", vec![scalar("echo"), set("tagged", &["t"])])
+        .unwrap();
+    // word: Syn from Inh (form 1): default leaf spec gives syn val = $val.
+    // nothing: EMPTY with a synthesized set built from its Inh (form 5).
+    b.inh("nothing", vec![scalar("y")]).unwrap();
+    b.syn("nothing", vec![set("s", &["t"])]).unwrap();
+    b.prod("nothing", ProdSpec::Empty).unwrap();
+    b.syn_rule(
+        "nothing",
+        "s",
+        FieldRule::Set(SetExpr::Singleton(vec![ValueExpr::InhField("y".into())])),
+    )
+    .unwrap();
+    b.prod(
+        "doc",
+        ProdSpec::Items(vec![
+            ItemSpec::child("word")
+                .assign("val", FieldRule::Scalar(ValueExpr::InhField("x".into()))),
+            ItemSpec::child("nothing").assign(
+                "y",
+                // Sibling dependency (form 2): Inh(nothing) from Syn(word).
+                FieldRule::Scalar(ValueExpr::ChildSyn {
+                    item: 0,
+                    field: "val".into(),
+                }),
+            ),
+        ]),
+    )
+    .unwrap();
+    b.syn_rule(
+        "doc",
+        "echo",
+        FieldRule::Scalar(ValueExpr::ChildSyn {
+            item: 0,
+            field: "val".into(),
+        }),
+    )
+    .unwrap();
+    b.syn_rule(
+        "doc",
+        "tagged",
+        FieldRule::Set(SetExpr::ChildSyn {
+            item: 1,
+            field: "s".into(),
+        }),
+    )
+    .unwrap();
+    let aig = b.build().unwrap();
+    let result = evaluate(&aig, &catalog(), &[("x", Value::str("hello"))]).unwrap();
+    assert_eq!(
+        to_string(&result.tree),
+        "<doc><word>hello</word><nothing/></doc>"
+    );
+}
+
+/// Form 3: the condition query selects the branch; the non-selected branch's
+/// synthesized fields default to null/empty.
+#[test]
+fn choice_form_with_branch_syn() {
+    let mut b = AigBuilder::new("form3");
+    b.dtd_text("<!ELEMENT doc (hit | miss)> <!ELEMENT hit (#PCDATA)> <!ELEMENT miss (#PCDATA)>")
+        .unwrap();
+    b.inh("doc", vec![scalar("k")]).unwrap();
+    b.syn("doc", vec![scalar("seen")]).unwrap();
+    let cond = b
+        .query("select distinct 1 as pick from DB1:kv t where t.k = $k")
+        .unwrap();
+    let cond_rule = b.auto_bind(cond, "doc").unwrap();
+    b.prod(
+        "doc",
+        ProdSpec::Choice {
+            cond: cond_rule,
+            branches: vec![
+                BranchSpec::new("hit")
+                    .assign("val", FieldRule::Scalar(ValueExpr::InhField("k".into())))
+                    .syn_rule(
+                        "seen",
+                        FieldRule::Scalar(ValueExpr::ChildSyn {
+                            item: 0,
+                            field: "val".into(),
+                        }),
+                    ),
+                BranchSpec::new("miss").assign(
+                    "val",
+                    FieldRule::Scalar(ValueExpr::Const(Value::str("none"))),
+                ),
+            ],
+        },
+    )
+    .unwrap();
+    let aig = b.build().unwrap();
+    let result = evaluate(&aig, &catalog(), &[("k", Value::str("b"))]).unwrap();
+    assert_eq!(to_string(&result.tree), "<doc><hit>b</hit></doc>");
+}
+
+/// Form 4: `A → B*` iterating a query, with `Syn(A) = ∪ Syn(B)`.
+#[test]
+fn star_form_collects_synthesized_sets() {
+    let mut b = AigBuilder::new("form4");
+    b.dtd_text("<!ELEMENT doc (pair*)> <!ELEMENT pair (k, v)> <!ELEMENT k (#PCDATA)> <!ELEMENT v (#PCDATA)>")
+        .unwrap();
+    b.inh("doc", vec![scalar("want")]).unwrap();
+    b.syn("doc", vec![set("keys", &["k"])]).unwrap();
+    b.inh("pair", vec![scalar("k"), scalar("v")]).unwrap();
+    b.syn("pair", vec![scalar("key")]).unwrap();
+    let q = b
+        .query("select t.k as k, t.v as v from DB1:kv t where t.v = $want")
+        .unwrap();
+    let rule = b.auto_bind(q, "doc").unwrap();
+    b.prod(
+        "doc",
+        ProdSpec::Items(vec![ItemSpec::star("pair", Generator::Query(rule))]),
+    )
+    .unwrap();
+    b.prod(
+        "pair",
+        ProdSpec::Items(vec![
+            ItemSpec::child("k").assign("val", FieldRule::Scalar(ValueExpr::InhField("k".into()))),
+            ItemSpec::child("v").assign("val", FieldRule::Scalar(ValueExpr::InhField("v".into()))),
+        ]),
+    )
+    .unwrap();
+    b.syn_rule(
+        "pair",
+        "key",
+        FieldRule::Scalar(ValueExpr::InhField("k".into())),
+    )
+    .unwrap();
+    // Hmm: Syn(pair).key from Inh is only allowed for PCDATA/EMPTY in the
+    // paper; our model also allows it for sequences — the stricter paper
+    // form would route it through the k leaf. Use the leaf to stay faithful:
+    b.set_syn_rules(
+        "pair",
+        vec![aig_core::spec::SynRule {
+            field: "key".into(),
+            rule: FieldRule::Scalar(ValueExpr::ChildSyn {
+                item: 0,
+                field: "val".into(),
+            }),
+        }],
+    )
+    .unwrap();
+    b.syn_rule(
+        "doc",
+        "keys",
+        FieldRule::Set(SetExpr::Collect {
+            item: 0,
+            field: "key".into(),
+        }),
+    )
+    .unwrap();
+    let aig = b.build().unwrap();
+    let result = evaluate(&aig, &catalog(), &[("want", Value::str("1"))]).unwrap();
+    // Two pairs with v = 1: a and c.
+    let text = to_string(&result.tree);
+    assert!(text.contains("<k>a</k>"), "{text}");
+    assert!(text.contains("<k>c</k>"), "{text}");
+    assert!(!text.contains("<k>b</k>"), "{text}");
+}
+
+/// The evaluation order is data- and dependency-driven, not left-to-right:
+/// the paper's "one-sweep" property means each node's synthesized attribute
+/// is ready exactly when its subtree completes. Verified indirectly: a chain
+/// of three siblings where each depends on the next.
+#[test]
+fn dependency_chain_across_three_siblings() {
+    let mut b = AigBuilder::new("chain");
+    b.dtd_text(
+        "<!ELEMENT doc (p, q, r)> <!ELEMENT p (#PCDATA)> <!ELEMENT q (#PCDATA)> \
+         <!ELEMENT r (#PCDATA)>",
+    )
+    .unwrap();
+    b.inh("doc", vec![scalar("seed")]).unwrap();
+    b.prod(
+        "doc",
+        ProdSpec::Items(vec![
+            // p copies q's value; q copies r's; r takes the seed.
+            ItemSpec::child("p").assign(
+                "val",
+                FieldRule::Scalar(ValueExpr::ChildSyn {
+                    item: 1,
+                    field: "val".into(),
+                }),
+            ),
+            ItemSpec::child("q").assign(
+                "val",
+                FieldRule::Scalar(ValueExpr::ChildSyn {
+                    item: 2,
+                    field: "val".into(),
+                }),
+            ),
+            ItemSpec::child("r")
+                .assign("val", FieldRule::Scalar(ValueExpr::InhField("seed".into()))),
+        ]),
+    )
+    .unwrap();
+    let aig = b.build().unwrap();
+    let doc = aig.elem("doc").unwrap();
+    assert_eq!(aig.elem_info(doc).topo, vec![2, 1, 0]);
+    let result = evaluate(&aig, &catalog(), &[("seed", Value::str("z"))]).unwrap();
+    assert_eq!(
+        to_string(&result.tree),
+        "<doc><p>z</p><q>z</q><r>z</r></doc>"
+    );
+}

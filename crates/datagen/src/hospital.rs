@@ -1,0 +1,333 @@
+//! The hospital dataset generator (Table 1 of the paper).
+
+use aig_core::paper::empty_hospital_catalog;
+use aig_relstore::{Catalog, StoreError, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// The three dataset sizes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetSize {
+    Small,
+    Medium,
+    Large,
+}
+
+impl DatasetSize {
+    pub const ALL: [DatasetSize; 3] = [DatasetSize::Small, DatasetSize::Medium, DatasetSize::Large];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetSize::Small => "small",
+            DatasetSize::Medium => "medium",
+            DatasetSize::Large => "large",
+        }
+    }
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HospitalConfig {
+    pub patients: usize,
+    pub visits: usize,
+    pub covers: usize,
+    pub treatments: usize,
+    pub procedures: usize,
+    /// Distinct visit dates (reports are per date).
+    pub dates: usize,
+    /// Distinct insurance policies.
+    pub policies: usize,
+    /// When true (default), the procedure hierarchy is a DAG: edges only go
+    /// from lower to higher treatment ids, so recursion terminates.
+    pub acyclic: bool,
+    /// Procedure edges are drawn among the first `proc_core` treatments.
+    /// Concentrating the hierarchy reproduces the paper's self-join growth
+    /// (§6 quotes 4055 3-way and 6837 4-way paths for Large, a ~1.7× factor
+    /// per level, which a uniform sparse DAG does not exhibit).
+    pub proc_core: usize,
+    pub seed: u64,
+}
+
+impl HospitalConfig {
+    /// The exact cardinalities of Table 1.
+    pub fn sized(size: DatasetSize) -> HospitalConfig {
+        let (patients, visits, covers, treatments, procedures) = match size {
+            DatasetSize::Small => (2500, 11371, 2224, 175, 441),
+            DatasetSize::Medium => (3300, 14887, 3762, 250, 718),
+            DatasetSize::Large => (5000, 22496, 8996, 350, 923),
+        };
+        HospitalConfig {
+            patients,
+            visits,
+            covers,
+            treatments,
+            procedures,
+            dates: 20,
+            policies: 40,
+            acyclic: true,
+            proc_core: treatments * 3 / 5,
+            seed: 0x0051_064D_2003, // SIGMOD 2003
+        }
+    }
+
+    /// A tiny configuration for fast tests.
+    pub fn tiny(seed: u64) -> HospitalConfig {
+        HospitalConfig {
+            patients: 30,
+            visits: 80,
+            covers: 60,
+            treatments: 20,
+            procedures: 25,
+            dates: 4,
+            policies: 6,
+            acyclic: true,
+            proc_core: 10,
+            seed,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> HospitalConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the four databases.
+    pub fn generate(&self) -> Result<HospitalData, StoreError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut catalog = empty_hospital_catalog();
+
+        let trid = |i: usize| format!("t{i:04}");
+        let date = |i: usize| format!("2003-06-{:02}", 1 + i % 28);
+        let policy = |i: usize| format!("pol{i:03}");
+        let ssn = |i: usize| format!("{:09}", 100_000_000 + i);
+
+        // DB4: treatment(trId, tname), procedure(trId1, trId2) — a DAG.
+        {
+            let id = catalog.source_id("DB4")?;
+            let t = catalog.source_mut(id).table_mut("treatment")?;
+            for i in 0..self.treatments {
+                t.insert(vec![
+                    Value::str(trid(i)),
+                    Value::str(format!("tname{i:04}")),
+                ])?;
+            }
+            let p = catalog.source_mut(id).table_mut("procedure")?;
+            let mut seen: HashSet<(usize, usize)> = HashSet::new();
+            let mut guard = 0usize;
+            while seen.len() < self.procedures {
+                guard += 1;
+                assert!(
+                    guard < self.procedures * 1000,
+                    "procedure generation cannot satisfy the cardinality"
+                );
+                let core = self.proc_core.clamp(2, self.treatments);
+                let a = rng.gen_range(0..core);
+                let b = rng.gen_range(0..core);
+                if a == b {
+                    continue;
+                }
+                let edge = if self.acyclic && a > b {
+                    (b, a)
+                } else {
+                    (a, b)
+                };
+                if seen.insert(edge) {
+                    p.insert(vec![Value::str(trid(edge.0)), Value::str(trid(edge.1))])?;
+                }
+            }
+        }
+
+        // DB1: patient(SSN, pname, policy), visitInfo(SSN, trId, date).
+        {
+            let id = catalog.source_id("DB1")?;
+            let t = catalog.source_mut(id).table_mut("patient")?;
+            for i in 0..self.patients {
+                t.insert(vec![
+                    Value::str(ssn(i)),
+                    Value::str(format!("pname{i:05}")),
+                    Value::str(policy(i % self.policies)),
+                ])?;
+            }
+            let v = catalog.source_mut(id).table_mut("visitInfo")?;
+            let mut seen: HashSet<(usize, usize, usize)> = HashSet::new();
+            while seen.len() < self.visits {
+                let row = (
+                    rng.gen_range(0..self.patients),
+                    rng.gen_range(0..self.treatments),
+                    rng.gen_range(0..self.dates),
+                );
+                if seen.insert(row) {
+                    v.insert(vec![
+                        Value::str(ssn(row.0)),
+                        Value::str(trid(row.1)),
+                        Value::str(date(row.2)),
+                    ])?;
+                }
+            }
+        }
+
+        // DB2: cover(policy, trId).
+        {
+            let id = catalog.source_id("DB2")?;
+            let c = catalog.source_mut(id).table_mut("cover")?;
+            let mut seen: HashSet<(usize, usize)> = HashSet::new();
+            let capacity = self.policies * self.treatments;
+            let target = self.covers.min(capacity);
+            while seen.len() < target {
+                let row = (
+                    rng.gen_range(0..self.policies),
+                    rng.gen_range(0..self.treatments),
+                );
+                if seen.insert(row) {
+                    c.insert(vec![Value::str(policy(row.0)), Value::str(trid(row.1))])?;
+                }
+            }
+        }
+
+        // DB3: billing(trId, price) — one price per treatment, so the key
+        // and inclusion constraints of the report hold by construction.
+        {
+            let id = catalog.source_id("DB3")?;
+            let b = catalog.source_mut(id).table_mut("billing")?;
+            for i in 0..self.treatments {
+                b.insert(vec![
+                    Value::str(trid(i)),
+                    Value::str(format!("{}", 10 + rng.gen_range(0..990))),
+                ])?;
+            }
+        }
+
+        Ok(HospitalData {
+            catalog,
+            dates: (0..self.dates).map(date).collect(),
+        })
+    }
+}
+
+/// A generated dataset: the four databases plus the date pool.
+#[derive(Debug)]
+pub struct HospitalData {
+    pub catalog: Catalog,
+    /// The distinct visit dates (report parameters).
+    pub dates: Vec<String>,
+}
+
+impl HospitalData {
+    /// Row counts in Table 1 order:
+    /// patient, visitInfo, cover, billing, treatment, procedure.
+    pub fn cardinalities(&self) -> Result<[usize; 6], StoreError> {
+        Ok([
+            self.catalog.table("DB1", "patient")?.len(),
+            self.catalog.table("DB1", "visitInfo")?.len(),
+            self.catalog.table("DB2", "cover")?.len(),
+            self.catalog.table("DB3", "billing")?.len(),
+            self.catalog.table("DB4", "treatment")?.len(),
+            self.catalog.table("DB4", "procedure")?.len(),
+        ])
+    }
+
+    /// The size of the k-way self join of the procedure table (paths of
+    /// length k in the hierarchy) — the paper quotes these for Large (§6).
+    pub fn procedure_self_join(&self, k: usize) -> Result<usize, StoreError> {
+        let table = self.catalog.table("DB4", "procedure")?;
+        let mut edges: std::collections::HashMap<String, Vec<String>> = Default::default();
+        let mut all_nodes: HashSet<String> = HashSet::new();
+        for row in table.rows() {
+            let (a, b) = (row[0].to_text(), row[1].to_text());
+            all_nodes.insert(a.clone());
+            all_nodes.insert(b.clone());
+            edges.entry(a).or_default().push(b);
+        }
+        // count[v] after i iterations = number of paths with exactly i edges
+        // starting at v.
+        let mut count: std::collections::HashMap<String, u64> =
+            all_nodes.iter().map(|v| (v.clone(), 1)).collect();
+        for _ in 0..k {
+            let mut next: std::collections::HashMap<String, u64> = Default::default();
+            for v in &all_nodes {
+                let total: u64 = edges
+                    .get(v)
+                    .map(|dsts| dsts.iter().map(|d| count[d]).sum())
+                    .unwrap_or(0);
+                next.insert(v.clone(), total);
+            }
+            count = next;
+        }
+        Ok(count.values().sum::<u64>() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_cardinalities_match_the_paper() {
+        for size in DatasetSize::ALL {
+            let data = HospitalConfig::sized(size).generate().unwrap();
+            let got = data.cardinalities().unwrap();
+            let want = match size {
+                DatasetSize::Small => [2500, 11371, 2224, 175, 175, 441],
+                DatasetSize::Medium => [3300, 14887, 3762, 250, 250, 718],
+                DatasetSize::Large => [5000, 22496, 8996, 350, 350, 923],
+            };
+            assert_eq!(got, want, "{}", size.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = HospitalConfig::tiny(7).generate().unwrap();
+        let b = HospitalConfig::tiny(7).generate().unwrap();
+        assert_eq!(
+            a.catalog.table("DB1", "patient").unwrap().rows(),
+            b.catalog.table("DB1", "patient").unwrap().rows()
+        );
+        let c = HospitalConfig::tiny(8).generate().unwrap();
+        assert_ne!(
+            a.catalog.table("DB3", "billing").unwrap().rows(),
+            c.catalog.table("DB3", "billing").unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn acyclic_procedure_hierarchy() {
+        let data = HospitalConfig::tiny(3).generate().unwrap();
+        let table = data.catalog.table("DB4", "procedure").unwrap();
+        for row in table.rows() {
+            assert!(row[0] < row[1], "DAG edges go from lower to higher ids");
+        }
+    }
+
+    #[test]
+    fn self_join_sizes_grow_then_shrink() {
+        // On a DAG with bounded depth, deep self joins eventually shrink to
+        // zero; the shallow ones must be non-trivial like the paper's.
+        let data = HospitalConfig::sized(DatasetSize::Large)
+            .generate()
+            .unwrap();
+        let j1 = data.procedure_self_join(1).unwrap();
+        let j3 = data.procedure_self_join(3).unwrap();
+        let j4 = data.procedure_self_join(4).unwrap();
+        assert_eq!(j1, 923);
+        assert!(j3 > j1, "3-way self join should exceed the edge count");
+        assert!(j4 > 1000, "4-way self join stays substantial: {j4}");
+        let deep = data.procedure_self_join(40).unwrap();
+        let deeper = data.procedure_self_join(60).unwrap();
+        assert!(deeper <= deep);
+    }
+
+    #[test]
+    fn sigma0_runs_on_generated_data() {
+        use aig_core::eval::evaluate;
+        use aig_core::paper::sigma0;
+        let data = HospitalConfig::tiny(11).generate().unwrap();
+        let aig = sigma0().unwrap();
+        let date = data.dates[0].clone();
+        let result = evaluate(&aig, &data.catalog, &[("date", Value::str(&date))]).unwrap();
+        aig_xml::validate(&result.tree, &aig.dtd).unwrap();
+        // Constraints hold by construction (billing covers every treatment).
+        assert!(aig.constraints.satisfied(&result.tree));
+    }
+}

@@ -1,0 +1,24 @@
+//! Synthetic data generation for the AIG experiments.
+//!
+//! The paper generated its relational datasets with the ToXgene XML data
+//! generator plus a parser/bulk-loader (§6). This crate substitutes a
+//! seeded, direct generator that produces the same schemas at the same
+//! cardinalities — Table 1 of the paper:
+//!
+//! | table      | small | medium | large |
+//! |------------|-------|--------|-------|
+//! | patient    | 2500  | 3300   | 5000  |
+//! | visitInfo  | 11371 | 14887  | 22496 |
+//! | cover      | 2224  | 3762   | 8996  |
+//! | billing    | 175   | 250    | 350   |
+//! | treatment  | 175   | 250    | 350   |
+//! | procedure  | 441   | 718    | 923   |
+//!
+//! The procedure table is a random DAG over the treatment ids (so recursion
+//! always terminates and the self-join sizes grow with the join arity as in
+//! §6: "the cardinality of a 3-way self join of the procedure table is 4055,
+//! whereas the cardinality of a 4-way self join is 6837" for Large).
+
+pub mod hospital;
+
+pub use hospital::{DatasetSize, HospitalConfig, HospitalData};

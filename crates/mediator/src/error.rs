@@ -1,0 +1,62 @@
+//! Error type of the mediator.
+
+use aig_core::AigError;
+use aig_relstore::StoreError;
+use aig_sql::SqlError;
+use std::fmt;
+
+/// Errors from planning or executing an AIG through the mediator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MediatorError {
+    /// The AIG uses a feature outside the set-oriented evaluator's scope
+    /// (the conceptual evaluator in `aig-core` handles the full language).
+    Unsupported(String),
+    /// An inconsistency in the built task graph.
+    Internal(String),
+    /// The recursion kept extending past the configured maximum depth.
+    RecursionBudget {
+        max_depth: usize,
+    },
+    /// Wrapped specification/evaluation error.
+    Aig(AigError),
+    Sql(SqlError),
+    Store(StoreError),
+}
+
+impl fmt::Display for MediatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediatorError::Unsupported(msg) => {
+                write!(f, "unsupported by the set-oriented evaluator: {msg}")
+            }
+            MediatorError::Internal(msg) => write!(f, "mediator internal error: {msg}"),
+            MediatorError::RecursionBudget { max_depth } => write!(
+                f,
+                "recursive data exceeds the maximum unfolding depth {max_depth}"
+            ),
+            MediatorError::Aig(e) => e.fmt(f),
+            MediatorError::Sql(e) => e.fmt(f),
+            MediatorError::Store(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for MediatorError {}
+
+impl From<AigError> for MediatorError {
+    fn from(e: AigError) -> Self {
+        MediatorError::Aig(e)
+    }
+}
+
+impl From<SqlError> for MediatorError {
+    fn from(e: SqlError) -> Self {
+        MediatorError::Sql(e)
+    }
+}
+
+impl From<StoreError> for MediatorError {
+    fn from(e: StoreError) -> Self {
+        MediatorError::Store(e)
+    }
+}

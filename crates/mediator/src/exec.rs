@@ -1,0 +1,775 @@
+//! Set-oriented execution of the task graph (paper §5.1, execution phase).
+//!
+//! "The query plan is executed to produce a set of output relations — a
+//! relational representation of the XML document." Each task runs once over
+//! whole temporary tables; per-task wall-clock times are recorded so that
+//! the response-time simulation (§5.2) can use measured rather than
+//! estimated query costs, mirroring the paper's methodology of running real
+//! queries and simulating the transfers.
+
+use crate::error::MediatorError;
+use crate::graph::{
+    resolve_syn_key, Binding, Occ, ParamInput, RelKey, ScalarBind, Task, TaskGraph, TaskKind,
+    VectorQuery,
+};
+use aig_core::attrs::FieldType;
+use aig_core::copyelim::{resolve_scalar, ResolvedScalar};
+use aig_core::spec::{Aig, ElemIdx, FieldRule, GuardKind, Prod, SetExpr, ValueExpr};
+use aig_core::AigError;
+use aig_relstore::{Catalog, Relation, Value};
+use aig_sql::{execute as sql_execute, ParamValue, Params};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Whether guard tasks abort on violations (disable for the constraint
+    /// ablation).
+    pub check_guards: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { check_guards: true }
+    }
+}
+
+/// Measured per-task execution: wall-clock seconds plus actual output size.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measured {
+    pub secs: f64,
+    pub out_rows: f64,
+    pub out_bytes: f64,
+}
+
+/// Read access to the relations produced so far. The sequential executor
+/// reads its own [`RelStore`]; the parallel executor (one thread per data
+/// source, see [`crate::parallel`]) reads completed tasks' write-once slots.
+pub trait RelSource {
+    fn rel(&self, key: &RelKey) -> Result<&Relation, MediatorError>;
+}
+
+/// All relations produced by an execution.
+#[derive(Debug, Default)]
+pub struct RelStore {
+    rels: HashMap<RelKey, Relation>,
+}
+
+impl RelSource for RelStore {
+    fn rel(&self, key: &RelKey) -> Result<&Relation, MediatorError> {
+        self.get(key)
+    }
+}
+
+impl RelStore {
+    pub fn get(&self, key: &RelKey) -> Result<&Relation, MediatorError> {
+        self.rels
+            .get(key)
+            .ok_or_else(|| MediatorError::Internal(format!("missing relation {key:?}")))
+    }
+
+    pub fn insert(&mut self, key: RelKey, rel: Relation) {
+        self.rels.insert(key, rel);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+}
+
+/// The result of executing a task graph.
+#[derive(Debug)]
+pub struct ExecResult {
+    pub store: RelStore,
+    /// Per task (parallel to `graph.tasks`).
+    pub measured: Vec<Measured>,
+}
+
+/// The `__occ` tag of rows produced by the generator of `(occ, item)`.
+pub fn occ_tag(aig: &Aig, occ: &Occ, item: usize) -> String {
+    format!("{}#{item}", occ.key(aig))
+}
+
+/// The `__occ` tag of branch-child rows of a choice occurrence.
+pub fn branch_tag(aig: &Aig, occ: &Occ, branch: usize) -> String {
+    format!("{}#b{branch}", occ.key(aig))
+}
+
+/// Executes every task of `graph` in topological order.
+pub fn execute_graph(
+    aig: &Aig,
+    catalog: &Catalog,
+    graph: &TaskGraph,
+    args: &[(&str, Value)],
+    opts: &ExecOptions,
+) -> Result<ExecResult, MediatorError> {
+    let mut store = RelStore::default();
+    let mut measured = vec![Measured::default(); graph.tasks.len()];
+    for &id in &graph.topo {
+        let task = &graph.tasks[id];
+        let start = Instant::now();
+        let output = {
+            let exec = Executor {
+                aig,
+                catalog,
+                graph,
+                store: &store,
+                opts,
+            };
+            exec.run_task(task, args)?
+        };
+        let secs = start.elapsed().as_secs_f64();
+        let (rows, bytes) = output
+            .as_ref()
+            .map(|r| (r.len() as f64, r.byte_size() as f64))
+            .unwrap_or((0.0, 0.0));
+        if let (Some(key), Some(rel)) = (task.output.clone(), output) {
+            store.insert(key, rel);
+        }
+        measured[id] = Measured {
+            secs,
+            out_rows: rows,
+            out_bytes: bytes,
+        };
+    }
+    Ok(ExecResult { store, measured })
+}
+
+pub(crate) struct Executor<'a, S: RelSource> {
+    pub(crate) aig: &'a Aig,
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) graph: &'a TaskGraph,
+    pub(crate) store: &'a S,
+    pub(crate) opts: &'a ExecOptions,
+}
+
+impl<S: RelSource> Executor<'_, S> {
+    /// Runs one task against the relations visible through `store`,
+    /// returning the relation it produces (None for guards).
+    pub(crate) fn run_task(
+        &self,
+        task: &Task,
+        args: &[(&str, Value)],
+    ) -> Result<Option<Relation>, MediatorError> {
+        match &task.kind {
+            TaskKind::Root => {
+                let root_info = self.aig.elem_info(self.aig.root);
+                let columns = instance_columns(&root_info.inh);
+                let mut row = vec![
+                    Value::int(0),
+                    Value::int(-1),
+                    Value::int(0),
+                    Value::str(Occ::mat(self.aig.root).key(self.aig)),
+                ];
+                for decl in root_info.inh.iter().filter(|d| d.ty.is_scalar()) {
+                    let v = args
+                        .iter()
+                        .find(|(n, _)| *n == decl.name)
+                        .map(|(_, v)| v.clone())
+                        .ok_or_else(|| {
+                            MediatorError::Aig(AigError::Spec(format!(
+                                "missing value for AIG parameter `{}`",
+                                decl.name
+                            )))
+                        })?;
+                    row.push(v);
+                }
+                let mut rel = Relation::empty(columns);
+                rel.push(row);
+                Ok(Some(rel))
+            }
+            TaskKind::Gen {
+                parent,
+                item,
+                query,
+                set_input,
+                broadcast,
+                generated_fields,
+            } => {
+                let child_elem = self.child_of(parent, *item)?;
+                let child_info = self.aig.elem_info(child_elem);
+                let raw: Relation = if let Some(vq) = query {
+                    self.run_vector_query(vq)?
+                } else {
+                    // Mediator iteration over a set: (__owner, comps…).
+                    let key = set_input.as_ref().ok_or_else(|| {
+                        MediatorError::Internal("set generator without input".to_string())
+                    })?;
+                    let rel = self.store.rel(key)?.clone();
+                    // Align with query output shape: __parent + comps.
+                    let mut columns = vec!["__parent".to_string()];
+                    columns.extend(rel.columns().iter().skip(1).cloned());
+                    rel.with_columns(columns)
+                };
+                // Build child rows: parent, ord, scalar fields in decl order.
+                let base = self.store.rel(&RelKey::Instances(parent.base))?;
+                let base_rows = index_by_rowid(base)?;
+                let mut out_columns = vec!["__parent".to_string(), "__ord".to_string()];
+                let scalar_fields: Vec<&str> = child_info
+                    .inh
+                    .iter()
+                    .filter(|f| f.ty.is_scalar())
+                    .map(|f| f.name.as_str())
+                    .collect();
+                out_columns.extend(scalar_fields.iter().map(|s| s.to_string()));
+                // Column positions in the raw output.
+                let parent_col = raw.col("__parent")?;
+                let mut rows: Vec<Vec<Value>> = Vec::with_capacity(raw.len());
+                for raw_row in raw.rows() {
+                    let parent_id = raw_row[parent_col].clone();
+                    let parent_idx = base_rows.get(&parent_id).copied().ok_or_else(|| {
+                        MediatorError::Internal("generator row with unknown parent".into())
+                    })?;
+                    let mut row = vec![parent_id, Value::int(0)];
+                    for field in &scalar_fields {
+                        if generated_fields.iter().any(|g| g == field) {
+                            let c = raw.col(field)?;
+                            row.push(raw_row[c].clone());
+                        } else if let Some((_, bind)) = broadcast.iter().find(|(n, _)| n == field) {
+                            row.push(match bind {
+                                ScalarBind::Const(v) => v.clone(),
+                                ScalarBind::Col(c) => base.rows()[parent_idx][base.col(c)?].clone(),
+                            });
+                        } else {
+                            return Err(MediatorError::Internal(format!(
+                                "field `{field}` neither generated nor broadcast"
+                            )));
+                        }
+                    }
+                    rows.push(row);
+                }
+                // Canonical per-parent order: (parent, fields), then ordinal.
+                rows.sort_by(|a, b| (a[0].clone(), &a[2..]).cmp(&(b[0].clone(), &b[2..])));
+                let mut last_parent: Option<Value> = None;
+                let mut ord = 0i64;
+                let mut finished: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+                for mut row in rows {
+                    if last_parent.as_ref() != Some(&row[0]) {
+                        ord = 0;
+                        last_parent = Some(row[0].clone());
+                    }
+                    row[1] = Value::int(ord);
+                    ord += 1;
+                    finished.push(row);
+                }
+                let rel = Relation::new(out_columns, finished).map_err(MediatorError::Store)?;
+                Ok(Some(rel))
+            }
+            TaskKind::InhSetQuery {
+                target,
+                field,
+                query,
+            } => {
+                let raw = self.run_vector_query(query)?;
+                let mut columns = vec!["__owner".to_string()];
+                columns.extend(raw.columns().iter().skip(1).cloned());
+                let mut rel = raw.with_columns(columns);
+                // Coerce: dedup for set-typed targets, keep bags.
+                let binding = self.binding(target)?;
+                let info = self.aig.elem_info(binding.elem);
+                if let Some(decl) = info.inh.iter().find(|f| &f.name == field) {
+                    if matches!(decl.ty, FieldType::Set(_)) {
+                        rel.dedup();
+                    }
+                }
+                Ok(Some(rel))
+            }
+            TaskKind::Assemble { elem, inputs } => {
+                let info = self.aig.elem_info(*elem);
+                let columns = instance_columns(&info.inh);
+                let mut rel = Relation::empty(columns);
+                let mut rowid = 0i64;
+                for input in inputs {
+                    let occ_value = match input {
+                        RelKey::GenOut(occ, item) => occ_tag(self.aig, occ, *item),
+                        RelKey::BranchOut(occ, b) => branch_tag(self.aig, occ, *b),
+                        other => {
+                            return Err(MediatorError::Internal(format!(
+                                "unexpected assemble input {other:?}"
+                            )))
+                        }
+                    };
+                    let part = self.store.rel(input)?.clone();
+                    for row in part.rows() {
+                        // part: __parent, __ord, fields…
+                        let mut out = Vec::with_capacity(row.len() + 2);
+                        out.push(Value::int(rowid));
+                        rowid += 1;
+                        out.push(row[0].clone());
+                        out.push(row[1].clone());
+                        out.push(Value::str(occ_value.clone()));
+                        out.extend(row[2..].iter().cloned());
+                        rel.push(out);
+                    }
+                }
+                Ok(Some(rel))
+            }
+            TaskKind::Cond { occ, query } => {
+                let elem_name = self.aig.elem_name(self.binding(occ)?.elem).to_string();
+                let raw = self.run_vector_query(query)?;
+                let base = self.store.rel(&RelKey::Instances(occ.base))?;
+                // Exactly one row per owner; the pick is an integer.
+                let mut picks: HashMap<Value, i64> = HashMap::new();
+                let parent_col = raw.col("__parent")?;
+                if raw.arity() != 2 {
+                    return Err(MediatorError::Aig(AigError::BadConditionResult {
+                        elem: elem_name,
+                        detail: format!("condition query returns {} columns", raw.arity() - 1),
+                    }));
+                }
+                for row in raw.rows() {
+                    // `__parent` is always prepended first; the pick value
+                    // is the remaining column.
+                    let pick = match &row[1] {
+                        Value::Int(i) => *i,
+                        Value::Str(s) => s.parse::<i64>().map_err(|_| {
+                            MediatorError::Aig(AigError::BadConditionResult {
+                                elem: elem_name.clone(),
+                                detail: format!("value {s:?} is not an integer"),
+                            })
+                        })?,
+                        Value::Null => {
+                            return Err(MediatorError::Aig(AigError::BadConditionResult {
+                                elem: elem_name,
+                                detail: "condition query returned NULL".to_string(),
+                            }))
+                        }
+                    };
+                    if picks.insert(row[parent_col].clone(), pick).is_some() {
+                        return Err(MediatorError::Aig(AigError::BadConditionResult {
+                            elem: elem_name,
+                            detail: "more than one row for an instance".to_string(),
+                        }));
+                    }
+                }
+                if picks.len() != base.len() {
+                    return Err(MediatorError::Aig(AigError::BadConditionResult {
+                        elem: elem_name,
+                        detail: format!(
+                            "condition produced {} picks for {} instances",
+                            picks.len(),
+                            base.len()
+                        ),
+                    }));
+                }
+                let mut rel = Relation::empty(vec!["__owner".into(), "__pick".into()]);
+                let rowid_col = base.col("__rowid")?;
+                for row in base.rows() {
+                    let owner = row[rowid_col].clone();
+                    let pick = picks[&owner];
+                    rel.push(vec![owner, Value::int(pick)]);
+                }
+                Ok(Some(rel))
+            }
+            TaskKind::BranchMat { occ, branch } => {
+                let binding = self.binding(occ)?.clone();
+                let info = self.aig.elem_info(binding.elem);
+                let Prod::Choice { branches, .. } = &info.prod else {
+                    return Err(MediatorError::Internal("branch of non-choice".into()));
+                };
+                let spec = &branches[*branch];
+                let child_info = self.aig.elem_info(spec.elem);
+                let picks = self.store.rel(&RelKey::Pick(occ.clone()))?.clone();
+                let base = self.store.rel(&RelKey::Instances(occ.base))?.clone();
+                let base_rows = index_by_rowid(&base)?;
+                let mut columns = vec!["__parent".to_string(), "__ord".to_string()];
+                let scalar_fields: Vec<&str> = child_info
+                    .inh
+                    .iter()
+                    .filter(|f| f.ty.is_scalar())
+                    .map(|f| f.name.as_str())
+                    .collect();
+                columns.extend(scalar_fields.iter().map(|s| s.to_string()));
+                let mut rel = Relation::empty(columns);
+                for row in picks.rows() {
+                    if row[1] != Value::int(*branch as i64 + 1) {
+                        continue;
+                    }
+                    let owner = row[0].clone();
+                    let base_idx = base_rows[&owner];
+                    let mut out = vec![owner, Value::int(0)];
+                    for field in &scalar_fields {
+                        let rule = spec
+                            .assigns
+                            .iter()
+                            .find(|(f, _)| f == field)
+                            .map(|(_, r)| r);
+                        let value = match rule {
+                            Some(FieldRule::Scalar(expr)) => {
+                                self.scalar_at(&binding, expr, &base, base_idx)?
+                            }
+                            _ => Value::Null,
+                        };
+                        out.push(value);
+                    }
+                    rel.push(out);
+                }
+                Ok(Some(rel))
+            }
+            TaskKind::SynAgg { occ, field } => Ok(Some(self.compute_syn(occ, field)?)),
+            TaskKind::Guard { occ, guard } => {
+                if self.opts.check_guards {
+                    self.check_guard(occ, *guard)?;
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn binding(&self, occ: &Occ) -> Result<&Binding, MediatorError> {
+        self.graph.bindings.get(occ).ok_or_else(|| {
+            MediatorError::Internal(format!("unknown occurrence {}", occ.key(self.aig)))
+        })
+    }
+
+    fn child_of(&self, occ: &Occ, item: usize) -> Result<ElemIdx, MediatorError> {
+        let binding = self.binding(occ)?;
+        match &self.aig.elem_info(binding.elem).prod {
+            Prod::Items(items) => Ok(items[item].elem),
+            _ => Err(MediatorError::Internal("child of leaf production".into())),
+        }
+    }
+
+    /// Executes a vectorized query against the catalog, binding relation
+    /// parameters from the store.
+    fn run_vector_query(&self, vq: &VectorQuery) -> Result<Relation, MediatorError> {
+        let mut params = Params::new();
+        for (name, input) in &vq.inputs {
+            let rel = match input {
+                ParamInput::Base(e) => self.store.rel(&RelKey::Instances(*e))?.clone(),
+                ParamInput::Rel(key) => self.store.rel(key)?.clone(),
+                ParamInput::RelFirstDistinct(key) => {
+                    let rel = self.store.rel(key)?;
+                    let first = rel.columns()[1].clone();
+                    rel.project(&["__owner", first.as_str()])
+                        .map_err(MediatorError::Store)?
+                        .with_columns(vec!["__owner".into(), "__member".into()])
+                        .distinct()
+                }
+            };
+            params.insert(name.clone(), ParamValue::Rel(rel));
+        }
+        Ok(sql_execute(&vq.query, self.catalog, &params)?)
+    }
+
+    /// Resolves a scalar rule expression for a specific base row.
+    fn scalar_at(
+        &self,
+        binding: &Binding,
+        expr: &ValueExpr,
+        base: &Relation,
+        base_idx: usize,
+    ) -> Result<Value, MediatorError> {
+        match resolve_scalar(self.aig, binding.elem, expr) {
+            Some(ResolvedScalar::Const(v)) => Ok(v),
+            Some(ResolvedScalar::InhField(f)) => match binding.scalars.get(&f) {
+                Some(ScalarBind::Const(v)) => Ok(v.clone()),
+                Some(ScalarBind::Col(c)) => Ok(base.rows()[base_idx][base.col(c)?].clone()),
+                None => Err(MediatorError::Internal(format!(
+                    "missing scalar binding `{f}`"
+                ))),
+            },
+            None => Err(MediatorError::Unsupported(format!(
+                "scalar expression at `{}` does not resolve through copy chains",
+                self.aig.elem_name(binding.elem)
+            ))),
+        }
+    }
+
+    /// Computes a synthesized set/bag table `(__owner, comps…)`.
+    fn compute_syn(&self, occ: &Occ, field: &str) -> Result<Relation, MediatorError> {
+        let binding = self.binding(occ)?.clone();
+        let info = self.aig.elem_info(binding.elem);
+        let decl = info
+            .syn
+            .iter()
+            .find(|f| f.name == field)
+            .ok_or_else(|| MediatorError::Internal(format!("no syn decl `{field}`")))?;
+        let comps: Vec<String> = decl
+            .ty
+            .components()
+            .map(|c| c.to_vec())
+            .ok_or_else(|| MediatorError::Internal("scalar SynAgg".into()))?;
+        let is_set = matches!(decl.ty, FieldType::Set(_));
+        let mut columns = vec!["__owner".to_string()];
+        columns.extend(comps.iter().cloned());
+
+        let mut out = Relation::empty(columns.clone());
+        match &info.prod {
+            Prod::Choice { branches, .. } => {
+                for (bno, branch) in branches.iter().enumerate() {
+                    let rule = branch.syn.iter().find(|r| r.field == field);
+                    match rule.map(|r| &r.rule) {
+                        None | Some(FieldRule::Set(SetExpr::Empty)) => {}
+                        Some(FieldRule::Set(SetExpr::ChildSyn { item: 0, field: f })) => {
+                            // Child syn keyed by the branch child's rowids →
+                            // re-key to the owner through the branch table.
+                            let child_occ = Occ::mat(branch.elem);
+                            let key = resolve_syn_key(
+                                self.aig,
+                                &self.graph.bindings,
+                                &child_occ,
+                                branch.elem,
+                                f,
+                            )?;
+                            let child_syn = self.store.rel(&key)?;
+                            let t_child = self.store.rel(&RelKey::Instances(branch.elem))?;
+                            let tag = branch_tag(self.aig, occ, bno);
+                            let mut parent_of: HashMap<Value, Value> = HashMap::new();
+                            let (rc, pc, oc) = (
+                                t_child.col("__rowid")?,
+                                t_child.col("__parent")?,
+                                t_child.col("__occ")?,
+                            );
+                            for row in t_child.rows() {
+                                if row[oc].as_str() == Some(tag.as_str()) {
+                                    parent_of.insert(row[rc].clone(), row[pc].clone());
+                                }
+                            }
+                            for row in child_syn.rows() {
+                                if let Some(owner) = parent_of.get(&row[0]) {
+                                    let mut r = vec![owner.clone()];
+                                    r.extend(row[1..].iter().cloned());
+                                    out.push(r);
+                                }
+                            }
+                        }
+                        _ => {
+                            return Err(MediatorError::Unsupported(
+                                "choice branch synthesized rule is not a direct child copy"
+                                    .to_string(),
+                            ))
+                        }
+                    }
+                }
+            }
+            _ => {
+                let rule = info
+                    .syn_rules
+                    .iter()
+                    .find(|r| r.field == field)
+                    .ok_or_else(|| MediatorError::Internal(format!("no syn rule `{field}`")))?;
+                let FieldRule::Set(expr) = &rule.rule else {
+                    return Err(MediatorError::Internal("non-set SynAgg rule".into()));
+                };
+                let rel = self.eval_set_table(&binding, expr, &comps)?;
+                out.extend(&rel.with_columns(columns.clone()))
+                    .map_err(MediatorError::Store)?;
+            }
+        }
+        if is_set {
+            out.dedup();
+        }
+        Ok(out)
+    }
+
+    /// Evaluates a set expression into an `(__owner, comps…)` table.
+    fn eval_set_table(
+        &self,
+        binding: &Binding,
+        expr: &SetExpr,
+        comps: &[String],
+    ) -> Result<Relation, MediatorError> {
+        let mut columns = vec!["__owner".to_string()];
+        columns.extend(comps.iter().cloned());
+        match expr {
+            SetExpr::Empty => Ok(Relation::empty(columns)),
+            SetExpr::InhField(f) => {
+                let key = binding
+                    .sets
+                    .get(f)
+                    .ok_or_else(|| MediatorError::Internal(format!("no set binding `{f}`")))?;
+                Ok(self.store.rel(key)?.clone().with_columns(columns))
+            }
+            SetExpr::ChildSyn { item, field } => {
+                let child_occ = binding.occ.child(*item);
+                let child_elem = self.child_of(&binding.occ, *item)?;
+                let key = resolve_syn_key(
+                    self.aig,
+                    &self.graph.bindings,
+                    &child_occ,
+                    child_elem,
+                    field,
+                )?;
+                Ok(self.store.rel(&key)?.clone().with_columns(columns))
+            }
+            SetExpr::Collect { item, field } => {
+                let child_elem = self.child_of(&binding.occ, *item)?;
+                let child_info = self.aig.elem_info(child_elem);
+                let t_child = self.store.rel(&RelKey::Instances(child_elem))?;
+                let tag = occ_tag(self.aig, &binding.occ, *item);
+                let (rc, pc, oc) = (
+                    t_child.col("__rowid")?,
+                    t_child.col("__parent")?,
+                    t_child.col("__occ")?,
+                );
+                let field_decl = child_info
+                    .syn
+                    .iter()
+                    .find(|f| f.name == *field)
+                    .ok_or_else(|| MediatorError::Internal(format!("no child syn `{field}`")))?;
+                let mut out = Relation::empty(columns);
+                if field_decl.ty.is_scalar() {
+                    // The collected scalar resolves through copy chains to a
+                    // column of the child's instance table.
+                    let rule = child_info
+                        .syn_rules
+                        .iter()
+                        .find(|r| r.field == *field)
+                        .ok_or_else(|| {
+                            MediatorError::Internal(format!("no child syn rule `{field}`"))
+                        })?;
+                    let FieldRule::Scalar(child_expr) = &rule.rule else {
+                        return Err(MediatorError::Internal("scalar decl, set rule".into()));
+                    };
+                    match resolve_scalar(self.aig, child_elem, child_expr) {
+                        Some(ResolvedScalar::Const(v)) => {
+                            for row in t_child.rows() {
+                                if row[oc].as_str() == Some(tag.as_str()) {
+                                    out.push(vec![row[pc].clone(), v.clone()]);
+                                }
+                            }
+                        }
+                        Some(ResolvedScalar::InhField(f)) => {
+                            let c = t_child.col(&f)?;
+                            for row in t_child.rows() {
+                                if row[oc].as_str() == Some(tag.as_str()) {
+                                    out.push(vec![row[pc].clone(), row[c].clone()]);
+                                }
+                            }
+                        }
+                        None => {
+                            return Err(MediatorError::Unsupported(format!(
+                                "collected scalar `{field}` of `{}` does not resolve \
+                                 through copy chains",
+                                child_info.name
+                            )))
+                        }
+                    }
+                } else {
+                    let child_occ = Occ::mat(child_elem);
+                    let key = resolve_syn_key(
+                        self.aig,
+                        &self.graph.bindings,
+                        &child_occ,
+                        child_elem,
+                        field,
+                    )?;
+                    let child_syn = self.store.rel(&key)?;
+                    let mut parent_of: HashMap<Value, Value> = HashMap::new();
+                    for row in t_child.rows() {
+                        if row[oc].as_str() == Some(tag.as_str()) {
+                            parent_of.insert(row[rc].clone(), row[pc].clone());
+                        }
+                    }
+                    for row in child_syn.rows() {
+                        if let Some(owner) = parent_of.get(&row[0]) {
+                            let mut r = vec![owner.clone()];
+                            r.extend(row[1..].iter().cloned());
+                            out.push(r);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            SetExpr::Union(terms) => {
+                let mut out = Relation::empty(columns.clone());
+                for term in terms {
+                    let rel = self.eval_set_table(binding, term, comps)?;
+                    out.extend(&rel.with_columns(columns.clone()))
+                        .map_err(MediatorError::Store)?;
+                }
+                Ok(out)
+            }
+            SetExpr::Singleton(exprs) => {
+                let base = self.store.rel(&RelKey::Instances(binding.occ.base))?;
+                let rowid_col = base.col("__rowid")?;
+                let mut out = Relation::empty(columns);
+                for (idx, row) in base.rows().iter().enumerate() {
+                    let mut r = vec![row[rowid_col].clone()];
+                    for e in exprs {
+                        r.push(self.scalar_at(binding, e, base, idx)?);
+                    }
+                    out.push(r);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn check_guard(&self, occ: &Occ, guard: usize) -> Result<(), MediatorError> {
+        let binding = self.binding(occ)?;
+        let info = self.aig.elem_info(binding.elem);
+        let g = &info.guards[guard];
+        match &g.kind {
+            GuardKind::Unique { field } => {
+                let key =
+                    resolve_syn_key(self.aig, &self.graph.bindings, occ, binding.elem, field)?;
+                let rel = self.store.rel(&key)?;
+                let mut seen: HashSet<&Vec<Value>> = HashSet::with_capacity(rel.len());
+                for row in rel.rows() {
+                    if !seen.insert(row) {
+                        return Err(MediatorError::Aig(AigError::ConstraintViolation {
+                            constraint: g.label.clone(),
+                            context: format!("{} instance {}", info.tag(), row[0].to_text()),
+                            value: format!("{:?}", &row[1..]),
+                        }));
+                    }
+                }
+                Ok(())
+            }
+            GuardKind::Subset { sub, sup } => {
+                let sub_key =
+                    resolve_syn_key(self.aig, &self.graph.bindings, occ, binding.elem, sub)?;
+                let sup_key =
+                    resolve_syn_key(self.aig, &self.graph.bindings, occ, binding.elem, sup)?;
+                let sub_rel = self.store.rel(&sub_key)?;
+                let sup_rel = self.store.rel(&sup_key)?;
+                let sup_set: HashSet<&Vec<Value>> = sup_rel.rows().iter().collect();
+                for row in sub_rel.rows() {
+                    if !sup_set.contains(row) {
+                        return Err(MediatorError::Aig(AigError::ConstraintViolation {
+                            constraint: g.label.clone(),
+                            context: format!("{} instance {}", info.tag(), row[0].to_text()),
+                            value: format!("{:?}", &row[1..]),
+                        }));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Instance-table column layout for an element with the given inherited
+/// declarations.
+pub fn instance_columns(inh: &[aig_core::FieldDecl]) -> Vec<String> {
+    let mut columns = vec![
+        "__rowid".to_string(),
+        "__parent".to_string(),
+        "__ord".to_string(),
+        "__occ".to_string(),
+    ];
+    columns.extend(
+        inh.iter()
+            .filter(|f| f.ty.is_scalar())
+            .map(|f| f.name.clone()),
+    );
+    columns
+}
+
+/// Maps `__rowid` values to row positions.
+pub fn index_by_rowid(rel: &Relation) -> Result<HashMap<Value, usize>, MediatorError> {
+    let c = rel.col("__rowid").map_err(MediatorError::Store)?;
+    Ok(rel
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r[c].clone(), i))
+        .collect())
+}

@@ -1,0 +1,124 @@
+//! Human-readable renderings of the dependency graph and execution plan —
+//! the textual counterpart of the paper's Fig. 6 (specialized AIG graph) and
+//! Fig. 7 (dependency graph / execution plan / merging).
+
+use crate::cost::{completion_times, CostGraph, Plan};
+use crate::graph::TaskGraph;
+use crate::sim::NetworkModel;
+use aig_relstore::Catalog;
+use std::fmt::Write;
+
+/// Renders the contracted dependency graph: one line per node with its
+/// source, evaluation cost, dependencies (with shipped bytes), and the task
+/// labels contracted into it.
+pub fn render_graph(graph: &CostGraph, tasks: &TaskGraph, catalog: &Catalog) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "dependency graph ({} nodes)", graph.len());
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let labels: Vec<&str> = node
+            .members
+            .iter()
+            .map(|&m| tasks.tasks[m].label.as_str())
+            .collect();
+        let deps: Vec<String> = graph.deps[id]
+            .iter()
+            .map(|(d, bytes)| format!("#{d} ({bytes:.0} B)"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  #{id} @{} eval={:.3}s{} <- [{}]",
+            catalog.source(node.source).name(),
+            node.eval_secs,
+            if node.mergeable { "" } else { " (mediator)" },
+            deps.join(", "),
+        );
+        if !labels.is_empty() {
+            let shown = labels.len().min(4);
+            let _ = writeln!(
+                out,
+                "      {}{}",
+                labels[..shown].join(", "),
+                if labels.len() > shown {
+                    format!(" … +{}", labels.len() - shown)
+                } else {
+                    String::new()
+                }
+            );
+        }
+    }
+    out
+}
+
+/// Renders an execution plan (Fig. 7(b)): per source, the ordered node
+/// sequence with completion times under the network model.
+pub fn render_plan(
+    graph: &CostGraph,
+    plan: &Plan,
+    net: &NetworkModel,
+    catalog: &Catalog,
+) -> String {
+    let done = completion_times(graph, plan, net);
+    let mut out = String::new();
+    let mut sources: Vec<_> = plan.per_source.keys().copied().collect();
+    sources.sort();
+    let _ = writeln!(out, "execution plan");
+    for source in sources {
+        let seq = &plan.per_source[&source];
+        if seq.is_empty() {
+            continue;
+        }
+        let steps: Vec<String> = seq
+            .iter()
+            .map(|&t| format!("#{t}→{:.2}s", done[t]))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {}: {}",
+            catalog.source(source).name(),
+            steps.join("  ")
+        );
+    }
+    let makespan = done.iter().copied().fold(0.0f64, f64::max);
+    let _ = writeln!(out, "  response time: {makespan:.3}s");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{estimated_costs, CostGraph};
+    use crate::graph::{build_graph, GraphOptions};
+    use crate::schedule::schedule;
+    use crate::unfold::{unfold, CutOff};
+    use aig_core::paper::{mini_hospital_catalog, sigma0};
+    use aig_core::{compile_constraints, decompose_queries};
+
+    #[test]
+    fn renderings_contain_the_expected_structure() {
+        let aig = sigma0().unwrap();
+        let compiled = compile_constraints(&aig).unwrap();
+        let (specialized, _) = decompose_queries(&compiled).unwrap();
+        let unfolded = unfold(&specialized, 2, CutOff::Truncate).unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        let tasks = build_graph(&unfolded.aig, &catalog, &GraphOptions::default()).unwrap();
+        let costs = estimated_costs(&tasks);
+        let cg = CostGraph::from_task_graph(&tasks, &costs).contract_passthrough();
+        let net = NetworkModel::mbps(1.0);
+
+        let graph_text = render_graph(&cg, &tasks, &catalog);
+        assert!(graph_text.contains("dependency graph"));
+        assert!(graph_text.contains("@DB1"), "{graph_text}");
+        assert!(
+            graph_text.contains("gen[report#0->patient]"),
+            "{graph_text}"
+        );
+
+        let plan = schedule(&cg, &net);
+        let plan_text = render_plan(&cg, &plan, &net, &catalog);
+        assert!(plan_text.contains("execution plan"));
+        assert!(plan_text.contains("response time:"), "{plan_text}");
+        for db in ["DB1", "DB2", "DB3", "DB4", "Mediator"] {
+            assert!(plan_text.contains(db), "{db} missing in {plan_text}");
+        }
+    }
+}

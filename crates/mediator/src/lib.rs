@@ -1,0 +1,25 @@
+//! The AIG mediator middleware (paper §5) — placeholder while modules land.
+pub mod cost;
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod graph;
+pub mod merge;
+pub mod parallel;
+pub mod pipeline;
+pub mod schedule;
+pub mod sim;
+pub mod tagging;
+pub mod unfold;
+
+pub use cost::{response_time, CostGraph, Plan, TaskCost};
+pub use error::MediatorError;
+pub use exec::{execute_graph, ExecOptions, ExecResult, Measured, RelStore};
+pub use explain::{render_graph, render_plan};
+pub use graph::{build_graph, GraphOptions, TaskGraph};
+pub use merge::{merge, merge_pair, no_merge, MergeOutcome};
+pub use parallel::execute_graph_parallel;
+pub use pipeline::{canonical, run, MediatorOptions, MediatorRun};
+pub use schedule::{naive_plan, schedule};
+pub use sim::NetworkModel;
+pub use unfold::{unfold, CutOff, FrontierSite, Unfolded};

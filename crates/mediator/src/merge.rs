@@ -1,0 +1,254 @@
+//! Algorithm `Merge` (paper §5.4, Fig. 9).
+//!
+//! Query merging combines queries executed at the same data source into a
+//! single, larger query (an outer-union with a tagging column for
+//! independent queries, inlining for dependent ones). Merging saves the
+//! fixed per-statement overhead and ships shared inputs once, but reduces
+//! parallelism — so it is optimized *jointly with scheduling*: each
+//! candidate pair is accepted only if the rescheduled plan is cheaper.
+//!
+//! `mergePair` contracts two nodes of the dependency graph; the result must
+//! stay acyclic. The loop greedily applies the best pair until no pair
+//! improves `cost(Schedule(G))`, exactly as in Fig. 9.
+
+use crate::cost::{response_time, CostGraph, Plan};
+use crate::schedule::schedule;
+use crate::sim::NetworkModel;
+use std::collections::HashMap;
+
+/// The outcome of the merging phase.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// The merged dependency graph.
+    pub graph: CostGraph,
+    /// The final schedule for it.
+    pub plan: Plan,
+    /// `cost(P)` of the final plan.
+    pub response_secs: f64,
+    /// Number of pair merges applied.
+    pub merges: usize,
+}
+
+/// `mergePair(G, u, v)`: contracts `v` into `u`. Incoming parallel edges
+/// from the same producer collapse to one shipment (the producer's table
+/// travels once); outgoing edges keep their per-part sizes ("the relevant
+/// tuples are extracted before shipping", so communication costs are
+/// unchanged). The merged query costs the sum of its parts minus one
+/// per-statement overhead.
+pub fn merge_pair(graph: &CostGraph, u: usize, v: usize, overhead_saving_secs: f64) -> CostGraph {
+    merge_pair_into(graph, u.min(v), u.max(v), overhead_saving_secs)
+}
+
+/// Contracts `absorbed` into `keep`, keeping `keep`'s source and
+/// mergeability (used both by `Merge` and by mediator pass-through
+/// contraction). `keep < absorbed` is not required.
+pub fn merge_pair_into(
+    graph: &CostGraph,
+    keep: usize,
+    absorbed: usize,
+    overhead_saving_secs: f64,
+) -> CostGraph {
+    debug_assert_ne!(keep, absorbed);
+    let gone = absorbed;
+    let mut nodes = graph.nodes.clone();
+    let mut deps = graph.deps.clone();
+    // Fold v's cost and membership into u.
+    nodes[keep].eval_secs = nodes[keep].eval_secs + nodes[gone].eval_secs - overhead_saving_secs;
+    let members = nodes[gone].members.clone();
+    nodes[keep].members.extend(members);
+    // Rewire edges: every reference to `gone` becomes `keep`.
+    for dep_list in deps.iter_mut() {
+        for (d, _) in dep_list.iter_mut() {
+            if *d == gone {
+                *d = keep;
+            }
+        }
+    }
+    let gone_deps = deps[gone].clone();
+    deps[keep].extend(gone_deps);
+    // Self-edges (the pair was dependent: inlining) disappear.
+    deps[keep].retain(|(d, _)| *d != keep);
+    // Collapse parallel in-edges from the same producer: shipped once.
+    let mut best: HashMap<usize, f64> = HashMap::new();
+    for (d, bytes) in &deps[keep] {
+        let e = best.entry(*d).or_insert(0.0);
+        *e = e.max(*bytes);
+    }
+    deps[keep] = best.into_iter().collect();
+    deps[keep].sort_by_key(|(d, _)| *d);
+    // Remove the dead node by swapping in the last one.
+    let last = nodes.len() - 1;
+    nodes.swap_remove(gone);
+    let moved_deps = deps.swap_remove(gone);
+    if gone != last {
+        // Fix references to the moved node (previously `last`).
+        for dep_list in deps.iter_mut() {
+            for (d, _) in dep_list.iter_mut() {
+                if *d == last {
+                    *d = gone;
+                }
+            }
+        }
+        deps[gone] = moved_deps
+            .into_iter()
+            .map(|(d, b)| (if d == last { gone } else { d }, b))
+            .collect();
+    }
+    CostGraph { nodes, deps }
+}
+
+/// Algorithm `Merge` (Fig. 9): greedy pairwise merging guided by the cost of
+/// the rescheduled plan.
+pub fn merge(graph: &CostGraph, net: &NetworkModel, overhead_saving_secs: f64) -> MergeOutcome {
+    let mut current = graph.clone();
+    let mut plan = schedule(&current, net);
+    let mut cost = response_time(&current, &plan, net);
+    let mut merges = 0;
+    loop {
+        let mut best: Option<(CostGraph, Plan, f64)> = None;
+        // Candidate pairs: mergeable nodes at the same (non-mediator) source.
+        for u in 0..current.len() {
+            if !current.nodes[u].mergeable {
+                continue;
+            }
+            for v in (u + 1)..current.len() {
+                if !current.nodes[v].mergeable || current.nodes[u].source != current.nodes[v].source
+                {
+                    continue;
+                }
+                let candidate = merge_pair(&current, u, v, overhead_saving_secs);
+                if candidate.topo().is_none() {
+                    continue; // the merge would create a cycle
+                }
+                let candidate_plan = schedule(&candidate, net);
+                let candidate_cost = response_time(&candidate, &candidate_plan, net);
+                if candidate_cost < cost
+                    && best
+                        .as_ref()
+                        .map(|(_, _, c)| candidate_cost < *c)
+                        .unwrap_or(true)
+                {
+                    best = Some((candidate, candidate_plan, candidate_cost));
+                }
+            }
+        }
+        match best {
+            Some((g, p, c)) => {
+                current = g;
+                plan = p;
+                cost = c;
+                merges += 1;
+            }
+            None => break,
+        }
+    }
+    MergeOutcome {
+        graph: current,
+        plan,
+        response_secs: cost,
+        merges,
+    }
+}
+
+/// Convenience: the unmerged baseline (schedule only).
+pub fn no_merge(graph: &CostGraph, net: &NetworkModel) -> MergeOutcome {
+    let plan = schedule(graph, net);
+    let response_secs = response_time(graph, &plan, net);
+    MergeOutcome {
+        graph: graph.clone(),
+        plan,
+        response_secs,
+        merges: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostNode;
+    use aig_relstore::SourceId;
+
+    fn node(source: u32, eval: f64) -> CostNode {
+        CostNode {
+            source: SourceId(source),
+            eval_secs: eval,
+            mergeable: source != 0,
+            passthrough: false,
+            members: vec![],
+        }
+    }
+
+    /// Two independent queries at S1 both feeding a mediator combine.
+    fn two_queries() -> CostGraph {
+        CostGraph {
+            nodes: vec![node(1, 0.5), node(1, 0.5), node(0, 0.1)],
+            deps: vec![vec![], vec![], vec![(0, 1000.0), (1, 1000.0)]],
+        }
+    }
+
+    #[test]
+    fn merging_two_same_source_queries_saves_overhead() {
+        let g = two_queries();
+        let net = NetworkModel::mbps(1.0);
+        let baseline = no_merge(&g, &net);
+        let merged = merge(&g, &net, 0.4);
+        assert_eq!(merged.merges, 1);
+        assert!(merged.response_secs < baseline.response_secs);
+        // Cost: the merged node runs 0.5+0.5-0.4 instead of two sequential
+        // halves at the same source.
+        assert_eq!(merged.graph.len(), 2);
+    }
+
+    #[test]
+    fn merge_rejects_cycles() {
+        // q0 (S1) -> m (mediator) -> q1 (S1): merging q0 with q1 would put
+        // the mediator node both up- and downstream -> cycle -> rejected.
+        let g = CostGraph {
+            nodes: vec![node(1, 1.0), node(0, 0.1), node(1, 1.0)],
+            deps: vec![vec![], vec![(0, 10.0)], vec![(1, 10.0)]],
+        };
+        let net = NetworkModel::mbps(1.0);
+        let merged = merge(&g, &net, 0.9);
+        assert_eq!(merged.merges, 0, "cyclic merge must be rejected");
+    }
+
+    #[test]
+    fn merge_pair_collapses_shared_inputs() {
+        // p feeds u and v; after merging u,v the input ships once.
+        let g = CostGraph {
+            nodes: vec![node(2, 1.0), node(1, 1.0), node(1, 1.0)],
+            deps: vec![vec![], vec![(0, 500.0)], vec![(0, 500.0)]],
+        };
+        let merged = merge_pair(&g, 1, 2, 0.0);
+        assert_eq!(merged.len(), 2);
+        let merged_node = merged
+            .nodes
+            .iter()
+            .position(|n| n.source == SourceId(1))
+            .unwrap();
+        assert_eq!(merged.deps[merged_node].len(), 1);
+        assert_eq!(merged.deps[merged_node][0].1, 500.0);
+    }
+
+    #[test]
+    fn dependent_merge_inlines() {
+        // u -> v at the same source: merging removes the self-edge.
+        let g = CostGraph {
+            nodes: vec![node(1, 1.0), node(1, 2.0)],
+            deps: vec![vec![], vec![(0, 100.0)]],
+        };
+        let merged = merge_pair(&g, 0, 1, 0.5);
+        assert_eq!(merged.len(), 1);
+        assert!(merged.deps[0].is_empty());
+        assert!((merged.nodes[0].eval_secs - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_never_increases_cost() {
+        let g = two_queries();
+        let net = NetworkModel::mbps(0.5);
+        let baseline = no_merge(&g, &net);
+        let merged = merge(&g, &net, 0.2);
+        assert!(merged.response_secs <= baseline.response_secs + 1e-12);
+    }
+}

@@ -1,0 +1,256 @@
+//! Parallel execution of the task graph (paper §5.1, execution phase).
+//!
+//! "At each source, the unprocessed query that is lowest in the plan's
+//! ordering is selected for execution as soon as its inputs are available" —
+//! the sources run concurrently, coordinated by the mediator. Here each
+//! data source (and the mediator) gets a worker thread that walks its
+//! per-source sequence of the plan, blocking until the inputs of the next
+//! task are complete. Relations are written once into per-task slots and
+//! read lock-free afterwards.
+//!
+//! The parallel executor produces exactly the relations of the sequential
+//! one (see the equivalence tests); response-time *accounting* stays with
+//! the simulation in [`crate::cost`], which models the paper's network.
+
+use crate::error::MediatorError;
+use crate::exec::{ExecOptions, Executor, RelSource, RelStore};
+use crate::graph::{RelKey, TaskGraph};
+use aig_core::spec::Aig;
+use aig_relstore::{Catalog, Relation, SourceId, Value};
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Write-once relation slots shared between the source workers.
+struct SharedStore<'g> {
+    graph: &'g TaskGraph,
+    slots: Vec<OnceLock<Relation>>,
+    /// Completion flags (also covers tasks with no output, e.g. guards) and
+    /// the first error, guarded by one mutex + condvar.
+    state: Mutex<Progress>,
+    wake: Condvar,
+}
+
+#[derive(Default)]
+struct Progress {
+    done: Vec<bool>,
+    failed: Option<MediatorError>,
+}
+
+impl RelSource for SharedStore<'_> {
+    fn rel(&self, key: &RelKey) -> Result<&Relation, MediatorError> {
+        let producer = self
+            .graph
+            .producer
+            .get(key)
+            .copied()
+            .ok_or_else(|| MediatorError::Internal(format!("no producer for {key:?}")))?;
+        self.slots[producer].get().ok_or_else(|| {
+            MediatorError::Internal(format!(
+                "relation {key:?} read before its producer completed"
+            ))
+        })
+    }
+}
+
+impl SharedStore<'_> {
+    /// Blocks until every dependency of `task` has completed (or any worker
+    /// failed). Returns false on failure-abort.
+    fn wait_for_deps(&self, task: usize) -> bool {
+        let deps: Vec<usize> = self.graph.tasks[task]
+            .deps
+            .iter()
+            .map(|(d, _)| *d)
+            .collect();
+        let mut state = self.state.lock().expect("store mutex");
+        loop {
+            if state.failed.is_some() {
+                return false;
+            }
+            if deps.iter().all(|&d| state.done[d]) {
+                return true;
+            }
+            state = self.wake.wait(state).expect("store mutex");
+        }
+    }
+
+    fn complete(&self, task: usize, result: Result<Option<Relation>, MediatorError>) {
+        let mut state = self.state.lock().expect("store mutex");
+        match result {
+            Ok(rel) => {
+                if let Some(rel) = rel {
+                    let _ = self.slots[task].set(rel);
+                }
+                state.done[task] = true;
+            }
+            Err(e) => {
+                if state.failed.is_none() {
+                    state.failed = Some(e);
+                }
+            }
+        }
+        drop(state);
+        self.wake.notify_all();
+    }
+}
+
+/// Executes the task graph with one worker per source, following the given
+/// per-source orders (see [`crate::schedule::schedule`]; pass a plan over
+/// the *uncontracted* graph so node ids are task ids).
+pub fn execute_graph_parallel(
+    aig: &Aig,
+    catalog: &Catalog,
+    graph: &TaskGraph,
+    args: &[(&str, Value)],
+    opts: &ExecOptions,
+    per_source: &HashMap<SourceId, Vec<usize>>,
+) -> Result<RelStore, MediatorError> {
+    let shared = SharedStore {
+        graph,
+        slots: (0..graph.tasks.len()).map(|_| OnceLock::new()).collect(),
+        state: Mutex::new(Progress {
+            done: vec![false; graph.tasks.len()],
+            failed: None,
+        }),
+        wake: Condvar::new(),
+    };
+
+    crossbeam::scope(|scope| {
+        for (source, sequence) in per_source {
+            let shared = &shared;
+            let sequence = sequence.clone();
+            scope
+                .builder()
+                .name(format!("aig-source-{}", source.0))
+                .spawn(move |_| {
+                    let exec = Executor {
+                        aig,
+                        catalog,
+                        graph,
+                        store: shared,
+                        opts,
+                    };
+                    for task_id in sequence {
+                        if !shared.wait_for_deps(task_id) {
+                            return; // another worker failed
+                        }
+                        let result = exec.run_task(&graph.tasks[task_id], args);
+                        let failed = result.is_err();
+                        shared.complete(task_id, result);
+                        if failed {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn source worker");
+        }
+    })
+    .map_err(|_| MediatorError::Internal("a source worker panicked".to_string()))?;
+
+    let mut state = shared.state.into_inner().expect("store mutex");
+    if let Some(e) = state.failed.take() {
+        return Err(e);
+    }
+    // Collect the slots into a plain store.
+    let mut store = RelStore::default();
+    for (id, slot) in shared.slots.into_iter().enumerate() {
+        if let (Some(key), Some(rel)) = (graph.tasks[id].output.clone(), slot.into_inner()) {
+            store.insert(key, rel);
+        }
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_graph;
+    use crate::graph::{build_graph, GraphOptions};
+    use crate::unfold::{unfold, CutOff};
+    use aig_core::paper::{mini_hospital_catalog, sigma0};
+    use aig_core::{compile_constraints, decompose_queries, AigError};
+
+    fn setup() -> (Aig, Catalog, TaskGraph) {
+        let aig = sigma0().unwrap();
+        let compiled = compile_constraints(&aig).unwrap();
+        let (specialized, _) = decompose_queries(&compiled).unwrap();
+        let unfolded = unfold(&specialized, 4, CutOff::Truncate).unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        let graph = build_graph(&unfolded.aig, &catalog, &GraphOptions::default()).unwrap();
+        (unfolded.aig, catalog, graph)
+    }
+
+    /// Per-source sequences in topological order (always dependency-safe).
+    fn topo_plan(graph: &TaskGraph) -> HashMap<SourceId, Vec<usize>> {
+        let mut per_source: HashMap<SourceId, Vec<usize>> = HashMap::new();
+        for &id in &graph.topo {
+            per_source
+                .entry(graph.tasks[id].source)
+                .or_default()
+                .push(id);
+        }
+        per_source
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let (aig, catalog, graph) = setup();
+        let args = [("date", Value::str("d1"))];
+        let opts = ExecOptions::default();
+        let sequential = execute_graph(&aig, &catalog, &graph, &args, &opts).unwrap();
+        let plan = topo_plan(&graph);
+        let parallel = execute_graph_parallel(&aig, &catalog, &graph, &args, &opts, &plan).unwrap();
+        for task in &graph.tasks {
+            if let Some(key) = &task.output {
+                assert_eq!(
+                    sequential.store.get(key).unwrap(),
+                    parallel.get(key).unwrap(),
+                    "{}",
+                    task.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_execution_propagates_guard_violations() {
+        let (aig, _catalog, _) = setup();
+        // Corrupt the billing table (duplicate trId) so the key guard fires.
+        let mut catalog = mini_hospital_catalog().unwrap();
+        let dst = catalog.source_id("DB3").unwrap();
+        *catalog.source_mut(dst) = aig_relstore::Database::new("DB3");
+        let mut billing = aig_relstore::Table::new(aig_relstore::TableSchema::strings(
+            "billing",
+            &["trId", "price"],
+            &[],
+        ));
+        for (t, p) in [
+            ("t1", "1"),
+            ("t1", "2"),
+            ("t2", "3"),
+            ("t3", "4"),
+            ("t4", "5"),
+            ("t5", "6"),
+        ] {
+            billing.insert(vec![Value::str(t), Value::str(p)]).unwrap();
+        }
+        catalog.source_mut(dst).add_table(billing).unwrap();
+        let graph = build_graph(&aig, &catalog, &GraphOptions::default()).unwrap();
+        let plan = topo_plan(&graph);
+        let err = execute_graph_parallel(
+            &aig,
+            &catalog,
+            &graph,
+            &[("date", Value::str("d1"))],
+            &ExecOptions::default(),
+            &plan,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MediatorError::Aig(AigError::ConstraintViolation { .. })
+            ),
+            "{err}"
+        );
+    }
+}

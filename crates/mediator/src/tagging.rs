@@ -1,0 +1,195 @@
+//! The tagging phase (paper §5.1): turning the cached output relations into
+//! the final XML document.
+//!
+//! "In the tagging phase, the tagging plan is applied to these relations to
+//! produce the final output document", entirely within the middleware. The
+//! instance tables are indexed by `(occurrence, parent rowid)` — the
+//! relational encoding of the root-to-node path — and the tree is written
+//! top-down; internal computation states never appear (they are simply not
+//! descended into), and PCDATA resolves through copy chains into instance
+//! columns.
+
+use crate::error::MediatorError;
+use crate::exec::{branch_tag, occ_tag, RelStore};
+use crate::graph::{Binding, Occ, RelKey, ScalarBind, TaskGraph};
+use aig_core::copyelim::{resolve_scalar, ResolvedScalar};
+use aig_core::spec::{Aig, ElemIdx, Prod};
+use aig_relstore::{Relation, Value};
+use aig_xml::{NodeId, XmlTree};
+use std::collections::HashMap;
+
+/// Builds the document from the executed relations.
+pub fn tag_document(
+    aig: &Aig,
+    graph: &TaskGraph,
+    store: &RelStore,
+) -> Result<XmlTree, MediatorError> {
+    let tagger = Tagger {
+        aig,
+        graph,
+        store,
+        children_index: build_children_index(aig, graph, store)?,
+    };
+    let root_info = aig.elem_info(aig.root);
+    let mut tree = XmlTree::new(root_info.tag().to_string());
+    let root_node = tree.root();
+    let root_binding = tagger.binding(&Occ::mat(aig.root))?;
+    let base = store.get(&RelKey::Instances(aig.root))?;
+    if base.len() != 1 {
+        return Err(MediatorError::Internal(format!(
+            "root instance table has {} rows",
+            base.len()
+        )));
+    }
+    tagger.tag_children(&mut tree, root_node, root_binding, 0)?;
+    Ok(tree)
+}
+
+/// Index: (element, `__occ` tag, parent rowid) → ordered child row
+/// positions.
+type ChildrenIndex = HashMap<(ElemIdx, String, i64), Vec<usize>>;
+
+fn build_children_index(
+    aig: &Aig,
+    graph: &TaskGraph,
+    store: &RelStore,
+) -> Result<ChildrenIndex, MediatorError> {
+    let mut index: ChildrenIndex = HashMap::new();
+    for &elem in &graph.materialized {
+        if elem == aig.root {
+            continue;
+        }
+        let rel = store.get(&RelKey::Instances(elem))?;
+        let (pc, oc, ordc) = (
+            rel.col("__parent").map_err(MediatorError::Store)?,
+            rel.col("__occ").map_err(MediatorError::Store)?,
+            rel.col("__ord").map_err(MediatorError::Store)?,
+        );
+        let mut buckets: HashMap<(String, i64), Vec<(i64, usize)>> = HashMap::new();
+        for (pos, row) in rel.rows().iter().enumerate() {
+            let occ = row[oc].to_text();
+            let parent = row[pc].as_int().unwrap_or(-1);
+            let ord = row[ordc].as_int().unwrap_or(0);
+            buckets.entry((occ, parent)).or_default().push((ord, pos));
+        }
+        for ((occ, parent), mut entries) in buckets {
+            entries.sort();
+            index.insert(
+                (elem, occ, parent),
+                entries.into_iter().map(|(_, pos)| pos).collect(),
+            );
+        }
+    }
+    Ok(index)
+}
+
+struct Tagger<'a> {
+    aig: &'a Aig,
+    graph: &'a TaskGraph,
+    store: &'a RelStore,
+    children_index: ChildrenIndex,
+}
+
+impl Tagger<'_> {
+    fn binding(&self, occ: &Occ) -> Result<&Binding, MediatorError> {
+        self.graph.bindings.get(occ).ok_or_else(|| {
+            MediatorError::Internal(format!("unknown occurrence {}", occ.key(self.aig)))
+        })
+    }
+
+    /// Emits the children of the element at `binding` for the base instance
+    /// `base_idx` (a row position in `T_base`) under `node`.
+    fn tag_children(
+        &self,
+        tree: &mut XmlTree,
+        node: NodeId,
+        binding: &Binding,
+        base_idx: usize,
+    ) -> Result<(), MediatorError> {
+        let info = self.aig.elem_info(binding.elem);
+        match &info.prod {
+            Prod::Empty => Ok(()),
+            Prod::Pcdata { text } => {
+                let value = self.scalar_at(binding, text, base_idx)?;
+                tree.add_text(node, value.to_text());
+                Ok(())
+            }
+            Prod::Items(items) => {
+                let base = self.store.get(&RelKey::Instances(binding.occ.base))?;
+                let rowid = base.rows()[base_idx]
+                    [base.col("__rowid").map_err(MediatorError::Store)?]
+                .as_int()
+                .unwrap_or(-1);
+                for (pos, item) in items.iter().enumerate() {
+                    let child_info = self.aig.elem_info(item.elem);
+                    if child_info.internal {
+                        continue; // computation states are not tagged
+                    }
+                    if item.star {
+                        let tag = occ_tag(self.aig, &binding.occ, pos);
+                        let child_binding = self.binding(&Occ::mat(item.elem))?;
+                        let t_child = self.store.get(&RelKey::Instances(item.elem))?;
+                        if let Some(rows) = self.children_index.get(&(item.elem, tag, rowid)) {
+                            for &child_pos in rows {
+                                let child_node =
+                                    tree.add_element(node, child_info.tag().to_string());
+                                self.tag_children(tree, child_node, child_binding, child_pos)?;
+                                let _ = t_child;
+                            }
+                        }
+                    } else {
+                        let child_occ = binding.occ.child(pos);
+                        let child_binding = self.binding(&child_occ)?;
+                        let child_node = tree.add_element(node, child_info.tag().to_string());
+                        self.tag_children(tree, child_node, child_binding, base_idx)?;
+                    }
+                }
+                Ok(())
+            }
+            Prod::Choice { branches, .. } => {
+                let base = self.store.get(&RelKey::Instances(binding.occ.base))?;
+                let rowid = base.rows()[base_idx]
+                    [base.col("__rowid").map_err(MediatorError::Store)?]
+                .as_int()
+                .unwrap_or(-1);
+                for (bno, branch) in branches.iter().enumerate() {
+                    let tag = branch_tag(self.aig, &binding.occ, bno);
+                    if let Some(rows) = self.children_index.get(&(branch.elem, tag, rowid)) {
+                        let child_info = self.aig.elem_info(branch.elem);
+                        let child_binding = self.binding(&Occ::mat(branch.elem))?;
+                        for &child_pos in rows {
+                            let child_node = tree.add_element(node, child_info.tag().to_string());
+                            self.tag_children(tree, child_node, child_binding, child_pos)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn scalar_at(
+        &self,
+        binding: &Binding,
+        expr: &aig_core::spec::ValueExpr,
+        base_idx: usize,
+    ) -> Result<Value, MediatorError> {
+        match resolve_scalar(self.aig, binding.elem, expr) {
+            Some(ResolvedScalar::Const(v)) => Ok(v),
+            Some(ResolvedScalar::InhField(f)) => match binding.scalars.get(&f) {
+                Some(ScalarBind::Const(v)) => Ok(v.clone()),
+                Some(ScalarBind::Col(c)) => {
+                    let base: &Relation = self.store.get(&RelKey::Instances(binding.occ.base))?;
+                    Ok(base.rows()[base_idx][base.col(c).map_err(MediatorError::Store)?].clone())
+                }
+                None => Err(MediatorError::Internal(format!(
+                    "missing scalar binding `{f}`"
+                ))),
+            },
+            None => Err(MediatorError::Unsupported(format!(
+                "PCDATA of `{}` does not resolve through copy chains",
+                self.aig.elem_name(binding.elem)
+            ))),
+        }
+    }
+}

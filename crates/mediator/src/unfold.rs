@@ -1,0 +1,576 @@
+//! Bounded unfolding of recursive AIGs (paper §5.5).
+//!
+//! "We begin with a user-supplied estimate d of the maximum depth of the
+//! output tree, and calculate from it a (partial) AIG by iteratively
+//! unfolding the recursive rules." Element types on recursion cycles are
+//! cloned per level (`treatment@1`, `treatment@2`, …; the `@level` suffix is
+//! stripped when tags are emitted), turning the element graph into a DAG
+//! that the optimizer can cost at compile time.
+//!
+//! At the cut-off depth, recursive starred items are replaced by the empty
+//! generator. In [`CutOff::Truncate`] mode that is the final answer (the
+//! evaluation the paper benchmarks in §6 after unfolding 2–7 levels); in
+//! [`CutOff::Frontier`] mode the replaced generators are reported as
+//! [`FrontierSite`]s so the runtime can detect that data extends beyond the
+//! unfolded depth and retry deeper, the paper's "the recursion is unrolled
+//! again … until all inputs are available".
+
+use aig_core::spec::{Aig, ElemIdx, Generator, Prod, SetExpr};
+use aig_core::AigError;
+use std::collections::HashMap;
+
+/// What to do where the unfolding depth is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutOff {
+    /// Pretend the recursion stops: deeper data is silently dropped
+    /// (the paper's §6 experimental setup, "assuming the procedure leaf has
+    /// no children").
+    Truncate,
+    /// Record frontier sites so the caller can detect truncation and unfold
+    /// deeper.
+    Frontier,
+}
+
+/// A starred item whose generator was cut off at the unfolding depth.
+#[derive(Debug, Clone)]
+pub struct FrontierSite {
+    /// The cloned element (at the deepest level) whose production was cut.
+    pub parent: String,
+    /// The item position within its production.
+    pub item: usize,
+    /// The original generator that was replaced by the empty one.
+    pub generator: Generator,
+}
+
+/// The result of unfolding.
+#[derive(Debug, Clone)]
+pub struct Unfolded {
+    pub aig: Aig,
+    /// Cut-off sites (empty in truncate mode or when nothing was cut).
+    pub frontier: Vec<FrontierSite>,
+    /// Names of the element types that were on recursion cycles.
+    pub cyclic: Vec<String>,
+}
+
+/// Unfolds `aig` so that recursion cycles are repeated at most `depth`
+/// times. Non-recursive AIGs are returned unchanged (modulo clone).
+pub fn unfold(aig: &Aig, depth: usize, cutoff: CutOff) -> Result<Unfolded, AigError> {
+    assert!(depth >= 1, "unfolding depth must be at least 1");
+    let n = aig.len();
+    // -- Find cyclic element types (non-trivial SCCs or self-loops) ---------
+    let children: Vec<Vec<ElemIdx>> = aig.elements().map(|e| aig.children_of(e)).collect();
+    let cyclic = cyclic_elements(n, &children);
+    if cyclic.iter().all(|&c| !c) {
+        return Ok(Unfolded {
+            aig: aig.clone(),
+            frontier: Vec::new(),
+            cyclic: Vec::new(),
+        });
+    }
+
+    // -- Classify feedback edges among cyclic elements ----------------------
+    // A DFS over the cyclic subgraph: back edges are "feedback" and advance
+    // the level; all other edges stay within a level. Removing back edges
+    // leaves a DAG, so the unfolded element graph is acyclic.
+    let feedback = feedback_edges(n, &children, &cyclic);
+
+    // -- Build the copies ----------------------------------------------------
+    // Map (original, level) -> copy name. Non-cyclic elements keep level 0
+    // and their name.
+    let copy_name = |e: ElemIdx, level: usize| -> String {
+        if cyclic[e.index()] {
+            format!("{}@{level}", aig.elem_name(e))
+        } else {
+            aig.elem_name(e).to_string()
+        }
+    };
+    let mut out = aig.clone_shell();
+    let mut new_idx: HashMap<(ElemIdx, usize), ElemIdx> = HashMap::new();
+    // Declare all copies first so references resolve.
+    for e in aig.elements() {
+        if cyclic[e.index()] {
+            for level in 1..=depth {
+                let mut info = aig.elem_info(e).clone();
+                info.name = copy_name(e, level);
+                let idx = out.add_elem(info);
+                new_idx.insert((e, level), idx);
+            }
+        } else {
+            let info = aig.elem_info(e).clone();
+            let idx = out.add_elem(info);
+            new_idx.insert((e, 0), idx);
+        }
+    }
+
+    // Remap children of every copy.
+    let mut frontier = Vec::new();
+    for e in aig.elements() {
+        let levels: Vec<usize> = if cyclic[e.index()] {
+            (1..=depth).collect()
+        } else {
+            vec![0]
+        };
+        for level in levels {
+            let idx = new_idx[&(e, level)];
+            let mut cut_items: Vec<usize> = Vec::new();
+            {
+                let info = out.elem_info_mut(idx);
+                match &mut info.prod {
+                    Prod::Pcdata { .. } | Prod::Empty => {}
+                    Prod::Items(items) => {
+                        for (pos, item) in items.iter_mut().enumerate() {
+                            let child = item.elem;
+                            if cyclic[child.index()] {
+                                let base_level = if cyclic[e.index()] { level } else { 1 };
+                                let next = if cyclic[e.index()] && feedback.contains(&(e, child)) {
+                                    base_level + 1
+                                } else if cyclic[e.index()] {
+                                    base_level
+                                } else {
+                                    1
+                                };
+                                if next > depth {
+                                    cut_items.push(pos);
+                                    item.elem = new_idx[&(child, depth)];
+                                } else {
+                                    item.elem = new_idx[&(child, next)];
+                                }
+                            } else {
+                                item.elem = new_idx[&(child, 0)];
+                            }
+                        }
+                    }
+                    Prod::Choice { branches, .. } => {
+                        for branch in branches.iter_mut() {
+                            let child = branch.elem;
+                            if cyclic[child.index()] {
+                                let next = if cyclic[e.index()] { level } else { 1 };
+                                // A cyclic choice branch at the cut level
+                                // cannot be truncated (one branch must be
+                                // produced).
+                                if feedback.contains(&(e, child)) && next + 1 > depth {
+                                    return Err(AigError::Spec(format!(
+                                        "cannot truncate recursion through the mandatory \
+                                         choice branch `{}` of `{}`",
+                                        aig.elem_name(child),
+                                        aig.elem_name(e)
+                                    )));
+                                }
+                                let lvl = if feedback.contains(&(e, child)) {
+                                    next + 1
+                                } else {
+                                    next.max(1)
+                                };
+                                branch.elem = new_idx[&(child, lvl.min(depth))];
+                            } else {
+                                branch.elem = new_idx[&(child, 0)];
+                            }
+                        }
+                    }
+                }
+            }
+            // Cut-off starred items are removed from the production (an
+            // empty star conforms to `B*`); references to them by item index
+            // are rewritten.
+            for pos in cut_items.into_iter().rev() {
+                let info = out.elem_info_mut(idx);
+                let Prod::Items(items) = &mut info.prod else {
+                    unreachable!()
+                };
+                if !items[pos].star {
+                    let child_name = aig.elem_name(aig.children_of(e)[pos]).to_string();
+                    return Err(AigError::Spec(format!(
+                        "cannot truncate recursion through the mandatory child \
+                         `{child_name}` of `{}`",
+                        copy_name(e, level),
+                    )));
+                }
+                let removed = items.remove(pos);
+                let original = removed.generator.expect("starred items have generators");
+                remove_item_references(info, pos, &copy_name(e, level))?;
+                if cutoff == CutOff::Frontier {
+                    frontier.push(FrontierSite {
+                        parent: copy_name(e, level),
+                        item: pos,
+                        generator: original,
+                    });
+                }
+            }
+        }
+    }
+
+    // Root: level 1 when cyclic.
+    let root_level = if cyclic[aig.root.index()] { 1 } else { 0 };
+    out.set_root(new_idx[&(aig.root, root_level)]);
+    out.finalize()?;
+    Ok(Unfolded {
+        aig: out,
+        frontier,
+        cyclic: aig
+            .elements()
+            .filter(|e| cyclic[e.index()])
+            .map(|e| aig.elem_name(e).to_string())
+            .collect(),
+    })
+}
+
+/// Rewrites item-index references after the item at `removed` was deleted:
+/// set references to the removed (starred) item become the empty set;
+/// indices above it shift down. Scalar references to a starred item cannot
+/// exist (validation rejects them).
+fn remove_item_references(
+    info: &mut aig_core::spec::ElemInfo,
+    removed: usize,
+    ctx: &str,
+) -> Result<(), AigError> {
+    use aig_core::spec::{FieldRule, ParamSource, QueryRule, SynRule, ValueExpr};
+
+    fn fix_set(expr: &mut SetExpr, removed: usize, ctx: &str) -> Result<(), AigError> {
+        match expr {
+            SetExpr::ChildSyn { item, .. } | SetExpr::Collect { item, .. } => {
+                match (*item).cmp(&removed) {
+                    std::cmp::Ordering::Equal => *expr = SetExpr::Empty,
+                    std::cmp::Ordering::Greater => match expr {
+                        SetExpr::ChildSyn { item, .. } | SetExpr::Collect { item, .. } => {
+                            *item -= 1
+                        }
+                        _ => unreachable!(),
+                    },
+                    std::cmp::Ordering::Less => {}
+                }
+                Ok(())
+            }
+            SetExpr::Union(terms) => {
+                for t in terms {
+                    fix_set(t, removed, ctx)?;
+                }
+                Ok(())
+            }
+            SetExpr::Singleton(parts) => {
+                for p in parts {
+                    fix_value(p, removed, ctx)?;
+                }
+                Ok(())
+            }
+            SetExpr::InhField(_) | SetExpr::Empty => Ok(()),
+        }
+    }
+    fn fix_value(expr: &mut ValueExpr, removed: usize, ctx: &str) -> Result<(), AigError> {
+        if let ValueExpr::ChildSyn { item, .. } = expr {
+            match (*item).cmp(&removed) {
+                std::cmp::Ordering::Equal => {
+                    return Err(AigError::Spec(format!(
+                        "`{ctx}`: a scalar rule references the truncated recursive child"
+                    )))
+                }
+                std::cmp::Ordering::Greater => *item -= 1,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        Ok(())
+    }
+    fn fix_query(qr: &mut QueryRule, removed: usize, ctx: &str) -> Result<(), AigError> {
+        for (_, source) in &mut qr.params {
+            if let ParamSource::ChildSyn { item, .. } = source {
+                match (*item).cmp(&removed) {
+                    std::cmp::Ordering::Equal => {
+                        return Err(AigError::Spec(format!(
+                            "`{ctx}`: a query parameter references the truncated \
+                             recursive child"
+                        )))
+                    }
+                    std::cmp::Ordering::Greater => *item -= 1,
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+        }
+        Ok(())
+    }
+    fn fix_rule(rule: &mut FieldRule, removed: usize, ctx: &str) -> Result<(), AigError> {
+        match rule {
+            FieldRule::Scalar(expr) => fix_value(expr, removed, ctx),
+            FieldRule::Set(expr) => fix_set(expr, removed, ctx),
+            FieldRule::Query(qr) => fix_query(qr, removed, ctx),
+        }
+    }
+
+    let rules: &mut Vec<SynRule> = &mut info.syn_rules;
+    for rule in rules {
+        fix_rule(&mut rule.rule, removed, ctx)?;
+    }
+    if let Prod::Items(items) = &mut info.prod {
+        for item in items {
+            for (_, rule) in &mut item.assigns {
+                fix_rule(rule, removed, ctx)?;
+            }
+            if let Some(Generator::Query(qr)) = &mut item.generator {
+                fix_query(qr, removed, ctx)?;
+            }
+            if let Some(Generator::Set(expr)) = &mut item.generator {
+                fix_set(expr, removed, ctx)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Elements on cycles of the children graph.
+fn cyclic_elements(n: usize, children: &[Vec<ElemIdx>]) -> Vec<bool> {
+    // Tarjan SCC, iterative.
+    struct Frame {
+        node: usize,
+        edge: usize,
+    }
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut cyclic = vec![false; n];
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame {
+            node: start,
+            edge: 0,
+        }];
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(frame) = frames.last_mut() {
+            let node = frame.node;
+            if frame.edge < children[node].len() {
+                let next = children[node][frame.edge].index();
+                frame.edge += 1;
+                if index[next] == usize::MAX {
+                    index[next] = next_index;
+                    low[next] = next_index;
+                    next_index += 1;
+                    stack.push(next);
+                    on_stack[next] = true;
+                    frames.push(Frame {
+                        node: next,
+                        edge: 0,
+                    });
+                } else if on_stack[next] {
+                    low[node] = low[node].min(index[next]);
+                }
+            } else {
+                if low[node] == index[node] {
+                    // Pop the SCC.
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("scc stack");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == node {
+                            break;
+                        }
+                    }
+                    let nontrivial =
+                        component.len() > 1 || children[node].iter().any(|c| c.index() == node);
+                    if nontrivial {
+                        for w in component {
+                            cyclic[w] = true;
+                        }
+                    }
+                }
+                let finished = frames.pop().expect("frame").node;
+                if let Some(parent) = frames.last() {
+                    low[parent.node] = low[parent.node].min(low[finished]);
+                }
+            }
+        }
+    }
+    cyclic
+}
+
+/// Back edges of a DFS over the cyclic subgraph.
+fn feedback_edges(
+    n: usize,
+    children: &[Vec<ElemIdx>],
+    cyclic: &[bool],
+) -> std::collections::HashSet<(ElemIdx, ElemIdx)> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; n];
+    let mut feedback = std::collections::HashSet::new();
+    for start in 0..n {
+        if !cyclic[start] || marks[start] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        marks[start] = Mark::Grey;
+        while let Some(&mut (node, ref mut edge)) = stack.last_mut() {
+            if *edge < children[node].len() {
+                let next = children[node][*edge].index();
+                *edge += 1;
+                if !cyclic[next] {
+                    continue;
+                }
+                match marks[next] {
+                    Mark::White => {
+                        marks[next] = Mark::Grey;
+                        stack.push((next, 0));
+                    }
+                    Mark::Grey => {
+                        feedback.insert((ElemIdx(node as u32), ElemIdx(next as u32)));
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                marks[node] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+    feedback
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig_core::eval::evaluate;
+    use aig_core::paper::{mini_hospital_catalog, sigma0};
+    use aig_relstore::Value;
+    use aig_xml::validate;
+
+    #[test]
+    fn non_recursive_aig_is_unchanged() {
+        let aig = aig_core::parse_aig(
+            r#"
+            aig flat {
+              dtd { <!ELEMENT list (entry*)> <!ELEMENT entry (#PCDATA)> }
+              elem list {
+                inh(day);
+                child entry* from sql { select t.id as val from DB1:items t
+                                        where t.day = $day };
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let u = unfold(&aig, 3, CutOff::Truncate).unwrap();
+        assert!(u.cyclic.is_empty());
+        assert_eq!(u.aig.len(), aig.len());
+    }
+
+    #[test]
+    fn sigma0_unfolds_per_level() {
+        let aig = sigma0().unwrap();
+        let u = unfold(&aig, 3, CutOff::Truncate).unwrap();
+        assert_eq!(u.cyclic, vec!["treatment", "procedure"]);
+        // 10 shared elements + 2 cyclic × 3 levels.
+        assert_eq!(u.aig.len(), 10 + 6);
+        assert!(u.aig.elem("treatment@1").is_some());
+        assert!(u.aig.elem("procedure@3").is_some());
+        assert!(u.aig.elem("treatment").is_none());
+        assert!(!u.aig.dtd.is_recursive() || u.aig.dtd.is_recursive()); // dtd unchanged
+                                                                        // The unfolded element graph is acyclic.
+        let children: Vec<Vec<ElemIdx>> = u.aig.elements().map(|e| u.aig.children_of(e)).collect();
+        assert!(cyclic_elements(u.aig.len(), &children).iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn deep_enough_unfolding_reproduces_the_document() {
+        let aig = sigma0().unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        let reference = evaluate(&aig, &catalog, &[("date", Value::str("d1"))]).unwrap();
+        // Data recursion depth is 3 (t1 -> t4 -> t5), so depth 3 suffices.
+        let u = unfold(&aig, 3, CutOff::Frontier).unwrap();
+        let unfolded_eval = evaluate(&u.aig, &catalog, &[("date", Value::str("d1"))]).unwrap();
+        assert_eq!(reference.tree, unfolded_eval.tree);
+        validate(&unfolded_eval.tree, &aig.dtd).unwrap();
+    }
+
+    #[test]
+    fn shallow_unfolding_truncates_subtrees() {
+        let aig = sigma0().unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        let u = unfold(&aig, 1, CutOff::Frontier).unwrap();
+        assert!(!u.frontier.is_empty());
+        let result = evaluate(&u.aig, &catalog, &[("date", Value::str("d1"))]).unwrap();
+        // The truncated document still conforms to the DTD (procedure is
+        // empty at the cut), but misses the deep treatments.
+        validate(&result.tree, &aig.dtd).unwrap();
+        let text = aig_xml::serialize::to_string(&result.tree);
+        assert!(text.contains("surgery"));
+        assert!(!text.contains("anesthesia"));
+        // Frontier sites name the deepest copies.
+        assert!(u.frontier.iter().any(|f| f.parent == "procedure@1"));
+    }
+
+    #[test]
+    fn unfolded_tags_strip_level_suffixes() {
+        let aig = sigma0().unwrap();
+        let u = unfold(&aig, 2, CutOff::Truncate).unwrap();
+        let t1 = u.aig.elem("treatment@2").unwrap();
+        assert_eq!(u.aig.elem_info(t1).tag(), "treatment");
+    }
+}
+
+#[cfg(test)]
+mod choice_tests {
+    use super::*;
+    use aig_core::parse_aig;
+
+    /// Recursion through a choice: `node → leaf | pair`, `pair → node*`
+    /// (the star absorbs the truncation, so the cut is legal).
+    fn choice_recursive() -> Aig {
+        parse_aig(
+            r#"
+            aig tree {
+              dtd {
+                <!ELEMENT node (leaf | pair)>
+                <!ELEMENT pair (node*)>
+                <!ELEMENT leaf (#PCDATA)>
+              }
+              elem node {
+                inh(id);
+                case sql { select t.kind as pick from DB1:nodes t where t.id = $id } {
+                  1 => leaf { val = $id; }
+                  2 => pair { id = $id; }
+                }
+              }
+              elem pair {
+                inh(id);
+                child node* from sql { select e.child as id from DB1:edges e
+                                       where e.parent = $id };
+              }
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn choice_cycles_unfold_and_truncate() {
+        let aig = choice_recursive();
+        let u = unfold(&aig, 3, CutOff::Truncate).unwrap();
+        assert_eq!(u.cyclic, vec!["node", "pair"]);
+        assert!(u.aig.elem("node@1").is_some());
+        assert!(u.aig.elem("pair@3").is_some());
+        // leaf is shared across levels.
+        assert!(u.aig.elem("leaf").is_some());
+        // Acyclic after unfolding.
+        let children: Vec<Vec<ElemIdx>> = u.aig.elements().map(|e| u.aig.children_of(e)).collect();
+        let n = u.aig.len();
+        let cyclic = cyclic_elements(n, &children);
+        assert!(cyclic.iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn frontier_reports_the_choice_cycle_cut() {
+        let aig = choice_recursive();
+        let u = unfold(&aig, 2, CutOff::Frontier).unwrap();
+        assert!(!u.frontier.is_empty());
+        assert!(u.frontier.iter().all(|f| f.parent.starts_with("pair@")));
+    }
+}

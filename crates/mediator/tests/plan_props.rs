@@ -1,0 +1,114 @@
+//! Property tests over the optimization phase: on random dependency DAGs,
+//! `Schedule` always produces dependency-consistent plans, completion times
+//! respect producers and same-source sequencing, and `Merge` never increases
+//! the cost of the scheduled plan (it only accepts improving pairs).
+
+use aig_mediator::cost::{completion_times, response_time, CostGraph, CostNode};
+use aig_mediator::merge::{merge, no_merge};
+use aig_mediator::schedule::{naive_plan, schedule};
+use aig_mediator::NetworkModel;
+use aig_relstore::SourceId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomDag {
+    nodes: Vec<(u32, f64)>,          // (source, eval_secs)
+    edges: Vec<(usize, usize, f64)>, // producer < consumer, bytes
+}
+
+fn dag_strategy() -> impl Strategy<Value = RandomDag> {
+    let node = (0u32..4, 0.01f64..2.0);
+    prop::collection::vec(node, 2..12).prop_flat_map(|nodes| {
+        let n = nodes.len();
+        let edge = (0..n * n).prop_map(move |k| (k / n, k % n));
+        prop::collection::vec((edge, 1.0f64..100_000.0), 0..(2 * n)).prop_map(move |raw| {
+            RandomDag {
+                nodes: nodes.clone(),
+                edges: raw
+                    .into_iter()
+                    .filter(|((a, b), _)| a < b) // forward edges keep it a DAG
+                    .map(|((a, b), bytes)| (a, b, bytes))
+                    .collect(),
+            }
+        })
+    })
+}
+
+fn build(dag: &RandomDag) -> CostGraph {
+    let nodes = dag
+        .nodes
+        .iter()
+        .map(|&(source, eval_secs)| CostNode {
+            source: SourceId(source),
+            eval_secs,
+            mergeable: source != 0,
+            passthrough: false,
+            members: vec![],
+        })
+        .collect();
+    let mut deps = vec![Vec::new(); dag.nodes.len()];
+    for &(a, b, bytes) in &dag.edges {
+        if !deps[b].iter().any(|(d, _)| *d == a) {
+            deps[b].push((a, bytes));
+        }
+    }
+    CostGraph { nodes, deps }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn schedule_is_always_consistent(dag in dag_strategy()) {
+        let g = build(&dag);
+        let net = NetworkModel::mbps(1.0);
+        let plan = schedule(&g, &net);
+        prop_assert!(plan.consistent_with(&g));
+        prop_assert!(naive_plan(&g).consistent_with(&g));
+        // Every node is scheduled exactly once.
+        let mut count = vec![0usize; g.len()];
+        for seq in plan.per_source.values() {
+            for &t in seq {
+                count[t] += 1;
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn completion_times_respect_dependencies(dag in dag_strategy()) {
+        let g = build(&dag);
+        let net = NetworkModel::mbps(1.0);
+        let plan = schedule(&g, &net);
+        let done = completion_times(&g, &plan, &net);
+        for (id, deps) in g.deps.iter().enumerate() {
+            // A consumer finishes after each producer plus its own work.
+            for (dep, _) in deps {
+                prop_assert!(
+                    done[id] >= done[*dep] + g.nodes[id].eval_secs - 1e-9,
+                    "task {id} finished before its producer {dep}"
+                );
+            }
+        }
+        // Same-source tasks never overlap: total busy time per source is a
+        // lower bound on the makespan.
+        for (source, seq) in &plan.per_source {
+            let busy: f64 = seq.iter().map(|&t| g.nodes[t].eval_secs).sum();
+            let makespan = response_time(&g, &plan, &net);
+            prop_assert!(makespan >= busy - 1e-9, "source {source} overlapped");
+        }
+    }
+
+    #[test]
+    fn merging_never_increases_scheduled_cost(dag in dag_strategy()) {
+        let g = build(&dag);
+        let net = NetworkModel::mbps(1.0);
+        let baseline = no_merge(&g, &net);
+        let merged = merge(&g, &net, 0.2);
+        prop_assert!(merged.response_secs <= baseline.response_secs + 1e-9);
+        prop_assert!(merged.plan.consistent_with(&merged.graph));
+        prop_assert!(merged.graph.topo().is_some());
+        // Node count shrinks by exactly the number of merges.
+        prop_assert_eq!(merged.graph.len(), g.len() - merged.merges);
+    }
+}

@@ -1,0 +1,238 @@
+//! Databases and the multi-source catalog.
+//!
+//! An AIG maps *a collection `R` of relational databases* to XML (§3.1). Each
+//! database lives at a named data source; queries are annotated `DBi:table`
+//! in the paper's SQL. The [`Catalog`] owns all sources and resolves those
+//! qualified names. The mediator is itself modeled as a pseudo-source
+//! ([`SourceId::MEDIATOR`]) so that the scheduling and cost machinery of §5
+//! can treat mediator-side computation uniformly.
+
+use crate::error::StoreError;
+use crate::table::Table;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a data source within a [`Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(pub u32);
+
+impl SourceId {
+    /// The mediator pseudo-source. Always present in a catalog, with no
+    /// tables; mediator-side operations are "executed" here.
+    pub const MEDIATOR: SourceId = SourceId(0);
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    #[inline]
+    pub fn is_mediator(self) -> bool {
+        self == SourceId::MEDIATOR
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// A named database: a set of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    name: String,
+}
+
+impl Database {
+    pub fn new(name: impl Into<String>) -> Database {
+        Database {
+            tables: HashMap::new(),
+            name: name.into(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a table; the table's schema name is its key.
+    pub fn add_table(&mut self, table: Table) -> Result<(), StoreError> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(StoreError::Duplicate(format!("{}.{name}", self.name)));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable {
+                database: self.name.clone(),
+                table: name.to_string(),
+            })
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable {
+                database: self.name.clone(),
+                table: name.to_string(),
+            })
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// The collection of data sources an AIG integrates over.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    sources: Vec<Database>,
+    by_name: HashMap<String, SourceId>,
+}
+
+impl Catalog {
+    /// Creates a catalog containing only the mediator pseudo-source.
+    pub fn new() -> Catalog {
+        let mediator = Database::new("Mediator");
+        let mut by_name = HashMap::new();
+        by_name.insert("Mediator".to_string(), SourceId::MEDIATOR);
+        Catalog {
+            sources: vec![mediator],
+            by_name,
+        }
+    }
+
+    /// Registers a new data source, returning its id.
+    pub fn add_source(&mut self, db: Database) -> Result<SourceId, StoreError> {
+        if self.by_name.contains_key(db.name()) {
+            return Err(StoreError::Duplicate(db.name().to_string()));
+        }
+        let id = SourceId(self.sources.len() as u32);
+        self.by_name.insert(db.name().to_string(), id);
+        self.sources.push(db);
+        Ok(id)
+    }
+
+    /// Resolves a source by name (e.g. `"DB1"`).
+    pub fn source_id(&self, name: &str) -> Result<SourceId, StoreError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StoreError::NoSuchSource(name.to_string()))
+    }
+
+    pub fn source(&self, id: SourceId) -> &Database {
+        &self.sources[id.index()]
+    }
+
+    pub fn source_mut(&mut self, id: SourceId) -> &mut Database {
+        &mut self.sources[id.index()]
+    }
+
+    /// Resolves `DBi:table` to the table.
+    pub fn table(&self, source: &str, table: &str) -> Result<&Table, StoreError> {
+        let id = self.source_id(source)?;
+        self.sources[id.index()].table(table)
+    }
+
+    /// Number of sources, including the mediator.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // the mediator is always present
+    }
+
+    /// Iterates over all source ids (mediator included).
+    pub fn source_ids(&self) -> impl Iterator<Item = SourceId> {
+        (0..self.sources.len() as u32).map(SourceId)
+    }
+
+    /// Names of all sources in id order.
+    pub fn source_names(&self) -> Vec<&str> {
+        self.sources.iter().map(|s| s.name()).collect()
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::value::Value;
+
+    fn db_with_table(db_name: &str, table_name: &str) -> Database {
+        let mut db = Database::new(db_name);
+        let mut t = Table::new(TableSchema::strings(table_name, &["a"], &[]));
+        t.insert(vec![Value::str("x")]).unwrap();
+        db.add_table(t).unwrap();
+        db
+    }
+
+    #[test]
+    fn catalog_always_has_mediator() {
+        let c = Catalog::new();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.source_id("Mediator").unwrap(), SourceId::MEDIATOR);
+        assert!(SourceId::MEDIATOR.is_mediator());
+    }
+
+    #[test]
+    fn add_and_resolve_sources() {
+        let mut c = Catalog::new();
+        let db1 = c.add_source(db_with_table("DB1", "patient")).unwrap();
+        let db2 = c.add_source(db_with_table("DB2", "cover")).unwrap();
+        assert_ne!(db1, db2);
+        assert!(!db1.is_mediator());
+        assert_eq!(c.source_id("DB2").unwrap(), db2);
+        assert_eq!(c.table("DB1", "patient").unwrap().len(), 1);
+        assert!(c.table("DB1", "cover").is_err());
+        assert!(c.table("DB9", "x").is_err());
+    }
+
+    #[test]
+    fn duplicate_source_rejected() {
+        let mut c = Catalog::new();
+        c.add_source(Database::new("DB1")).unwrap();
+        assert!(c.add_source(Database::new("DB1")).is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = Database::new("DB1");
+        db.add_table(Table::new(TableSchema::strings("t", &["a"], &[])))
+            .unwrap();
+        assert!(db
+            .add_table(Table::new(TableSchema::strings("t", &["b"], &[])))
+            .is_err());
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut db = Database::new("DB4");
+        db.add_table(Table::new(TableSchema::strings("treatment", &["a"], &[])))
+            .unwrap();
+        db.add_table(Table::new(TableSchema::strings("procedure", &["a"], &[])))
+            .unwrap();
+        assert_eq!(db.table_names(), vec!["procedure", "treatment"]);
+    }
+}

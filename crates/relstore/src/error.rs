@@ -1,0 +1,43 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Errors from schema and table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An inserted row does not match the table schema arity or types.
+    SchemaMismatch { table: String, msg: String },
+    /// A primary-key violation on insert.
+    KeyViolation { table: String, key: String },
+    /// A named table does not exist in the database.
+    NoSuchTable { database: String, table: String },
+    /// A named database/source does not exist in the catalog.
+    NoSuchSource(String),
+    /// A named column does not exist in a schema.
+    NoSuchColumn { table: String, column: String },
+    /// A duplicate definition (table in a database, source in a catalog).
+    Duplicate(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::SchemaMismatch { table, msg } => {
+                write!(f, "schema mismatch on table `{table}`: {msg}")
+            }
+            StoreError::KeyViolation { table, key } => {
+                write!(f, "key violation on table `{table}`: duplicate key {key}")
+            }
+            StoreError::NoSuchTable { database, table } => {
+                write!(f, "no table `{table}` in database `{database}`")
+            }
+            StoreError::NoSuchSource(name) => write!(f, "no data source named `{name}`"),
+            StoreError::NoSuchColumn { table, column } => {
+                write!(f, "no column `{column}` in table `{table}`")
+            }
+            StoreError::Duplicate(name) => write!(f, "duplicate definition of `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,309 @@
+//! Schema-light relations: named columns plus rows.
+//!
+//! Query outputs, temporary tables shipped between sources, and set-valued
+//! semantic attributes are all [`Relation`]s: unlike a stored
+//! [`Table`] they carry no declared types or keys — just
+//! ordered, named columns. This mirrors the paper's temporary tables (`Tpatient`
+//! etc., §5.1) that cache query outputs at the mediator.
+
+use crate::error::StoreError;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A bag of rows with named columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// An empty relation with the given column names.
+    pub fn empty(columns: Vec<String>) -> Relation {
+        Relation {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Builds a relation, checking that every row has the right arity.
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<Value>>) -> Result<Relation, StoreError> {
+        for row in &rows {
+            if row.len() != columns.len() {
+                return Err(StoreError::SchemaMismatch {
+                    table: "<relation>".to_string(),
+                    msg: format!(
+                        "row arity {} does not match {} columns",
+                        row.len(),
+                        columns.len()
+                    ),
+                });
+            }
+        }
+        Ok(Relation { columns, rows })
+    }
+
+    /// A relation with the full contents of a stored table.
+    pub fn from_table(table: &Table) -> Relation {
+        Relation {
+            columns: table
+                .schema()
+                .columns
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+            rows: table.rows().to_vec(),
+        }
+    }
+
+    /// A single-column relation from an iterator of values.
+    pub fn single_column(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = Value>,
+    ) -> Relation {
+        Relation {
+            columns: vec![name.into()],
+            rows: values.into_iter().map(|v| vec![v]).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    #[inline]
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a column by name.
+    pub fn col(&self, name: &str) -> Result<usize, StoreError> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| StoreError::NoSuchColumn {
+                table: "<relation>".to_string(),
+                column: name.to_string(),
+            })
+    }
+
+    /// Appends a row (arity-checked).
+    pub fn push(&mut self, row: Vec<Value>) {
+        debug_assert_eq!(row.len(), self.columns.len());
+        self.rows.push(row);
+    }
+
+    /// Appends all rows of `other`; column names must match exactly.
+    pub fn extend(&mut self, other: &Relation) -> Result<(), StoreError> {
+        if self.columns != other.columns {
+            return Err(StoreError::SchemaMismatch {
+                table: "<relation>".to_string(),
+                msg: format!(
+                    "cannot union columns {:?} with {:?}",
+                    self.columns, other.columns
+                ),
+            });
+        }
+        self.rows.extend(other.rows.iter().cloned());
+        Ok(())
+    }
+
+    /// Projects to the named columns (in the given order).
+    pub fn project(&self, cols: &[&str]) -> Result<Relation, StoreError> {
+        let positions: Vec<usize> = cols
+            .iter()
+            .map(|&c| self.col(c))
+            .collect::<Result<_, _>>()?;
+        Ok(Relation {
+            columns: cols.iter().map(|&c| c.to_string()).collect(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| positions.iter().map(|&i| r[i].clone()).collect())
+                .collect(),
+        })
+    }
+
+    /// Removes duplicate rows, preserving first-occurrence order
+    /// (set semantics).
+    pub fn dedup(&mut self) {
+        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(self.rows.len());
+        self.rows.retain(|row| seen.insert(row.clone()));
+    }
+
+    /// Returns a deduplicated copy.
+    pub fn distinct(&self) -> Relation {
+        let mut out = self.clone();
+        out.dedup();
+        out
+    }
+
+    /// True if the relation contains `row` (set membership).
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.rows.iter().any(|r| r == row)
+    }
+
+    /// Sorts rows lexicographically (canonical form for comparisons).
+    pub fn sort(&mut self) {
+        self.rows.sort();
+    }
+
+    /// Set equality: same columns, same row *sets* (duplicates collapsed).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        if self.columns != other.columns {
+            return false;
+        }
+        let a: HashSet<&Vec<Value>> = self.rows.iter().collect();
+        let b: HashSet<&Vec<Value>> = other.rows.iter().collect();
+        a == b
+    }
+
+    /// Bag equality up to row order: same columns, same multiset of rows.
+    pub fn bag_eq(&self, other: &Relation) -> bool {
+        if self.columns != other.columns || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut a = self.rows.clone();
+        let mut b = other.rows.clone();
+        a.sort();
+        b.sort();
+        a == b
+    }
+
+    /// Total payload size in bytes (for the transfer-cost model, §5.2).
+    pub fn byte_size(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(Value::width).sum::<usize>())
+            .sum()
+    }
+
+    /// Renames the columns (arity must be unchanged).
+    pub fn with_columns(mut self, columns: Vec<String>) -> Relation {
+        assert_eq!(columns.len(), self.columns.len());
+        self.columns = columns;
+        self
+    }
+
+    /// Consumes the relation, returning its rows.
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        self.rows
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "({}) [{} rows]",
+            self.columns.join(", "),
+            self.rows.len()
+        )?;
+        for row in self.rows.iter().take(20) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  ({})", cells.join(", "))?;
+        }
+        if self.rows.len() > 20 {
+            writeln!(f, "  … {} more", self.rows.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+
+    fn rel() -> Relation {
+        Relation::new(
+            vec!["a".into(), "b".into()],
+            vec![
+                vec![Value::str("x"), Value::int(1)],
+                vec![Value::str("y"), Value::int(2)],
+                vec![Value::str("x"), Value::int(1)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arity_checked() {
+        assert!(Relation::new(vec!["a".into()], vec![vec![Value::Null, Value::Null]]).is_err());
+    }
+
+    #[test]
+    fn project_and_col() {
+        let r = rel();
+        assert_eq!(r.col("b").unwrap(), 1);
+        assert!(r.col("z").is_err());
+        let p = r.project(&["b"]).unwrap();
+        assert_eq!(p.columns(), &["b".to_string()]);
+        assert_eq!(p.rows()[1], vec![Value::int(2)]);
+    }
+
+    #[test]
+    fn dedup_preserves_order() {
+        let mut r = rel();
+        r.dedup();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[0][0], Value::str("x"));
+    }
+
+    #[test]
+    fn set_and_bag_equality() {
+        let r = rel();
+        let mut reordered = rel();
+        reordered.sort();
+        assert!(r.bag_eq(&reordered));
+        assert!(r.set_eq(&r.distinct()));
+        assert!(!r.bag_eq(&r.distinct()));
+        let renamed = rel().with_columns(vec!["x".into(), "y".into()]);
+        assert!(!r.set_eq(&renamed));
+    }
+
+    #[test]
+    fn extend_requires_same_columns() {
+        let mut r = rel();
+        let other = rel();
+        r.extend(&other).unwrap();
+        assert_eq!(r.len(), 6);
+        let renamed = rel().with_columns(vec!["x".into(), "y".into()]);
+        assert!(r.extend(&renamed).is_err());
+    }
+
+    #[test]
+    fn from_table_round_trip() {
+        let mut t = Table::new(TableSchema::strings("t", &["a"], &[]));
+        t.insert(vec![Value::str("v")]).unwrap();
+        let r = Relation::from_table(&t);
+        assert_eq!(r.columns(), &["a".to_string()]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn single_column_and_contains() {
+        let r = Relation::single_column("id", [Value::str("a"), Value::str("b")]);
+        assert!(r.contains(&[Value::str("a")]));
+        assert!(!r.contains(&[Value::str("z")]));
+        assert_eq!(r.byte_size(), 2);
+    }
+}

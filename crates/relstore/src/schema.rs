@@ -1,0 +1,163 @@
+//! Table schemas.
+
+use crate::error::StoreError;
+use crate::value::ValueType;
+use std::fmt;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: ValueType,
+}
+
+impl Column {
+    pub fn str(name: impl Into<String>) -> Column {
+        Column {
+            name: name.into(),
+            ty: ValueType::Str,
+        }
+    }
+
+    pub fn int(name: impl Into<String>) -> Column {
+        Column {
+            name: name.into(),
+            ty: ValueType::Int,
+        }
+    }
+}
+
+/// A table schema: ordered columns plus an optional primary key (a set of
+/// column positions). The hospital schemas of Example 1.1 all have keys
+/// (underlined in the paper), which [`crate::table::Table`] enforces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Positions of primary-key columns, empty when the table has no key.
+    pub key: Vec<usize>,
+}
+
+impl TableSchema {
+    /// Creates a schema; `key_cols` are column names forming the primary key
+    /// (may be empty).
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<Column>,
+        key_cols: &[&str],
+    ) -> Result<TableSchema, StoreError> {
+        let name = name.into();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|other| other.name == c.name) {
+                return Err(StoreError::Duplicate(format!("{name}.{}", c.name)));
+            }
+        }
+        let mut key = Vec::with_capacity(key_cols.len());
+        for &k in key_cols {
+            match columns.iter().position(|c| c.name == k) {
+                Some(pos) => key.push(pos),
+                None => {
+                    return Err(StoreError::NoSuchColumn {
+                        table: name,
+                        column: k.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(TableSchema { name, columns, key })
+    }
+
+    /// Convenience: an all-string schema, the common case in the paper.
+    pub fn strings(name: impl Into<String>, cols: &[&str], key_cols: &[&str]) -> TableSchema {
+        TableSchema::new(
+            name,
+            cols.iter().map(|&c| Column::str(c)).collect(),
+            key_cols,
+        )
+        .expect("string schema construction cannot fail with distinct names")
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a column by name.
+    pub fn col(&self, name: &str) -> Result<usize, StoreError> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StoreError::NoSuchColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
+    }
+
+    /// All column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", c.name, c.ty)?;
+            if self.key.contains(&i) {
+                write!(f, " [key]")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_schema_with_key() {
+        let s = TableSchema::new(
+            "patient",
+            vec![
+                Column::str("SSN"),
+                Column::str("pname"),
+                Column::str("policy"),
+            ],
+            &["SSN"],
+        )
+        .unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.key, vec![0]);
+        assert_eq!(s.col("policy").unwrap(), 2);
+        assert!(s.col("zzz").is_err());
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = TableSchema::new("t", vec![Column::str("a"), Column::str("a")], &[]).unwrap_err();
+        assert!(matches!(err, StoreError::Duplicate(_)));
+    }
+
+    #[test]
+    fn unknown_key_column_rejected() {
+        let err = TableSchema::new("t", vec![Column::str("a")], &["b"]).unwrap_err();
+        assert!(matches!(err, StoreError::NoSuchColumn { .. }));
+    }
+
+    #[test]
+    fn composite_key() {
+        let s = TableSchema::strings(
+            "visitInfo",
+            &["SSN", "trId", "date"],
+            &["SSN", "trId", "date"],
+        );
+        assert_eq!(s.key, vec![0, 1, 2]);
+        assert!(s.to_string().contains("[key]"));
+    }
+}

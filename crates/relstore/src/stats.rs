@@ -1,0 +1,112 @@
+//! Table statistics for cost estimation.
+//!
+//! Paper §5.2 assumes each data source provides a *query costing API*:
+//! estimates of processing time (`eval_cost`) and output size (`size`, in
+//! tuples and bytes). Our sources derive those estimates from these "basic
+//! database statistics": cardinality, per-column distinct counts, and average
+//! column widths.
+
+use crate::table::Table;
+use std::collections::HashSet;
+
+/// Statistics of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Distinct value count per column (NULLs counted as one value).
+    pub distinct: Vec<usize>,
+    /// Average width in bytes per column.
+    pub avg_width: Vec<f64>,
+}
+
+impl TableStats {
+    /// Computes statistics with a full scan.
+    pub fn compute(table: &Table) -> TableStats {
+        let arity = table.schema().arity();
+        let mut sets: Vec<HashSet<&crate::value::Value>> = vec![HashSet::new(); arity];
+        let mut widths = vec![0usize; arity];
+        for row in table.rows() {
+            for (i, v) in row.iter().enumerate() {
+                sets[i].insert(v);
+                widths[i] += v.width();
+            }
+        }
+        let rows = table.len();
+        TableStats {
+            rows,
+            distinct: sets.iter().map(HashSet::len).collect(),
+            avg_width: widths
+                .iter()
+                .map(|&w| {
+                    if rows == 0 {
+                        0.0
+                    } else {
+                        w as f64 / rows as f64
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Average full-row width in bytes.
+    pub fn row_width(&self) -> f64 {
+        self.avg_width.iter().sum()
+    }
+
+    /// Total estimated size in bytes.
+    pub fn byte_size(&self) -> f64 {
+        self.row_width() * self.rows as f64
+    }
+
+    /// Estimated selectivity of an equality predicate on column `col`
+    /// against an arbitrary constant: `1 / distinct(col)` (System-R style).
+    pub fn eq_selectivity(&self, col: usize) -> f64 {
+        let d = self.distinct.get(col).copied().unwrap_or(1).max(1);
+        1.0 / d as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::value::Value;
+
+    fn table() -> Table {
+        let mut t = Table::new(TableSchema::strings("t", &["a", "b"], &[]));
+        t.insert(vec![Value::str("x"), Value::str("1")]).unwrap();
+        t.insert(vec![Value::str("x"), Value::str("22")]).unwrap();
+        t.insert(vec![Value::str("y"), Value::str("333")]).unwrap();
+        t
+    }
+
+    #[test]
+    fn compute_stats() {
+        let s = TableStats::compute(&table());
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.distinct, vec![2, 3]);
+        assert!((s.avg_width[0] - 1.0).abs() < 1e-9);
+        assert!((s.avg_width[1] - 2.0).abs() < 1e-9);
+        assert!((s.row_width() - 3.0).abs() < 1e-9);
+        assert!((s.byte_size() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity() {
+        let s = TableStats::compute(&table());
+        assert!((s.eq_selectivity(0) - 0.5).abs() < 1e-9);
+        assert!((s.eq_selectivity(1) - (1.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let t = Table::new(TableSchema::strings("t", &["a"], &[]));
+        let s = TableStats::compute(&t);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.distinct, vec![0]);
+        assert_eq!(s.row_width(), 0.0);
+        // Selectivity guard against division by zero.
+        assert_eq!(s.eq_selectivity(0), 1.0);
+    }
+}

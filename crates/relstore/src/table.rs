@@ -1,0 +1,303 @@
+//! Tables, rows, and hash indexes.
+
+use crate::error::StoreError;
+use crate::schema::TableSchema;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A row of values. Arity always matches its table's schema.
+pub type Row = Vec<Value>;
+
+/// An in-memory table: a schema plus rows in insertion order. Primary keys
+/// (when the schema declares one) are enforced on insert, mirroring the
+/// underlined keys of the paper's hospital schemas.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Row>,
+    /// Primary-key index (only when schema.key is non-empty).
+    pk: Option<HashMap<Vec<Value>, usize>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Table {
+        let pk = if schema.key.is_empty() {
+            None
+        } else {
+            Some(HashMap::new())
+        };
+        Table {
+            schema,
+            rows: Vec::new(),
+            pk,
+        }
+    }
+
+    /// Creates a table and bulk-loads `rows`.
+    pub fn with_rows(schema: TableSchema, rows: Vec<Row>) -> Result<Table, StoreError> {
+        let mut t = Table::new(schema);
+        for row in rows {
+            t.insert(row)?;
+        }
+        Ok(t)
+    }
+
+    #[inline]
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    #[inline]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Inserts a row, enforcing arity, column types (NULL always accepted)
+    /// and the primary key.
+    pub fn insert(&mut self, row: Row) -> Result<(), StoreError> {
+        if row.len() != self.schema.arity() {
+            return Err(StoreError::SchemaMismatch {
+                table: self.schema.name.clone(),
+                msg: format!(
+                    "arity {} does not match schema arity {}",
+                    row.len(),
+                    self.schema.arity()
+                ),
+            });
+        }
+        for (value, col) in row.iter().zip(&self.schema.columns) {
+            if let Some(ty) = value.value_type() {
+                if ty != col.ty {
+                    return Err(StoreError::SchemaMismatch {
+                        table: self.schema.name.clone(),
+                        msg: format!(
+                            "value {value} has type {ty} but column `{}` has type {}",
+                            col.name, col.ty
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(pk) = &mut self.pk {
+            let key: Vec<Value> = self.schema.key.iter().map(|&i| row[i].clone()).collect();
+            if pk.contains_key(&key) {
+                return Err(StoreError::KeyViolation {
+                    table: self.schema.name.clone(),
+                    key: format!("{key:?}"),
+                });
+            }
+            pk.insert(key, self.rows.len());
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Looks up a row by primary key.
+    pub fn get_by_key(&self, key: &[Value]) -> Option<&Row> {
+        let pk = self.pk.as_ref()?;
+        pk.get(key).map(|&i| &self.rows[i])
+    }
+
+    /// Builds a hash index on the given columns (by name).
+    pub fn index(&self, cols: &[&str]) -> Result<Index, StoreError> {
+        let positions: Vec<usize> = cols
+            .iter()
+            .map(|&c| self.schema.col(c))
+            .collect::<Result<_, _>>()?;
+        Ok(Index::build(&self.rows, &positions))
+    }
+
+    /// Total payload size in bytes (used for transfer-cost estimation).
+    pub fn byte_size(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(Value::width).sum::<usize>())
+            .sum()
+    }
+
+    /// Projects the table to the named columns, in order.
+    pub fn project(&self, cols: &[&str]) -> Result<Vec<Vec<Value>>, StoreError> {
+        let positions: Vec<usize> = cols
+            .iter()
+            .map(|&c| self.schema.col(c))
+            .collect::<Result<_, _>>()?;
+        Ok(self
+            .rows
+            .iter()
+            .map(|r| positions.iter().map(|&i| r[i].clone()).collect())
+            .collect())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} rows]", self.schema, self.rows.len())?;
+        for row in self.rows.iter().take(20) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  ({})", cells.join(", "))?;
+        }
+        if self.rows.len() > 20 {
+            writeln!(f, "  … {} more", self.rows.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+/// A hash index over a set of columns: maps the column values to the
+/// positions of matching rows. NULL keys are excluded, matching SQL equality
+/// semantics where `NULL = NULL` is not true.
+#[derive(Debug, Clone)]
+pub struct Index {
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl Index {
+    /// Builds an index over `rows` keyed by the values at `positions`.
+    pub fn build(rows: &[Row], positions: &[usize]) -> Index {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let key: Vec<Value> = positions.iter().map(|&p| row[p].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            map.entry(key).or_default().push(i);
+        }
+        Index { map }
+    }
+
+    /// Row positions matching `key` (empty when no match).
+    pub fn get(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::ValueType;
+
+    fn patient_schema() -> TableSchema {
+        TableSchema::strings("patient", &["SSN", "pname", "policy"], &["SSN"])
+    }
+
+    fn row(ssn: &str, name: &str, policy: &str) -> Row {
+        vec![Value::str(ssn), Value::str(name), Value::str(policy)]
+    }
+
+    #[test]
+    fn insert_and_key_lookup() {
+        let mut t = Table::new(patient_schema());
+        t.insert(row("1", "alice", "p1")).unwrap();
+        t.insert(row("2", "bob", "p2")).unwrap();
+        assert_eq!(t.len(), 2);
+        let got = t.get_by_key(&[Value::str("2")]).unwrap();
+        assert_eq!(got[1], Value::str("bob"));
+        assert!(t.get_by_key(&[Value::str("9")]).is_none());
+    }
+
+    #[test]
+    fn key_violation_rejected() {
+        let mut t = Table::new(patient_schema());
+        t.insert(row("1", "alice", "p1")).unwrap();
+        let err = t.insert(row("1", "mallory", "p9")).unwrap_err();
+        assert!(matches!(err, StoreError::KeyViolation { .. }));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_and_type_checked() {
+        let mut t = Table::new(patient_schema());
+        assert!(t.insert(vec![Value::str("1")]).is_err());
+        let schema = TableSchema::new(
+            "billing",
+            vec![Column::str("trId"), Column::int("price")],
+            &["trId"],
+        )
+        .unwrap();
+        let mut billing = Table::new(schema);
+        assert!(billing
+            .insert(vec![Value::str("t1"), Value::str("not an int")])
+            .is_err());
+        billing
+            .insert(vec![Value::str("t1"), Value::int(10)])
+            .unwrap();
+        // NULL satisfies any column type.
+        billing.insert(vec![Value::str("t2"), Value::Null]).unwrap();
+        assert_eq!(billing.schema().columns[1].ty, ValueType::Int);
+    }
+
+    #[test]
+    fn index_and_project() {
+        let mut t = Table::new(TableSchema::strings("cover", &["policy", "trId"], &[]));
+        t.insert(vec![Value::str("p1"), Value::str("t1")]).unwrap();
+        t.insert(vec![Value::str("p1"), Value::str("t2")]).unwrap();
+        t.insert(vec![Value::str("p2"), Value::str("t1")]).unwrap();
+        let idx = t.index(&["policy"]).unwrap();
+        assert_eq!(idx.get(&[Value::str("p1")]).len(), 2);
+        assert_eq!(idx.get(&[Value::str("p2")]), &[2]);
+        assert_eq!(idx.distinct(), 2);
+        let projected = t.project(&["trId"]).unwrap();
+        assert_eq!(projected.len(), 3);
+        assert_eq!(projected[0], vec![Value::str("t1")]);
+    }
+
+    #[test]
+    fn index_skips_null_keys() {
+        let mut t = Table::new(TableSchema::strings("t", &["a"], &[]));
+        t.insert(vec![Value::Null]).unwrap();
+        t.insert(vec![Value::str("x")]).unwrap();
+        let idx = t.index(&["a"]).unwrap();
+        assert_eq!(idx.distinct(), 1);
+        assert!(!idx.contains(&[Value::Null]));
+    }
+
+    #[test]
+    fn byte_size_accounts_for_payload() {
+        let mut t = Table::new(TableSchema::strings("t", &["a", "b"], &[]));
+        t.insert(vec![Value::str("xy"), Value::str("z")]).unwrap();
+        assert_eq!(t.byte_size(), 3);
+    }
+
+    #[test]
+    fn bulk_load() {
+        let t = Table::with_rows(
+            patient_schema(),
+            vec![row("1", "a", "p"), row("2", "b", "p")],
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(Table::with_rows(
+            patient_schema(),
+            vec![row("1", "a", "p"), row("1", "b", "p")]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Abstract syntax for the SQL subset.
+
+use aig_relstore::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A qualified column reference `alias.column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QualCol {
+    pub qualifier: String,
+    pub column: String,
+}
+
+impl QualCol {
+    pub fn new(qualifier: impl Into<String>, column: impl Into<String>) -> QualCol {
+        QualCol {
+            qualifier: qualifier.into(),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for QualCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.qualifier, self.column)
+    }
+}
+
+/// A scalar expression: a column, a scalar parameter, or a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scalar {
+    Col(QualCol),
+    /// `$name` — bound at execution time to a single value.
+    Param(String),
+    Const(Value),
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Col(c) => c.fmt(f),
+            Scalar::Param(name) => write!(f, "${name}"),
+            Scalar::Const(v) => v.fmt(f),
+        }
+    }
+}
+
+/// An item of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectItem {
+    pub expr: Scalar,
+    pub alias: Option<String>,
+}
+
+impl SelectItem {
+    /// The output column name: explicit alias, else the column name, else the
+    /// parameter name, else a positional name assigned by the caller.
+    pub fn output_name(&self, position: usize) -> String {
+        if let Some(alias) = &self.alias {
+            return alias.clone();
+        }
+        match &self.expr {
+            Scalar::Col(c) => c.column.clone(),
+            Scalar::Param(name) => name.clone(),
+            Scalar::Const(_) => format!("col{position}"),
+        }
+    }
+}
+
+/// An entry of the FROM clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FromItem {
+    /// `DBi:table alias` — a stored table at a data source.
+    Table {
+        source: String,
+        table: String,
+        alias: String,
+    },
+    /// `$param alias` — a relation-valued parameter used as a temp table,
+    /// as in the decomposed query `Q2'(v1): … from DB2:cover c, v1 T1 …`
+    /// of paper Fig. 4.
+    Param { name: String, alias: String },
+}
+
+impl FromItem {
+    pub fn alias(&self) -> &str {
+        match self {
+            FromItem::Table { alias, .. } | FromItem::Param { alias, .. } => alias,
+        }
+    }
+}
+
+impl fmt::Display for FromItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromItem::Table {
+                source,
+                table,
+                alias,
+            } => write!(f, "{source}:{table} {alias}"),
+            FromItem::Param { name, alias } => write!(f, "${name} {alias}"),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn eval(self, l: &Value, r: &Value) -> bool {
+        // SQL three-valued logic collapsed to false on NULL operands.
+        if l.is_null() || r.is_null() {
+            return false;
+        }
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The set referenced by an `IN` predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetRef {
+    /// `col in $param` — a relation-valued parameter (single column, or the
+    /// first column is used).
+    Param(String),
+    /// `col in ('a', 'b', …)` — a literal list.
+    Consts(Vec<Value>),
+}
+
+/// A WHERE-clause conjunct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    Cmp { op: CmpOp, lhs: Scalar, rhs: Scalar },
+    In { col: QualCol, set: SetRef },
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Cmp { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Pred::In { col, set } => match set {
+                SetRef::Param(p) => write!(f, "{col} in ${p}"),
+                SetRef::Consts(vs) => {
+                    write!(f, "{col} in (")?;
+                    for (i, v) in vs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    write!(f, ")")
+                }
+            },
+        }
+    }
+}
+
+/// A `SELECT [DISTINCT] … FROM … WHERE …` query: conjunctive queries with
+/// comparisons, parameters, and IN predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    pub distinct: bool,
+    pub select: Vec<SelectItem>,
+    pub from: Vec<FromItem>,
+    pub preds: Vec<Pred>,
+}
+
+impl Query {
+    /// The set of data sources this query touches. A query is *multi-source*
+    /// (and must be decomposed per §3.4) when this has more than one element.
+    pub fn sources(&self) -> BTreeSet<&str> {
+        self.from
+            .iter()
+            .filter_map(|item| match item {
+                FromItem::Table { source, .. } => Some(source.as_str()),
+                FromItem::Param { .. } => None,
+            })
+            .collect()
+    }
+
+    /// True when at most one data source is referenced.
+    pub fn is_single_source(&self) -> bool {
+        self.sources().len() <= 1
+    }
+
+    /// The names of all scalar and relation parameters referenced anywhere.
+    pub fn params(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        for item in &self.select {
+            if let Scalar::Param(name) = &item.expr {
+                out.insert(name.as_str());
+            }
+        }
+        for item in &self.from {
+            if let FromItem::Param { name, .. } = item {
+                out.insert(name.as_str());
+            }
+        }
+        for pred in &self.preds {
+            match pred {
+                Pred::Cmp { lhs, rhs, .. } => {
+                    for s in [lhs, rhs] {
+                        if let Scalar::Param(name) = s {
+                            out.insert(name.as_str());
+                        }
+                    }
+                }
+                Pred::In { set, .. } => {
+                    if let SetRef::Param(name) = set {
+                        out.insert(name.as_str());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Output column names, in SELECT order.
+    pub fn output_columns(&self) -> Vec<String> {
+        self.select
+            .iter()
+            .enumerate()
+            .map(|(i, item)| item.output_name(i))
+            .collect()
+    }
+
+    /// Whether the predicates contain an impossible constant comparison
+    /// (e.g. `'a' = 'b'`): such a conjunctive query is unsatisfiable on
+    /// every instance. Used by the static analyses of §4.
+    pub fn has_contradiction(&self) -> bool {
+        self.preds.iter().any(|p| match p {
+            Pred::Cmp {
+                op,
+                lhs: Scalar::Const(l),
+                rhs: Scalar::Const(r),
+            } => !op.eval(l, r),
+            Pred::In {
+                set: SetRef::Consts(vs),
+                ..
+            } => vs.is_empty(),
+            _ => false,
+        })
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        if self.distinct {
+            write!(f, "distinct ")?;
+        }
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", item.expr)?;
+            if let Some(alias) = &item.alias {
+                write!(f, " as {alias}")?;
+            }
+        }
+        write!(f, " from ")?;
+        for (i, item) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.preds.is_empty() {
+            write!(f, " where ")?;
+            for (i, pred) in self.preds.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " and ")?;
+                }
+                write!(f, "{pred}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q2() -> Query {
+        Query::parse(
+            "select t.trId, t.tname from DB1:visitInfo i, DB2:cover c, DB4:treatment t \
+             where i.SSN = $SSN and i.date = $date and t.trId = i.trId \
+             and c.trId = i.trId and c.policy = $policy",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sources_and_params() {
+        let q = q2();
+        let sources: Vec<&str> = q.sources().into_iter().collect();
+        assert_eq!(sources, vec!["DB1", "DB2", "DB4"]);
+        assert!(!q.is_single_source());
+        let params: Vec<&str> = q.params().into_iter().collect();
+        assert_eq!(params, vec!["SSN", "date", "policy"]);
+    }
+
+    #[test]
+    fn output_columns_respect_aliases() {
+        let q = Query::parse("select a.x as first, a.y, $p from DB1:t a").unwrap();
+        assert_eq!(q.output_columns(), vec!["first", "y", "p"]);
+    }
+
+    #[test]
+    fn cmp_null_semantics() {
+        assert!(!CmpOp::Eq.eval(&Value::Null, &Value::Null));
+        assert!(!CmpOp::Ne.eval(&Value::Null, &Value::str("x")));
+        assert!(CmpOp::Lt.eval(&Value::int(1), &Value::int(2)));
+    }
+
+    #[test]
+    fn contradiction_detection() {
+        let q = Query::parse("select a.x from DB1:t a where 'u' = 'v'").unwrap();
+        assert!(q.has_contradiction());
+        let q = Query::parse("select a.x from DB1:t a where 'u' = 'u'").unwrap();
+        assert!(!q.has_contradiction());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let q = q2();
+        let again = Query::parse(&q.to_string()).unwrap();
+        assert_eq!(q, again);
+    }
+}

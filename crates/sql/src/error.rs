@@ -1,0 +1,36 @@
+//! Error types for the SQL subset.
+
+use aig_relstore::StoreError;
+use std::fmt;
+
+/// Errors from parsing, binding, or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// A lexical or grammatical error with byte position.
+    Syntax { pos: usize, msg: String },
+    /// A column/alias/table/source resolution failure.
+    Bind(String),
+    /// A missing or ill-typed parameter binding at execution time.
+    Param(String),
+    /// An underlying storage error.
+    Store(StoreError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Syntax { pos, msg } => write!(f, "SQL syntax error at byte {pos}: {msg}"),
+            SqlError::Bind(msg) => write!(f, "SQL binding error: {msg}"),
+            SqlError::Param(msg) => write!(f, "SQL parameter error: {msg}"),
+            SqlError::Store(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<StoreError> for SqlError {
+    fn from(e: StoreError) -> SqlError {
+        SqlError::Store(e)
+    }
+}

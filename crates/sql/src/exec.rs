@@ -1,0 +1,713 @@
+//! Query execution: greedy left-deep hash joins over the catalog.
+//!
+//! The executor evaluates one query at a time against the stored tables of a
+//! [`Catalog`] plus parameter bindings. Relation-valued parameters play the
+//! role of the paper's temporary tables: the mediator binds the cached output
+//! of an upstream query and the query joins against it (§5.1).
+
+use crate::ast::{CmpOp, FromItem, Pred, Query, Scalar, SetRef};
+use crate::error::SqlError;
+use aig_relstore::{Catalog, Relation, Value};
+use std::collections::{HashMap, HashSet};
+
+/// A parameter binding: a scalar or a relation (temporary table).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    Scalar(Value),
+    Rel(Relation),
+}
+
+impl ParamValue {
+    pub fn scalar(v: impl Into<Value>) -> ParamValue {
+        ParamValue::Scalar(v.into())
+    }
+
+    pub fn as_scalar(&self) -> Option<&Value> {
+        match self {
+            ParamValue::Scalar(v) => Some(v),
+            ParamValue::Rel(_) => None,
+        }
+    }
+
+    pub fn as_rel(&self) -> Option<&Relation> {
+        match self {
+            ParamValue::Rel(r) => Some(r),
+            ParamValue::Scalar(_) => None,
+        }
+    }
+}
+
+/// Parameter bindings by name.
+pub type Params = HashMap<String, ParamValue>;
+
+/// One resolved FROM entry.
+struct Input<'a> {
+    alias: &'a str,
+    columns: Vec<&'a str>,
+    /// Rows surviving the local predicates (indices into `rows`).
+    live: Vec<u32>,
+    rows: &'a [Vec<Value>],
+}
+
+impl Input<'_> {
+    fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|&c| c == name)
+    }
+}
+
+/// A fully resolved column: which input, which column within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ColRef {
+    input: usize,
+    col: usize,
+}
+
+/// Executes `query` against `catalog` with the given parameter bindings,
+/// producing a relation whose columns follow the SELECT list.
+pub fn execute(query: &Query, catalog: &Catalog, params: &Params) -> Result<Relation, SqlError> {
+    // -- Resolve FROM items --------------------------------------------------
+    let mut inputs: Vec<Input<'_>> = Vec::with_capacity(query.from.len());
+    for item in &query.from {
+        match item {
+            FromItem::Table {
+                source,
+                table,
+                alias,
+            } => {
+                let t = catalog.table(source, table)?;
+                inputs.push(Input {
+                    alias,
+                    columns: t.schema().column_names(),
+                    live: (0..t.len() as u32).collect(),
+                    rows: t.rows(),
+                });
+            }
+            FromItem::Param { name, alias } => {
+                let rel = params
+                    .get(name)
+                    .and_then(ParamValue::as_rel)
+                    .ok_or_else(|| {
+                        SqlError::Param(format!(
+                            "parameter `${name}` used in FROM must be bound to a relation"
+                        ))
+                    })?;
+                inputs.push(Input {
+                    alias,
+                    columns: rel.columns().iter().map(String::as_str).collect(),
+                    live: (0..rel.len() as u32).collect(),
+                    rows: rel.rows(),
+                });
+            }
+        }
+    }
+
+    fn resolve_in(inputs: &[Input<'_>], qualifier: &str, column: &str) -> Result<ColRef, SqlError> {
+        let input = inputs
+            .iter()
+            .position(|i| i.alias == qualifier)
+            .ok_or_else(|| SqlError::Bind(format!("unknown alias `{qualifier}`")))?;
+        let col = inputs[input]
+            .col(column)
+            .ok_or_else(|| SqlError::Bind(format!("no column `{column}` in `{qualifier}`")))?;
+        Ok(ColRef { input, col })
+    }
+
+    // Substitutes scalar parameters, leaving columns and constants.
+    let subst = |scalar: &Scalar| -> Result<Scalar, SqlError> {
+        match scalar {
+            Scalar::Param(name) => {
+                let v = params
+                    .get(name)
+                    .and_then(ParamValue::as_scalar)
+                    .ok_or_else(|| {
+                        SqlError::Param(format!("parameter `${name}` must be bound to a scalar"))
+                    })?;
+                Ok(Scalar::Const(v.clone()))
+            }
+            other => Ok(other.clone()),
+        }
+    };
+
+    // -- Classify predicates -------------------------------------------------
+    /// A join predicate between two different inputs.
+    struct JoinPred {
+        op: CmpOp,
+        lhs: ColRef,
+        rhs: ColRef,
+    }
+    enum Local {
+        CmpConst {
+            op: CmpOp,
+            col: ColRef,
+            value: Value,
+            flipped: bool,
+        },
+        CmpCols {
+            op: CmpOp,
+            lhs: ColRef,
+            rhs: ColRef,
+        },
+        In {
+            col: ColRef,
+            set: HashSet<Value>,
+        },
+        /// Constant-only predicate: either always true (drop) or always
+        /// false (empty result).
+        Trivial(bool),
+    }
+    let mut joins: Vec<JoinPred> = Vec::new();
+    let mut locals: Vec<Local> = Vec::new();
+    for pred in &query.preds {
+        match pred {
+            Pred::Cmp { op, lhs, rhs } => {
+                let lhs = subst(lhs)?;
+                let rhs = subst(rhs)?;
+                match (lhs, rhs) {
+                    (Scalar::Col(a), Scalar::Col(b)) => {
+                        let a = resolve_in(&inputs, &a.qualifier, &a.column)?;
+                        let b = resolve_in(&inputs, &b.qualifier, &b.column)?;
+                        if a.input == b.input {
+                            locals.push(Local::CmpCols {
+                                op: *op,
+                                lhs: a,
+                                rhs: b,
+                            });
+                        } else {
+                            joins.push(JoinPred {
+                                op: *op,
+                                lhs: a,
+                                rhs: b,
+                            });
+                        }
+                    }
+                    (Scalar::Col(a), Scalar::Const(v)) => {
+                        let a = resolve_in(&inputs, &a.qualifier, &a.column)?;
+                        locals.push(Local::CmpConst {
+                            op: *op,
+                            col: a,
+                            value: v,
+                            flipped: false,
+                        });
+                    }
+                    (Scalar::Const(v), Scalar::Col(b)) => {
+                        let b = resolve_in(&inputs, &b.qualifier, &b.column)?;
+                        locals.push(Local::CmpConst {
+                            op: *op,
+                            col: b,
+                            value: v,
+                            flipped: true,
+                        });
+                    }
+                    (Scalar::Const(l), Scalar::Const(r)) => {
+                        locals.push(Local::Trivial(op.eval(&l, &r)));
+                    }
+                    _ => unreachable!("parameters were substituted"),
+                }
+            }
+            Pred::In { col, set } => {
+                let c = resolve_in(&inputs, &col.qualifier, &col.column)?;
+                let values: HashSet<Value> = match set {
+                    SetRef::Consts(vs) => vs.iter().cloned().collect(),
+                    SetRef::Param(name) => {
+                        let rel =
+                            params
+                                .get(name)
+                                .and_then(ParamValue::as_rel)
+                                .ok_or_else(|| {
+                                    SqlError::Param(format!(
+                                    "parameter `${name}` used in IN must be bound to a relation"
+                                ))
+                                })?;
+                        if rel.arity() == 0 {
+                            return Err(SqlError::Param(format!(
+                                "relation parameter `${name}` has no columns"
+                            )));
+                        }
+                        rel.rows().iter().map(|r| r[0].clone()).collect()
+                    }
+                };
+                locals.push(Local::In {
+                    col: c,
+                    set: values,
+                });
+            }
+        }
+    }
+
+    // -- Apply local filters --------------------------------------------------
+    let mut impossible = false;
+    for local in &locals {
+        match local {
+            Local::Trivial(ok) => impossible |= !ok,
+            Local::CmpConst {
+                op,
+                col,
+                value,
+                flipped,
+            } => {
+                let input = &mut inputs[col.input];
+                let c = col.col;
+                input.live.retain(|&r| {
+                    let cell = &input.rows[r as usize][c];
+                    if *flipped {
+                        op.eval(value, cell)
+                    } else {
+                        op.eval(cell, value)
+                    }
+                });
+            }
+            Local::CmpCols { op, lhs, rhs } => {
+                let input = &mut inputs[lhs.input];
+                let (a, b) = (lhs.col, rhs.col);
+                input
+                    .live
+                    .retain(|&r| op.eval(&input.rows[r as usize][a], &input.rows[r as usize][b]));
+            }
+            Local::In { col, set } => {
+                let input = &mut inputs[col.input];
+                let c = col.col;
+                input
+                    .live
+                    .retain(|&r| set.contains(&input.rows[r as usize][c]));
+            }
+        }
+    }
+    if impossible {
+        return project(query, &inputs, &[], params);
+    }
+
+    // -- Greedy left-deep join ordering ---------------------------------------
+    let n = inputs.len();
+    let mut joined: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    // Start from the smallest filtered input.
+    remaining.sort_by_key(|&i| std::cmp::Reverse(inputs[i].live.len()));
+    let first = remaining.pop().expect("FROM clause is non-empty");
+    joined.push(first);
+
+    // Composites: tuples of live-row *indices* per joined input, parallel to
+    // `joined` order. Avoids materializing wide intermediate rows.
+    let mut composites: Vec<Vec<u32>> = inputs[first].live.iter().map(|&r| vec![r]).collect();
+
+    while !remaining.is_empty() {
+        // Prefer an input connected to the current set by an equality join
+        // predicate; among those, the smallest.
+        let connected = |candidate: usize, joined: &[usize]| {
+            joins.iter().any(|j| {
+                (j.lhs.input == candidate && joined.contains(&j.rhs.input))
+                    || (j.rhs.input == candidate && joined.contains(&j.lhs.input))
+            })
+        };
+        let pick_pos = remaining
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| connected(c, &joined))
+            .min_by_key(|&(_, &c)| inputs[c].live.len())
+            .map(|(pos, _)| pos)
+            .unwrap_or_else(|| {
+                // Cross product fallback: smallest remaining.
+                remaining
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &c)| inputs[c].live.len())
+                    .map(|(pos, _)| pos)
+                    .expect("remaining non-empty")
+            });
+        let next = remaining.remove(pick_pos);
+
+        // Partition join predicates touching `next` and the joined set into
+        // hashable equalities and residual comparisons.
+        let mut eq_pairs: Vec<(ColRef, usize)> = Vec::new(); // (joined side, next-side col)
+        let mut residuals: Vec<(&JoinPred, bool)> = Vec::new(); // (pred, next_is_lhs)
+        for j in &joins {
+            let (next_side, other) = if j.lhs.input == next && joined.contains(&j.rhs.input) {
+                (j.lhs, j.rhs)
+            } else if j.rhs.input == next && joined.contains(&j.lhs.input) {
+                (j.rhs, j.lhs)
+            } else {
+                continue;
+            };
+            if j.op == CmpOp::Eq {
+                eq_pairs.push((other, next_side.col));
+            } else {
+                residuals.push((j, j.lhs.input == next));
+            }
+        }
+
+        let next_input = &inputs[next];
+        let get = |composite: &[u32], input: usize, col: usize, joined: &[usize]| -> Value {
+            let slot = joined
+                .iter()
+                .position(|&j| j == input)
+                .expect("joined input");
+            inputs[joined[slot]].rows[composite[slot] as usize][col].clone()
+        };
+
+        let mut new_composites: Vec<Vec<u32>> = Vec::new();
+        if eq_pairs.is_empty() {
+            // Nested-loop (cross or inequality-only) join.
+            for composite in &composites {
+                'rows: for &r in &next_input.live {
+                    for (pred, next_is_lhs) in &residuals {
+                        let next_val = &next_input.rows[r as usize][if *next_is_lhs {
+                            pred.lhs.col
+                        } else {
+                            pred.rhs.col
+                        }];
+                        let other = if *next_is_lhs { pred.rhs } else { pred.lhs };
+                        let other_val = get(composite, other.input, other.col, &joined);
+                        let ok = if *next_is_lhs {
+                            pred.op.eval(next_val, &other_val)
+                        } else {
+                            pred.op.eval(&other_val, next_val)
+                        };
+                        if !ok {
+                            continue 'rows;
+                        }
+                    }
+                    let mut extended = composite.clone();
+                    extended.push(r);
+                    new_composites.push(extended);
+                }
+            }
+        } else {
+            // Hash join: build on `next`, probe with the current composites.
+            let mut table: HashMap<Vec<Value>, Vec<u32>> =
+                HashMap::with_capacity(next_input.live.len());
+            for &r in &next_input.live {
+                let key: Vec<Value> = eq_pairs
+                    .iter()
+                    .map(|&(_, col)| next_input.rows[r as usize][col].clone())
+                    .collect();
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                table.entry(key).or_default().push(r);
+            }
+            for composite in &composites {
+                let key: Vec<Value> = eq_pairs
+                    .iter()
+                    .map(|&(other, _)| get(composite, other.input, other.col, &joined))
+                    .collect();
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                let Some(matches) = table.get(&key) else {
+                    continue;
+                };
+                'matches: for &r in matches {
+                    for (pred, next_is_lhs) in &residuals {
+                        let next_val = &next_input.rows[r as usize][if *next_is_lhs {
+                            pred.lhs.col
+                        } else {
+                            pred.rhs.col
+                        }];
+                        let other = if *next_is_lhs { pred.rhs } else { pred.lhs };
+                        let other_val = get(composite, other.input, other.col, &joined);
+                        let ok = if *next_is_lhs {
+                            pred.op.eval(next_val, &other_val)
+                        } else {
+                            pred.op.eval(&other_val, next_val)
+                        };
+                        if !ok {
+                            continue 'matches;
+                        }
+                    }
+                    let mut extended = composite.clone();
+                    extended.push(r);
+                    new_composites.push(extended);
+                }
+            }
+        }
+        joined.push(next);
+        composites = new_composites;
+        // Note: even when `composites` is empty we keep joining the
+        // remaining inputs (cheaply) so every alias resolves in projection.
+    }
+
+    // -- Projection ------------------------------------------------------------
+    let order = joined;
+    let mut resolved_select: Vec<ResolvedItem> = Vec::with_capacity(query.select.len());
+    for item in &query.select {
+        resolved_select.push(match subst(&item.expr)? {
+            Scalar::Col(c) => {
+                let r = resolve_in(&inputs, &c.qualifier, &c.column)?;
+                let slot = order
+                    .iter()
+                    .position(|&j| j == r.input)
+                    .expect("all inputs joined");
+                ResolvedItem::Col { slot, col: r.col }
+            }
+            Scalar::Const(v) => ResolvedItem::Const(v),
+            Scalar::Param(_) => unreachable!("parameters were substituted"),
+        });
+    }
+    let columns = query.output_columns();
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(composites.len());
+    for composite in &composites {
+        let row: Vec<Value> = resolved_select
+            .iter()
+            .map(|item| match item {
+                ResolvedItem::Col { slot, col } => {
+                    inputs[order[*slot]].rows[composite[*slot] as usize][*col].clone()
+                }
+                ResolvedItem::Const(v) => v.clone(),
+            })
+            .collect();
+        rows.push(row);
+    }
+    let mut rel = Relation::new(columns, rows)?;
+    if query.distinct {
+        rel.dedup();
+    }
+    Ok(rel)
+}
+
+enum ResolvedItem {
+    Col { slot: usize, col: usize },
+    Const(Value),
+}
+
+/// Builds the (empty) result when the predicates are unsatisfiable, still
+/// resolving the SELECT list so binding errors are not masked.
+fn project(
+    query: &Query,
+    inputs: &[Input<'_>],
+    _composites: &[Vec<u32>],
+    params: &Params,
+) -> Result<Relation, SqlError> {
+    for item in &query.select {
+        match &item.expr {
+            Scalar::Col(c) => {
+                let known = inputs
+                    .iter()
+                    .any(|i| i.alias == c.qualifier && i.col(&c.column).is_some());
+                if !known {
+                    return Err(SqlError::Bind(format!("unresolved column `{c}`")));
+                }
+            }
+            Scalar::Param(name) => {
+                if !params.contains_key(name.as_str()) {
+                    return Err(SqlError::Param(format!("unbound parameter `${name}`")));
+                }
+            }
+            Scalar::Const(_) => {}
+        }
+    }
+    Ok(Relation::empty(query.output_columns()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig_relstore::{Database, Table, TableSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut db1 = Database::new("DB1");
+        let mut patient = Table::new(TableSchema::strings(
+            "patient",
+            &["SSN", "pname", "policy"],
+            &["SSN"],
+        ));
+        for (s, n, p) in [
+            ("1", "alice", "p1"),
+            ("2", "bob", "p2"),
+            ("3", "carol", "p1"),
+        ] {
+            patient
+                .insert(vec![Value::str(s), Value::str(n), Value::str(p)])
+                .unwrap();
+        }
+        db1.add_table(patient).unwrap();
+        let mut visit = Table::new(TableSchema::strings(
+            "visitInfo",
+            &["SSN", "trId", "date"],
+            &[],
+        ));
+        for (s, t, d) in [
+            ("1", "t1", "d1"),
+            ("1", "t2", "d2"),
+            ("2", "t1", "d1"),
+            ("3", "t3", "d1"),
+        ] {
+            visit
+                .insert(vec![Value::str(s), Value::str(t), Value::str(d)])
+                .unwrap();
+        }
+        db1.add_table(visit).unwrap();
+        c.add_source(db1).unwrap();
+
+        let mut db2 = Database::new("DB2");
+        let mut cover = Table::new(TableSchema::strings("cover", &["policy", "trId"], &[]));
+        for (p, t) in [("p1", "t1"), ("p1", "t3"), ("p2", "t1"), ("p2", "t2")] {
+            cover.insert(vec![Value::str(p), Value::str(t)]).unwrap();
+        }
+        db2.add_table(cover).unwrap();
+        c.add_source(db2).unwrap();
+        c
+    }
+
+    fn run(sql: &str, params: &Params) -> Relation {
+        execute(&Query::parse(sql).unwrap(), &catalog(), params).unwrap()
+    }
+
+    #[test]
+    fn single_table_filter() {
+        let mut params = Params::new();
+        params.insert("pol".into(), ParamValue::scalar("p1"));
+        let r = run(
+            "select p.SSN from DB1:patient p where p.policy = $pol",
+            &params,
+        );
+        assert_eq!(r.columns(), &["SSN".to_string()]);
+        let ssns: Vec<&str> = r.rows().iter().map(|r| r[0].as_str().unwrap()).collect();
+        assert_eq!(ssns, vec!["1", "3"]);
+    }
+
+    #[test]
+    fn two_table_join() {
+        let r = run(
+            "select p.pname, v.trId from DB1:patient p, DB1:visitInfo v \
+             where p.SSN = v.SSN and v.date = 'd1'",
+            &Params::new(),
+        );
+        let mut got: Vec<(String, String)> = r
+            .rows()
+            .iter()
+            .map(|row| (row[0].to_text(), row[1].to_text()))
+            .collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                ("alice".into(), "t1".into()),
+                ("bob".into(), "t1".into()),
+                ("carol".into(), "t3".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_source_join_like_q2() {
+        // Which covered treatments did patient 1's policy allow on d2?
+        let mut params = Params::new();
+        params.insert("SSN".into(), ParamValue::scalar("1"));
+        params.insert("date".into(), ParamValue::scalar("d2"));
+        params.insert("policy".into(), ParamValue::scalar("p2"));
+        let r = run(
+            "select c.trId from DB1:visitInfo i, DB2:cover c \
+             where i.SSN = $SSN and i.date = $date and c.trId = i.trId and c.policy = $policy",
+            &params,
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0][0], Value::str("t2"));
+    }
+
+    #[test]
+    fn in_param_relation() {
+        let mut params = Params::new();
+        params.insert(
+            "ids".into(),
+            ParamValue::Rel(Relation::single_column(
+                "trId",
+                [Value::str("t1"), Value::str("t3")],
+            )),
+        );
+        let r = run(
+            "select distinct v.trId from DB1:visitInfo v where v.trId in $ids",
+            &params,
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn param_relation_in_from() {
+        let mut params = Params::new();
+        let mut rel = Relation::empty(vec!["policy".into()]);
+        rel.push(vec![Value::str("p1")]);
+        params.insert("v1".into(), ParamValue::Rel(rel));
+        let r = run(
+            "select c.trId from DB2:cover c, $v1 T1 where c.policy = T1.policy",
+            &params,
+        );
+        let mut ids: Vec<String> = r.rows().iter().map(|r| r[0].to_text()).collect();
+        ids.sort();
+        assert_eq!(ids, vec!["t1", "t3"]);
+    }
+
+    #[test]
+    fn distinct_and_literals() {
+        let r = run(
+            "select distinct p.policy, 'tag' as t from DB1:patient p",
+            &Params::new(),
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[0][1], Value::str("tag"));
+    }
+
+    #[test]
+    fn contradiction_yields_empty() {
+        let r = run(
+            "select p.SSN from DB1:patient p where 'a' = 'b'",
+            &Params::new(),
+        );
+        assert!(r.is_empty());
+        assert_eq!(r.columns(), &["SSN".to_string()]);
+    }
+
+    #[test]
+    fn inequality_join() {
+        let r = run(
+            "select a.SSN, b.SSN from DB1:patient a, DB1:patient b where a.SSN < b.SSN",
+            &Params::new(),
+        );
+        assert_eq!(r.len(), 3); // (1,2) (1,3) (2,3)
+    }
+
+    #[test]
+    fn missing_param_is_an_error() {
+        let q = Query::parse("select p.SSN from DB1:patient p where p.SSN = $x").unwrap();
+        let err = execute(&q, &catalog(), &Params::new()).unwrap_err();
+        assert!(matches!(err, SqlError::Param(_)));
+    }
+
+    #[test]
+    fn scalar_rel_mismatch_is_an_error() {
+        let mut params = Params::new();
+        params.insert("x".into(), ParamValue::scalar("1"));
+        let q = Query::parse("select p.SSN from DB1:patient p where p.SSN in $x").unwrap();
+        assert!(matches!(
+            execute(&q, &catalog(), &params),
+            Err(SqlError::Param(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_alias_or_column_is_bind_error() {
+        let q = Query::parse("select z.SSN from DB1:patient p").unwrap();
+        assert!(matches!(
+            execute(&q, &catalog(), &Params::new()),
+            Err(SqlError::Bind(_))
+        ));
+        let q = Query::parse("select p.nope from DB1:patient p").unwrap();
+        assert!(matches!(
+            execute(&q, &catalog(), &Params::new()),
+            Err(SqlError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn nulls_do_not_join() {
+        let mut c = Catalog::new();
+        let mut db = Database::new("D");
+        let mut t = Table::new(TableSchema::strings("t", &["a"], &[]));
+        t.insert(vec![Value::Null]).unwrap();
+        t.insert(vec![Value::str("x")]).unwrap();
+        db.add_table(t).unwrap();
+        c.add_source(db).unwrap();
+        let q = Query::parse("select l.a from D:t l, D:t r where l.a = r.a").unwrap();
+        let rel = execute(&q, &c, &Params::new()).unwrap();
+        assert_eq!(rel.len(), 1); // only 'x' = 'x'
+    }
+}

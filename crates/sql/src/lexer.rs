@@ -1,0 +1,290 @@
+//! Tokenizer for the SQL subset.
+
+use crate::error::SqlError;
+
+/// A lexical token with its byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively and carried as
+/// [`TokenKind::Keyword`] with a lowercase payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    Keyword(String),
+    Ident(String),
+    /// `$name`
+    Param(String),
+    /// `'...'` string literal (with `''` escaping)
+    Str(String),
+    /// integer literal
+    Int(i64),
+    Comma,
+    Dot,
+    Colon,
+    LParen,
+    RParen,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &["select", "distinct", "from", "where", "and", "in", "as"];
+
+/// Tokenizes `src` into a vector ending with [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        let start = pos;
+        let kind = match b {
+            b',' => {
+                pos += 1;
+                TokenKind::Comma
+            }
+            b'.' => {
+                pos += 1;
+                TokenKind::Dot
+            }
+            b':' => {
+                pos += 1;
+                TokenKind::Colon
+            }
+            b'(' => {
+                pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                pos += 1;
+                TokenKind::RParen
+            }
+            b'=' => {
+                pos += 1;
+                TokenKind::Eq
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    TokenKind::Ne
+                } else {
+                    return Err(SqlError::Syntax {
+                        pos,
+                        msg: "expected `!=`".to_string(),
+                    });
+                }
+            }
+            b'<' => match bytes.get(pos + 1) {
+                Some(&b'=') => {
+                    pos += 2;
+                    TokenKind::Le
+                }
+                Some(&b'>') => {
+                    pos += 2;
+                    TokenKind::Ne
+                }
+                _ => {
+                    pos += 1;
+                    TokenKind::Lt
+                }
+            },
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    TokenKind::Ge
+                } else {
+                    pos += 1;
+                    TokenKind::Gt
+                }
+            }
+            b'$' => {
+                pos += 1;
+                let name = ident(bytes, &mut pos);
+                if name.is_empty() {
+                    return Err(SqlError::Syntax {
+                        pos,
+                        msg: "expected a parameter name after `$`".to_string(),
+                    });
+                }
+                TokenKind::Param(name)
+            }
+            b'\'' => {
+                pos += 1;
+                let mut value = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        Some(&b'\'') => {
+                            if bytes.get(pos + 1) == Some(&b'\'') {
+                                value.push('\'');
+                                pos += 2;
+                            } else {
+                                pos += 1;
+                                break;
+                            }
+                        }
+                        Some(&c) => {
+                            value.push(c as char);
+                            pos += 1;
+                        }
+                        None => {
+                            return Err(SqlError::Syntax {
+                                pos: start,
+                                msg: "unterminated string literal".to_string(),
+                            })
+                        }
+                    }
+                }
+                TokenKind::Str(value)
+            }
+            b'-' | b'0'..=b'9' => {
+                let neg = b == b'-';
+                if neg {
+                    pos += 1;
+                }
+                let digits_start = pos;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                if pos == digits_start {
+                    return Err(SqlError::Syntax {
+                        pos: start,
+                        msg: "expected digits".to_string(),
+                    });
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).unwrap();
+                TokenKind::Int(text.parse().map_err(|_| SqlError::Syntax {
+                    pos: start,
+                    msg: format!("integer literal `{text}` out of range"),
+                })?)
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let word = ident(bytes, &mut pos);
+                let lower = word.to_ascii_lowercase();
+                if KEYWORDS.contains(&lower.as_str()) {
+                    TokenKind::Keyword(lower)
+                } else {
+                    TokenKind::Ident(word)
+                }
+            }
+            _ => {
+                return Err(SqlError::Syntax {
+                    pos,
+                    msg: format!("unexpected character `{}`", b as char),
+                })
+            }
+        };
+        out.push(Token { kind, pos: start });
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: bytes.len(),
+    });
+    Ok(out)
+}
+
+fn ident(bytes: &[u8], pos: &mut usize) -> String {
+    let start = *pos;
+    while *pos < bytes.len() {
+        let b = bytes[*pos];
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    String::from_utf8_lossy(&bytes[start..*pos]).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("select a.b from DB1:t x where a.b = $p"),
+            vec![
+                TokenKind::Keyword("select".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::Keyword("from".into()),
+                TokenKind::Ident("DB1".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("t".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Keyword("where".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eq,
+                TokenKind::Param("p".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("SELECT DISTINCT")[..2],
+            [
+                TokenKind::Keyword("select".into()),
+                TokenKind::Keyword("distinct".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escaping_and_ints() {
+        assert_eq!(
+            kinds("'it''s' 42 -7"),
+            vec![
+                TokenKind::Str("it's".into()),
+                TokenKind::Int(42),
+                TokenKind::Int(-7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("$").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex("!x").is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::ast::{CmpOp, FromItem, Pred, QualCol, Query, Scalar, SelectItem, SetRef};
+use crate::error::SqlError;
+use crate::lexer::{lex, Token, TokenKind};
+use aig_relstore::Value;
+
+impl Query {
+    /// Parses a `SELECT [DISTINCT] … FROM … [WHERE …]` statement.
+    pub fn parse(src: &str) -> Result<Query, SqlError> {
+        let tokens = lex(src)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let q = p.query()?;
+        p.expect_eof()?;
+        Ok(q)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn here(&self) -> usize {
+        self.tokens[self.pos].pos
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SqlError {
+        SqlError::Syntax {
+            pos: self.here(),
+            msg: msg.into(),
+        }
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), SqlError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SqlError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing input"))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+        let mut select = vec![self.select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            select.push(self.select_item()?);
+        }
+        self.expect_keyword("from")?;
+        let mut from = vec![self.from_item()?];
+        while self.eat(&TokenKind::Comma) {
+            from.push(self.from_item()?);
+        }
+        // Aliases must be unique.
+        for (i, item) in from.iter().enumerate() {
+            if from[..i].iter().any(|other| other.alias() == item.alias()) {
+                return Err(SqlError::Bind(format!(
+                    "duplicate alias `{}` in FROM clause",
+                    item.alias()
+                )));
+            }
+        }
+        let mut preds = Vec::new();
+        if self.eat_keyword("where") {
+            preds.push(self.pred()?);
+            while self.eat_keyword("and") {
+                preds.push(self.pred()?);
+            }
+        }
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            preds,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let expr = self.scalar()?;
+        let alias = if self.eat_keyword("as") {
+            Some(self.ident("an output column alias")?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    #[allow(clippy::wrong_self_convention)] // parses a FROM item, not a conversion
+    fn from_item(&mut self) -> Result<FromItem, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Param(name) => {
+                self.advance();
+                let alias = self.ident("an alias for the parameter relation")?;
+                Ok(FromItem::Param { name, alias })
+            }
+            TokenKind::Ident(first) => {
+                self.advance();
+                self.expect(TokenKind::Colon, "`:` after the source name")?;
+                let table = self.ident("a table name")?;
+                let alias = self.ident("a table alias")?;
+                Ok(FromItem::Table {
+                    source: first,
+                    table,
+                    alias,
+                })
+            }
+            _ => Err(self.err("expected `source:table alias` or `$param alias`")),
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Param(name) => {
+                self.advance();
+                Ok(Scalar::Param(name))
+            }
+            TokenKind::Str(value) => {
+                self.advance();
+                Ok(Scalar::Const(Value::str(value)))
+            }
+            TokenKind::Int(value) => {
+                self.advance();
+                Ok(Scalar::Const(Value::int(value)))
+            }
+            TokenKind::Ident(qualifier) => {
+                self.advance();
+                self.expect(TokenKind::Dot, "`.` in a qualified column reference")?;
+                let column = self.ident("a column name")?;
+                Ok(Scalar::Col(QualCol { qualifier, column }))
+            }
+            _ => Err(self.err("expected a column, parameter, or literal")),
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred, SqlError> {
+        let lhs = self.scalar()?;
+        // `col in …`
+        if self.eat_keyword("in") {
+            let Scalar::Col(col) = lhs else {
+                return Err(self.err("the left side of IN must be a column"));
+            };
+            match self.peek().clone() {
+                TokenKind::Param(name) => {
+                    self.advance();
+                    return Ok(Pred::In {
+                        col,
+                        set: SetRef::Param(name),
+                    });
+                }
+                TokenKind::LParen => {
+                    self.advance();
+                    let mut values = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            match self.advance() {
+                                TokenKind::Str(s) => values.push(Value::str(s)),
+                                TokenKind::Int(i) => values.push(Value::int(i)),
+                                _ => return Err(self.err("expected a literal in the IN list")),
+                            }
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(TokenKind::Comma, "`,` or `)` in IN list")?;
+                        }
+                    }
+                    return Ok(Pred::In {
+                        col,
+                        set: SetRef::Consts(values),
+                    });
+                }
+                _ => return Err(self.err("expected `$param` or a literal list after IN")),
+            }
+        }
+        let op = match self.advance() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return Err(self.err("expected a comparison operator or IN")),
+        };
+        let rhs = self.scalar()?;
+        Ok(Pred::Cmp { op, lhs, rhs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_q1_of_the_paper() {
+        let q = Query::parse(
+            "select p.SSN, p.pname, p.policy from DB1:patient p, DB1:visitInfo i \
+             where p.SSN = i.SSN and i.date = $date",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.preds.len(), 2);
+        assert!(!q.distinct);
+        assert!(q.is_single_source());
+    }
+
+    #[test]
+    fn parse_q4_with_in_param() {
+        let q = Query::parse("select b.trId, b.price from DB3:billing b where b.trId in $trIdS")
+            .unwrap();
+        assert_eq!(
+            q.preds[0],
+            Pred::In {
+                col: QualCol::new("b", "trId"),
+                set: SetRef::Param("trIdS".into())
+            }
+        );
+    }
+
+    #[test]
+    fn parse_temp_table_in_from() {
+        // Fig. 4: Q2'(v1): select c.trId from DB2:cover c, v1 T1 where …
+        let q = Query::parse(
+            "select c.trId from DB2:cover c, $v1 T1 \
+             where c.trId = T1.trId and c.policy = T1.policy",
+        )
+        .unwrap();
+        assert!(
+            matches!(&q.from[1], FromItem::Param { name, alias } if name == "v1" && alias == "T1")
+        );
+        assert!(q.is_single_source());
+    }
+
+    #[test]
+    fn parse_distinct_literals_aliases() {
+        let q = Query::parse(
+            "select distinct a.x as id, 'lit' as tag, 5 from DB1:t a where a.x != 'y' and a.n >= 3",
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.output_columns(), vec!["id", "tag", "col2"]);
+    }
+
+    #[test]
+    fn parse_in_const_list() {
+        let q = Query::parse("select a.x from DB1:t a where a.x in ('p', 'q')").unwrap();
+        match &q.preds[0] {
+            Pred::In {
+                set: SetRef::Consts(vs),
+                ..
+            } => assert_eq!(vs.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let err = Query::parse("select a.x from DB1:t a, DB2:u a").unwrap_err();
+        assert!(matches!(err, SqlError::Bind(_)));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(Query::parse("select from DB1:t a").is_err());
+        assert!(Query::parse("select a.x DB1:t a").is_err());
+        assert!(Query::parse("select a.x from t a").is_err()); // missing source:
+        assert!(Query::parse("select a.x from DB1:t a where a.x").is_err());
+        assert!(Query::parse("select a.x from DB1:t a where $p in a.x").is_err());
+        assert!(Query::parse("select a.x from DB1:t a extra").is_err());
+    }
+}

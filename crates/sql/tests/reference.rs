@@ -1,0 +1,242 @@
+//! Property test: the greedy hash-join executor agrees with a naive
+//! cartesian-product reference evaluator on random conjunctive queries over
+//! random data.
+
+use aig_relstore::{Catalog, Database, Relation, Table, TableSchema, Value};
+use aig_sql::{
+    execute, CmpOp, FromItem, ParamValue, Params, Pred, QualCol, Query, Scalar, SelectItem, SetRef,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Reference evaluator: cartesian product + filter + project.
+// ---------------------------------------------------------------------------
+
+fn reference_execute(query: &Query, catalog: &Catalog, params: &Params) -> Relation {
+    // Resolve inputs to (alias, columns, rows).
+    let inputs: Vec<(String, Vec<String>, Vec<Vec<Value>>)> = query
+        .from
+        .iter()
+        .map(|item| match item {
+            FromItem::Table {
+                source,
+                table,
+                alias,
+            } => {
+                let t = catalog.table(source, table).unwrap();
+                (
+                    alias.clone(),
+                    t.schema()
+                        .column_names()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    t.rows().to_vec(),
+                )
+            }
+            FromItem::Param { name, alias } => {
+                let rel = params[name].as_rel().unwrap();
+                (alias.clone(), rel.columns().to_vec(), rel.rows().to_vec())
+            }
+        })
+        .collect();
+
+    let lookup = |combo: &[usize], col: &QualCol| -> Value {
+        let (idx, input) = inputs
+            .iter()
+            .enumerate()
+            .find(|(_, (alias, _, _))| alias == &col.qualifier)
+            .unwrap();
+        let c = input.1.iter().position(|n| n == &col.column).unwrap();
+        input.2[combo[idx]][c].clone()
+    };
+    let scalar = |combo: &[usize], s: &Scalar| -> Value {
+        match s {
+            Scalar::Col(c) => lookup(combo, c),
+            Scalar::Const(v) => v.clone(),
+            Scalar::Param(p) => params[p].as_scalar().unwrap().clone(),
+        }
+    };
+
+    // Enumerate the cartesian product.
+    let mut rows = Vec::new();
+    let sizes: Vec<usize> = inputs.iter().map(|(_, _, r)| r.len()).collect();
+    let total: usize = sizes.iter().product();
+    'combos: for mut index in 0..total {
+        let mut combo = Vec::with_capacity(sizes.len());
+        for &s in &sizes {
+            combo.push(index % s);
+            index /= s;
+        }
+        for pred in &query.preds {
+            let ok = match pred {
+                Pred::Cmp { op, lhs, rhs } => op.eval(&scalar(&combo, lhs), &scalar(&combo, rhs)),
+                Pred::In { col, set } => {
+                    let v = lookup(&combo, col);
+                    if v.is_null() {
+                        false
+                    } else {
+                        match set {
+                            SetRef::Consts(vs) => vs.contains(&v),
+                            SetRef::Param(p) => {
+                                params[p].as_rel().unwrap().rows().iter().any(|r| r[0] == v)
+                            }
+                        }
+                    }
+                }
+            };
+            if !ok {
+                continue 'combos;
+            }
+        }
+        rows.push(
+            query
+                .select
+                .iter()
+                .map(|item| scalar(&combo, &item.expr))
+                .collect(),
+        );
+    }
+    let mut rel = Relation::new(query.output_columns(), rows).unwrap();
+    if query.distinct {
+        rel.dedup();
+    }
+    rel
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// Small value domain so joins actually hit.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0..5u8).prop_map(|i| Value::str(format!("v{i}"))),
+        Just(Value::Null),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Setup {
+    /// Rows per table: t (a, b) at S1 and u (a, c) at S2.
+    t_rows: Vec<(Value, Value)>,
+    u_rows: Vec<(Value, Value)>,
+    preds: Vec<Pred>,
+    distinct: bool,
+}
+
+fn col(q: &str, c: &str) -> Scalar {
+    Scalar::Col(QualCol::new(q, c))
+}
+
+fn pred_strategy() -> impl Strategy<Value = Pred> {
+    let scalar = prop_oneof![
+        Just(col("x", "a")),
+        Just(col("x", "b")),
+        Just(col("y", "a")),
+        Just(col("y", "c")),
+        value_strategy().prop_map(Scalar::Const),
+        Just(Scalar::Param("p".to_string())),
+    ];
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    prop_oneof![
+        (op, scalar.clone(), scalar.clone())
+            .prop_map(|(op, lhs, rhs)| { Pred::Cmp { op, lhs, rhs } }),
+        prop_oneof![Just(QualCol::new("x", "a")), Just(QualCol::new("y", "c"))].prop_map(|qcol| {
+            Pred::In {
+                col: qcol,
+                set: SetRef::Param("ids".to_string()),
+            }
+        }),
+    ]
+    .prop_filter("IN needs a column lhs; comparisons keep any shape", |p| {
+        !matches!(
+            p,
+            Pred::Cmp {
+                lhs: Scalar::Const(_) | Scalar::Param(_),
+                rhs: Scalar::Const(_) | Scalar::Param(_),
+                ..
+            }
+        ) || true
+    })
+}
+
+fn setup_strategy() -> impl Strategy<Value = Setup> {
+    (
+        prop::collection::vec((value_strategy(), value_strategy()), 0..6),
+        prop::collection::vec((value_strategy(), value_strategy()), 0..6),
+        prop::collection::vec(pred_strategy(), 0..4),
+        any::<bool>(),
+    )
+        .prop_map(|(t_rows, u_rows, preds, distinct)| Setup {
+            t_rows,
+            u_rows,
+            preds,
+            distinct,
+        })
+}
+
+fn build_catalog(setup: &Setup) -> Catalog {
+    let mut catalog = Catalog::new();
+    let mut s1 = Database::new("S1");
+    let mut t = Table::new(TableSchema::strings("t", &["a", "b"], &[]));
+    for (a, b) in &setup.t_rows {
+        t.insert(vec![a.clone(), b.clone()]).unwrap();
+    }
+    s1.add_table(t).unwrap();
+    catalog.add_source(s1).unwrap();
+    let mut s2 = Database::new("S2");
+    let mut u = Table::new(TableSchema::strings("u", &["a", "c"], &[]));
+    for (a, c) in &setup.u_rows {
+        u.insert(vec![a.clone(), c.clone()]).unwrap();
+    }
+    s2.add_table(u).unwrap();
+    catalog.add_source(s2).unwrap();
+    catalog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn executor_agrees_with_reference(setup in setup_strategy()) {
+        let catalog = build_catalog(&setup);
+        let query = Query {
+            distinct: setup.distinct,
+            select: vec![
+                SelectItem { expr: col("x", "a"), alias: Some("xa".into()) },
+                SelectItem { expr: col("x", "b"), alias: Some("xb".into()) },
+                SelectItem { expr: col("y", "c"), alias: Some("yc".into()) },
+            ],
+            from: vec![
+                FromItem::Table { source: "S1".into(), table: "t".into(), alias: "x".into() },
+                FromItem::Table { source: "S2".into(), table: "u".into(), alias: "y".into() },
+            ],
+            preds: setup.preds.clone(),
+        };
+        let mut params = Params::new();
+        params.insert("p".into(), ParamValue::scalar("v2"));
+        params.insert(
+            "ids".into(),
+            ParamValue::Rel(Relation::single_column(
+                "id",
+                [Value::str("v0"), Value::str("v3")],
+            )),
+        );
+
+        let fast = execute(&query, &catalog, &params).unwrap();
+        let slow = reference_execute(&query, &catalog, &params);
+        prop_assert!(
+            fast.bag_eq(&slow),
+            "executor {:?} != reference {:?} for preds {:?}",
+            fast, slow, setup.preds
+        );
+    }
+}

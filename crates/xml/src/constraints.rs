@@ -1,0 +1,572 @@
+//! XML keys and inclusion constraints (paper §2).
+//!
+//! * **Key** `C(A.l → A)`: in any subtree rooted at a `C` element, the value
+//!   of the `l` subelement uniquely identifies `A` elements.
+//! * **Inclusion constraint** `C(B.lB ⊆ A.lA)`: in any subtree rooted at a
+//!   `C` element, every `B` element's `lB` value also appears as the `lA`
+//!   value of some `A` element in that subtree.
+//!
+//! A *foreign key* is a key plus an inclusion constraint.
+//!
+//! The checker here walks the whole tree and is the **oracle** against which
+//! the compiled, evaluation-time constraint checking of `aig-core` (§3.3) is
+//! tested. It runs in a single pass: a stack of open `C` contexts is
+//! maintained, and each `A`/`B` occurrence is charged to every open context.
+
+use crate::error::XmlError;
+use crate::tree::{NodeId, XmlTree};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A key constraint `context(target.field → target)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Key {
+    /// The context element type `C`.
+    pub context: String,
+    /// The keyed element type `A`.
+    pub target: String,
+    /// The string-typed subelement `l` whose value is the key.
+    pub field: String,
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}.{} -> {})",
+            self.context, self.target, self.field, self.target
+        )
+    }
+}
+
+/// An inclusion constraint `context(lhs_elem.lhs_field ⊆ rhs_elem.rhs_field)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Inclusion {
+    /// The context element type `C`.
+    pub context: String,
+    /// The element type `B` on the contained side.
+    pub lhs_elem: String,
+    /// The string-typed subelement `lB` of `B`.
+    pub lhs_field: String,
+    /// The element type `A` on the containing side.
+    pub rhs_elem: String,
+    /// The string-typed subelement `lA` of `A`.
+    pub rhs_field: String,
+}
+
+impl fmt::Display for Inclusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}.{} <= {}.{})",
+            self.context, self.lhs_elem, self.lhs_field, self.rhs_elem, self.rhs_field
+        )
+    }
+}
+
+/// Either kind of constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Constraint {
+    Key(Key),
+    Inclusion(Inclusion),
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Key(k) => k.fmt(f),
+            Constraint::Inclusion(i) => i.fmt(f),
+        }
+    }
+}
+
+impl Constraint {
+    /// Parses one constraint. Accepted syntax (whitespace-insensitive):
+    ///
+    /// ```text
+    /// patient(item.trId -> item)          // key
+    /// patient(treatment.trId <= item.trId) // inclusion constraint
+    /// ```
+    ///
+    /// The Unicode arrows `→` and `⊆` are also accepted.
+    pub fn parse(src: &str) -> Result<Constraint, XmlError> {
+        let mut p = ConstraintParser::new(src);
+        let c = p.constraint()?;
+        p.skip_ws();
+        if p.pos < p.src.len() {
+            return Err(p.err("unexpected trailing input"));
+        }
+        Ok(c)
+    }
+
+    /// The context element type `C` of this constraint.
+    pub fn context(&self) -> &str {
+        match self {
+            Constraint::Key(k) => &k.context,
+            Constraint::Inclusion(i) => &i.context,
+        }
+    }
+}
+
+/// A set of constraints, checked together over a document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstraintSet {
+    pub constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    pub fn new(constraints: Vec<Constraint>) -> Self {
+        ConstraintSet { constraints }
+    }
+
+    /// Parses a newline- or semicolon-separated list of constraints.
+    /// Empty lines and `//` comments are skipped.
+    pub fn parse(src: &str) -> Result<ConstraintSet, XmlError> {
+        let mut constraints = Vec::new();
+        for part in src.split(['\n', ';']) {
+            let line = match part.find("//") {
+                Some(idx) => &part[..idx],
+                None => part,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            constraints.push(Constraint::parse(line)?);
+        }
+        Ok(ConstraintSet { constraints })
+    }
+
+    /// Checks every constraint, returning all violations found.
+    pub fn check(&self, tree: &XmlTree) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for c in &self.constraints {
+            match c {
+                Constraint::Key(k) => check_key(tree, k, &mut violations),
+                Constraint::Inclusion(i) => check_inclusion(tree, i, &mut violations),
+            }
+        }
+        violations
+    }
+
+    /// True if the document satisfies every constraint.
+    pub fn satisfied(&self, tree: &XmlTree) -> bool {
+        self.check(tree).is_empty()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+}
+
+/// A constraint violation, with enough context to report usefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated constraint, displayed.
+    pub constraint: String,
+    /// Path to the `C` context node whose subtree violates the constraint.
+    pub context_path: String,
+    /// The offending value (duplicate key value, or missing included value).
+    pub value: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "constraint {} violated in subtree {}: value {:?}",
+            self.constraint, self.context_path, self.value
+        )
+    }
+}
+
+// --------------------------------------------------------------------------
+// Single-pass checkers
+// --------------------------------------------------------------------------
+
+/// Checks a key constraint: within every `C`-rooted subtree, no two distinct
+/// `A` elements share an `l` value. `A` elements lacking an `l` subelement
+/// contribute nothing (the DTD guarantees presence in well-typed documents).
+fn check_key(tree: &XmlTree, key: &Key, out: &mut Vec<Violation>) {
+    // Stack of open contexts, each with the key values seen so far.
+    struct Ctx {
+        node: NodeId,
+        seen: HashSet<String>,
+        reported: HashSet<String>,
+    }
+    let mut contexts: Vec<Ctx> = Vec::new();
+    walk(tree, tree.root(), &mut |tree, node, enter| {
+        let Some(tag) = tree.tag(node) else { return };
+        if enter {
+            if tag == key.context {
+                contexts.push(Ctx {
+                    node,
+                    seen: HashSet::new(),
+                    reported: HashSet::new(),
+                });
+            }
+            if tag == key.target {
+                if let Some(value) = tree.subelement_value(node, &key.field) {
+                    for ctx in contexts.iter_mut() {
+                        if !ctx.seen.insert(value.clone()) && ctx.reported.insert(value.clone()) {
+                            out.push(Violation {
+                                constraint: key.to_string(),
+                                context_path: tree.path(ctx.node),
+                                value: value.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        } else if tag == key.context {
+            contexts.pop();
+        }
+    });
+}
+
+/// Checks an inclusion constraint: within every `C`-rooted subtree, the set
+/// of `B.lB` values is contained in the set of `A.lA` values.
+fn check_inclusion(tree: &XmlTree, ic: &Inclusion, out: &mut Vec<Violation>) {
+    struct Ctx {
+        node: NodeId,
+        lhs: Vec<String>,
+        rhs: HashSet<String>,
+    }
+    let mut contexts: Vec<Ctx> = Vec::new();
+    walk(tree, tree.root(), &mut |tree, node, enter| {
+        let Some(tag) = tree.tag(node) else { return };
+        if enter {
+            if tag == ic.context {
+                contexts.push(Ctx {
+                    node,
+                    lhs: Vec::new(),
+                    rhs: HashSet::new(),
+                });
+            }
+            // Note: B and A may be the same element type with different fields.
+            if tag == ic.lhs_elem {
+                if let Some(value) = tree.subelement_value(node, &ic.lhs_field) {
+                    for ctx in contexts.iter_mut() {
+                        ctx.lhs.push(value.clone());
+                    }
+                }
+            }
+            if tag == ic.rhs_elem {
+                if let Some(value) = tree.subelement_value(node, &ic.rhs_field) {
+                    for ctx in contexts.iter_mut() {
+                        ctx.rhs.insert(value.clone());
+                    }
+                }
+            }
+        } else if tag == ic.context {
+            let ctx = contexts.pop().expect("balanced enter/exit");
+            let mut missing: Vec<&String> =
+                ctx.lhs.iter().filter(|v| !ctx.rhs.contains(*v)).collect();
+            missing.dedup();
+            let mut reported = HashSet::new();
+            for value in missing {
+                if reported.insert(value.clone()) {
+                    out.push(Violation {
+                        constraint: ic.to_string(),
+                        context_path: tree.path(ctx.node),
+                        value: value.clone(),
+                    });
+                }
+            }
+        }
+    });
+}
+
+/// Depth-first walk invoking `f(tree, node, enter)` on the way down
+/// (`enter = true`) and up (`enter = false`).
+fn walk(tree: &XmlTree, node: NodeId, f: &mut impl FnMut(&XmlTree, NodeId, bool)) {
+    f(tree, node, true);
+    for &c in tree.children(node) {
+        walk(tree, c, f);
+    }
+    f(tree, node, false);
+}
+
+// --------------------------------------------------------------------------
+// Constraint parser
+// --------------------------------------------------------------------------
+
+struct ConstraintParser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> ConstraintParser<'a> {
+    fn new(src: &'a str) -> Self {
+        ConstraintParser { src, pos: 0 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError::ConstraintSyntax {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.src[self.pos..].chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.src[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.src[self.pos..].chars().next() {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn constraint(&mut self) -> Result<Constraint, XmlError> {
+        let context = self.name()?;
+        self.skip_ws();
+        if !self.eat("(") {
+            return Err(self.err("expected `(`"));
+        }
+        let elem = self.name()?;
+        self.skip_ws();
+        if !self.eat(".") {
+            return Err(self.err("expected `.`"));
+        }
+        let field = self.name()?;
+        self.skip_ws();
+        if self.eat("->") || self.eat("→") {
+            let target = self.name()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err(self.err("expected `)`"));
+            }
+            if target != elem {
+                return Err(self.err(format!(
+                    "key must have the form C(A.l -> A); got `{elem}.{field} -> {target}`"
+                )));
+            }
+            Ok(Constraint::Key(Key {
+                context,
+                target,
+                field,
+            }))
+        } else if self.eat("<=") || self.eat("⊆") {
+            let rhs_elem = self.name()?;
+            self.skip_ws();
+            if !self.eat(".") {
+                return Err(self.err("expected `.`"));
+            }
+            let rhs_field = self.name()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err(self.err("expected `)`"));
+            }
+            Ok(Constraint::Inclusion(Inclusion {
+                context,
+                lhs_elem: elem,
+                lhs_field: field,
+                rhs_elem,
+                rhs_field,
+            }))
+        } else {
+            Err(self.err("expected `->` or `<=`"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_tree(items: &[(&str, &str)], treatments: &[&str]) -> XmlTree {
+        // A patient with a bill of `items` (trId, price) and treatment trIds.
+        let mut t = XmlTree::new("report");
+        let p = t.add_element(t.root(), "patient");
+        let trs = t.add_element(p, "treatments");
+        for tr in treatments {
+            let treatment = t.add_element(trs, "treatment");
+            let trid = t.add_element(treatment, "trId");
+            t.add_text(trid, *tr);
+        }
+        let bill = t.add_element(p, "bill");
+        for (trid, price) in items {
+            let item = t.add_element(bill, "item");
+            let id = t.add_element(item, "trId");
+            t.add_text(id, *trid);
+            let pr = t.add_element(item, "price");
+            t.add_text(pr, *price);
+        }
+        t
+    }
+
+    fn key() -> Key {
+        Key {
+            context: "patient".into(),
+            target: "item".into(),
+            field: "trId".into(),
+        }
+    }
+
+    fn inclusion() -> Inclusion {
+        Inclusion {
+            context: "patient".into(),
+            lhs_elem: "treatment".into(),
+            lhs_field: "trId".into(),
+            rhs_elem: "item".into(),
+            rhs_field: "trId".into(),
+        }
+    }
+
+    #[test]
+    fn parse_key_and_inclusion() {
+        let k = Constraint::parse("patient (item.trId -> item)").unwrap();
+        assert_eq!(k, Constraint::Key(key()));
+        let i = Constraint::parse("patient(treatment.trId <= item.trId)").unwrap();
+        assert_eq!(i, Constraint::Inclusion(inclusion()));
+        let i2 = Constraint::parse("patient(treatment.trId ⊆ item.trId)").unwrap();
+        assert_eq!(i, i2);
+    }
+
+    #[test]
+    fn parse_rejects_mismatched_key_target() {
+        assert!(Constraint::parse("patient(item.trId -> other)").is_err());
+        assert!(Constraint::parse("patient(item.trId)").is_err());
+        assert!(Constraint::parse("patient(item.trId -> item) trailing").is_err());
+    }
+
+    #[test]
+    fn parse_constraint_set_with_comments() {
+        let set = ConstraintSet::parse(
+            "// the paper's two constraints\n\
+             patient(item.trId -> item)\n\
+             patient(treatment.trId <= item.trId)\n",
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn key_satisfied() {
+        let t = report_tree(&[("t1", "10"), ("t2", "20")], &["t1", "t2"]);
+        let set = ConstraintSet::new(vec![Constraint::Key(key())]);
+        assert!(set.satisfied(&t));
+    }
+
+    #[test]
+    fn key_violated_by_duplicate_within_context() {
+        let t = report_tree(&[("t1", "10"), ("t1", "15")], &[]);
+        let set = ConstraintSet::new(vec![Constraint::Key(key())]);
+        let violations = set.check(&t);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].value, "t1");
+        assert_eq!(violations[0].context_path, "/report/patient");
+    }
+
+    #[test]
+    fn key_is_relative_to_context() {
+        // The same trId under two *different* patients is fine.
+        let mut t = XmlTree::new("report");
+        for _ in 0..2 {
+            let p = t.add_element(t.root(), "patient");
+            let bill = t.add_element(p, "bill");
+            let item = t.add_element(bill, "item");
+            let id = t.add_element(item, "trId");
+            t.add_text(id, "t1");
+        }
+        let set = ConstraintSet::new(vec![Constraint::Key(key())]);
+        assert!(set.satisfied(&t));
+    }
+
+    #[test]
+    fn inclusion_satisfied_and_violated() {
+        let good = report_tree(&[("t1", "10")], &["t1"]);
+        let set = ConstraintSet::new(vec![Constraint::Inclusion(inclusion())]);
+        assert!(set.satisfied(&good));
+
+        let bad = report_tree(&[("t1", "10")], &["t1", "t9"]);
+        let violations = set.check(&bad);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].value, "t9");
+    }
+
+    #[test]
+    fn inclusion_duplicate_missing_values_reported_once() {
+        let bad = report_tree(&[], &["t9", "t9"]);
+        let set = ConstraintSet::new(vec![Constraint::Inclusion(inclusion())]);
+        assert_eq!(set.check(&bad).len(), 1);
+    }
+
+    #[test]
+    fn nested_contexts_each_checked() {
+        // treatment as its own context: treatment(treatment.trId -> treatment)
+        // with recursion; an inner duplicate violates the inner context and
+        // every enclosing one.
+        let k = Key {
+            context: "procedure".into(),
+            target: "treatment".into(),
+            field: "trId".into(),
+        };
+        let mut t = XmlTree::new("report");
+        let proc_outer = t.add_element(t.root(), "procedure");
+        for _ in 0..2 {
+            let tr = t.add_element(proc_outer, "treatment");
+            let id = t.add_element(tr, "trId");
+            t.add_text(id, "dup");
+            t.add_element(tr, "procedure");
+        }
+        let set = ConstraintSet::new(vec![Constraint::Key(k)]);
+        let violations = set.check(&t);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].context_path, "/report/procedure");
+    }
+
+    #[test]
+    fn foreign_key_both_parts() {
+        // foreign key = key + inclusion
+        let set = ConstraintSet::new(vec![
+            Constraint::Key(key()),
+            Constraint::Inclusion(inclusion()),
+        ]);
+        let good = report_tree(&[("t1", "10"), ("t2", "5")], &["t2"]);
+        assert!(set.satisfied(&good));
+        let bad = report_tree(&[("t1", "10"), ("t1", "5")], &["t3"]);
+        assert_eq!(set.check(&bad).len(), 2);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for src in [
+            "patient(item.trId -> item)",
+            "patient(treatment.trId <= item.trId)",
+        ] {
+            let c = Constraint::parse(src).unwrap();
+            let again = Constraint::parse(&c.to_string()).unwrap();
+            assert_eq!(c, again);
+        }
+    }
+}

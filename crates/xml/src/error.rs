@@ -1,0 +1,46 @@
+//! Error types for the XML substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating XML documents and DTDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// A syntax error in a DTD declaration.
+    DtdSyntax { pos: usize, msg: String },
+    /// A syntax error in an XML document.
+    XmlSyntax { pos: usize, msg: String },
+    /// A syntax error in a constraint specification.
+    ConstraintSyntax { pos: usize, msg: String },
+    /// The DTD references an element type that has no declaration.
+    UndeclaredElement(String),
+    /// The same element type was declared twice.
+    DuplicateElement(String),
+    /// A tree operation used a node id from a different tree or a text node
+    /// where an element was required.
+    InvalidNode(String),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::DtdSyntax { pos, msg } => {
+                write!(f, "DTD syntax error at byte {pos}: {msg}")
+            }
+            XmlError::XmlSyntax { pos, msg } => {
+                write!(f, "XML syntax error at byte {pos}: {msg}")
+            }
+            XmlError::ConstraintSyntax { pos, msg } => {
+                write!(f, "constraint syntax error at byte {pos}: {msg}")
+            }
+            XmlError::UndeclaredElement(name) => {
+                write!(f, "element type `{name}` is referenced but never declared")
+            }
+            XmlError::DuplicateElement(name) => {
+                write!(f, "element type `{name}` is declared more than once")
+            }
+            XmlError::InvalidNode(msg) => write!(f, "invalid node: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}

@@ -1,0 +1,117 @@
+//! XML serialization with entity escaping.
+
+use crate::tree::{NodeId, NodeKind, XmlTree};
+use std::fmt::Write;
+
+/// Escapes text content (`&`, `<`, `>`).
+pub fn escape_text(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Serializes the document compactly (no whitespace between elements), so
+/// that parsing it back yields a structurally equal tree.
+pub fn to_string(tree: &XmlTree) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), &mut out);
+    out
+}
+
+fn write_node(tree: &XmlTree, node: NodeId, out: &mut String) {
+    match tree.kind(node) {
+        NodeKind::Text(text) => escape_text(text, out),
+        NodeKind::Element(tag) => {
+            let children = tree.children(node);
+            if children.is_empty() {
+                let _ = write!(out, "<{tag}/>");
+            } else {
+                let _ = write!(out, "<{tag}>");
+                for &c in children {
+                    write_node(tree, c, out);
+                }
+                let _ = write!(out, "</{tag}>");
+            }
+        }
+    }
+}
+
+/// Serializes the document with two-space indentation. Text content is kept
+/// inline with its parent element so PCDATA is not polluted with whitespace.
+pub fn to_pretty_string(tree: &XmlTree) -> String {
+    let mut out = String::new();
+    write_pretty(tree, tree.root(), 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_pretty(tree: &XmlTree, node: NodeId, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match tree.kind(node) {
+        NodeKind::Text(text) => {
+            out.push_str(&pad);
+            escape_text(text, out);
+        }
+        NodeKind::Element(tag) => {
+            let children = tree.children(node);
+            if children.is_empty() {
+                let _ = write!(out, "{pad}<{tag}/>");
+            } else if children.len() == 1 && !tree.is_element(children[0]) {
+                // Single text child: keep on one line.
+                let _ = write!(out, "{pad}<{tag}>");
+                escape_text(tree.text(children[0]).unwrap(), out);
+                let _ = write!(out, "</{tag}>");
+            } else {
+                let _ = writeln!(out, "{pad}<{tag}>");
+                for &c in children {
+                    write_pretty(tree, c, indent + 1, out);
+                    out.push('\n');
+                }
+                let _ = write!(out, "{pad}</{tag}>");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> XmlTree {
+        let mut t = XmlTree::new("report");
+        let p = t.add_element(t.root(), "patient");
+        let ssn = t.add_element(p, "SSN");
+        t.add_text(ssn, "12<3&4>5");
+        t.add_element(p, "bill");
+        t
+    }
+
+    #[test]
+    fn compact_serialization_escapes() {
+        let s = to_string(&sample());
+        assert_eq!(
+            s,
+            "<report><patient><SSN>12&lt;3&amp;4&gt;5</SSN><bill/></patient></report>"
+        );
+    }
+
+    #[test]
+    fn pretty_keeps_pcdata_inline() {
+        let s = to_pretty_string(&sample());
+        assert!(s.contains("<SSN>12&lt;3&amp;4&gt;5</SSN>"));
+        assert!(s.contains("    <bill/>"));
+        assert!(s.ends_with("</report>\n"));
+    }
+
+    #[test]
+    fn empty_root() {
+        let t = XmlTree::new("r");
+        assert_eq!(to_string(&t), "<r/>");
+        assert_eq!(to_pretty_string(&t), "<r/>\n");
+    }
+}

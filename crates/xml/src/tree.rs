@@ -1,0 +1,538 @@
+//! Arena-based XML document trees.
+//!
+//! Documents are ordered trees whose internal nodes are *elements* (tagged
+//! with an element-type name) and whose leaves may be *text* nodes carrying
+//! PCDATA, exactly as in the paper's data model (§2). Nodes live in a flat
+//! arena owned by the tree; [`NodeId`] handles are plain indices, so trees are
+//! `Send`, cheap to build, and need no reference counting.
+
+use std::fmt;
+
+/// Handle to a node inside an [`XmlTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The arena index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The payload of a node: an element with a tag, or a text leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element node labeled with an element-type name.
+    Element(String),
+    /// A text (PCDATA) node. Always a leaf.
+    Text(String),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// An ordered XML document tree.
+///
+/// The root is always an element node. Children are kept in document order.
+#[derive(Debug, Clone)]
+pub struct XmlTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl XmlTree {
+    /// Creates a tree consisting of a single root element.
+    pub fn new(root_tag: impl Into<String>) -> Self {
+        let root = Node {
+            kind: NodeKind::Element(root_tag.into()),
+            parent: None,
+            children: Vec::new(),
+        };
+        XmlTree {
+            nodes: vec![root],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root element of the document.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes (elements and text) in the tree, including
+    /// detached nodes that are no longer reachable from the root.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree contains only the root node.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("tree exceeds u32 nodes"));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Appends a new element child with tag `tag` to `parent`.
+    pub fn add_element(&mut self, parent: NodeId, tag: impl Into<String>) -> NodeId {
+        let id = self.push_node(Node {
+            kind: NodeKind::Element(tag.into()),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Appends a new text child to `parent`.
+    pub fn add_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        let id = self.push_node(Node {
+            kind: NodeKind::Text(text.into()),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// The node's kind (element tag or text payload).
+    #[inline]
+    pub fn kind(&self, node: NodeId) -> &NodeKind {
+        &self.nodes[node.index()].kind
+    }
+
+    /// The element tag of `node`, or `None` for a text node.
+    #[inline]
+    pub fn tag(&self, node: NodeId) -> Option<&str> {
+        match &self.nodes[node.index()].kind {
+            NodeKind::Element(tag) => Some(tag),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The text payload of `node`, or `None` for an element node.
+    #[inline]
+    pub fn text(&self, node: NodeId) -> Option<&str> {
+        match &self.nodes[node.index()].kind {
+            NodeKind::Element(_) => None,
+            NodeKind::Text(text) => Some(text),
+        }
+    }
+
+    /// True if `node` is an element node.
+    #[inline]
+    pub fn is_element(&self, node: NodeId) -> bool {
+        matches!(self.nodes[node.index()].kind, NodeKind::Element(_))
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// The ordered children of `node`.
+    #[inline]
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].children
+    }
+
+    /// The ordered element children of `node` (text nodes skipped).
+    pub fn element_children(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(node)
+            .iter()
+            .copied()
+            .filter(|&c| self.is_element(c))
+    }
+
+    /// The first child of `node` with tag `tag`, if any.
+    pub fn child_by_tag(&self, node: NodeId, tag: &str) -> Option<NodeId> {
+        self.children(node)
+            .iter()
+            .copied()
+            .find(|&c| self.tag(c) == Some(tag))
+    }
+
+    /// The concatenated PCDATA of `node`'s *direct* text children.
+    ///
+    /// For a string-typed element `l` with `P(l) = S` this is the value of
+    /// the `l` subelement in the sense of the paper's constraints (§2).
+    pub fn text_value(&self, node: NodeId) -> String {
+        let mut out = String::new();
+        for &c in self.children(node) {
+            if let Some(text) = self.text(c) {
+                out.push_str(text);
+            }
+        }
+        out
+    }
+
+    /// The value of the `field` subelement of `node`: the PCDATA of the first
+    /// child element tagged `field`, or `None` if there is no such child.
+    pub fn subelement_value(&self, node: NodeId, field: &str) -> Option<String> {
+        self.child_by_tag(node, field).map(|c| self.text_value(c))
+    }
+
+    /// Pre-order traversal of the subtree rooted at `node` (inclusive).
+    pub fn descendants(&self, node: NodeId) -> Descendants<'_> {
+        Descendants {
+            tree: self,
+            stack: vec![node],
+        }
+    }
+
+    /// Pre-order traversal of the whole document.
+    pub fn iter(&self) -> Descendants<'_> {
+        self.descendants(self.root)
+    }
+
+    /// The depth of `node` (root has depth 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        let mut depth = 0;
+        let mut cur = node;
+        while let Some(parent) = self.parent(cur) {
+            depth += 1;
+            cur = parent;
+        }
+        depth
+    }
+
+    /// The maximum depth of any node in the subtree rooted at `node`.
+    pub fn height(&self, node: NodeId) -> usize {
+        self.children(node)
+            .iter()
+            .map(|&c| 1 + self.height(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A `/`-separated tag path from the root to `node` (for diagnostics).
+    pub fn path(&self, node: NodeId) -> String {
+        let mut parts = Vec::new();
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            match &self.nodes[id.index()].kind {
+                NodeKind::Element(tag) => parts.push(tag.clone()),
+                NodeKind::Text(_) => parts.push("#text".to_string()),
+            }
+            cur = self.parent(id);
+        }
+        parts.reverse();
+        format!("/{}", parts.join("/"))
+    }
+
+    /// Counts reachable nodes (elements + text) in the subtree of `node`.
+    pub fn subtree_size(&self, node: NodeId) -> usize {
+        self.descendants(node).count()
+    }
+
+    /// Rewrites the tree, removing every element whose tag satisfies
+    /// `is_internal` by splicing its children into its parent's child list in
+    /// place. Used to erase the synthetic "entity" wrapper elements introduced
+    /// by DTD normalization and the internal computation states of
+    /// specialized AIGs (§3.4): both "serve for computation purpose" only and
+    /// must not appear in the final document.
+    ///
+    /// The root is never removed.
+    pub fn strip_elements(&self, is_internal: impl Fn(&str) -> bool) -> XmlTree {
+        let mut out = XmlTree::new(match self.kind(self.root) {
+            NodeKind::Element(tag) => tag.clone(),
+            NodeKind::Text(_) => unreachable!("root is always an element"),
+        });
+        let out_root = out.root();
+        self.strip_into(&mut out, out_root, self.root, &is_internal);
+        out
+    }
+
+    fn strip_into(
+        &self,
+        out: &mut XmlTree,
+        out_parent: NodeId,
+        node: NodeId,
+        is_internal: &impl Fn(&str) -> bool,
+    ) {
+        for &child in self.children(node) {
+            match self.kind(child) {
+                NodeKind::Text(text) => {
+                    out.add_text(out_parent, text.clone());
+                }
+                NodeKind::Element(tag) => {
+                    if is_internal(tag) {
+                        // Splice: children of the internal node become
+                        // children of the current output parent.
+                        self.strip_into(out, out_parent, child, is_internal);
+                    } else {
+                        let new = out.add_element(out_parent, tag.clone());
+                        self.strip_into(out, new, child, is_internal);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replaces the child order of `parent`. The new order must be a
+    /// permutation of the current children. Used by the AIG evaluator, which
+    /// evaluates children in dependency order (§3.2) but must emit them in
+    /// document order.
+    pub fn set_children(&mut self, parent: NodeId, order: Vec<NodeId>) {
+        let current = &self.nodes[parent.index()].children;
+        debug_assert_eq!(current.len(), order.len());
+        debug_assert!({
+            let mut a = current.clone();
+            let mut b = order.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b
+        });
+        self.nodes[parent.index()].children = order;
+    }
+
+    /// Returns a copy in which the children of every element whose tag
+    /// satisfies `is_star_parent` are sorted by their serialized content.
+    /// Star children carry no inherent document order across evaluation
+    /// strategies (the paper's optimized pipeline emits them by sort-merging
+    /// key paths, §5.1), so comparisons between the conceptual and the
+    /// set-oriented evaluator are made on this canonical form.
+    pub fn sort_star_children(&self, is_star_parent: impl Fn(&str) -> bool) -> XmlTree {
+        let mut out = self.clone();
+        for node in 0..out.nodes.len() {
+            let id = NodeId(node as u32);
+            let sort = match &out.nodes[node].kind {
+                NodeKind::Element(tag) => is_star_parent(tag),
+                NodeKind::Text(_) => false,
+            };
+            if sort {
+                let mut children = out.nodes[node].children.clone();
+                children.sort_by_cached_key(|&c| {
+                    let mut s = String::new();
+                    serialize_subtree(&out, c, &mut s);
+                    s
+                });
+                out.nodes[node].children = children;
+            }
+            let _ = id;
+        }
+        out
+    }
+
+    /// Structural equality of the subtrees rooted at `a` (in `self`) and `b`
+    /// (in `other`): same tags, same text, same child order.
+    pub fn subtree_eq(&self, a: NodeId, other: &XmlTree, b: NodeId) -> bool {
+        match (self.kind(a), other.kind(b)) {
+            (NodeKind::Text(x), NodeKind::Text(y)) => x == y,
+            (NodeKind::Element(x), NodeKind::Element(y)) => {
+                x == y
+                    && self.children(a).len() == other.children(b).len()
+                    && self
+                        .children(a)
+                        .iter()
+                        .zip(other.children(b))
+                        .all(|(&ca, &cb)| self.subtree_eq(ca, other, cb))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq for XmlTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.subtree_eq(self.root, other, other.root)
+    }
+}
+
+impl Eq for XmlTree {}
+
+fn serialize_subtree(tree: &XmlTree, node: NodeId, out: &mut String) {
+    match tree.kind(node) {
+        NodeKind::Text(text) => out.push_str(text),
+        NodeKind::Element(tag) => {
+            out.push('<');
+            out.push_str(tag);
+            out.push('>');
+            for &c in tree.children(node) {
+                serialize_subtree(tree, c, out);
+            }
+            out.push_str("</>");
+        }
+    }
+}
+
+/// Pre-order iterator over a subtree. See [`XmlTree::descendants`].
+pub struct Descendants<'a> {
+    tree: &'a XmlTree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let node = self.stack.pop()?;
+        // Push children in reverse so they pop in document order.
+        for &c in self.tree.children(node).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (XmlTree, NodeId, NodeId) {
+        let mut t = XmlTree::new("report");
+        let p = t.add_element(t.root(), "patient");
+        let ssn = t.add_element(p, "SSN");
+        t.add_text(ssn, "123-45-6789");
+        (t, p, ssn)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (t, p, ssn) = sample();
+        assert_eq!(t.tag(t.root()), Some("report"));
+        assert_eq!(t.parent(p), Some(t.root()));
+        assert_eq!(t.parent(t.root()), None);
+        assert_eq!(t.children(t.root()), &[p]);
+        assert_eq!(t.tag(ssn), Some("SSN"));
+        assert!(t.is_element(p));
+        assert!(!t.is_element(t.children(ssn)[0]));
+    }
+
+    #[test]
+    fn text_value_concatenates_direct_text() {
+        let mut t = XmlTree::new("a");
+        let b = t.add_element(t.root(), "b");
+        t.add_text(b, "he");
+        t.add_text(b, "llo");
+        let c = t.add_element(b, "c");
+        t.add_text(c, "IGNORED");
+        assert_eq!(t.text_value(b), "hello");
+        assert_eq!(t.subelement_value(t.root(), "b").as_deref(), Some("hello"));
+        assert_eq!(t.subelement_value(t.root(), "zzz"), None);
+    }
+
+    #[test]
+    fn preorder_iteration_in_document_order() {
+        let (t, _, _) = sample();
+        let tags: Vec<String> = t
+            .iter()
+            .map(|n| match t.kind(n) {
+                NodeKind::Element(tag) => tag.clone(),
+                NodeKind::Text(_) => "#text".to_string(),
+            })
+            .collect();
+        assert_eq!(tags, vec!["report", "patient", "SSN", "#text"]);
+    }
+
+    #[test]
+    fn depth_height_path() {
+        let (t, p, ssn) = sample();
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.depth(ssn), 2);
+        assert_eq!(t.height(t.root()), 3);
+        assert_eq!(t.path(p), "/report/patient");
+    }
+
+    #[test]
+    fn strip_elements_splices_children() {
+        let mut t = XmlTree::new("r");
+        let st = t.add_element(t.root(), "__st");
+        let a = t.add_element(st, "a");
+        t.add_text(a, "x");
+        t.add_element(t.root(), "b");
+
+        let stripped = t.strip_elements(|tag| tag.starts_with("__"));
+        let tags: Vec<Option<&str>> = stripped
+            .children(stripped.root())
+            .iter()
+            .map(|&c| stripped.tag(c))
+            .collect();
+        assert_eq!(tags, vec![Some("a"), Some("b")]);
+        let a2 = stripped.children(stripped.root())[0];
+        assert_eq!(stripped.text_value(a2), "x");
+    }
+
+    #[test]
+    fn strip_never_removes_root() {
+        let t = XmlTree::new("r");
+        let stripped = t.strip_elements(|_| true);
+        assert_eq!(stripped.tag(stripped.root()), Some("r"));
+    }
+
+    #[test]
+    fn tree_equality_is_structural() {
+        let (t1, _, _) = sample();
+        let (t2, _, _) = sample();
+        assert_eq!(t1, t2);
+        let mut t3 = t2.clone();
+        t3.add_element(t3.root(), "extra");
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn set_children_reorders() {
+        let mut t = XmlTree::new("r");
+        let a = t.add_element(t.root(), "a");
+        let b = t.add_element(t.root(), "b");
+        t.set_children(t.root(), vec![b, a]);
+        let tags: Vec<&str> = t
+            .children(t.root())
+            .iter()
+            .filter_map(|&c| t.tag(c))
+            .collect();
+        assert_eq!(tags, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn sort_star_children_is_canonical() {
+        // Children of `list` sort by content; `pair`'s (sequence) order is
+        // untouched.
+        let mut t = XmlTree::new("list");
+        for v in ["zeta", "alpha", "mid"] {
+            let e = t.add_element(t.root(), "entry");
+            let pair = t.add_element(e, "pair");
+            t.add_text(pair, v);
+        }
+        let sorted = t.sort_star_children(|tag| tag == "list");
+        let values: Vec<String> = sorted
+            .element_children(sorted.root())
+            .map(|e| {
+                let pair = sorted.children(e)[0];
+                sorted.text_value(pair)
+            })
+            .collect();
+        assert_eq!(values, vec!["alpha", "mid", "zeta"]);
+        // Sorting twice is idempotent.
+        let twice = sorted.sort_star_children(|tag| tag == "list");
+        assert_eq!(twice, sorted);
+        // Non-star parents keep their order.
+        let untouched = t.sort_star_children(|_| false);
+        assert_eq!(untouched, t);
+    }
+
+    #[test]
+    fn subtree_size_counts_elements_and_text() {
+        let (t, p, _) = sample();
+        assert_eq!(t.subtree_size(t.root()), 4);
+        assert_eq!(t.subtree_size(p), 3);
+    }
+}

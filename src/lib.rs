@@ -1,0 +1,83 @@
+//! # aig-integration
+//!
+//! A Rust implementation of **Attribute Integration Grammars** from
+//! *"Capturing both Types and Constraints in Data Integration"*
+//! (Benedikt, Chan, Fan, Freire, Rastogi — SIGMOD 2003): integrating data
+//! from multiple relational sources into an XML document that is guaranteed
+//! to conform to a DTD *and* satisfy XML keys and inclusion constraints.
+//!
+//! ```
+//! use aig_integration::prelude::*;
+//!
+//! let aig = Aig::parse(r#"
+//!     aig demo {
+//!       dtd {
+//!         <!ELEMENT list (entry*)>
+//!         <!ELEMENT entry (#PCDATA)>
+//!       }
+//!       elem list {
+//!         inh(day);
+//!         child entry* from sql { select t.id as val from DB1:items t
+//!                                 where t.day = $day };
+//!       }
+//!     }
+//! "#).unwrap();
+//!
+//! let mut catalog = Catalog::new();
+//! let mut db = Database::new("DB1");
+//! let mut items = Table::new(TableSchema::strings("items", &["id", "day"], &[]));
+//! items.insert(vec![Value::str("i1"), Value::str("mon")]).unwrap();
+//! db.add_table(items).unwrap();
+//! catalog.add_source(db).unwrap();
+//!
+//! let result = evaluate(&aig, &catalog, &[("day", Value::str("mon"))]).unwrap();
+//! assert_eq!(
+//!     aig_integration::xml::serialize::to_string(&result.tree),
+//!     "<list><entry>i1</entry></list>"
+//! );
+//! ```
+//!
+//! The crates re-exported here:
+//!
+//! * [`xml`] — XML trees, DTDs, validation, keys and inclusion constraints;
+//! * [`relstore`] — the in-memory relational substrate (sources, tables,
+//!   statistics);
+//! * [`sql`] — the multi-source SQL subset with a per-source costing API;
+//! * [`core`] — AIG specifications (DSL + builder), the conceptual
+//!   evaluator, constraint compilation, query decomposition, copy
+//!   elimination, and the static analyses;
+//! * [`mediator`] — the optimizing middleware: set-oriented execution,
+//!   scheduling, query merging, recursion unfolding, and tagging;
+//! * [`datagen`] — seeded datasets at the paper's Table 1 cardinalities.
+
+pub use aig_core as core;
+pub use aig_datagen as datagen;
+pub use aig_mediator as mediator;
+pub use aig_relstore as relstore;
+pub use aig_sql as sql;
+pub use aig_xml as xml;
+
+/// The common imports for building and running AIGs.
+pub mod prelude {
+    pub use aig_core::eval::{evaluate, evaluate_with, EvalOptions, Evaluation};
+    pub use aig_core::spec::Aig;
+    pub use aig_core::{analyze, compile_constraints, decompose_queries, parse_aig, AigError};
+    pub use aig_mediator::pipeline::{canonical, run as run_mediator, MediatorOptions};
+    pub use aig_mediator::unfold::CutOff;
+    pub use aig_mediator::{MediatorError, NetworkModel};
+    pub use aig_relstore::{Catalog, Database, Relation, Table, TableSchema, Value};
+    pub use aig_xml::{validate, Constraint, ConstraintSet, Dtd, XmlTree};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let aig = aig_core::paper::sigma0().unwrap();
+        let catalog = aig_core::paper::mini_hospital_catalog().unwrap();
+        let result = evaluate(&aig, &catalog, &[("date", Value::str("d1"))]).unwrap();
+        validate(&result.tree, &aig.dtd).unwrap();
+    }
+}

@@ -1,0 +1,319 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * XML serializer ↔ parser round-trip;
+//! * DTD normalization: documents generated against the normalized DTD,
+//!   stripped of synthetic entities, conform to the original general DTD;
+//! * compiled constraint guards agree with the whole-tree oracle on
+//!   randomly corrupted data;
+//! * the conceptual evaluator and the mediator agree on random datasets.
+
+use aig_integration::core::paper::{empty_hospital_catalog, sigma0};
+use aig_integration::core::{compile_constraints, AigError};
+use aig_integration::datagen::HospitalConfig;
+use aig_integration::prelude::*;
+use aig_integration::xml::dtd::{ContentModel, Dtd, GeneralDtd, Regex};
+use aig_integration::xml::{parse, serialize, validate_general, XmlTree};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Serializer round-trip
+// ---------------------------------------------------------------------------
+
+/// A random tree builder: nested tag/text instructions.
+#[derive(Debug, Clone)]
+enum Piece {
+    Text(String),
+    Elem(String, Vec<Piece>),
+}
+
+fn tag_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes the characters that need escaping; excludes whitespace-only
+    // strings (the parser drops inter-element formatting whitespace).
+    "[ -~]{1,12}".prop_filter("non-blank", |s| s.chars().any(|c| !c.is_whitespace()))
+}
+
+fn piece_strategy() -> impl Strategy<Value = Piece> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(Piece::Text),
+        tag_strategy().prop_map(|t| Piece::Elem(t, Vec::new())),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (tag_strategy(), prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, children)| Piece::Elem(tag, children))
+    })
+}
+
+fn build(tree: &mut XmlTree, parent: aig_integration::xml::NodeId, piece: &Piece) {
+    match piece {
+        Piece::Text(text) => {
+            tree.add_text(parent, text.clone());
+        }
+        Piece::Elem(tag, children) => {
+            let node = tree.add_element(parent, tag.clone());
+            for c in children {
+                build(tree, node, c);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialize_parse_round_trip(pieces in prop::collection::vec(piece_strategy(), 0..5)) {
+        let mut tree = XmlTree::new("root");
+        let root = tree.root();
+        for p in &pieces {
+            build(&mut tree, root, p);
+        }
+        // Adjacent text nodes coalesce through parsing, so the invariant is
+        // a serialization fixpoint: serialize ∘ parse ∘ serialize = serialize.
+        let text = serialize::to_string(&tree);
+        let parsed = parse::parse(&text).unwrap();
+        prop_assert_eq!(serialize::to_string(&parsed), text.clone());
+        // Parsing is then a true inverse on the parsed (normalized) tree.
+        prop_assert_eq!(&parse::parse(&serialize::to_string(&parsed)).unwrap(), &parsed);
+        // Pretty printing keeps PCDATA intact only when each text node is an
+        // only child (otherwise indentation whitespace joins the text — the
+        // standard XML pretty-printing caveat); round-trip those cases.
+        let pretty_safe = parsed.iter().all(|n| {
+            parsed.is_element(n)
+                || parsed
+                    .parent(n)
+                    .map(|p| parsed.children(p).len() == 1)
+                    .unwrap_or(true)
+        });
+        if pretty_safe {
+            let pretty = serialize::to_pretty_string(&parsed);
+            let reparsed = parse::parse(&pretty).unwrap();
+            prop_assert_eq!(serialize::to_string(&reparsed), text);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DTD normalization
+// ---------------------------------------------------------------------------
+
+/// A small random general DTD over elements e0..e4 with regex content.
+fn regex_strategy(names: Vec<String>) -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        prop::sample::select(names).prop_map(Regex::Elem),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Seq),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Choice),
+            inner.clone().prop_map(|r| Regex::Star(Box::new(r))),
+            inner.clone().prop_map(|r| Regex::Opt(Box::new(r))),
+            inner.prop_map(|r| Regex::Plus(Box::new(r))),
+        ]
+    })
+}
+
+/// Generates a random document conforming to a *restricted* DTD, bounding
+/// star repetitions and recursion depth.
+/// Returns false when the (possibly recursive) DTD cannot be filled within
+/// the depth/size budget — those cases are skipped by the property.
+fn generate_doc(
+    dtd: &Dtd,
+    elem: aig_integration::xml::ElemId,
+    tree: &mut XmlTree,
+    node: aig_integration::xml::NodeId,
+    depth: usize,
+    budget: &mut usize,
+) -> bool {
+    if depth > 24 || *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    match dtd.production(elem) {
+        ContentModel::Pcdata => {
+            tree.add_text(node, "x");
+            true
+        }
+        ContentModel::Empty => true,
+        ContentModel::Seq(items) => {
+            for &c in items.clone().iter() {
+                let child = tree.add_element(node, dtd.name(c).to_string());
+                if !generate_doc(dtd, c, tree, child, depth + 1, budget) {
+                    return false;
+                }
+            }
+            true
+        }
+        ContentModel::Choice(branches) => {
+            let pick = branches[depth % branches.len()];
+            let child = tree.add_element(node, dtd.name(pick).to_string());
+            generate_doc(dtd, pick, tree, child, depth + 1, budget)
+        }
+        ContentModel::Star(inner) => {
+            let reps = if depth > 8 || *budget < 10 {
+                0
+            } else {
+                1 + depth % 2
+            };
+            let inner = *inner;
+            for _ in 0..reps {
+                let child = tree.add_element(node, dtd.name(inner).to_string());
+                if !generate_doc(dtd, inner, tree, child, depth + 1, budget) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn normalized_documents_conform_to_the_general_dtd(
+        models in prop::collection::vec(
+            regex_strategy(vec!["e1".into(), "e2".into(), "e3".into()]),
+            4,
+        )
+    ) {
+        // e0 is the root; e1..e3 are the referenced elements (e3 is PCDATA).
+        let decls = vec![
+            ("e0".to_string(), models[0].clone()),
+            ("e1".to_string(), models[1].clone()),
+            ("e2".to_string(), models[2].clone()),
+            ("e3".to_string(), Regex::Pcdata),
+        ];
+        let general = GeneralDtd { decls, root: "e0".to_string() };
+        let normalized = general.normalize().unwrap().dtd;
+
+        // Generate against the normalized DTD, then strip the synthetic
+        // entity wrappers and check general conformance (the paper's
+        // linear-time back-conversion claim, §2).
+        let mut tree = XmlTree::new("e0");
+        let root = tree.root();
+        let mut budget = 400usize;
+        let ok = generate_doc(&normalized, normalized.root(), &mut tree, root, 0, &mut budget);
+        prop_assume!(ok); // skip cases the bounded generator cannot fill
+
+        prop_assert!(aig_integration::xml::validate(&tree, &normalized).is_ok());
+        let stripped = tree.strip_elements(Dtd::is_synthetic);
+        if let Err(e) = validate_general(&stripped, &general) {
+            prop_assert!(false, "stripped document fails general DTD: {e}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guards vs oracle on corrupted data
+// ---------------------------------------------------------------------------
+
+fn corrupt_billing(seed: u64, drop: bool, duplicate: bool) -> Catalog {
+    let data = HospitalConfig::tiny(seed).generate().unwrap();
+    let mut catalog = empty_hospital_catalog();
+    for db in ["DB1", "DB2", "DB4"] {
+        let src = data.catalog.source_id(db).unwrap();
+        let dst = catalog.source_id(db).unwrap();
+        for table in data.catalog.source(src).table_names() {
+            let rows = data
+                .catalog
+                .source(src)
+                .table(table)
+                .unwrap()
+                .rows()
+                .to_vec();
+            let t = catalog.source_mut(dst).table_mut(table).unwrap();
+            for row in rows {
+                t.insert(row).unwrap();
+            }
+        }
+    }
+    let dst = catalog.source_id("DB3").unwrap();
+    *catalog.source_mut(dst) = Database::new("DB3");
+    let mut billing = Table::new(TableSchema::strings("billing", &["trId", "price"], &[]));
+    let src = data.catalog.source_id("DB3").unwrap();
+    let rows = data
+        .catalog
+        .source(src)
+        .table("billing")
+        .unwrap()
+        .rows()
+        .to_vec();
+    for (i, row) in rows.iter().enumerate() {
+        if drop && i == 0 {
+            continue; // unbilled treatment: inclusion constraint may break
+        }
+        billing.insert(row.clone()).unwrap();
+        if duplicate && i == 1 {
+            billing
+                .insert(vec![row[0].clone(), Value::str("999")])
+                .unwrap(); // duplicate trId: key may break
+        }
+    }
+    catalog.source_mut(dst).add_table(billing).unwrap();
+    catalog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compiled_guards_agree_with_the_oracle(
+        seed in 0u64..500,
+        drop in any::<bool>(),
+        duplicate in any::<bool>(),
+        date_idx in 0usize..4,
+    ) {
+        let aig = sigma0().unwrap();
+        let compiled = compile_constraints(&aig).unwrap();
+        let catalog = corrupt_billing(seed, drop, duplicate);
+        let data = HospitalConfig::tiny(seed).generate().unwrap();
+        let date = &data.dates[date_idx];
+        let args = [("date", Value::str(date))];
+
+        let oracle_ok = evaluate(&aig, &catalog, &args)
+            .map(|r| aig.constraints.satisfied(&r.tree))
+            .unwrap();
+        let guarded = evaluate(&compiled, &catalog, &args);
+        match guarded {
+            Ok(result) => {
+                prop_assert!(oracle_ok, "guards passed but the oracle found a violation");
+                prop_assert!(aig.constraints.satisfied(&result.tree));
+            }
+            Err(AigError::ConstraintViolation { .. }) => {
+                prop_assert!(!oracle_ok, "guards aborted but the oracle found no violation");
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conceptual ≡ mediator on random datasets
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mediator_agrees_with_conceptual_evaluation(
+        seed in 0u64..1000,
+        date_idx in 0usize..4,
+    ) {
+        let aig = sigma0().unwrap();
+        let data = HospitalConfig::tiny(seed).generate().unwrap();
+        let date = &data.dates[date_idx];
+        let args = [("date", Value::str(date))];
+        let reference = evaluate(&aig, &data.catalog, &args).unwrap();
+        let options = MediatorOptions { max_depth: 128, ..MediatorOptions::default() };
+        let run = run_mediator(&aig, &data.catalog, &args, &options).unwrap();
+        prop_assert_eq!(
+            canonical(&aig, &run.tree),
+            canonical(&aig, &reference.tree)
+        );
+    }
+}

@@ -1,17 +1,16 @@
-//! Criterion benchmarks for the conceptual (per-tuple) evaluation (§3.2):
-//! the semantic reference the set-oriented mediator is measured against,
-//! with and without compiled constraint guards.
+//! Micro-benchmarks for the conceptual (per-tuple) evaluation (§3.2): the
+//! semantic reference the set-oriented mediator is measured against, with
+//! and without compiled constraint guards.
 
+use aig_bench::microbench::{black_box, run};
 use aig_bench::spec;
 use aig_core::compile_constraints;
 use aig_core::eval::{evaluate_with, EvalOptions};
 use aig_core::paper::mini_hospital_catalog;
 use aig_datagen::HospitalConfig;
 use aig_relstore::Value;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn conceptual_benches(c: &mut Criterion) {
+fn main() {
     let aig = spec();
     let compiled = compile_constraints(&aig).unwrap();
     let mini = mini_hospital_catalog().unwrap();
@@ -22,46 +21,30 @@ fn conceptual_benches(c: &mut Criterion) {
         ..EvalOptions::default()
     };
 
-    c.bench_function("conceptual_sigma0_mini", |b| {
-        b.iter(|| {
-            black_box(
-                evaluate_with(&aig, &mini, &[("date", Value::str("d1"))], &no_guards).unwrap(),
-            )
-        })
+    run("conceptual_sigma0_mini", || {
+        black_box(evaluate_with(&aig, &mini, &[("date", Value::str("d1"))], &no_guards).unwrap())
     });
-    c.bench_function("conceptual_sigma0_tiny_generated", |b| {
-        let date = Value::str(&generated.dates[0]);
-        b.iter(|| {
-            black_box(
-                evaluate_with(
-                    &aig,
-                    &generated.catalog,
-                    &[("date", date.clone())],
-                    &no_guards,
-                )
-                .unwrap(),
+    let date = Value::str(&generated.dates[0]);
+    run("conceptual_sigma0_tiny_generated", || {
+        black_box(
+            evaluate_with(
+                &aig,
+                &generated.catalog,
+                &[("date", date.clone())],
+                &no_guards,
             )
-        })
+            .unwrap(),
+        )
     });
-    c.bench_function("conceptual_sigma0_tiny_guarded", |b| {
-        let date = Value::str(&generated.dates[0]);
-        b.iter(|| {
-            black_box(
-                evaluate_with(
-                    &compiled,
-                    &generated.catalog,
-                    &[("date", date.clone())],
-                    &opts,
-                )
-                .unwrap(),
+    run("conceptual_sigma0_tiny_guarded", || {
+        black_box(
+            evaluate_with(
+                &compiled,
+                &generated.catalog,
+                &[("date", date.clone())],
+                &opts,
             )
-        })
+            .unwrap(),
+        )
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = conceptual_benches
-}
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the optimization phase: Algorithm
-//! `Schedule` (§5.3) and Algorithm `Merge` (§5.4) on σ0's dependency graph
-//! (small dataset, unfold 3) — the compile-time cost the paper bounds at
-//! O(n^5).
+//! Micro-benchmarks for the optimization phase: Algorithm `Schedule` (§5.3)
+//! and Algorithm `Merge` (§5.4) on σ0's dependency graph (small dataset,
+//! unfold 3) — the compile-time cost the paper bounds at O(n^5).
 
+use aig_bench::microbench::{black_box, run};
 use aig_bench::{dataset, fig10_options, spec};
 use aig_core::{compile_constraints, decompose_queries};
 use aig_datagen::DatasetSize;
@@ -13,10 +13,8 @@ use aig_mediator::merge::merge;
 use aig_mediator::schedule::schedule;
 use aig_mediator::unfold::unfold;
 use aig_relstore::Value;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn optimizer_benches(c: &mut Criterion) {
+fn main() {
     let aig = spec();
     let data = dataset(DatasetSize::Small);
     let options = fig10_options(3, 1.0);
@@ -35,20 +33,13 @@ fn optimizer_benches(c: &mut Criterion) {
     let costs = measured_costs(&graph, &exec.measured, 1.0, 10.0);
     let cg = CostGraph::from_task_graph(&graph, &costs).contract_passthrough();
 
-    c.bench_function("schedule_sigma0_small_u3", |b| {
-        b.iter(|| black_box(schedule(black_box(&cg), &options.network)))
+    run("schedule_sigma0_small_u3", || {
+        black_box(schedule(black_box(&cg), &options.network))
     });
-    c.bench_function("merge_sigma0_small_u3", |b| {
-        b.iter(|| black_box(merge(black_box(&cg), &options.network, 1.0)))
+    run("merge_sigma0_small_u3", || {
+        black_box(merge(black_box(&cg), &options.network, 1.0))
     });
-    c.bench_function("graph_build_sigma0_small_u3", |b| {
-        b.iter(|| black_box(build_graph(&unfolded.aig, &data.catalog, &options.graph).unwrap()))
+    run("graph_build_sigma0_small_u3", || {
+        black_box(build_graph(&unfolded.aig, &data.catalog, &options.graph).unwrap())
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = optimizer_benches
-}
-criterion_main!(benches);

@@ -1,14 +1,13 @@
-//! Criterion benchmarks for the per-source SQL engine: the multi-source Q2
+//! Micro-benchmarks for the per-source SQL engine: the multi-source Q2
 //! join of Fig. 2 and the set-oriented IN query Q4, on the Small dataset.
 
 use aig_bench::dataset;
+use aig_bench::microbench::{black_box, run};
 use aig_datagen::DatasetSize;
 use aig_relstore::{Relation, Value};
 use aig_sql::{execute, ParamValue, Params, Query};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn sql_benches(c: &mut Criterion) {
+fn main() {
     let data = dataset(DatasetSize::Small);
     let q2 = Query::parse(
         "select distinct t.trId as trId, t.tname as tname \
@@ -40,20 +39,13 @@ fn sql_benches(c: &mut Criterion) {
     let mut scan_params = Params::new();
     scan_params.insert("date".into(), ParamValue::scalar(data.dates[0].as_str()));
 
-    c.bench_function("sql_q2_three_way_join", |b| {
-        b.iter(|| black_box(execute(&q2, &data.catalog, &q2_params).unwrap()))
+    run("sql_q2_three_way_join", || {
+        black_box(execute(&q2, &data.catalog, &q2_params).unwrap())
     });
-    c.bench_function("sql_q4_in_set", |b| {
-        b.iter(|| black_box(execute(&q4, &data.catalog, &q4_params).unwrap()))
+    run("sql_q4_in_set", || {
+        black_box(execute(&q4, &data.catalog, &q4_params).unwrap())
     });
-    c.bench_function("sql_filtered_scan", |b| {
-        b.iter(|| black_box(execute(&scan, &data.catalog, &scan_params).unwrap()))
+    run("sql_filtered_scan", || {
+        black_box(execute(&scan, &data.catalog, &scan_params).unwrap())
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(50);
-    targets = sql_benches
-}
-criterion_main!(benches);

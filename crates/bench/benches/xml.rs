@@ -1,17 +1,15 @@
-//! Criterion benchmarks for the XML substrate: DTD validation, the
-//! whole-tree constraint oracle, and serialization, over a generated σ0
-//! report.
+//! Micro-benchmarks for the XML substrate: DTD validation, the whole-tree
+//! constraint oracle, and serialization, over a generated σ0 report.
 
+use aig_bench::microbench::{black_box, run};
 use aig_bench::spec;
 use aig_core::eval::evaluate;
 use aig_datagen::HospitalConfig;
 use aig_relstore::Value;
 use aig_xml::serialize::to_string;
 use aig_xml::validate;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn xml_benches(c: &mut Criterion) {
+fn main() {
     let aig = spec();
     let data = HospitalConfig::tiny(5).generate().unwrap();
     let date = Value::str(&data.dates[0]);
@@ -19,27 +17,17 @@ fn xml_benches(c: &mut Criterion) {
         .unwrap()
         .tree;
 
-    c.bench_function("xml_validate_report", |b| {
-        b.iter(|| {
-            validate(black_box(&tree), &aig.dtd).unwrap();
-            black_box(())
-        })
+    run("xml_validate_report", || {
+        validate(black_box(&tree), &aig.dtd).unwrap();
     });
-    c.bench_function("xml_constraint_oracle", |b| {
-        b.iter(|| black_box(aig.constraints.check(black_box(&tree))))
+    run("xml_constraint_oracle", || {
+        black_box(aig.constraints.check(black_box(&tree)))
     });
-    c.bench_function("xml_serialize_report", |b| {
-        b.iter(|| black_box(to_string(black_box(&tree))))
+    run("xml_serialize_report", || {
+        black_box(to_string(black_box(&tree)))
     });
-    c.bench_function("xml_parse_report", |b| {
-        let text = to_string(&tree);
-        b.iter(|| black_box(aig_xml::parse::parse(black_box(&text)).unwrap()))
+    let text = to_string(&tree);
+    run("xml_parse_report", || {
+        black_box(aig_xml::parse::parse(black_box(&text)).unwrap())
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(50);
-    targets = xml_benches
-}
-criterion_main!(benches);

@@ -2,8 +2,10 @@
 //! 1 Mbps; this sweep shows how the gain shifts as communication costs
 //! shrink relative to per-query overheads.
 
-use aig_bench::{dataset, fig10_cell, markdown_table, spec};
+use aig_bench::{dataset, fig10_cell, markdown_table, spec, table_json, write_bench_json, Json};
 use aig_datagen::DatasetSize;
+
+const HEADER: [&str; 5] = ["Mbps", "unmerged (s)", "merged (s)", "ratio", "merges"];
 
 fn main() {
     let aig = spec();
@@ -21,11 +23,12 @@ fn main() {
         ]);
     }
     println!("Ablation B: merging gain vs bandwidth (Large, unfold {unfold})\n");
-    println!(
-        "{}",
-        markdown_table(
-            &["Mbps", "unmerged (s)", "merged (s)", "ratio", "merges"],
-            &rows
-        )
+    println!("{}", markdown_table(&HEADER, &rows));
+    write_bench_json(
+        "ablation_bandwidth",
+        &Json::obj(vec![
+            ("unfold", Json::num(unfold as f64)),
+            ("rows", table_json(&HEADER, &rows)),
+        ]),
     );
 }

@@ -3,7 +3,7 @@
 //! checked in parallel with generation, and (c) without guards plus a
 //! whole-tree oracle post-pass.
 
-use aig_bench::{markdown_table, spec};
+use aig_bench::{markdown_table, spec, table_json, write_bench_json, Json};
 use aig_core::compile_constraints;
 use aig_core::eval::{evaluate_with, EvalOptions};
 use aig_datagen::HospitalConfig;
@@ -76,17 +76,16 @@ fn main() {
         ]);
     }
     println!("Ablation C: constraint-checking overhead (conceptual evaluation of σ0)\n");
-    println!(
-        "{}",
-        markdown_table(
-            &[
-                "dataset",
-                "no constraints (s)",
-                "compiled guards (s)",
-                "post-hoc oracle (s)",
-                "guard checks"
-            ],
-            &rows
-        )
+    let header = [
+        "dataset",
+        "no constraints (s)",
+        "compiled guards (s)",
+        "post-hoc oracle (s)",
+        "guard checks",
+    ];
+    println!("{}", markdown_table(&header, &rows));
+    write_bench_json(
+        "ablation_constraints",
+        &Json::obj(vec![("rows", table_json(&header, &rows))]),
     );
 }

@@ -2,7 +2,7 @@
 //! (§3.3), multi-source decomposition (§3.4) and copy elimination (§4) do to
 //! the specification and the task graph.
 
-use aig_bench::{dataset, fig10_options, markdown_table, spec};
+use aig_bench::{dataset, fig10_options, markdown_table, spec, table_json, write_bench_json, Json};
 use aig_core::copyelim::census;
 use aig_core::{compile_constraints, decompose_queries};
 use aig_datagen::DatasetSize;
@@ -69,18 +69,38 @@ fn main() {
             graph.source_query_count.to_string(),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(
-            &[
-                "unfold",
-                "element types",
-                "materialized",
-                "virtual occurrences (copy-eliminated)",
-                "tasks",
-                "source queries"
-            ],
-            &rows
-        )
+    let header = [
+        "unfold",
+        "element types",
+        "materialized",
+        "virtual occurrences (copy-eliminated)",
+        "tasks",
+        "source queries",
+    ];
+    println!("{}", markdown_table(&header, &rows));
+    write_bench_json(
+        "ablation_decompose",
+        &Json::obj(vec![
+            (
+                "census",
+                table_json(
+                    &[
+                        "stage",
+                        "query rules (QSR)",
+                        "copy rules (CSR)",
+                        "constructors",
+                    ],
+                    &census_rows,
+                ),
+            ),
+            (
+                "decomposition",
+                Json::obj(vec![
+                    ("queries_split", Json::num(report.decomposed as f64)),
+                    ("states_added", Json::num(report.states_added as f64)),
+                ]),
+            ),
+            ("graph_growth", table_json(&header, &rows)),
+        ]),
     );
 }

@@ -4,7 +4,7 @@
 //! pay the actual costs. Estimates are perturbed by a seeded multiplicative
 //! noise factor to model mis-estimation.
 
-use aig_bench::{dataset, fig10_options, markdown_table, spec};
+use aig_bench::{dataset, fig10_options, markdown_table, spec, table_json, write_bench_json, Json};
 use aig_core::{compile_constraints, decompose_queries};
 use aig_datagen::DatasetSize;
 use aig_mediator::cost::{measured_costs, CostGraph};
@@ -12,9 +12,9 @@ use aig_mediator::exec::{execute_graph, ExecOptions};
 use aig_mediator::graph::build_graph;
 use aig_mediator::schedule::{dynamic_response_time, static_response_on_actuals};
 use aig_mediator::unfold::unfold;
+use aig_prng::rngs::StdRng;
+use aig_prng::{Rng, SeedableRng};
 use aig_relstore::Value;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let aig = spec();
@@ -61,16 +61,18 @@ fn main() {
     }
     println!("Ablation E: static vs dynamic scheduling under estimate noise");
     println!("(σ0, Medium, unfold {unfold_depth}, 1 Mbps, no merging)\n");
-    println!(
-        "{}",
-        markdown_table(
-            &[
-                "estimate noise",
-                "static (s)",
-                "dynamic (s)",
-                "static / dynamic"
-            ],
-            &rows
-        )
+    let header = [
+        "estimate noise",
+        "static (s)",
+        "dynamic (s)",
+        "static / dynamic",
+    ];
+    println!("{}", markdown_table(&header, &rows));
+    write_bench_json(
+        "ablation_dynamic",
+        &Json::obj(vec![
+            ("unfold", Json::num(unfold_depth as f64)),
+            ("rows", table_json(&header, &rows)),
+        ]),
     );
 }

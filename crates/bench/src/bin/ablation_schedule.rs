@@ -2,7 +2,7 @@
 //! order. Reports the simulated response time of both plans (no merging), so
 //! the benefit of criticality-driven ordering is isolated.
 
-use aig_bench::{dataset, fig10_options, markdown_table, spec};
+use aig_bench::{dataset, fig10_options, markdown_table, spec, table_json, write_bench_json, Json};
 use aig_core::{compile_constraints, decompose_queries};
 use aig_datagen::DatasetSize;
 use aig_mediator::cost::{measured_costs, response_time, CostGraph};
@@ -49,11 +49,13 @@ fn main() {
     }
     println!("Ablation A: list scheduling (Fig. 8) vs naive topological order");
     println!("(σ0, unfold {unfold_depth}, 1 Mbps, no merging)\n");
-    println!(
-        "{}",
-        markdown_table(
-            &["dataset", "naive (s)", "Schedule (s)", "naive / Schedule"],
-            &rows
-        )
+    let header = ["dataset", "naive (s)", "Schedule (s)", "naive / Schedule"];
+    println!("{}", markdown_table(&header, &rows));
+    write_bench_json(
+        "ablation_schedule",
+        &Json::obj(vec![
+            ("unfold", Json::num(unfold_depth as f64)),
+            ("rows", table_json(&header, &rows)),
+        ]),
     );
 }

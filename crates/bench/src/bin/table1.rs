@@ -2,8 +2,18 @@
 //! tables for the small/medium/large datasets, plus the procedure self-join
 //! sizes the paper quotes for Large (§6).
 
-use aig_bench::{dataset, markdown_table};
+use aig_bench::{dataset, markdown_table, table_json, write_bench_json, Json};
 use aig_datagen::DatasetSize;
+
+const HEADER: [&str; 7] = [
+    "dataset",
+    "patient",
+    "visitInfo",
+    "cover",
+    "billing",
+    "treatment",
+    "procedure",
+];
 
 fn main() {
     let mut rows = Vec::new();
@@ -29,23 +39,18 @@ fn main() {
         }
     }
     println!("Table 1: cardinalities of tables for different datasets\n");
-    println!(
-        "{}",
-        markdown_table(
-            &[
-                "dataset",
-                "patient",
-                "visitInfo",
-                "cover",
-                "billing",
-                "treatment",
-                "procedure"
-            ],
-            &rows
-        )
-    );
+    println!("{}", markdown_table(&HEADER, &rows));
+    let mut json = vec![("cardinalities", table_json(&HEADER, &rows))];
     if let Some((j3, j4)) = large_joins {
         println!("procedure self-joins (Large): 3-way = {j3}, 4-way = {j4}");
         println!("(paper: 3-way = 4055, 4-way = 6837)");
+        json.push((
+            "procedure_self_joins_large",
+            Json::obj(vec![
+                ("three_way", Json::num(j3 as f64)),
+                ("four_way", Json::num(j4 as f64)),
+            ]),
+        ));
     }
+    write_bench_json("table1", &Json::obj(json));
 }

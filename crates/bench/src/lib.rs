@@ -14,10 +14,12 @@
 use aig_core::paper::sigma0;
 use aig_core::spec::Aig;
 use aig_datagen::{DatasetSize, HospitalConfig, HospitalData};
-use aig_mediator::pipeline::{run, MediatorOptions, MediatorRun};
+use aig_mediator::pipeline::{run_with_report, MediatorOptions, MediatorRun};
 use aig_mediator::unfold::CutOff;
-use aig_mediator::NetworkModel;
+use aig_mediator::{NetworkModel, RunReport};
 use aig_relstore::Value;
+
+pub use aig_mediator::Json;
 
 /// Generates a dataset of the given size (Table 1 cardinalities).
 pub fn dataset(size: DatasetSize) -> HospitalData {
@@ -56,16 +58,37 @@ pub fn fig10_options(unfold: usize, mbps: f64) -> MediatorOptions {
 }
 
 /// One cell of Fig. 10: the ratio of evaluation time without merging to the
-/// time with merging.
+/// time with merging, plus the full observability record of the run.
 pub struct Fig10Cell {
     pub size: DatasetSize,
     pub unfold: usize,
     pub run: MediatorRun,
+    pub report: RunReport,
 }
 
 impl Fig10Cell {
     pub fn ratio(&self) -> f64 {
         self.run.merging_speedup()
+    }
+
+    /// Machine-readable summary of the cell (without the full run report).
+    pub fn summary_json(&self) -> Json {
+        Json::obj(vec![
+            ("dataset", Json::str(self.size.name())),
+            ("unfold", Json::num(self.unfold as f64)),
+            ("ratio", Json::num(self.ratio())),
+            ("tasks", Json::num(self.run.tasks as f64)),
+            ("source_queries", Json::num(self.run.source_queries as f64)),
+            ("merges", Json::num(self.run.merges as f64)),
+            (
+                "response_unmerged_secs",
+                Json::num(self.run.response_unmerged_secs),
+            ),
+            (
+                "response_merged_secs",
+                Json::num(self.run.response_merged_secs),
+            ),
+        ])
     }
 }
 
@@ -79,9 +102,105 @@ pub fn fig10_cell(
 ) -> Fig10Cell {
     let date = &data.dates[0];
     let options = fig10_options(unfold, mbps);
-    let run =
-        run(aig, &data.catalog, &[("date", Value::str(date))], &options).expect("mediator run");
-    Fig10Cell { size, unfold, run }
+    let (run, report) =
+        run_with_report(aig, &data.catalog, &[("date", Value::str(date))], &options)
+            .expect("mediator run");
+    Fig10Cell {
+        size,
+        unfold,
+        run,
+        report,
+    }
+}
+
+/// Converts a rendered table into JSON: one object per row, keyed by the
+/// column headers (numeric-looking cells stay strings — consumers parse).
+pub fn table_json(header: &[&str], rows: &[Vec<String>]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| {
+                Json::Obj(
+                    header
+                        .iter()
+                        .zip(row)
+                        .map(|(k, v)| (k.to_string(), Json::str(v.clone())))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Writes `json` (pretty-printed) to `BENCH_<name>.json` in the current
+/// directory and reports the path on stdout.
+pub fn write_bench_json(name: &str, json: &Json) {
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, json.to_pretty() + "\n").expect("write bench json");
+    println!("wrote {path}");
+}
+
+/// A minimal micro-benchmark harness (the registry-free stand-in for
+/// Criterion): warms up, runs timed batches until a wall-clock budget is
+/// spent, and reports mean/min per-iteration times.
+pub mod microbench {
+    pub use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// One benchmark's timing summary.
+    #[derive(Debug, Clone)]
+    pub struct Sample {
+        pub name: String,
+        pub iters: u64,
+        pub mean_ns: f64,
+        pub min_ns: f64,
+    }
+
+    impl Sample {
+        pub fn report_line(&self) -> String {
+            format!(
+                "{:<40} {:>12.0} ns/iter (min {:>12.0} ns, {} iters)",
+                self.name, self.mean_ns, self.min_ns, self.iters
+            )
+        }
+    }
+
+    /// Runs `f` repeatedly for ~`budget` and returns the timing summary.
+    pub fn bench<R>(name: &str, budget: Duration, mut f: impl FnMut() -> R) -> Sample {
+        // Warm-up: one untimed call, then calibrate the batch size so each
+        // timed batch is ~1/20 of the budget.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let per_batch = (budget.as_nanos() / 20).max(1);
+        let batch = ((per_batch / once.as_nanos().max(1)) as u64).clamp(1, 1 << 20);
+
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min_ns = f64::INFINITY;
+        while total < budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            min_ns = min_ns.min(elapsed.as_nanos() as f64 / batch as f64);
+            total += elapsed;
+            iters += batch;
+        }
+        Sample {
+            name: name.to_string(),
+            iters,
+            mean_ns: total.as_nanos() as f64 / iters as f64,
+            min_ns,
+        }
+    }
+
+    /// Bench with the default 0.5 s budget, printing the report line.
+    pub fn run<R>(name: &str, f: impl FnMut() -> R) -> Sample {
+        let sample = bench(name, Duration::from_millis(500), f);
+        println!("{}", sample.report_line());
+        sample
+    }
 }
 
 /// Renders a Markdown table.

@@ -1,9 +1,9 @@
 //! The hospital dataset generator (Table 1 of the paper).
 
 use aig_core::paper::empty_hospital_catalog;
+use aig_prng::rngs::StdRng;
+use aig_prng::{Rng, SeedableRng};
 use aig_relstore::{Catalog, StoreError, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// The three dataset sizes of Table 1.

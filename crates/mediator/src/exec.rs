@@ -35,12 +35,20 @@ impl Default for ExecOptions {
     }
 }
 
-/// Measured per-task execution: wall-clock seconds plus actual output size.
+/// Measured per-task execution: wall-clock seconds plus actual input and
+/// output sizes and (for the parallel executor) queue/wait accounting.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Measured {
     pub secs: f64,
     pub out_rows: f64,
     pub out_bytes: f64,
+    /// Rows read from dependency relations (distinct input relations).
+    pub in_rows: f64,
+    /// Seconds the task spent waiting for its inputs before running
+    /// (always zero under the sequential executor).
+    pub wait_secs: f64,
+    /// Offset of the task's start from the beginning of the execution.
+    pub start_secs: f64,
 }
 
 /// Read access to the relations produced so far. The sequential executor
@@ -110,9 +118,12 @@ pub fn execute_graph(
 ) -> Result<ExecResult, MediatorError> {
     let mut store = RelStore::default();
     let mut measured = vec![Measured::default(); graph.tasks.len()];
+    let epoch = Instant::now();
     for &id in &graph.topo {
         let task = &graph.tasks[id];
+        let in_rows = input_rows(task, &store);
         let start = Instant::now();
+        let start_secs = (start - epoch).as_secs_f64();
         let output = {
             let exec = Executor {
                 aig,
@@ -135,9 +146,27 @@ pub fn execute_graph(
             secs,
             out_rows: rows,
             out_bytes: bytes,
+            in_rows,
+            wait_secs: 0.0,
+            start_secs,
         };
     }
     Ok(ExecResult { store, measured })
+}
+
+/// Total rows across the task's distinct input relations (observability
+/// accounting; reads that fail — e.g. a producer with no output — count 0).
+pub(crate) fn input_rows<S: RelSource>(task: &Task, store: &S) -> f64 {
+    let mut seen = HashSet::new();
+    let mut rows = 0.0;
+    for (_, key) in &task.deps {
+        if seen.insert(key) {
+            if let Ok(rel) = store.rel(key) {
+                rows += rel.len() as f64;
+            }
+        }
+    }
+    rows
 }
 
 pub(crate) struct Executor<'a, S: RelSource> {

@@ -4,6 +4,7 @@
 
 use crate::cost::{completion_times, CostGraph, Plan};
 use crate::graph::TaskGraph;
+use crate::obs::RunReport;
 use crate::sim::NetworkModel;
 use aig_relstore::Catalog;
 use std::fmt::Write;
@@ -80,6 +81,70 @@ pub fn render_plan(
     }
     let makespan = done.iter().copied().fold(0.0f64, f64::max);
     let _ = writeln!(out, "  response time: {makespan:.3}s");
+    out
+}
+
+/// Renders a [`RunReport`]: phase timers, per-source aggregates, the merge
+/// decision log, the final plan, and simulated vs. actual totals.
+pub fn render_report(report: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run report: depth {} ({} round{}), {} tasks, {}",
+        report.depth,
+        report.unfold_rounds,
+        if report.unfold_rounds == 1 { "" } else { "s" },
+        report.tasks.len(),
+        if report.parallel_exec {
+            "parallel execution"
+        } else {
+            "sequential execution"
+        },
+    );
+    let _ = writeln!(out, "phases ({:.3}s total)", report.total_secs);
+    for phase in &report.phases {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>9.4}s  (x{}, from {:.4}s)",
+            phase.name, phase.secs, phase.calls, phase.first_start_secs
+        );
+    }
+    let _ = writeln!(out, "sources");
+    for source in &report.sources {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>3} tasks  actual {:.4}s busy  sim {:.3}s busy / {:.3}s idle",
+            source.name, source.tasks, source.busy_secs, source.sim_busy_secs, source.sim_idle_secs
+        );
+    }
+    if !report.merge_decisions.is_empty() {
+        let _ = writeln!(out, "merge decisions");
+        for d in &report.merge_decisions {
+            let _ = writeln!(
+                out,
+                "  @{}: merge tasks {:?} into {:?}  cost {:.3}s -> {:.3}s",
+                d.source, d.absorbed, d.kept, d.cost_before_secs, d.cost_after_secs
+            );
+        }
+    }
+    let _ = writeln!(out, "final plan");
+    for seq in &report.plan {
+        let steps: Vec<String> = seq
+            .steps
+            .iter()
+            .map(|s| format!("#{}→{:.2}s", s.node, s.completion_secs))
+            .collect();
+        let _ = writeln!(out, "  {}: {}", seq.source, steps.join("  "));
+    }
+    let _ = writeln!(
+        out,
+        "simulated response: {:.3}s unmerged, {:.3}s merged ({} merges); \
+         actual execution: {:.4}s",
+        report.sim_response_unmerged_secs,
+        report.sim_response_merged_secs,
+        report.merges,
+        report.exec_wall_secs,
+    );
     out
 }
 

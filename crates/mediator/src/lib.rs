@@ -4,7 +4,9 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod graph;
+pub mod json;
 pub mod merge;
+pub mod obs;
 pub mod parallel;
 pub mod pipeline;
 pub mod schedule;
@@ -15,11 +17,13 @@ pub mod unfold;
 pub use cost::{response_time, CostGraph, Plan, TaskCost};
 pub use error::MediatorError;
 pub use exec::{execute_graph, ExecOptions, ExecResult, Measured, RelStore};
-pub use explain::{render_graph, render_plan};
+pub use explain::{render_graph, render_plan, render_report};
 pub use graph::{build_graph, GraphOptions, TaskGraph};
-pub use merge::{merge, merge_pair, no_merge, MergeOutcome};
+pub use json::Json;
+pub use merge::{merge, merge_pair, no_merge, MergeDecision, MergeOutcome};
+pub use obs::{PhaseSample, Phases, RunReport, SourceObs, TaskObs};
 pub use parallel::execute_graph_parallel;
-pub use pipeline::{canonical, run, MediatorOptions, MediatorRun};
+pub use pipeline::{canonical, run, run_with_report, MediatorOptions, MediatorRun};
 pub use schedule::{naive_plan, schedule};
 pub use sim::NetworkModel;
 pub use unfold::{unfold, CutOff, FrontierSite, Unfolded};

@@ -14,7 +14,25 @@
 use crate::cost::{response_time, CostGraph, Plan};
 use crate::schedule::schedule;
 use crate::sim::NetworkModel;
+use aig_relstore::SourceId;
 use std::collections::HashMap;
+
+/// One accepted pair merge: which task groups were combined at which source,
+/// and the scheduled cost before and after (the decision log consumed by
+/// [`crate::obs`]).
+#[derive(Debug, Clone)]
+pub struct MergeDecision {
+    /// The (non-mediator) source both nodes queried.
+    pub source: SourceId,
+    /// Original task ids of the node kept.
+    pub kept: Vec<usize>,
+    /// Original task ids of the node absorbed into it.
+    pub absorbed: Vec<usize>,
+    /// `cost(Schedule(G))` before this merge.
+    pub cost_before_secs: f64,
+    /// `cost(Schedule(G))` after it (always strictly smaller).
+    pub cost_after_secs: f64,
+}
 
 /// The outcome of the merging phase.
 #[derive(Debug, Clone)]
@@ -27,6 +45,8 @@ pub struct MergeOutcome {
     pub response_secs: f64,
     /// Number of pair merges applied.
     pub merges: usize,
+    /// Why each merge was accepted, in application order.
+    pub decisions: Vec<MergeDecision>,
 }
 
 /// `mergePair(G, u, v)`: contracts `v` into `u`. Incoming parallel edges
@@ -104,8 +124,9 @@ pub fn merge(graph: &CostGraph, net: &NetworkModel, overhead_saving_secs: f64) -
     let mut plan = schedule(&current, net);
     let mut cost = response_time(&current, &plan, net);
     let mut merges = 0;
+    let mut decisions = Vec::new();
     loop {
-        let mut best: Option<(CostGraph, Plan, f64)> = None;
+        let mut best: Option<(CostGraph, Plan, f64, usize, usize)> = None;
         // Candidate pairs: mergeable nodes at the same (non-mediator) source.
         for u in 0..current.len() {
             if !current.nodes[u].mergeable {
@@ -125,15 +146,22 @@ pub fn merge(graph: &CostGraph, net: &NetworkModel, overhead_saving_secs: f64) -
                 if candidate_cost < cost
                     && best
                         .as_ref()
-                        .map(|(_, _, c)| candidate_cost < *c)
+                        .map(|(_, _, c, _, _)| candidate_cost < *c)
                         .unwrap_or(true)
                 {
-                    best = Some((candidate, candidate_plan, candidate_cost));
+                    best = Some((candidate, candidate_plan, candidate_cost, u, v));
                 }
             }
         }
         match best {
-            Some((g, p, c)) => {
+            Some((g, p, c, u, v)) => {
+                decisions.push(MergeDecision {
+                    source: current.nodes[u].source,
+                    kept: current.nodes[u].members.clone(),
+                    absorbed: current.nodes[v].members.clone(),
+                    cost_before_secs: cost,
+                    cost_after_secs: c,
+                });
                 current = g;
                 plan = p;
                 cost = c;
@@ -147,6 +175,7 @@ pub fn merge(graph: &CostGraph, net: &NetworkModel, overhead_saving_secs: f64) -
         plan,
         response_secs: cost,
         merges,
+        decisions,
     }
 }
 
@@ -159,6 +188,7 @@ pub fn no_merge(graph: &CostGraph, net: &NetworkModel) -> MergeOutcome {
         plan,
         response_secs,
         merges: 0,
+        decisions: Vec::new(),
     }
 }
 

@@ -1,0 +1,651 @@
+//! Observability for the mediator pipeline: phase timers, per-task and
+//! per-source metrics, merge/schedule decision logs, and a JSON-serializable
+//! [`RunReport`] putting the simulated response times (§5.2) side by side
+//! with the actual in-process wall clock.
+//!
+//! The report is produced by [`crate::pipeline::run_with_report`] and
+//! serialized with the dependency-free [`crate::json`] writer so that the
+//! bench binaries can emit machine-readable `BENCH_*.json` files.
+
+use crate::cost::{completion_times, Plan, TaskCost};
+use crate::exec::Measured;
+use crate::graph::{TaskGraph, TaskKind};
+use crate::json::Json;
+use crate::merge::MergeOutcome;
+use crate::sim::NetworkModel;
+use aig_relstore::{Catalog, SourceId};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Accumulated wall-clock time of one pipeline phase. Phases entered more
+/// than once (the frontier-driven re-unfold loop, §5.5) accumulate their
+/// seconds and call counts; `first_start_secs` is the offset of the first
+/// entry from the start of the run, so samples sort chronologically.
+#[derive(Debug, Clone)]
+pub struct PhaseSample {
+    pub name: String,
+    pub calls: usize,
+    pub secs: f64,
+    pub first_start_secs: f64,
+}
+
+/// A phase stopwatch anchored at the start of the run.
+#[derive(Debug)]
+pub struct Phases {
+    epoch: Instant,
+    samples: Vec<PhaseSample>,
+}
+
+impl Default for Phases {
+    fn default() -> Self {
+        Phases::new()
+    }
+}
+
+impl Phases {
+    pub fn new() -> Phases {
+        Phases {
+            epoch: Instant::now(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Runs `f`, charging its wall-clock time to `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let offset = (start - self.epoch).as_secs_f64();
+        let result = f();
+        self.record(name, offset, start.elapsed().as_secs_f64());
+        result
+    }
+
+    /// Accumulates `secs` under `name`.
+    pub fn record(&mut self, name: &str, start_secs: f64, secs: f64) {
+        if let Some(sample) = self.samples.iter_mut().find(|s| s.name == name) {
+            sample.calls += 1;
+            sample.secs += secs;
+        } else {
+            self.samples.push(PhaseSample {
+                name: name.to_string(),
+                calls: 1,
+                secs,
+                first_start_secs: start_secs,
+            });
+        }
+    }
+
+    /// Seconds since the stopwatch was created.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    pub fn into_samples(self) -> Vec<PhaseSample> {
+        self.samples
+    }
+}
+
+/// Per-task record: the graph metadata plus measured execution and the
+/// calibrated cost the simulation used for the same task.
+#[derive(Debug, Clone)]
+pub struct TaskObs {
+    pub id: usize,
+    pub label: String,
+    /// Short task-kind tag (`gen`, `assemble`, `guard`, …).
+    pub kind: String,
+    pub source: String,
+    pub source_id: u32,
+    /// Rows read from distinct input relations.
+    pub in_rows: f64,
+    pub out_rows: f64,
+    pub out_bytes: f64,
+    /// Bytes this task's output ships over the simulated network (counted
+    /// once per consumer at a different source).
+    pub shipped_bytes: f64,
+    /// Actual in-process execution seconds.
+    pub secs: f64,
+    /// Queue/wait seconds before the task could start (parallel executor).
+    pub wait_secs: f64,
+    /// Start offset from the beginning of the execution phase.
+    pub start_secs: f64,
+    /// Calibrated evaluation cost used by the response-time simulation.
+    pub sim_eval_secs: f64,
+}
+
+/// Per-source aggregates: actual busy time next to the simulated plan's
+/// busy/idle split for the same source.
+#[derive(Debug, Clone)]
+pub struct SourceObs {
+    pub name: String,
+    pub id: u32,
+    /// Tasks of the (uncontracted) task graph at this source.
+    pub tasks: usize,
+    /// Actual seconds the source's tasks ran in-process.
+    pub busy_secs: f64,
+    /// Simulated busy seconds under the final plan.
+    pub sim_busy_secs: f64,
+    /// Simulated idle seconds: makespan minus busy.
+    pub sim_idle_secs: f64,
+}
+
+/// One accepted merge, with sources resolved to names.
+#[derive(Debug, Clone)]
+pub struct MergeDecisionObs {
+    pub source: String,
+    /// Original task ids of the kept node.
+    pub kept: Vec<usize>,
+    /// Original task ids of the absorbed node.
+    pub absorbed: Vec<usize>,
+    pub cost_before_secs: f64,
+    pub cost_after_secs: f64,
+}
+
+/// One node of the final per-source plan ordering.
+#[derive(Debug, Clone)]
+pub struct PlanStepObs {
+    /// Node id in the merged cost graph.
+    pub node: usize,
+    pub eval_secs: f64,
+    /// Simulated completion time of the node.
+    pub completion_secs: f64,
+    /// Original task ids contracted/merged into the node.
+    pub tasks: Vec<usize>,
+}
+
+/// The ordered plan of one source.
+#[derive(Debug, Clone)]
+pub struct PlanSeqObs {
+    pub source: String,
+    pub steps: Vec<PlanStepObs>,
+}
+
+/// Size snapshot of one catalog table, for checking per-task byte counts
+/// against the actual relation sizes.
+#[derive(Debug, Clone)]
+pub struct CatalogTableObs {
+    pub source: String,
+    pub table: String,
+    pub rows: usize,
+    pub bytes: usize,
+}
+
+/// The complete observability record of one mediator run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock seconds of the whole pipeline run.
+    pub total_secs: f64,
+    /// The unfolding depth that sufficed.
+    pub depth: usize,
+    /// How many unfold→execute rounds the frontier loop took.
+    pub unfold_rounds: usize,
+    /// Whether the parallel (per-source worker) executor ran the final round.
+    pub parallel_exec: bool,
+    /// Chronological phase timers covering the run.
+    pub phases: Vec<PhaseSample>,
+    pub tasks: Vec<TaskObs>,
+    pub sources: Vec<SourceObs>,
+    pub merge_decisions: Vec<MergeDecisionObs>,
+    /// Final per-source plan ordering (after merging when enabled).
+    pub plan: Vec<PlanSeqObs>,
+    pub catalog: Vec<CatalogTableObs>,
+    /// Actual seconds summed over all tasks.
+    pub exec_wall_secs: f64,
+    /// Simulated response time without merging.
+    pub sim_response_unmerged_secs: f64,
+    /// Simulated response time of the final (possibly merged) plan.
+    pub sim_response_merged_secs: f64,
+    pub merges: usize,
+}
+
+/// Everything the report builder needs from the pipeline.
+pub(crate) struct ReportInputs<'a> {
+    pub graph: &'a TaskGraph,
+    pub catalog: &'a Catalog,
+    pub measured: &'a [Measured],
+    pub costs: &'a [TaskCost],
+    pub baseline: &'a MergeOutcome,
+    pub merged: &'a MergeOutcome,
+    pub net: &'a NetworkModel,
+    pub depth: usize,
+    pub unfold_rounds: usize,
+    pub parallel_exec: bool,
+}
+
+fn kind_tag(kind: &TaskKind) -> &'static str {
+    match kind {
+        TaskKind::Root => "root",
+        TaskKind::Gen { .. } => "gen",
+        TaskKind::InhSetQuery { .. } => "inh_set_query",
+        TaskKind::Assemble { .. } => "assemble",
+        TaskKind::SynAgg { .. } => "syn_agg",
+        TaskKind::Cond { .. } => "cond",
+        TaskKind::BranchMat { .. } => "branch_mat",
+        TaskKind::Guard { .. } => "guard",
+    }
+}
+
+/// Bytes each task ships over the simulated network: its measured output
+/// size, counted once per distinct consumer at a different source (the §5.2
+/// transfer model; same-source reads are local).
+pub fn shipped_bytes(graph: &TaskGraph, measured: &[Measured]) -> Vec<f64> {
+    let mut shipped = vec![0.0f64; graph.tasks.len()];
+    for task in &graph.tasks {
+        let mut seen = HashSet::new();
+        for (dep, _) in &task.deps {
+            if seen.insert(*dep) && graph.tasks[*dep].source != task.source {
+                shipped[*dep] += measured[*dep].out_bytes;
+            }
+        }
+    }
+    shipped
+}
+
+/// Per-source simulated busy seconds under `plan`.
+fn sim_busy(outcome: &MergeOutcome) -> impl Fn(SourceId) -> f64 + '_ {
+    move |source| {
+        outcome
+            .graph
+            .nodes
+            .iter()
+            .filter(|n| n.source == source)
+            .map(|n| n.eval_secs)
+            .sum()
+    }
+}
+
+pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs: f64) -> RunReport {
+    let ReportInputs {
+        graph,
+        catalog,
+        measured,
+        costs,
+        baseline,
+        merged,
+        net,
+        depth,
+        unfold_rounds,
+        parallel_exec,
+    } = inputs;
+
+    let shipped = shipped_bytes(graph, measured);
+    let tasks: Vec<TaskObs> = graph
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(id, task)| TaskObs {
+            id,
+            label: task.label.clone(),
+            kind: kind_tag(&task.kind).to_string(),
+            source: catalog.source(task.source).name().to_string(),
+            source_id: task.source.0,
+            in_rows: measured[id].in_rows,
+            out_rows: measured[id].out_rows,
+            out_bytes: measured[id].out_bytes,
+            shipped_bytes: shipped[id],
+            secs: measured[id].secs,
+            wait_secs: measured[id].wait_secs,
+            start_secs: measured[id].start_secs,
+            sim_eval_secs: costs[id].eval_secs,
+        })
+        .collect();
+
+    let busy_of = sim_busy(merged);
+    let mut sources: Vec<SourceObs> = Vec::new();
+    let mut source_ids: Vec<SourceId> = catalog.source_ids().collect();
+    source_ids.sort();
+    for sid in source_ids {
+        let task_count = graph.tasks.iter().filter(|t| t.source == sid).count();
+        if task_count == 0 && !sid.is_mediator() {
+            continue;
+        }
+        let busy_secs: f64 = graph
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.source == sid)
+            .map(|(id, _)| measured[id].secs)
+            .sum();
+        let sim_busy_secs = busy_of(sid);
+        sources.push(SourceObs {
+            name: catalog.source(sid).name().to_string(),
+            id: sid.0,
+            tasks: task_count,
+            busy_secs,
+            sim_busy_secs,
+            sim_idle_secs: (merged.response_secs - sim_busy_secs).max(0.0),
+        });
+    }
+
+    let merge_decisions = merged
+        .decisions
+        .iter()
+        .map(|d| MergeDecisionObs {
+            source: catalog.source(d.source).name().to_string(),
+            kept: d.kept.clone(),
+            absorbed: d.absorbed.clone(),
+            cost_before_secs: d.cost_before_secs,
+            cost_after_secs: d.cost_after_secs,
+        })
+        .collect();
+
+    let plan = plan_obs(&merged.plan, merged, net, catalog);
+
+    let mut catalog_obs = Vec::new();
+    for sid in catalog.source_ids() {
+        let db = catalog.source(sid);
+        for table in db.tables() {
+            catalog_obs.push(CatalogTableObs {
+                source: db.name().to_string(),
+                table: table.name().to_string(),
+                rows: table.len(),
+                bytes: table.byte_size(),
+            });
+        }
+    }
+    catalog_obs.sort_by(|a, b| (&a.source, &a.table).cmp(&(&b.source, &b.table)));
+
+    RunReport {
+        total_secs,
+        depth,
+        unfold_rounds,
+        parallel_exec,
+        phases: phases.into_samples(),
+        tasks,
+        sources,
+        merge_decisions,
+        plan,
+        catalog: catalog_obs,
+        exec_wall_secs: measured.iter().map(|m| m.secs).sum(),
+        sim_response_unmerged_secs: baseline.response_secs,
+        sim_response_merged_secs: merged.response_secs,
+        merges: merged.merges,
+    }
+}
+
+fn plan_obs(
+    plan: &Plan,
+    outcome: &MergeOutcome,
+    net: &NetworkModel,
+    catalog: &Catalog,
+) -> Vec<PlanSeqObs> {
+    let done = completion_times(&outcome.graph, plan, net);
+    let mut sources: Vec<SourceId> = plan.per_source.keys().copied().collect();
+    sources.sort();
+    sources
+        .iter()
+        .filter(|s| !plan.per_source[s].is_empty())
+        .map(|&source| PlanSeqObs {
+            source: catalog.source(source).name().to_string(),
+            steps: plan.per_source[&source]
+                .iter()
+                .map(|&node| PlanStepObs {
+                    node,
+                    eval_secs: outcome.graph.nodes[node].eval_secs,
+                    completion_secs: done[node],
+                    tasks: outcome.graph.nodes[node].members.clone(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+impl RunReport {
+    /// Sum of all phase timers (should be within a few percent of
+    /// `total_secs`: the pipeline times every phase, leaving only loop
+    /// control unattributed).
+    pub fn phase_secs_total(&self) -> f64 {
+        self.phases.iter().map(|p| p.secs).sum()
+    }
+
+    /// Prepends an externally-timed phase (e.g. AIG parsing, which happens
+    /// before the pipeline is entered) and extends the total accordingly.
+    pub fn prepend_phase(&mut self, name: &str, secs: f64) {
+        for phase in &mut self.phases {
+            phase.first_start_secs += secs;
+        }
+        self.phases.insert(
+            0,
+            PhaseSample {
+                name: name.to_string(),
+                calls: 1,
+                secs,
+                first_start_secs: 0.0,
+            },
+        );
+        self.total_secs += secs;
+    }
+
+    /// A copy with every wall-clock measurement zeroed, leaving only the
+    /// deterministic structure (row/byte counts, simulated costs, plan
+    /// orderings, merge decisions). Used by the golden-file tests.
+    pub fn redacted(&self) -> RunReport {
+        let mut report = self.clone();
+        report.total_secs = 0.0;
+        report.exec_wall_secs = 0.0;
+        for phase in &mut report.phases {
+            phase.secs = 0.0;
+            phase.first_start_secs = 0.0;
+        }
+        for task in &mut report.tasks {
+            task.secs = 0.0;
+            task.wait_secs = 0.0;
+            task.start_secs = 0.0;
+        }
+        for source in &mut report.sources {
+            source.busy_secs = 0.0;
+        }
+        report
+    }
+
+    /// Serializes the report to a [`Json`] value (ordered fields: the
+    /// output is byte-stable for a given report).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("total_secs", Json::num(self.total_secs)),
+            ("depth", Json::num(self.depth as f64)),
+            ("unfold_rounds", Json::num(self.unfold_rounds as f64)),
+            ("parallel_exec", Json::Bool(self.parallel_exec)),
+            ("exec_wall_secs", Json::num(self.exec_wall_secs)),
+            (
+                "sim",
+                Json::obj(vec![
+                    (
+                        "response_unmerged_secs",
+                        Json::num(self.sim_response_unmerged_secs),
+                    ),
+                    (
+                        "response_merged_secs",
+                        Json::num(self.sim_response_merged_secs),
+                    ),
+                    ("merges", Json::num(self.merges as f64)),
+                ]),
+            ),
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("name", Json::str(&p.name)),
+                                ("calls", Json::num(p.calls as f64)),
+                                ("start_secs", Json::num(p.first_start_secs)),
+                                ("secs", Json::num(p.secs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "tasks",
+                Json::Arr(
+                    self.tasks
+                        .iter()
+                        .map(|t| {
+                            Json::obj(vec![
+                                ("id", Json::num(t.id as f64)),
+                                ("label", Json::str(&t.label)),
+                                ("kind", Json::str(&t.kind)),
+                                ("source", Json::str(&t.source)),
+                                ("source_id", Json::num(t.source_id as f64)),
+                                ("in_rows", Json::num(t.in_rows)),
+                                ("out_rows", Json::num(t.out_rows)),
+                                ("out_bytes", Json::num(t.out_bytes)),
+                                ("shipped_bytes", Json::num(t.shipped_bytes)),
+                                ("secs", Json::num(t.secs)),
+                                ("wait_secs", Json::num(t.wait_secs)),
+                                ("start_secs", Json::num(t.start_secs)),
+                                ("sim_eval_secs", Json::num(t.sim_eval_secs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "sources",
+                Json::Arr(
+                    self.sources
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("name", Json::str(&s.name)),
+                                ("id", Json::num(s.id as f64)),
+                                ("tasks", Json::num(s.tasks as f64)),
+                                ("busy_secs", Json::num(s.busy_secs)),
+                                ("sim_busy_secs", Json::num(s.sim_busy_secs)),
+                                ("sim_idle_secs", Json::num(s.sim_idle_secs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "merge_decisions",
+                Json::Arr(
+                    self.merge_decisions
+                        .iter()
+                        .map(|d| {
+                            Json::obj(vec![
+                                ("source", Json::str(&d.source)),
+                                ("kept", ids(&d.kept)),
+                                ("absorbed", ids(&d.absorbed)),
+                                ("cost_before_secs", Json::num(d.cost_before_secs)),
+                                ("cost_after_secs", Json::num(d.cost_after_secs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "plan",
+                Json::Arr(
+                    self.plan
+                        .iter()
+                        .map(|seq| {
+                            Json::obj(vec![
+                                ("source", Json::str(&seq.source)),
+                                (
+                                    "steps",
+                                    Json::Arr(
+                                        seq.steps
+                                            .iter()
+                                            .map(|s| {
+                                                Json::obj(vec![
+                                                    ("node", Json::num(s.node as f64)),
+                                                    ("eval_secs", Json::num(s.eval_secs)),
+                                                    (
+                                                        "completion_secs",
+                                                        Json::num(s.completion_secs),
+                                                    ),
+                                                    ("tasks", ids(&s.tasks)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "catalog",
+                Json::Arr(
+                    self.catalog
+                        .iter()
+                        .map(|t| {
+                            Json::obj(vec![
+                                ("source", Json::str(&t.source)),
+                                ("table", Json::str(&t.table)),
+                                ("rows", Json::num(t.rows as f64)),
+                                ("bytes", Json::num(t.bytes as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn ids(list: &[usize]) -> Json {
+    Json::Arr(list.iter().map(|&i| Json::num(i as f64)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_across_calls() {
+        let mut phases = Phases::new();
+        phases.record("unfold", 0.0, 0.5);
+        phases.record("execute", 0.5, 1.0);
+        phases.record("unfold", 1.5, 0.25);
+        let samples = phases.into_samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].name, "unfold");
+        assert_eq!(samples[0].calls, 2);
+        assert!((samples[0].secs - 0.75).abs() < 1e-12);
+        assert_eq!(samples[0].first_start_secs, 0.0);
+        assert_eq!(samples[1].calls, 1);
+    }
+
+    #[test]
+    fn time_charges_wall_clock() {
+        let mut phases = Phases::new();
+        let v = phases.time("spin", || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        let samples = phases.into_samples();
+        assert!(samples[0].secs >= 0.004, "{}", samples[0].secs);
+    }
+
+    #[test]
+    fn prepend_phase_shifts_offsets() {
+        let mut phases = Phases::new();
+        phases.record("compile_constraints", 0.0, 0.1);
+        let mut report = RunReport {
+            total_secs: 0.1,
+            depth: 1,
+            unfold_rounds: 1,
+            parallel_exec: false,
+            phases: phases.into_samples(),
+            tasks: vec![],
+            sources: vec![],
+            merge_decisions: vec![],
+            plan: vec![],
+            catalog: vec![],
+            exec_wall_secs: 0.0,
+            sim_response_unmerged_secs: 0.0,
+            sim_response_merged_secs: 0.0,
+            merges: 0,
+        };
+        report.prepend_phase("parse", 0.05);
+        assert_eq!(report.phases[0].name, "parse");
+        assert!((report.phases[1].first_start_secs - 0.05).abs() < 1e-12);
+        assert!((report.total_secs - 0.15).abs() < 1e-12);
+        assert!((report.phase_secs_total() - 0.15).abs() < 1e-12);
+    }
+}

@@ -13,12 +13,13 @@
 //! the simulation in [`crate::cost`], which models the paper's network.
 
 use crate::error::MediatorError;
-use crate::exec::{ExecOptions, Executor, RelSource, RelStore};
+use crate::exec::{input_rows, ExecOptions, ExecResult, Executor, Measured, RelSource, RelStore};
 use crate::graph::{RelKey, TaskGraph};
 use aig_core::spec::Aig;
 use aig_relstore::{Catalog, Relation, SourceId, Value};
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Write-once relation slots shared between the source workers.
 struct SharedStore<'g> {
@@ -34,6 +35,8 @@ struct SharedStore<'g> {
 struct Progress {
     done: Vec<bool>,
     failed: Option<MediatorError>,
+    /// Per-task timing/size accounting, filled on completion.
+    measured: Vec<Measured>,
 }
 
 impl RelSource for SharedStore<'_> {
@@ -73,7 +76,12 @@ impl SharedStore<'_> {
         }
     }
 
-    fn complete(&self, task: usize, result: Result<Option<Relation>, MediatorError>) {
+    fn complete(
+        &self,
+        task: usize,
+        result: Result<Option<Relation>, MediatorError>,
+        measured: Measured,
+    ) {
         let mut state = self.state.lock().expect("store mutex");
         match result {
             Ok(rel) => {
@@ -81,6 +89,7 @@ impl SharedStore<'_> {
                     let _ = self.slots[task].set(rel);
                 }
                 state.done[task] = true;
+                state.measured[task] = measured;
             }
             Err(e) => {
                 if state.failed.is_none() {
@@ -95,7 +104,9 @@ impl SharedStore<'_> {
 
 /// Executes the task graph with one worker per source, following the given
 /// per-source orders (see [`crate::schedule::schedule`]; pass a plan over
-/// the *uncontracted* graph so node ids are task ids).
+/// the *uncontracted* graph so node ids are task ids). The returned
+/// [`ExecResult`] carries the same relations as the sequential executor
+/// plus per-task measurements including queue/wait time.
 pub fn execute_graph_parallel(
     aig: &Aig,
     catalog: &Catalog,
@@ -103,25 +114,27 @@ pub fn execute_graph_parallel(
     args: &[(&str, Value)],
     opts: &ExecOptions,
     per_source: &HashMap<SourceId, Vec<usize>>,
-) -> Result<RelStore, MediatorError> {
+) -> Result<ExecResult, MediatorError> {
     let shared = SharedStore {
         graph,
         slots: (0..graph.tasks.len()).map(|_| OnceLock::new()).collect(),
         state: Mutex::new(Progress {
             done: vec![false; graph.tasks.len()],
             failed: None,
+            measured: vec![Measured::default(); graph.tasks.len()],
         }),
         wake: Condvar::new(),
     };
+    let epoch = Instant::now();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (source, sequence) in per_source {
             let shared = &shared;
+            let epoch = &epoch;
             let sequence = sequence.clone();
-            scope
-                .builder()
+            std::thread::Builder::new()
                 .name(format!("aig-source-{}", source.0))
-                .spawn(move |_| {
+                .spawn_scoped(scope, move || {
                     let exec = Executor {
                         aig,
                         catalog,
@@ -130,12 +143,34 @@ pub fn execute_graph_parallel(
                         opts,
                     };
                     for task_id in sequence {
+                        let queued = Instant::now();
                         if !shared.wait_for_deps(task_id) {
                             return; // another worker failed
                         }
-                        let result = exec.run_task(&graph.tasks[task_id], args);
+                        let wait_secs = queued.elapsed().as_secs_f64();
+                        let task = &graph.tasks[task_id];
+                        let in_rows = input_rows(task, shared);
+                        let started = Instant::now();
+                        let start_secs = (started - *epoch).as_secs_f64();
+                        let result = exec.run_task(task, args);
+                        let secs = started.elapsed().as_secs_f64();
+                        let (out_rows, out_bytes) = match &result {
+                            Ok(Some(rel)) => (rel.len() as f64, rel.byte_size() as f64),
+                            _ => (0.0, 0.0),
+                        };
                         let failed = result.is_err();
-                        shared.complete(task_id, result);
+                        shared.complete(
+                            task_id,
+                            result,
+                            Measured {
+                                secs,
+                                out_rows,
+                                out_bytes,
+                                in_rows,
+                                wait_secs,
+                                start_secs,
+                            },
+                        );
                         if failed {
                             return;
                         }
@@ -143,8 +178,7 @@ pub fn execute_graph_parallel(
                 })
                 .expect("spawn source worker");
         }
-    })
-    .map_err(|_| MediatorError::Internal("a source worker panicked".to_string()))?;
+    });
 
     let mut state = shared.state.into_inner().expect("store mutex");
     if let Some(e) = state.failed.take() {
@@ -157,7 +191,10 @@ pub fn execute_graph_parallel(
             store.insert(key, rel);
         }
     }
-    Ok(store)
+    Ok(ExecResult {
+        store,
+        measured: state.measured,
+    })
 }
 
 #[cfg(test)]
@@ -203,11 +240,23 @@ mod tests {
             if let Some(key) = &task.output {
                 assert_eq!(
                     sequential.store.get(key).unwrap(),
-                    parallel.get(key).unwrap(),
+                    parallel.store.get(key).unwrap(),
                     "{}",
                     task.label
                 );
             }
+        }
+        // Measurements line up with the sequential executor on sizes.
+        for (id, (s, p)) in sequential
+            .measured
+            .iter()
+            .zip(&parallel.measured)
+            .enumerate()
+        {
+            assert_eq!(s.out_rows, p.out_rows, "task {id} rows");
+            assert_eq!(s.out_bytes, p.out_bytes, "task {id} bytes");
+            assert_eq!(s.in_rows, p.in_rows, "task {id} input rows");
+            assert!(p.wait_secs >= 0.0 && p.secs >= 0.0);
         }
     }
 

@@ -11,16 +11,18 @@
 
 use crate::cost::{measured_costs, CostGraph};
 use crate::error::MediatorError;
-use crate::exec::{execute_graph, ExecOptions};
+use crate::exec::{execute_graph, ExecOptions, ExecResult};
 use crate::graph::{build_graph, source_histogram, GraphOptions, Occ, RelKey};
 use crate::merge::{merge, no_merge, MergeOutcome};
+use crate::obs::{build_report, Phases, ReportInputs, RunReport};
+use crate::parallel::execute_graph_parallel;
 use crate::sim::NetworkModel;
 use crate::unfold::{unfold, CutOff};
 use aig_core::spec::Aig;
 use aig_core::{compile_constraints, decompose_queries};
-use aig_relstore::{Catalog, Value};
+use aig_relstore::{Catalog, SourceId, Value};
 use aig_xml::{validate, XmlTree};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Options of a mediator run.
 #[derive(Debug, Clone)]
@@ -38,6 +40,10 @@ pub struct MediatorOptions {
     pub check_guards: bool,
     /// Whether the output is validated against the DTD (sanity check).
     pub validate_output: bool,
+    /// Execute with the per-source worker threads of [`crate::parallel`]
+    /// instead of the sequential executor (identical relations; the run
+    /// report additionally carries per-task queue/wait times).
+    pub parallel_exec: bool,
     pub network: NetworkModel,
     pub graph: GraphOptions,
 }
@@ -51,6 +57,7 @@ impl Default for MediatorOptions {
             merging: true,
             check_guards: true,
             validate_output: true,
+            parallel_exec: false,
             network: NetworkModel::default(),
             graph: GraphOptions::default(),
         }
@@ -100,51 +107,93 @@ pub fn run(
     args: &[(&str, Value)],
     options: &MediatorOptions,
 ) -> Result<MediatorRun, MediatorError> {
+    run_with_report(aig, catalog, args, options).map(|(run, _)| run)
+}
+
+/// Per-source sequences in topological order (dependency-safe input for the
+/// parallel executor when no schedule over raw task ids is available).
+fn topo_per_source(graph: &crate::graph::TaskGraph) -> HashMap<SourceId, Vec<usize>> {
+    let mut per_source: HashMap<SourceId, Vec<usize>> = HashMap::new();
+    for &id in &graph.topo {
+        per_source
+            .entry(graph.tasks[id].source)
+            .or_default()
+            .push(id);
+    }
+    per_source
+}
+
+/// [`run`], additionally producing the full observability record of the run:
+/// phase timers, per-task and per-source metrics, the merge decision log,
+/// the final plan ordering, and simulated vs. actual timings.
+pub fn run_with_report(
+    aig: &Aig,
+    catalog: &Catalog,
+    args: &[(&str, Value)],
+    options: &MediatorOptions,
+) -> Result<(MediatorRun, RunReport), MediatorError> {
+    let mut phases = Phases::new();
     // -- Pre-processing ------------------------------------------------------
-    let compiled = if aig.constraints.is_empty() {
-        aig.clone()
-    } else {
-        compile_constraints(aig)?
-    };
-    let (specialized, _report) = decompose_queries(&compiled)?;
+    let compiled = phases.time("compile_constraints", || {
+        if aig.constraints.is_empty() {
+            Ok(aig.clone())
+        } else {
+            compile_constraints(aig)
+        }
+    })?;
+    let (specialized, _report) = phases.time("decompose", || decompose_queries(&compiled))?;
 
     let mut depth = options.unfold_depth.max(1);
+    let mut rounds = 0usize;
     loop {
-        let unfolded = unfold(&specialized, depth, options.cutoff)?;
-        let graph = build_graph(&unfolded.aig, catalog, &options.graph)?;
-        let exec = execute_graph(
-            &unfolded.aig,
-            catalog,
-            &graph,
-            args,
-            &ExecOptions {
-                check_guards: options.check_guards,
-            },
-        )?;
+        rounds += 1;
+        let unfolded = phases.time("unfold", || unfold(&specialized, depth, options.cutoff))?;
+        let graph = phases.time("graph_build", || {
+            build_graph(&unfolded.aig, catalog, &options.graph)
+        })?;
+        let exec_opts = ExecOptions {
+            check_guards: options.check_guards,
+        };
+        let exec: ExecResult = phases.time("execute", || {
+            if options.parallel_exec {
+                let per_source = topo_per_source(&graph);
+                execute_graph_parallel(
+                    &unfolded.aig,
+                    catalog,
+                    &graph,
+                    args,
+                    &exec_opts,
+                    &per_source,
+                )
+            } else {
+                execute_graph(&unfolded.aig, catalog, &graph, args, &exec_opts)
+            }
+        })?;
 
         // Frontier check: if the deepest unfolded level still produced
         // instances, the data recurses deeper than `depth` — unfold further
         // (the paper's runtime re-unrolling, §5.5).
         if options.cutoff == CutOff::Frontier && !unfolded.frontier.is_empty() {
-            let mut extend = false;
-            for site in &unfolded.frontier {
-                let Some(parent) = unfolded.aig.elem(&site.parent) else {
-                    continue;
-                };
-                // The frontier parent's base instances: non-empty means the
-                // cut could have produced children.
-                let occ = graph
-                    .bindings
-                    .iter()
-                    .find(|(_, b)| b.elem == parent)
-                    .map(|(occ, _)| occ.clone())
-                    .unwrap_or(Occ::mat(parent));
-                let base = exec.store.get(&RelKey::Instances(occ.base))?;
-                if !base.is_empty() {
-                    extend = true;
-                    break;
+            let extend = phases.time("frontier_check", || -> Result<bool, MediatorError> {
+                for site in &unfolded.frontier {
+                    let Some(parent) = unfolded.aig.elem(&site.parent) else {
+                        continue;
+                    };
+                    // The frontier parent's base instances: non-empty means
+                    // the cut could have produced children.
+                    let occ = graph
+                        .bindings
+                        .iter()
+                        .find(|(_, b)| b.elem == parent)
+                        .map(|(occ, _)| occ.clone())
+                        .unwrap_or(Occ::mat(parent));
+                    let base = exec.store.get(&RelKey::Instances(occ.base))?;
+                    if !base.is_empty() {
+                        return Ok(true);
+                    }
                 }
-            }
+                Ok(false)
+            })?;
             if extend {
                 if depth >= options.max_depth {
                     return Err(MediatorError::RecursionBudget {
@@ -157,42 +206,72 @@ pub fn run(
         }
 
         // -- Tagging ----------------------------------------------------------
-        let tree = crate::tagging::tag_document(&unfolded.aig, &graph, &exec.store)?;
+        let tree = phases.time("tag", || {
+            crate::tagging::tag_document(&unfolded.aig, &graph, &exec.store)
+        })?;
         if options.validate_output {
-            validate(&tree, &aig.dtd)
-                .map_err(|e| MediatorError::Internal(format!("output validation: {e}")))?;
+            phases.time("validate", || {
+                validate(&tree, &aig.dtd)
+                    .map_err(|e| MediatorError::Internal(format!("output validation: {e}")))
+            })?;
         }
 
         // -- Response-time simulation (§5.2-5.4) -------------------------------
-        let costs = measured_costs(
-            &graph,
-            &exec.measured,
-            options.graph.cost_model.per_query_overhead_secs,
-            options.graph.eval_scale,
-        );
-        let cg = CostGraph::from_task_graph(&graph, &costs).contract_passthrough();
-        let baseline = no_merge(&cg, &options.network);
-        let merged: MergeOutcome = if options.merging {
-            merge(
-                &cg,
-                &options.network,
+        let (costs, cg) = phases.time("simulate", || {
+            let costs = measured_costs(
+                &graph,
+                &exec.measured,
                 options.graph.cost_model.per_query_overhead_secs,
-            )
-        } else {
-            baseline.clone()
-        };
-        let exec_secs: f64 = exec.measured.iter().map(|m| m.secs).sum();
-        return Ok(MediatorRun {
-            tree,
-            depth,
-            tasks: graph.len(),
-            source_queries: graph.source_query_count,
-            response_unmerged_secs: baseline.response_secs,
-            response_merged_secs: merged.response_secs,
-            merges: merged.merges,
-            per_source: source_histogram(&graph, catalog),
-            exec_secs,
+                options.graph.eval_scale,
+            );
+            let cg = CostGraph::from_task_graph(&graph, &costs).contract_passthrough();
+            (costs, cg)
         });
+        let baseline = phases.time("schedule", || no_merge(&cg, &options.network));
+        let merged: MergeOutcome = phases.time("merge", || {
+            if options.merging {
+                merge(
+                    &cg,
+                    &options.network,
+                    options.graph.cost_model.per_query_overhead_secs,
+                )
+            } else {
+                baseline.clone()
+            }
+        });
+        let exec_secs: f64 = exec.measured.iter().map(|m| m.secs).sum();
+        let per_source = source_histogram(&graph, catalog);
+        let total_secs = phases.elapsed_secs();
+        let report = build_report(
+            ReportInputs {
+                graph: &graph,
+                catalog,
+                measured: &exec.measured,
+                costs: &costs,
+                baseline: &baseline,
+                merged: &merged,
+                net: &options.network,
+                depth,
+                unfold_rounds: rounds,
+                parallel_exec: options.parallel_exec,
+            },
+            phases,
+            total_secs,
+        );
+        return Ok((
+            MediatorRun {
+                tree,
+                depth,
+                tasks: graph.len(),
+                source_queries: graph.source_query_count,
+                response_unmerged_secs: baseline.response_secs,
+                response_merged_secs: merged.response_secs,
+                merges: merged.merges,
+                per_source,
+                exec_secs,
+            },
+            report,
+        ));
     }
 }
 

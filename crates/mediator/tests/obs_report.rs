@@ -1,0 +1,200 @@
+//! Tests for the observability layer: phase timers, per-task and catalog
+//! byte accounting, JSON round-tripping, and merge-decision consistency.
+
+use aig_core::paper::{mini_hospital_catalog, sigma0};
+use aig_core::{compile_constraints, decompose_queries};
+use aig_datagen::HospitalConfig;
+use aig_mediator::exec::{execute_graph, ExecOptions};
+use aig_mediator::graph::{build_graph, GraphOptions};
+use aig_mediator::json;
+use aig_mediator::unfold::{unfold, CutOff};
+use aig_mediator::{run_with_report, MediatorOptions, NetworkModel, RunReport};
+use aig_relstore::Value;
+
+/// Options whose simulated costs do not depend on wall-clock measurements:
+/// every source query costs exactly the per-query overhead.
+fn det_options(depth: usize) -> MediatorOptions {
+    let mut options = MediatorOptions {
+        unfold_depth: depth,
+        max_depth: depth,
+        cutoff: CutOff::Truncate,
+        network: NetworkModel::mbps(1.0),
+        ..MediatorOptions::default()
+    };
+    options.graph.eval_scale = 0.0;
+    options.graph.cost_model.per_query_overhead_secs = 1.0;
+    options
+}
+
+fn tiny_report(seed: u64, options: &MediatorOptions) -> (aig_mediator::MediatorRun, RunReport) {
+    let data = HospitalConfig::tiny(seed).generate().unwrap();
+    let aig = sigma0().unwrap();
+    let args = [("date", Value::str(&data.dates[0]))];
+    run_with_report(&aig, &data.catalog, &args, options).unwrap()
+}
+
+#[test]
+fn phase_timers_are_monotone_and_cover_the_run() {
+    let (_, report) = tiny_report(1, &det_options(3));
+    assert!(report.phases.len() >= 8, "phases: {:?}", report.phases);
+    let mut prev = -1.0;
+    for phase in &report.phases {
+        assert!(
+            phase.first_start_secs >= prev,
+            "phase {} starts before its predecessor",
+            phase.name
+        );
+        prev = phase.first_start_secs;
+        assert!(phase.secs >= 0.0);
+        assert!(phase.calls >= 1);
+        assert!(
+            phase.first_start_secs + phase.secs <= report.total_secs + 1e-6,
+            "phase {} runs past the end of the run",
+            phase.name
+        );
+    }
+    let sum = report.phase_secs_total();
+    assert!(
+        sum <= report.total_secs * 1.0001 + 1e-9,
+        "phase sum {sum} exceeds total {}",
+        report.total_secs
+    );
+    assert!(
+        sum >= report.total_secs * 0.95,
+        "phase timers cover only {:.1}% of the run",
+        100.0 * sum / report.total_secs
+    );
+}
+
+#[test]
+fn per_task_bytes_match_relation_sizes() {
+    let aig = sigma0().unwrap();
+    let compiled = compile_constraints(&aig).unwrap();
+    let (specialized, _) = decompose_queries(&compiled).unwrap();
+    let unfolded = unfold(&specialized, 3, CutOff::Truncate).unwrap();
+    let data = HospitalConfig::tiny(3).generate().unwrap();
+    let graph = build_graph(&unfolded.aig, &data.catalog, &GraphOptions::default()).unwrap();
+    let exec = execute_graph(
+        &unfolded.aig,
+        &data.catalog,
+        &graph,
+        &[("date", Value::str(&data.dates[0]))],
+        &ExecOptions::default(),
+    )
+    .unwrap();
+    // Each producing task's Measured matches its relation exactly.
+    let mut produced = 0;
+    for (key, &producer) in &graph.producer {
+        let rel = exec.store.get(key).unwrap();
+        let m = &exec.measured[producer];
+        assert_eq!(m.out_rows, rel.len() as f64, "out_rows of {key:?}");
+        assert_eq!(m.out_bytes, rel.byte_size() as f64, "out_bytes of {key:?}");
+        produced += 1;
+    }
+    assert!(produced > 0);
+}
+
+#[test]
+fn report_catalog_and_shipped_bytes_are_consistent() {
+    let data = HospitalConfig::tiny(3).generate().unwrap();
+    let aig = sigma0().unwrap();
+    let args = [("date", Value::str(&data.dates[0]))];
+    let (_, report) = run_with_report(&aig, &data.catalog, &args, &det_options(3)).unwrap();
+
+    // The catalog section mirrors the real relation sizes.
+    assert!(!report.catalog.is_empty());
+    for entry in &report.catalog {
+        let sid = data.catalog.source_id(&entry.source).unwrap();
+        let table = data.catalog.source(sid).table(&entry.table).unwrap();
+        assert_eq!(entry.rows, table.len(), "{}.{}", entry.source, entry.table);
+        assert_eq!(
+            entry.bytes,
+            table.byte_size(),
+            "{}.{}",
+            entry.source,
+            entry.table
+        );
+    }
+
+    // Shipped bytes are a whole multiple of the produced bytes (one copy per
+    // distinct cross-source consumer), and zero output ships nothing.
+    for task in &report.tasks {
+        if task.out_bytes > 0.0 {
+            let copies = task.shipped_bytes / task.out_bytes;
+            assert!(
+                (copies - copies.round()).abs() < 1e-9,
+                "task {} ships {} bytes from {} produced",
+                task.id,
+                task.shipped_bytes,
+                task.out_bytes
+            );
+        } else {
+            assert_eq!(task.shipped_bytes, 0.0, "task {}", task.id);
+        }
+    }
+}
+
+#[test]
+fn json_report_round_trips_through_its_own_output() {
+    let (_, report) = tiny_report(2, &det_options(3));
+    let value = report.to_json();
+    let pretty = json::parse(&value.to_pretty()).unwrap();
+    assert_eq!(pretty, value, "pretty round-trip changed the report");
+    let compact = json::parse(&value.to_compact()).unwrap();
+    assert_eq!(compact, value, "compact round-trip changed the report");
+}
+
+#[test]
+fn merge_decisions_agree_with_the_outcome() {
+    let (run, report) = tiny_report(1, &det_options(4));
+    assert!(run.merges > 0, "fixture produced no merges");
+    assert_eq!(report.merges, run.merges);
+    assert_eq!(report.merge_decisions.len(), run.merges);
+    assert_eq!(
+        report.sim_response_unmerged_secs,
+        run.response_unmerged_secs
+    );
+    assert_eq!(report.sim_response_merged_secs, run.response_merged_secs);
+    for decision in &report.merge_decisions {
+        assert!(!decision.kept.is_empty());
+        assert!(!decision.absorbed.is_empty());
+        assert!(decision.kept.iter().all(|t| !decision.absorbed.contains(t)));
+        assert!(
+            decision.cost_after_secs < decision.cost_before_secs,
+            "merge at @{} did not improve the plan",
+            decision.source
+        );
+    }
+    let last = report.merge_decisions.last().unwrap();
+    assert_eq!(last.cost_after_secs, report.sim_response_merged_secs);
+    assert!(report.sim_response_merged_secs <= report.sim_response_unmerged_secs);
+}
+
+#[test]
+fn parallel_report_records_waits_and_matches_sequential() {
+    let catalog = mini_hospital_catalog().unwrap();
+    let aig = sigma0().unwrap();
+    let args = [("date", Value::str("d1"))];
+    let options = det_options(2);
+    let (seq_run, seq_report) = run_with_report(&aig, &catalog, &args, &options).unwrap();
+    assert!(!seq_report.parallel_exec);
+    assert!(seq_report.tasks.iter().all(|t| t.wait_secs == 0.0));
+
+    let par_options = MediatorOptions {
+        parallel_exec: true,
+        ..options
+    };
+    let (par_run, par_report) = run_with_report(&aig, &catalog, &args, &par_options).unwrap();
+    assert!(par_report.parallel_exec);
+    assert_eq!(seq_run.tree, par_run.tree);
+    for task in &par_report.tasks {
+        assert!(task.wait_secs >= 0.0 && task.wait_secs.is_finite());
+        assert!(task.start_secs >= 0.0);
+    }
+    for (a, b) in seq_report.tasks.iter().zip(&par_report.tasks) {
+        assert_eq!(a.out_bytes, b.out_bytes);
+        assert_eq!(a.out_rows, b.out_rows);
+        assert_eq!(a.in_rows, b.in_rows);
+        assert_eq!(a.sim_eval_secs, b.sim_eval_secs);
+    }
+}

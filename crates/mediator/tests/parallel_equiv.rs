@@ -1,0 +1,163 @@
+//! Sequential / parallel executor equivalence — the promise made at the top
+//! of `src/parallel.rs`: across datagen seeds and thread interleavings, the
+//! parallel executor produces exactly the relations of the sequential one
+//! and therefore an identical tagged document.
+
+use aig_core::paper::sigma0;
+use aig_core::spec::Aig;
+use aig_core::{compile_constraints, decompose_queries};
+use aig_datagen::HospitalConfig;
+use aig_mediator::cost::estimated_costs;
+use aig_mediator::exec::{execute_graph, ExecOptions, ExecResult};
+use aig_mediator::graph::{build_graph, GraphOptions, TaskGraph};
+use aig_mediator::parallel::execute_graph_parallel;
+use aig_mediator::schedule::schedule;
+use aig_mediator::tagging::tag_document;
+use aig_mediator::unfold::{unfold, CutOff};
+use aig_mediator::{run, CostGraph, MediatorOptions, NetworkModel};
+use aig_relstore::{Catalog, SourceId, Value};
+use std::collections::HashMap;
+
+struct Fixture {
+    aig: Aig,
+    graph: TaskGraph,
+    catalog: Catalog,
+    date: String,
+}
+
+fn fixture(seed: u64, depth: usize) -> Fixture {
+    let aig = sigma0().unwrap();
+    let compiled = compile_constraints(&aig).unwrap();
+    let (specialized, _) = decompose_queries(&compiled).unwrap();
+    let unfolded = unfold(&specialized, depth, CutOff::Truncate).unwrap();
+    let data = HospitalConfig::tiny(seed).generate().unwrap();
+    let graph = build_graph(&unfolded.aig, &data.catalog, &GraphOptions::default()).unwrap();
+    Fixture {
+        aig: unfolded.aig,
+        graph,
+        catalog: data.catalog,
+        date: data.dates[0].clone(),
+    }
+}
+
+/// The pipeline's default interleaving: each source runs its tasks in global
+/// topological order.
+fn topo_per_source(graph: &TaskGraph) -> HashMap<SourceId, Vec<usize>> {
+    let mut per_source: HashMap<SourceId, Vec<usize>> = HashMap::new();
+    for &id in &graph.topo {
+        per_source
+            .entry(graph.tasks[id].source)
+            .or_default()
+            .push(id);
+    }
+    per_source
+}
+
+fn run_sequential(fx: &Fixture) -> ExecResult {
+    execute_graph(
+        &fx.aig,
+        &fx.catalog,
+        &fx.graph,
+        &[("date", Value::str(&fx.date))],
+        &ExecOptions::default(),
+    )
+    .unwrap()
+}
+
+fn assert_equivalent(fx: &Fixture, seq: &ExecResult, par: &ExecResult) {
+    for (key, &producer) in &fx.graph.producer {
+        let a = seq.store.get(key).unwrap();
+        let b = par.store.get(key).unwrap();
+        assert_eq!(a, b, "relation {key:?} differs (task {producer})");
+        assert_eq!(a.byte_size(), b.byte_size(), "byte size of {key:?} differs");
+    }
+    for (id, (s, p)) in seq.measured.iter().zip(&par.measured).enumerate() {
+        assert_eq!(s.out_rows, p.out_rows, "out_rows of task {id}");
+        assert_eq!(s.out_bytes, p.out_bytes, "out_bytes of task {id}");
+        assert_eq!(s.in_rows, p.in_rows, "in_rows of task {id}");
+        assert!(p.wait_secs >= 0.0 && p.secs >= 0.0);
+    }
+    let seq_tree = tag_document(&fx.aig, &fx.graph, &seq.store).unwrap();
+    let par_tree = tag_document(&fx.aig, &fx.graph, &par.store).unwrap();
+    assert_eq!(seq_tree, par_tree, "tagged documents differ");
+}
+
+#[test]
+fn parallel_matches_sequential_across_seeds() {
+    for seed in [1u64, 7, 42, 2003] {
+        let fx = fixture(seed, 3);
+        let seq = run_sequential(&fx);
+        let plan = topo_per_source(&fx.graph);
+        // Repeat: thread timing varies between runs, the relations must not.
+        for _ in 0..3 {
+            let par = execute_graph_parallel(
+                &fx.aig,
+                &fx.catalog,
+                &fx.graph,
+                &[("date", Value::str(&fx.date))],
+                &ExecOptions::default(),
+                &plan,
+            )
+            .unwrap();
+            assert_equivalent(&fx, &seq, &par);
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_under_scheduled_interleaving() {
+    // A second, genuinely different interleaving: Algorithm Schedule over the
+    // *uncontracted* cost graph (node ids == task ids) reorders each source's
+    // queue by criticality instead of topological position.
+    for seed in [1u64, 42] {
+        let fx = fixture(seed, 3);
+        let seq = run_sequential(&fx);
+        let cg = CostGraph::from_task_graph(&fx.graph, &estimated_costs(&fx.graph));
+        let plan = schedule(&cg, &NetworkModel::mbps(1.0));
+        assert!(plan.consistent_with(&cg));
+        let par = execute_graph_parallel(
+            &fx.aig,
+            &fx.catalog,
+            &fx.graph,
+            &[("date", Value::str(&fx.date))],
+            &ExecOptions::default(),
+            &plan.per_source,
+        )
+        .unwrap();
+        assert_equivalent(&fx, &seq, &par);
+    }
+}
+
+#[test]
+fn pipeline_parallel_flag_matches_sequential() {
+    let data = HospitalConfig::tiny(5).generate().unwrap();
+    let aig = sigma0().unwrap();
+    let args = [("date", Value::str(&data.dates[0]))];
+    // Deterministic simulated costs (no wall-clock dependence) so the two
+    // runs agree on every reported number, not just the document.
+    let mut options = MediatorOptions {
+        unfold_depth: 3,
+        max_depth: 3,
+        cutoff: CutOff::Truncate,
+        network: NetworkModel::mbps(1.0),
+        ..MediatorOptions::default()
+    };
+    options.graph.eval_scale = 0.0;
+    options.graph.cost_model.per_query_overhead_secs = 1.0;
+
+    let sequential = run(&aig, &data.catalog, &args, &options).unwrap();
+    options.parallel_exec = true;
+    let parallel = run(&aig, &data.catalog, &args, &options).unwrap();
+
+    assert_eq!(sequential.tree, parallel.tree);
+    assert_eq!(sequential.tasks, parallel.tasks);
+    assert_eq!(sequential.merges, parallel.merges);
+    assert_eq!(
+        sequential.response_unmerged_secs,
+        parallel.response_unmerged_secs
+    );
+    assert_eq!(
+        sequential.response_merged_secs,
+        parallel.response_merged_secs
+    );
+}

@@ -1,14 +1,15 @@
-//! Property tests over the optimization phase: on random dependency DAGs,
-//! `Schedule` always produces dependency-consistent plans, completion times
-//! respect producers and same-source sequencing, and `Merge` never increases
-//! the cost of the scheduled plan (it only accepts improving pairs).
+//! Randomized property tests over the optimization phase: on random
+//! dependency DAGs, `Schedule` always produces dependency-consistent plans,
+//! completion times respect producers and same-source sequencing, and
+//! `Merge` never increases the cost of the scheduled plan (it only accepts
+//! improving pairs). Seeds are fixed, so failures reproduce exactly.
 
 use aig_mediator::cost::{completion_times, response_time, CostGraph, CostNode};
 use aig_mediator::merge::{merge, no_merge};
 use aig_mediator::schedule::{naive_plan, schedule};
 use aig_mediator::NetworkModel;
+use aig_prng::{Rng, SeedableRng, StdRng};
 use aig_relstore::SourceId;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct RandomDag {
@@ -16,22 +17,22 @@ struct RandomDag {
     edges: Vec<(usize, usize, f64)>, // producer < consumer, bytes
 }
 
-fn dag_strategy() -> impl Strategy<Value = RandomDag> {
-    let node = (0u32..4, 0.01f64..2.0);
-    prop::collection::vec(node, 2..12).prop_flat_map(|nodes| {
-        let n = nodes.len();
-        let edge = (0..n * n).prop_map(move |k| (k / n, k % n));
-        prop::collection::vec((edge, 1.0f64..100_000.0), 0..(2 * n)).prop_map(move |raw| {
-            RandomDag {
-                nodes: nodes.clone(),
-                edges: raw
-                    .into_iter()
-                    .filter(|((a, b), _)| a < b) // forward edges keep it a DAG
-                    .map(|((a, b), bytes)| (a, b, bytes))
-                    .collect(),
-            }
-        })
-    })
+fn random_dag(rng: &mut StdRng) -> RandomDag {
+    let n = rng.gen_range(2usize..12);
+    let nodes: Vec<(u32, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0u32..4), rng.gen_range(0.01f64..2.0)))
+        .collect();
+    let edge_count = rng.gen_range(0usize..2 * n);
+    let mut edges = Vec::new();
+    for _ in 0..edge_count {
+        let a = rng.gen_range(0usize..n);
+        let b = rng.gen_range(0usize..n);
+        if a < b {
+            // Forward edges keep it a DAG.
+            edges.push((a, b, rng.gen_range(1.0f64..100_000.0)));
+        }
+    }
+    RandomDag { nodes, edges }
 }
 
 fn build(dag: &RandomDag) -> CostGraph {
@@ -55,16 +56,16 @@ fn build(dag: &RandomDag) -> CostGraph {
     CostGraph { nodes, deps }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn schedule_is_always_consistent(dag in dag_strategy()) {
+#[test]
+fn schedule_is_always_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+    for case in 0..128 {
+        let dag = random_dag(&mut rng);
         let g = build(&dag);
         let net = NetworkModel::mbps(1.0);
         let plan = schedule(&g, &net);
-        prop_assert!(plan.consistent_with(&g));
-        prop_assert!(naive_plan(&g).consistent_with(&g));
+        assert!(plan.consistent_with(&g), "case {case}: {dag:?}");
+        assert!(naive_plan(&g).consistent_with(&g), "case {case}: {dag:?}");
         // Every node is scheduled exactly once.
         let mut count = vec![0usize; g.len()];
         for seq in plan.per_source.values() {
@@ -72,11 +73,15 @@ proptest! {
                 count[t] += 1;
             }
         }
-        prop_assert!(count.iter().all(|&c| c == 1));
+        assert!(count.iter().all(|&c| c == 1), "case {case}: {dag:?}");
     }
+}
 
-    #[test]
-    fn completion_times_respect_dependencies(dag in dag_strategy()) {
+#[test]
+fn completion_times_respect_dependencies() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+    for case in 0..128 {
+        let dag = random_dag(&mut rng);
         let g = build(&dag);
         let net = NetworkModel::mbps(1.0);
         let plan = schedule(&g, &net);
@@ -84,9 +89,9 @@ proptest! {
         for (id, deps) in g.deps.iter().enumerate() {
             // A consumer finishes after each producer plus its own work.
             for (dep, _) in deps {
-                prop_assert!(
+                assert!(
                     done[id] >= done[*dep] + g.nodes[id].eval_secs - 1e-9,
-                    "task {id} finished before its producer {dep}"
+                    "case {case}: task {id} finished before its producer {dep}: {dag:?}"
                 );
             }
         }
@@ -95,20 +100,37 @@ proptest! {
         for (source, seq) in &plan.per_source {
             let busy: f64 = seq.iter().map(|&t| g.nodes[t].eval_secs).sum();
             let makespan = response_time(&g, &plan, &net);
-            prop_assert!(makespan >= busy - 1e-9, "source {source} overlapped");
+            assert!(
+                makespan >= busy - 1e-9,
+                "case {case}: source {source} overlapped: {dag:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn merging_never_increases_scheduled_cost(dag in dag_strategy()) {
+#[test]
+fn merging_never_increases_scheduled_cost() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0003);
+    for case in 0..128 {
+        let dag = random_dag(&mut rng);
         let g = build(&dag);
         let net = NetworkModel::mbps(1.0);
         let baseline = no_merge(&g, &net);
         let merged = merge(&g, &net, 0.2);
-        prop_assert!(merged.response_secs <= baseline.response_secs + 1e-9);
-        prop_assert!(merged.plan.consistent_with(&merged.graph));
-        prop_assert!(merged.graph.topo().is_some());
+        assert!(
+            merged.response_secs <= baseline.response_secs + 1e-9,
+            "case {case}: {dag:?}"
+        );
+        assert!(
+            merged.plan.consistent_with(&merged.graph),
+            "case {case}: {dag:?}"
+        );
+        assert!(merged.graph.topo().is_some(), "case {case}: {dag:?}");
         // Node count shrinks by exactly the number of merges.
-        prop_assert_eq!(merged.graph.len(), g.len() - merged.merges);
+        assert_eq!(
+            merged.graph.len(),
+            g.len() - merged.merges,
+            "case {case}: {dag:?}"
+        );
     }
 }

@@ -1,0 +1,176 @@
+//! A small, dependency-free deterministic PRNG.
+//!
+//! The workspace builds in offline environments, so instead of pulling in
+//! the `rand` crate this module provides the narrow subset the repo uses:
+//! a seedable generator ([`StdRng`]), uniform ranges over integers and
+//! floats ([`Rng::gen_range`]), booleans, and a couple of convenience
+//! helpers for tests (shuffles, picks).
+//!
+//! The generator is xoshiro256** seeded through splitmix64 — the standard
+//! construction recommended by Blackman & Vigna. It is *not*
+//! cryptographically secure; it only needs to be fast, well-distributed,
+//! and stable across runs so that seeded datasets and randomized tests are
+//! reproducible.
+
+/// Seedable generators (mirrors `rand::SeedableRng` for the one entry point
+/// the workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly from a half-open `lo..hi` range.
+pub trait SampleRange: Copy + PartialOrd {
+    fn sample(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift rejection-free mapping (Lemire); the bias is
+                // < 2^-64 per draw, irrelevant for data generation.
+                let wide = (rng.next_u64() as u128).wrapping_mul(span);
+                lo + (wide >> 64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, i64, i32);
+
+impl SampleRange for f64 {
+    fn sample(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Random value generation (mirrors the used subset of `rand::Rng`).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `lo..hi` (half-open).
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T;
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element (panics on an empty slice).
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_range(0..items.len())]
+    }
+}
+
+/// xoshiro256** — the workspace's standard generator.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // splitmix64 stream expands the seed into the full state; this also
+        // handles the all-zero seed (xoshiro's forbidden state).
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+}
+
+/// Compatibility shim so existing `use rand::rngs::StdRng;` imports need
+/// only their crate name changed.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn ranges_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut items: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(items, (0..50).collect::<Vec<_>>(), "50! leaves ~no chance");
+    }
+}

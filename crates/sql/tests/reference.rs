@@ -1,12 +1,12 @@
-//! Property test: the greedy hash-join executor agrees with a naive
-//! cartesian-product reference evaluator on random conjunctive queries over
-//! random data.
+//! Randomized property test: the greedy hash-join executor agrees with a
+//! naive cartesian-product reference evaluator on random conjunctive
+//! queries over random data. Seeds are fixed, so failures reproduce.
 
+use aig_prng::{Rng, SeedableRng, StdRng};
 use aig_relstore::{Catalog, Database, Relation, Table, TableSchema, Value};
 use aig_sql::{
     execute, CmpOp, FromItem, ParamValue, Params, Pred, QualCol, Query, Scalar, SelectItem, SetRef,
 };
-use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
 // Reference evaluator: cartesian product + filter + project.
@@ -105,15 +105,16 @@ fn reference_execute(query: &Query, catalog: &Catalog, params: &Params) -> Relat
 }
 
 // ---------------------------------------------------------------------------
-// Strategies
+// Random generation
 // ---------------------------------------------------------------------------
 
 /// Small value domain so joins actually hit.
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (0..5u8).prop_map(|i| Value::str(format!("v{i}"))),
-        Just(Value::Null),
-    ]
+fn random_value(rng: &mut StdRng) -> Value {
+    if rng.gen_bool(1.0 / 6.0) {
+        Value::Null
+    } else {
+        Value::str(format!("v{}", rng.gen_range(0u32..5)))
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -129,58 +130,61 @@ fn col(q: &str, c: &str) -> Scalar {
     Scalar::Col(QualCol::new(q, c))
 }
 
-fn pred_strategy() -> impl Strategy<Value = Pred> {
-    let scalar = prop_oneof![
-        Just(col("x", "a")),
-        Just(col("x", "b")),
-        Just(col("y", "a")),
-        Just(col("y", "c")),
-        value_strategy().prop_map(Scalar::Const),
-        Just(Scalar::Param("p".to_string())),
-    ];
-    let op = prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ];
-    prop_oneof![
-        (op, scalar.clone(), scalar.clone())
-            .prop_map(|(op, lhs, rhs)| { Pred::Cmp { op, lhs, rhs } }),
-        prop_oneof![Just(QualCol::new("x", "a")), Just(QualCol::new("y", "c"))].prop_map(|qcol| {
-            Pred::In {
-                col: qcol,
-                set: SetRef::Param("ids".to_string()),
-            }
-        }),
-    ]
-    .prop_filter("IN needs a column lhs; comparisons keep any shape", |p| {
-        !matches!(
-            p,
-            Pred::Cmp {
-                lhs: Scalar::Const(_) | Scalar::Param(_),
-                rhs: Scalar::Const(_) | Scalar::Param(_),
-                ..
-            }
-        ) || true
-    })
+fn random_scalar(rng: &mut StdRng) -> Scalar {
+    match rng.gen_range(0usize..6) {
+        0 => col("x", "a"),
+        1 => col("x", "b"),
+        2 => col("y", "a"),
+        3 => col("y", "c"),
+        4 => Scalar::Const(random_value(rng)),
+        _ => Scalar::Param("p".to_string()),
+    }
 }
 
-fn setup_strategy() -> impl Strategy<Value = Setup> {
-    (
-        prop::collection::vec((value_strategy(), value_strategy()), 0..6),
-        prop::collection::vec((value_strategy(), value_strategy()), 0..6),
-        prop::collection::vec(pred_strategy(), 0..4),
-        any::<bool>(),
-    )
-        .prop_map(|(t_rows, u_rows, preds, distinct)| Setup {
-            t_rows,
-            u_rows,
-            preds,
-            distinct,
-        })
+fn random_pred(rng: &mut StdRng) -> Pred {
+    if rng.gen_bool(0.25) {
+        let qcol = if rng.gen_bool(0.5) {
+            QualCol::new("x", "a")
+        } else {
+            QualCol::new("y", "c")
+        };
+        Pred::In {
+            col: qcol,
+            set: SetRef::Param("ids".to_string()),
+        }
+    } else {
+        let op = *rng.pick(&[
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ]);
+        Pred::Cmp {
+            op,
+            lhs: random_scalar(rng),
+            rhs: random_scalar(rng),
+        }
+    }
+}
+
+fn random_setup(rng: &mut StdRng) -> Setup {
+    let t_rows = (0..rng.gen_range(0usize..6))
+        .map(|_| (random_value(rng), random_value(rng)))
+        .collect();
+    let u_rows = (0..rng.gen_range(0usize..6))
+        .map(|_| (random_value(rng), random_value(rng)))
+        .collect();
+    let preds = (0..rng.gen_range(0usize..4))
+        .map(|_| random_pred(rng))
+        .collect();
+    Setup {
+        t_rows,
+        u_rows,
+        preds,
+        distinct: rng.gen_bool(0.5),
+    }
 }
 
 fn build_catalog(setup: &Setup) -> Catalog {
@@ -202,22 +206,39 @@ fn build_catalog(setup: &Setup) -> Catalog {
     catalog
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn executor_agrees_with_reference(setup in setup_strategy()) {
+#[test]
+fn executor_agrees_with_reference() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_5001);
+    for case in 0..256 {
+        let setup = random_setup(&mut rng);
         let catalog = build_catalog(&setup);
         let query = Query {
             distinct: setup.distinct,
             select: vec![
-                SelectItem { expr: col("x", "a"), alias: Some("xa".into()) },
-                SelectItem { expr: col("x", "b"), alias: Some("xb".into()) },
-                SelectItem { expr: col("y", "c"), alias: Some("yc".into()) },
+                SelectItem {
+                    expr: col("x", "a"),
+                    alias: Some("xa".into()),
+                },
+                SelectItem {
+                    expr: col("x", "b"),
+                    alias: Some("xb".into()),
+                },
+                SelectItem {
+                    expr: col("y", "c"),
+                    alias: Some("yc".into()),
+                },
             ],
             from: vec![
-                FromItem::Table { source: "S1".into(), table: "t".into(), alias: "x".into() },
-                FromItem::Table { source: "S2".into(), table: "u".into(), alias: "y".into() },
+                FromItem::Table {
+                    source: "S1".into(),
+                    table: "t".into(),
+                    alias: "x".into(),
+                },
+                FromItem::Table {
+                    source: "S2".into(),
+                    table: "u".into(),
+                    alias: "y".into(),
+                },
             ],
             preds: setup.preds.clone(),
         };
@@ -233,10 +254,12 @@ proptest! {
 
         let fast = execute(&query, &catalog, &params).unwrap();
         let slow = reference_execute(&query, &catalog, &params);
-        prop_assert!(
+        assert!(
             fast.bag_eq(&slow),
-            "executor {:?} != reference {:?} for preds {:?}",
-            fast, slow, setup.preds
+            "case {case}: executor {:?} != reference {:?} for preds {:?}",
+            fast,
+            slow,
+            setup.preds
         );
     }
 }

@@ -62,9 +62,12 @@ pub mod prelude {
     pub use aig_core::eval::{evaluate, evaluate_with, EvalOptions, Evaluation};
     pub use aig_core::spec::Aig;
     pub use aig_core::{analyze, compile_constraints, decompose_queries, parse_aig, AigError};
-    pub use aig_mediator::pipeline::{canonical, run as run_mediator, MediatorOptions};
+    pub use aig_mediator::pipeline::{
+        canonical, run as run_mediator, run_with_report as run_mediator_with_report,
+        MediatorOptions,
+    };
     pub use aig_mediator::unfold::CutOff;
-    pub use aig_mediator::{MediatorError, NetworkModel};
+    pub use aig_mediator::{render_report, Json, MediatorError, NetworkModel, RunReport};
     pub use aig_relstore::{Catalog, Database, Relation, Table, TableSchema, Value};
     pub use aig_xml::{validate, Constraint, ConstraintSet, Dtd, XmlTree};
 }

@@ -1,4 +1,5 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Randomized property tests (seeded PRNG, fully deterministic) over the
+//! core invariants:
 //!
 //! * XML serializer ↔ parser round-trip;
 //! * DTD normalization: documents generated against the normalized DTD,
@@ -13,7 +14,7 @@ use aig_integration::datagen::HospitalConfig;
 use aig_integration::prelude::*;
 use aig_integration::xml::dtd::{ContentModel, Dtd, GeneralDtd, Regex};
 use aig_integration::xml::{parse, serialize, validate_general, XmlTree};
-use proptest::prelude::*;
+use aig_prng::{Rng, SeedableRng, StdRng};
 
 // ---------------------------------------------------------------------------
 // Serializer round-trip
@@ -26,25 +27,46 @@ enum Piece {
     Elem(String, Vec<Piece>),
 }
 
-fn tag_strategy() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9]{0,6}"
+fn random_tag(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0usize..7);
+    let mut s = String::new();
+    s.push((b'a' + rng.gen_range(0u32..26) as u8) as char);
+    for _ in 0..len {
+        let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        s.push(alphabet[rng.gen_range(0usize..alphabet.len())] as char);
+    }
+    s
 }
 
-fn text_strategy() -> impl Strategy<Value = String> {
-    // Includes the characters that need escaping; excludes whitespace-only
-    // strings (the parser drops inter-element formatting whitespace).
-    "[ -~]{1,12}".prop_filter("non-blank", |s| s.chars().any(|c| !c.is_whitespace()))
+/// Printable ASCII text (includes the characters that need escaping);
+/// excludes whitespace-only strings (the parser drops inter-element
+/// formatting whitespace).
+fn random_text(rng: &mut StdRng) -> String {
+    loop {
+        let len = rng.gen_range(1usize..13);
+        let s: String = (0..len)
+            .map(|_| (b' ' + rng.gen_range(0u32..95) as u8) as char)
+            .collect();
+        if s.chars().any(|c| !c.is_whitespace()) {
+            return s;
+        }
+    }
 }
 
-fn piece_strategy() -> impl Strategy<Value = Piece> {
-    let leaf = prop_oneof![
-        text_strategy().prop_map(Piece::Text),
-        tag_strategy().prop_map(|t| Piece::Elem(t, Vec::new())),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        (tag_strategy(), prop::collection::vec(inner, 0..4))
-            .prop_map(|(tag, children)| Piece::Elem(tag, children))
-    })
+fn random_piece(rng: &mut StdRng, depth: usize) -> Piece {
+    let leaf = depth >= 3 || rng.gen_bool(0.4);
+    if leaf {
+        if rng.gen_bool(0.5) {
+            Piece::Text(random_text(rng))
+        } else {
+            Piece::Elem(random_tag(rng), Vec::new())
+        }
+    } else {
+        let children = (0..rng.gen_range(0usize..4))
+            .map(|_| random_piece(rng, depth + 1))
+            .collect();
+        Piece::Elem(random_tag(rng), children)
+    }
 }
 
 fn build(tree: &mut XmlTree, parent: aig_integration::xml::NodeId, piece: &Piece) {
@@ -61,11 +83,13 @@ fn build(tree: &mut XmlTree, parent: aig_integration::xml::NodeId, piece: &Piece
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn serialize_parse_round_trip(pieces in prop::collection::vec(piece_strategy(), 0..5)) {
+#[test]
+fn serialize_parse_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_A001);
+    for case in 0..64 {
+        let pieces: Vec<Piece> = (0..rng.gen_range(0usize..5))
+            .map(|_| random_piece(&mut rng, 0))
+            .collect();
         let mut tree = XmlTree::new("root");
         let root = tree.root();
         for p in &pieces {
@@ -75,9 +99,13 @@ proptest! {
         // a serialization fixpoint: serialize ∘ parse ∘ serialize = serialize.
         let text = serialize::to_string(&tree);
         let parsed = parse::parse(&text).unwrap();
-        prop_assert_eq!(serialize::to_string(&parsed), text.clone());
+        assert_eq!(serialize::to_string(&parsed), text, "case {case}");
         // Parsing is then a true inverse on the parsed (normalized) tree.
-        prop_assert_eq!(&parse::parse(&serialize::to_string(&parsed)).unwrap(), &parsed);
+        assert_eq!(
+            &parse::parse(&serialize::to_string(&parsed)).unwrap(),
+            &parsed,
+            "case {case}"
+        );
         // Pretty printing keeps PCDATA intact only when each text node is an
         // only child (otherwise indentation whitespace joins the text — the
         // standard XML pretty-printing caveat); round-trip those cases.
@@ -91,7 +119,7 @@ proptest! {
         if pretty_safe {
             let pretty = serialize::to_pretty_string(&parsed);
             let reparsed = parse::parse(&pretty).unwrap();
-            prop_assert_eq!(serialize::to_string(&reparsed), text);
+            assert_eq!(serialize::to_string(&reparsed), text, "case {case}");
         }
     }
 }
@@ -100,21 +128,32 @@ proptest! {
 // DTD normalization
 // ---------------------------------------------------------------------------
 
-/// A small random general DTD over elements e0..e4 with regex content.
-fn regex_strategy(names: Vec<String>) -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        Just(Regex::Epsilon),
-        prop::sample::select(names).prop_map(Regex::Elem),
-    ];
-    leaf.prop_recursive(2, 8, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Seq),
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Choice),
-            inner.clone().prop_map(|r| Regex::Star(Box::new(r))),
-            inner.clone().prop_map(|r| Regex::Opt(Box::new(r))),
-            inner.prop_map(|r| Regex::Plus(Box::new(r))),
-        ]
-    })
+/// A small random regex over the given element names.
+fn random_regex(rng: &mut StdRng, names: &[String], depth: usize) -> Regex {
+    let leaf = depth >= 2 || rng.gen_bool(0.4);
+    if leaf {
+        if rng.gen_bool(0.3) {
+            Regex::Epsilon
+        } else {
+            Regex::Elem(rng.pick(names).clone())
+        }
+    } else {
+        match rng.gen_range(0usize..5) {
+            0 => Regex::Seq(
+                (0..rng.gen_range(1usize..3))
+                    .map(|_| random_regex(rng, names, depth + 1))
+                    .collect(),
+            ),
+            1 => Regex::Choice(
+                (0..rng.gen_range(1usize..3))
+                    .map(|_| random_regex(rng, names, depth + 1))
+                    .collect(),
+            ),
+            2 => Regex::Star(Box::new(random_regex(rng, names, depth + 1))),
+            3 => Regex::Opt(Box::new(random_regex(rng, names, depth + 1))),
+            _ => Regex::Plus(Box::new(random_regex(rng, names, depth + 1))),
+        }
+    }
 }
 
 /// Generates a random document conforming to a *restricted* DTD, bounding
@@ -171,16 +210,12 @@ fn generate_doc(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn normalized_documents_conform_to_the_general_dtd(
-        models in prop::collection::vec(
-            regex_strategy(vec!["e1".into(), "e2".into(), "e3".into()]),
-            4,
-        )
-    ) {
+#[test]
+fn normalized_documents_conform_to_the_general_dtd() {
+    let names: Vec<String> = vec!["e1".into(), "e2".into(), "e3".into()];
+    let mut rng = StdRng::seed_from_u64(0x5EED_A002);
+    for case in 0..48 {
+        let models: Vec<Regex> = (0..4).map(|_| random_regex(&mut rng, &names, 0)).collect();
         // e0 is the root; e1..e3 are the referenced elements (e3 is PCDATA).
         let decls = vec![
             ("e0".to_string(), models[0].clone()),
@@ -188,7 +223,10 @@ proptest! {
             ("e2".to_string(), models[2].clone()),
             ("e3".to_string(), Regex::Pcdata),
         ];
-        let general = GeneralDtd { decls, root: "e0".to_string() };
+        let general = GeneralDtd {
+            decls,
+            root: "e0".to_string(),
+        };
         let normalized = general.normalize().unwrap().dtd;
 
         // Generate against the normalized DTD, then strip the synthetic
@@ -197,13 +235,25 @@ proptest! {
         let mut tree = XmlTree::new("e0");
         let root = tree.root();
         let mut budget = 400usize;
-        let ok = generate_doc(&normalized, normalized.root(), &mut tree, root, 0, &mut budget);
-        prop_assume!(ok); // skip cases the bounded generator cannot fill
+        let ok = generate_doc(
+            &normalized,
+            normalized.root(),
+            &mut tree,
+            root,
+            0,
+            &mut budget,
+        );
+        if !ok {
+            continue; // skip cases the bounded generator cannot fill
+        }
 
-        prop_assert!(aig_integration::xml::validate(&tree, &normalized).is_ok());
+        assert!(
+            aig_integration::xml::validate(&tree, &normalized).is_ok(),
+            "case {case}"
+        );
         let stripped = tree.strip_elements(Dtd::is_synthetic);
         if let Err(e) = validate_general(&stripped, &general) {
-            prop_assert!(false, "stripped document fails general DTD: {e}");
+            panic!("case {case}: stripped document fails general DTD: {e}");
         }
     }
 }
@@ -258,18 +308,16 @@ fn corrupt_billing(seed: u64, drop: bool, duplicate: bool) -> Catalog {
     catalog
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn compiled_guards_agree_with_the_oracle(
-        seed in 0u64..500,
-        drop in any::<bool>(),
-        duplicate in any::<bool>(),
-        date_idx in 0usize..4,
-    ) {
-        let aig = sigma0().unwrap();
-        let compiled = compile_constraints(&aig).unwrap();
+#[test]
+fn compiled_guards_agree_with_the_oracle() {
+    let aig = sigma0().unwrap();
+    let compiled = compile_constraints(&aig).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x5EED_A003);
+    for case in 0..24 {
+        let seed = rng.gen_range(0u64..500);
+        let drop = rng.gen_bool(0.5);
+        let duplicate = rng.gen_bool(0.5);
+        let date_idx = rng.gen_range(0usize..4);
         let catalog = corrupt_billing(seed, drop, duplicate);
         let data = HospitalConfig::tiny(seed).generate().unwrap();
         let date = &data.dates[date_idx];
@@ -281,13 +329,21 @@ proptest! {
         let guarded = evaluate(&compiled, &catalog, &args);
         match guarded {
             Ok(result) => {
-                prop_assert!(oracle_ok, "guards passed but the oracle found a violation");
-                prop_assert!(aig.constraints.satisfied(&result.tree));
+                assert!(
+                    oracle_ok,
+                    "case {case} (seed {seed}, drop {drop}, dup {duplicate}, {date}): \
+                     guards passed but the oracle found a violation"
+                );
+                assert!(aig.constraints.satisfied(&result.tree), "case {case}");
             }
             Err(AigError::ConstraintViolation { .. }) => {
-                prop_assert!(!oracle_ok, "guards aborted but the oracle found no violation");
+                assert!(
+                    !oracle_ok,
+                    "case {case} (seed {seed}, drop {drop}, dup {duplicate}, {date}): \
+                     guards aborted but the oracle found no violation"
+                );
             }
-            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+            Err(other) => panic!("case {case}: unexpected error: {other}"),
         }
     }
 }
@@ -296,24 +352,26 @@ proptest! {
 // Conceptual ≡ mediator on random datasets
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn mediator_agrees_with_conceptual_evaluation(
-        seed in 0u64..1000,
-        date_idx in 0usize..4,
-    ) {
-        let aig = sigma0().unwrap();
+#[test]
+fn mediator_agrees_with_conceptual_evaluation() {
+    let aig = sigma0().unwrap();
+    let mut rng = StdRng::seed_from_u64(0x5EED_A004);
+    for case in 0..16 {
+        let seed = rng.gen_range(0u64..1000);
+        let date_idx = rng.gen_range(0usize..4);
         let data = HospitalConfig::tiny(seed).generate().unwrap();
         let date = &data.dates[date_idx];
         let args = [("date", Value::str(date))];
         let reference = evaluate(&aig, &data.catalog, &args).unwrap();
-        let options = MediatorOptions { max_depth: 128, ..MediatorOptions::default() };
+        let options = MediatorOptions {
+            max_depth: 128,
+            ..MediatorOptions::default()
+        };
         let run = run_mediator(&aig, &data.catalog, &args, &options).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             canonical(&aig, &run.tree),
-            canonical(&aig, &reference.tree)
+            canonical(&aig, &reference.tree),
+            "case {case} (seed {seed}, {date})"
         );
     }
 }

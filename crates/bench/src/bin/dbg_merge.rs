@@ -31,7 +31,10 @@ fn main() {
         &data.catalog,
         &graph,
         &[("date", Value::str(&data.dates[0]))],
-        &ExecOptions { check_guards: true },
+        &ExecOptions {
+            check_guards: true,
+            ..ExecOptions::default()
+        },
     )
     .unwrap();
     let costs = measured_costs(

@@ -17,6 +17,19 @@ pub enum MediatorError {
     RecursionBudget {
         max_depth: usize,
     },
+    /// A source kept failing a task until the retry budget ran out.
+    SourceFault {
+        source: String,
+        task: String,
+        kind: String,
+        attempts: usize,
+    },
+    /// A source suffered a hard outage with no usable replica; the named
+    /// tasks could not be executed anywhere.
+    SourceUnavailable {
+        source: String,
+        lost_tasks: Vec<String>,
+    },
     /// Wrapped specification/evaluation error.
     Aig(AigError),
     Sql(SqlError),
@@ -33,6 +46,20 @@ impl fmt::Display for MediatorError {
             MediatorError::RecursionBudget { max_depth } => write!(
                 f,
                 "recursive data exceeds the maximum unfolding depth {max_depth}"
+            ),
+            MediatorError::SourceFault {
+                source,
+                task,
+                kind,
+                attempts,
+            } => write!(
+                f,
+                "source {source} failed task {task} ({kind}) after {attempts} attempt(s)"
+            ),
+            MediatorError::SourceUnavailable { source, lost_tasks } => write!(
+                f,
+                "source {source} is unavailable with no replica; lost tasks: {}",
+                lost_tasks.join(", ")
             ),
             MediatorError::Aig(e) => e.fmt(f),
             MediatorError::Sql(e) => e.fmt(f),

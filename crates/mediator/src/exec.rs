@@ -8,6 +8,7 @@
 //! queries and simulating the transfers.
 
 use crate::error::MediatorError;
+use crate::faults::{FaultEnv, FaultPlan, ResilienceLog, RetryPolicy};
 use crate::graph::{
     resolve_syn_key, Binding, Occ, ParamInput, RelKey, ScalarBind, Task, TaskGraph, TaskKind,
     VectorQuery,
@@ -16,7 +17,7 @@ use aig_core::attrs::FieldType;
 use aig_core::copyelim::{resolve_scalar, ResolvedScalar};
 use aig_core::spec::{Aig, ElemIdx, FieldRule, GuardKind, Prod, SetExpr, ValueExpr};
 use aig_core::AigError;
-use aig_relstore::{Catalog, Relation, Value};
+use aig_relstore::{Catalog, Relation, SourceId, Value};
 use aig_sql::{execute as sql_execute, ParamValue, Params};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -27,11 +28,23 @@ pub struct ExecOptions {
     /// Whether guard tasks abort on violations (disable for the constraint
     /// ablation).
     pub check_guards: bool,
+    /// Deterministic fault injection for source tasks (None = no faults).
+    pub faults: Option<FaultPlan>,
+    /// Retry/backoff/timeout policy applied when faults are injected.
+    pub retry: RetryPolicy,
+    /// Network model used when an outage forces a re-plan of the surviving
+    /// subgraph (parallel executor).
+    pub network: crate::sim::NetworkModel,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { check_guards: true }
+        ExecOptions {
+            check_guards: true,
+            faults: None,
+            retry: RetryPolicy::default(),
+            network: crate::sim::NetworkModel::default(),
+        }
     }
 }
 
@@ -72,9 +85,21 @@ impl RelSource for RelStore {
 
 impl RelStore {
     pub fn get(&self, key: &RelKey) -> Result<&Relation, MediatorError> {
-        self.rels
-            .get(key)
-            .ok_or_else(|| MediatorError::Internal(format!("missing relation {key:?}")))
+        self.rels.get(key).ok_or_else(|| {
+            let mut present: Vec<String> = self.rels.keys().map(|k| format!("{k:?}")).collect();
+            present.sort();
+            let shown = present.len().min(12);
+            let more = if present.len() > shown {
+                format!(" … +{}", present.len() - shown)
+            } else {
+                String::new()
+            };
+            MediatorError::Internal(format!(
+                "missing relation {key:?}; {} present: [{}{more}]",
+                present.len(),
+                present[..shown].join(", "),
+            ))
+        })
     }
 
     pub fn insert(&mut self, key: RelKey, rel: Relation) {
@@ -96,6 +121,8 @@ pub struct ExecResult {
     pub store: RelStore,
     /// Per task (parallel to `graph.tasks`).
     pub measured: Vec<Measured>,
+    /// What the fault layer did: injected-fault events and re-plans.
+    pub resilience: ResilienceLog,
 }
 
 /// The `__occ` tag of rows produced by the generator of `(occ, item)`.
@@ -108,6 +135,52 @@ pub fn branch_tag(aig: &Aig, occ: &Occ, branch: usize) -> String {
     format!("{}#b{branch}", occ.key(aig))
 }
 
+/// Resolves hard outages against the catalog before tasks run: every dead
+/// source that owns tasks is either redirected to a live declared replica
+/// (yielding a failover catalog view and re-homed effective sources) or the
+/// run fails with a structured error naming the lost tasks. Sources are
+/// resolved in id order, so the outcome is deterministic.
+pub(crate) fn resolve_outages(
+    catalog: &Catalog,
+    graph: &TaskGraph,
+    plan: &FaultPlan,
+    effective: &mut [SourceId],
+) -> Result<Option<Catalog>, MediatorError> {
+    let mut active: Option<Catalog> = None;
+    let mut sources: Vec<SourceId> = graph.tasks.iter().map(|t| t.source).collect();
+    sources.sort();
+    sources.dedup();
+    for sid in sources {
+        if !plan.source_down(sid) {
+            continue;
+        }
+        let cat = active.as_ref().unwrap_or(catalog);
+        match cat.replica_of(sid).filter(|r| !plan.source_down(*r)) {
+            Some(replica) => {
+                active = Some(cat.failover(sid).expect("replica is declared"));
+                for (id, task) in graph.tasks.iter().enumerate() {
+                    if task.source == sid {
+                        effective[id] = replica;
+                    }
+                }
+            }
+            None => {
+                let lost_tasks: Vec<String> = graph
+                    .topo
+                    .iter()
+                    .filter(|&&id| graph.tasks[id].source == sid)
+                    .map(|&id| graph.tasks[id].label.clone())
+                    .collect();
+                return Err(MediatorError::SourceUnavailable {
+                    source: catalog.source(sid).name().to_string(),
+                    lost_tasks,
+                });
+            }
+        }
+    }
+    Ok(active)
+}
+
 /// Executes every task of `graph` in topological order.
 pub fn execute_graph(
     aig: &Aig,
@@ -118,12 +191,25 @@ pub fn execute_graph(
 ) -> Result<ExecResult, MediatorError> {
     let mut store = RelStore::default();
     let mut measured = vec![Measured::default(); graph.tasks.len()];
+    let mut resilience = ResilienceLog::default();
+    let mut effective: Vec<SourceId> = graph.tasks.iter().map(|t| t.source).collect();
+    let active = match &opts.faults {
+        Some(plan) => resolve_outages(catalog, graph, plan, &mut effective)?,
+        None => None,
+    };
+    let catalog = active.as_ref().unwrap_or(catalog);
+    let env = FaultEnv {
+        plan: opts.faults.as_ref(),
+        retry: &opts.retry,
+    };
     let epoch = Instant::now();
     for &id in &graph.topo {
         let task = &graph.tasks[id];
         let in_rows = input_rows(task, &store);
         let start = Instant::now();
         let start_secs = (start - epoch).as_secs_f64();
+        let failed_over_from =
+            (effective[id] != task.source).then(|| catalog.source(task.source).name());
         let output = {
             let exec = Executor {
                 aig,
@@ -132,7 +218,15 @@ pub fn execute_graph(
                 store: &store,
                 opts,
             };
-            exec.run_task(task, args)?
+            env.run_task(
+                id,
+                &task.label,
+                effective[id],
+                catalog.source(effective[id]).name(),
+                failed_over_from,
+                &mut resilience.events,
+                || exec.run_task(task, args),
+            )?
         };
         let secs = start.elapsed().as_secs_f64();
         let (rows, bytes) = output
@@ -151,7 +245,11 @@ pub fn execute_graph(
             start_secs,
         };
     }
-    Ok(ExecResult { store, measured })
+    Ok(ExecResult {
+        store,
+        measured,
+        resilience,
+    })
 }
 
 /// Total rows across the task's distinct input relations (observability

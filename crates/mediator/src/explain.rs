@@ -118,12 +118,54 @@ pub fn render_report(report: &RunReport) -> String {
         );
     }
     if !report.merge_decisions.is_empty() {
+        // Contracted node ids are meaningless on their own — resolve them
+        // back to the task labels so the log is self-contained.
+        let label_of = |ids: &[usize]| -> String {
+            let labels: Vec<&str> = ids
+                .iter()
+                .map(|&id| {
+                    report
+                        .tasks
+                        .get(id)
+                        .map(|t| t.label.as_str())
+                        .unwrap_or("?")
+                })
+                .collect();
+            format!("[{}]", labels.join(", "))
+        };
         let _ = writeln!(out, "merge decisions");
         for d in &report.merge_decisions {
             let _ = writeln!(
                 out,
-                "  @{}: merge tasks {:?} into {:?}  cost {:.3}s -> {:.3}s",
-                d.source, d.absorbed, d.kept, d.cost_before_secs, d.cost_after_secs
+                "  @{}: merge {} into {}  cost {:.3}s -> {:.3}s",
+                d.source,
+                label_of(&d.absorbed),
+                label_of(&d.kept),
+                d.cost_before_secs,
+                d.cost_after_secs
+            );
+        }
+    }
+    if report.resilience.enabled {
+        let r = &report.resilience;
+        let _ = writeln!(
+            out,
+            "resilience (seed {}): {} injected = {} retried + {} timed out + \
+             {} failed over + {} surfaced; {} spikes absorbed, {} replans",
+            r.seed,
+            r.injected,
+            r.retried,
+            r.timed_out,
+            r.failed_over,
+            r.surfaced,
+            r.absorbed_spikes,
+            r.replans,
+        );
+        for e in &r.events {
+            let _ = writeln!(
+                out,
+                "  task {} ({}) @{} attempt {}: {} -> {}",
+                e.task, e.label, e.source, e.attempt, e.kind, e.outcome
             );
         }
     }

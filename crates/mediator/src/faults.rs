@@ -1,0 +1,604 @@
+//! Deterministic fault injection and recovery for source execution.
+//!
+//! The mediator of §5 ships parameterized queries to autonomous relational
+//! sources; in a real deployment those sources stall, drop connections, or
+//! go down entirely. This module supplies a *seeded* fault model so that
+//! every failure scenario is reproducible: a [`FaultPlan`] decides, as a
+//! pure function of `(seed, source, task, attempt)`, whether an attempt
+//! suffers a transient error, a latency spike, or hits a hard source
+//! outage. Both executors drive recovery through the same
+//! [`FaultEnv::run_task`] loop — retry with exponential backoff and jitter,
+//! a per-attempt timeout bounding injected stalls, and (for outages)
+//! failover to a replica declared in the catalog.
+//!
+//! Because the decision function is pure, the injected fault stream does
+//! not depend on thread interleaving: with the same seed, a faulted run
+//! that recovers produces byte-identical relations and tagged documents to
+//! a fault-free run (see the chaos-matrix tests).
+
+use crate::error::MediatorError;
+use aig_prng::{Rng, SeedableRng, StdRng};
+use aig_relstore::{Catalog, SourceId};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Configuration of the deterministic fault model. All rates are per
+/// *attempt* probabilities in `[0, 1]`; the mediator pseudo-source is never
+/// faulted (the model covers the autonomous sources, not the mediator
+/// itself).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the fault stream; the same seed replays the same faults.
+    pub seed: u64,
+    /// Probability that an attempt fails with a transient source error.
+    pub transient_rate: f64,
+    /// Probability that an attempt is delayed by a latency spike.
+    pub latency_rate: f64,
+    /// Nominal spike duration in seconds (the drawn spike is uniform in
+    /// `[0.5, 1.5] × latency_secs`). Spikes at or above the retry policy's
+    /// timeout fail the attempt as a timeout.
+    pub latency_secs: f64,
+    /// Sources (by catalog name) hard-down for the entire run.
+    pub outages: Vec<String>,
+    /// Probability that any given source is additionally drawn hard-down
+    /// from the seed.
+    pub outage_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            transient_rate: 0.0,
+            latency_rate: 0.0,
+            latency_secs: 0.001,
+            outages: Vec::new(),
+            outage_rate: 0.0,
+        }
+    }
+}
+
+/// Retry/backoff/timeout policy for source-task execution. The backoff is
+/// exponential with deterministic jitter (seeded per task and attempt, so
+/// reruns sleep the same schedule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per task including the first (1 = no retries).
+    pub max_attempts: usize,
+    /// First backoff sleep in seconds; doubles every retry.
+    pub backoff_base_secs: f64,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap_secs: f64,
+    /// Jitter fraction in `[0, 1]`: each sleep is scaled by a deterministic
+    /// factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Per-attempt timeout bounding injected stalls: a latency spike at or
+    /// above this fails the attempt (counted as a timeout) after sleeping
+    /// only the timeout, never the full spike.
+    pub timeout_secs: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_secs: 0.0005,
+            backoff_cap_secs: 0.01,
+            jitter: 0.5,
+            timeout_secs: f64::INFINITY,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that surfaces the first fault (no retries, no timeout).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The deterministic backoff sleep before retry number `attempt + 1`.
+    pub fn backoff_secs(&self, seed: u64, task: usize, attempt: usize) -> f64 {
+        let raw = self.backoff_base_secs * (1u64 << attempt.min(32)) as f64;
+        let capped = raw.min(self.backoff_cap_secs);
+        if self.jitter <= 0.0 || capped <= 0.0 {
+            return capped;
+        }
+        let mut rng = StdRng::seed_from_u64(mix(&[seed, 0xBACC_0FF5, task as u64, attempt as u64]));
+        let factor = rng.gen_range(1.0 - self.jitter..1.0 + self.jitter);
+        capped * factor
+    }
+}
+
+/// What the fault plan injects into one attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectedFault {
+    /// The attempt fails immediately with a transient source error.
+    Transient,
+    /// The attempt is stalled for the given duration before the query runs;
+    /// stalls reaching the policy timeout fail the attempt instead.
+    Latency(Duration),
+}
+
+/// Kind tag of a recorded fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    Transient,
+    Latency,
+    Outage,
+}
+
+impl FaultKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Latency => "latency",
+            FaultKind::Outage => "outage",
+        }
+    }
+}
+
+/// How one injected fault was resolved. Every fault gets exactly one
+/// outcome, which is what makes the accounting identity hold:
+/// `injected = retried + timed_out + failed_over + surfaced` (absorbed
+/// latency spikes never failed an attempt and are counted separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultOutcome {
+    /// A transient error was retried after backoff.
+    Retried,
+    /// A latency spike hit the per-attempt timeout and was retried.
+    TimedOut,
+    /// A hard outage was routed to a replica source.
+    FailedOver,
+    /// The fault exhausted the retry budget and surfaced as the run error.
+    Surfaced,
+    /// A sub-timeout latency spike delayed the attempt without failing it.
+    Absorbed,
+}
+
+impl FaultOutcome {
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOutcome::Retried => "retried",
+            FaultOutcome::TimedOut => "timed_out",
+            FaultOutcome::FailedOver => "failed_over",
+            FaultOutcome::Surfaced => "surfaced",
+            FaultOutcome::Absorbed => "absorbed",
+        }
+    }
+}
+
+/// One recorded injection: which task/attempt it hit, what was injected,
+/// how it resolved, and the real seconds slept for backoff and stall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    pub task: usize,
+    pub label: String,
+    pub source: String,
+    pub attempt: usize,
+    pub kind: FaultKind,
+    pub outcome: FaultOutcome,
+    pub backoff_secs: f64,
+    pub stall_secs: f64,
+}
+
+/// Everything the fault layer did during one execution: the event log plus
+/// how often the scheduler re-planned the surviving subgraph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResilienceLog {
+    pub events: Vec<FaultEvent>,
+    /// `Schedule` re-runs on the surviving subgraph after an outage.
+    pub replans: usize,
+}
+
+impl ResilienceLog {
+    /// Events in the canonical `(task, attempt, kind)` order — the parallel
+    /// executor appends in completion order, which varies with thread
+    /// interleaving.
+    pub fn sorted_events(&self) -> Vec<FaultEvent> {
+        let mut events = self.events.clone();
+        events.sort_by(|a, b| {
+            (a.task, a.attempt, a.kind, a.outcome).cmp(&(b.task, b.attempt, b.kind, b.outcome))
+        });
+        events
+    }
+
+    pub fn count(&self, outcome: FaultOutcome) -> usize {
+        self.events.iter().filter(|e| e.outcome == outcome).count()
+    }
+
+    /// Injected faults excluding absorbed spikes (the identity's left side).
+    pub fn injected(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.outcome != FaultOutcome::Absorbed)
+            .count()
+    }
+}
+
+/// The bound fault model: configuration plus the resolved set of hard-down
+/// sources. Decisions are pure functions of the seed, so the plan can be
+/// shared (or cloned) freely across worker threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    down: BTreeSet<SourceId>,
+}
+
+impl FaultPlan {
+    /// Binds `cfg` to a catalog: named outages are resolved (unknown names
+    /// are an error) and seeded per-source outages drawn. The mediator
+    /// pseudo-source is never taken down.
+    pub fn new(cfg: &FaultConfig, catalog: &Catalog) -> Result<FaultPlan, MediatorError> {
+        let mut down = BTreeSet::new();
+        for name in &cfg.outages {
+            let sid = catalog.source_id(name).map_err(MediatorError::Store)?;
+            if sid.is_mediator() {
+                return Err(MediatorError::Internal(
+                    "cannot declare an outage of the mediator pseudo-source".to_string(),
+                ));
+            }
+            down.insert(sid);
+        }
+        if cfg.outage_rate > 0.0 {
+            for sid in catalog.source_ids() {
+                if sid.is_mediator() {
+                    continue;
+                }
+                let mut rng = StdRng::seed_from_u64(mix(&[cfg.seed, 0x0007_A6E5, sid.0 as u64]));
+                if rng.gen_bool(cfg.outage_rate) {
+                    down.insert(sid);
+                }
+            }
+        }
+        Ok(FaultPlan {
+            cfg: cfg.clone(),
+            down,
+        })
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Whether `source` is hard-down for the entire run.
+    pub fn source_down(&self, source: SourceId) -> bool {
+        self.down.contains(&source)
+    }
+
+    /// The fault injected into attempt `attempt` of `task` at `source`
+    /// (None = the attempt runs cleanly). Pure in its arguments: the same
+    /// plan returns the same answer regardless of execution order.
+    pub fn decide(&self, source: SourceId, task: usize, attempt: usize) -> Option<InjectedFault> {
+        if source.is_mediator() {
+            return None;
+        }
+        if self.cfg.transient_rate <= 0.0 && self.cfg.latency_rate <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(mix(&[
+            self.cfg.seed,
+            0xFA17_57A6,
+            source.0 as u64,
+            task as u64,
+            attempt as u64,
+        ]));
+        let draw = rng.gen_range(0.0f64..1.0);
+        if draw < self.cfg.transient_rate {
+            Some(InjectedFault::Transient)
+        } else if draw < self.cfg.transient_rate + self.cfg.latency_rate {
+            let spike = self.cfg.latency_secs * rng.gen_range(0.5f64..1.5);
+            Some(InjectedFault::Latency(Duration::from_secs_f64(
+                spike.max(0.0),
+            )))
+        } else {
+            None
+        }
+    }
+}
+
+/// The per-execution fault environment both executors run tasks through.
+#[derive(Clone, Copy)]
+pub(crate) struct FaultEnv<'a> {
+    pub plan: Option<&'a FaultPlan>,
+    pub retry: &'a RetryPolicy,
+}
+
+impl FaultEnv<'_> {
+    /// Runs one task under the fault model: injected latency spikes are
+    /// slept (capped at the timeout), transient errors and timeouts are
+    /// retried with exponential backoff up to `max_attempts`, and the last
+    /// failure surfaces as a structured [`MediatorError::SourceFault`].
+    /// `failed_over_from` marks a task rerouted from a dead source to a
+    /// replica; the outage is recorded before the (replica) attempts run.
+    /// Genuine task errors (constraint violations, internal errors) are
+    /// never retried.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_task<T>(
+        &self,
+        task_id: usize,
+        label: &str,
+        source: SourceId,
+        source_name: &str,
+        failed_over_from: Option<&str>,
+        events: &mut Vec<FaultEvent>,
+        mut run: impl FnMut() -> Result<T, MediatorError>,
+    ) -> Result<T, MediatorError> {
+        if let Some(origin) = failed_over_from {
+            events.push(FaultEvent {
+                task: task_id,
+                label: label.to_string(),
+                source: origin.to_string(),
+                attempt: 0,
+                kind: FaultKind::Outage,
+                outcome: FaultOutcome::FailedOver,
+                backoff_secs: 0.0,
+                stall_secs: 0.0,
+            });
+        }
+        let Some(plan) = self.plan else {
+            return run();
+        };
+        let max = self.retry.max_attempts.max(1);
+        for attempt in 0..max {
+            let event = |kind, outcome, backoff_secs, stall_secs| FaultEvent {
+                task: task_id,
+                label: label.to_string(),
+                source: source_name.to_string(),
+                attempt,
+                kind,
+                outcome,
+                backoff_secs,
+                stall_secs,
+            };
+            let (kind, stall) = match plan.decide(source, task_id, attempt) {
+                None => return run(),
+                Some(InjectedFault::Latency(spike)) => {
+                    let spike_secs = spike.as_secs_f64();
+                    if spike_secs < self.retry.timeout_secs {
+                        // The spike delays the attempt but does not fail it.
+                        sleep_secs(spike_secs);
+                        events.push(event(
+                            FaultKind::Latency,
+                            FaultOutcome::Absorbed,
+                            0.0,
+                            spike_secs,
+                        ));
+                        return run();
+                    }
+                    // The stall would exceed the timeout: sleep only the
+                    // timeout, then fail the attempt.
+                    let stall = if self.retry.timeout_secs.is_finite() {
+                        self.retry.timeout_secs
+                    } else {
+                        spike_secs
+                    };
+                    sleep_secs(stall);
+                    (FaultKind::Latency, stall)
+                }
+                Some(InjectedFault::Transient) => (FaultKind::Transient, 0.0),
+            };
+            if attempt + 1 == max {
+                events.push(event(kind, FaultOutcome::Surfaced, 0.0, stall));
+                return Err(MediatorError::SourceFault {
+                    source: source_name.to_string(),
+                    task: label.to_string(),
+                    kind: kind.name().to_string(),
+                    attempts: max,
+                });
+            }
+            let backoff = self.retry.backoff_secs(plan.seed(), task_id, attempt);
+            sleep_secs(backoff);
+            let outcome = match kind {
+                FaultKind::Latency => FaultOutcome::TimedOut,
+                _ => FaultOutcome::Retried,
+            };
+            events.push(event(kind, outcome, backoff, stall));
+        }
+        unreachable!("max_attempts >= 1 always returns or surfaces")
+    }
+}
+
+fn sleep_secs(secs: f64) {
+    if secs > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(secs));
+    }
+}
+
+/// SplitMix64-style finalizer folding a word list into one seed; the
+/// per-decision RNG streams are derived through this so that every
+/// `(seed, site, source, task, attempt)` tuple gets an independent draw.
+fn mix(parts: &[u64]) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+    for &p in parts {
+        let mut z = acc ^ p.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        acc = z ^ (z >> 31);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_source(aig_relstore::Database::new("DB1")).unwrap();
+        c.add_source(aig_relstore::Database::new("DB2")).unwrap();
+        c
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_independent() {
+        let cfg = FaultConfig {
+            seed: 7,
+            transient_rate: 0.3,
+            latency_rate: 0.3,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(&cfg, &catalog()).unwrap();
+        let forward: Vec<_> = (0..50).map(|t| plan.decide(SourceId(1), t, 0)).collect();
+        let backward: Vec<_> = (0..50)
+            .rev()
+            .map(|t| plan.decide(SourceId(1), t, 0))
+            .collect();
+        let reversed: Vec<_> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed);
+        assert!(forward.iter().any(|f| f.is_some()));
+        assert!(forward.iter().any(|f| f.is_none()));
+    }
+
+    #[test]
+    fn mediator_is_never_faulted() {
+        let cfg = FaultConfig {
+            seed: 1,
+            transient_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(&cfg, &catalog()).unwrap();
+        for t in 0..100 {
+            assert_eq!(plan.decide(SourceId::MEDIATOR, t, 0), None);
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let cfg = FaultConfig {
+            seed: 3,
+            transient_rate: 0.2,
+            latency_rate: 0.1,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(&cfg, &catalog()).unwrap();
+        let mut transients = 0;
+        let mut spikes = 0;
+        let n = 20_000;
+        for t in 0..n {
+            match plan.decide(SourceId(2), t, 0) {
+                Some(InjectedFault::Transient) => transients += 1,
+                Some(InjectedFault::Latency(_)) => spikes += 1,
+                None => {}
+            }
+        }
+        let tf = transients as f64 / n as f64;
+        let sf = spikes as f64 / n as f64;
+        assert!((0.17..0.23).contains(&tf), "transient rate {tf}");
+        assert!((0.08..0.12).contains(&sf), "spike rate {sf}");
+    }
+
+    #[test]
+    fn named_and_drawn_outages_resolve() {
+        let cfg = FaultConfig {
+            seed: 5,
+            outages: vec!["DB2".to_string()],
+            ..FaultConfig::default()
+        };
+        let cat = catalog();
+        let plan = FaultPlan::new(&cfg, &cat).unwrap();
+        assert!(plan.source_down(cat.source_id("DB2").unwrap()));
+        assert!(!plan.source_down(cat.source_id("DB1").unwrap()));
+        assert!(!plan.source_down(SourceId::MEDIATOR));
+
+        let unknown = FaultConfig {
+            outages: vec!["DB9".to_string()],
+            ..FaultConfig::default()
+        };
+        assert!(FaultPlan::new(&unknown, &cat).is_err());
+
+        // At rate 1.0 every data source is drawn down, never the mediator.
+        let all = FaultConfig {
+            outage_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(&all, &cat).unwrap();
+        for sid in cat.source_ids() {
+            assert_eq!(plan.source_down(sid), !sid.is_mediator());
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            backoff_base_secs: 0.001,
+            backoff_cap_secs: 0.016,
+            jitter: 0.0,
+            timeout_secs: f64::INFINITY,
+        };
+        let b: Vec<f64> = (0..8).map(|a| policy.backoff_secs(1, 0, a)).collect();
+        assert_eq!(b[0], 0.001);
+        assert_eq!(b[1], 0.002);
+        assert_eq!(b[4], 0.016);
+        assert_eq!(b[7], 0.016, "capped");
+        // Jitter stays within the band and is deterministic per seed.
+        let jittered = RetryPolicy {
+            jitter: 0.5,
+            ..policy
+        };
+        for a in 0..8 {
+            let x = jittered.backoff_secs(9, 3, a);
+            let y = jittered.backoff_secs(9, 3, a);
+            assert_eq!(x, y);
+            let nominal = (0.001 * (1u64 << a) as f64).min(0.016);
+            assert!(x >= nominal * 0.5 && x <= nominal * 1.5, "{x} vs {nominal}");
+        }
+    }
+
+    #[test]
+    fn run_task_retries_then_succeeds_and_accounts() {
+        let cfg = FaultConfig {
+            seed: 11,
+            transient_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let cat = catalog();
+        let plan = FaultPlan::new(&cfg, &cat).unwrap();
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_secs: 0.0,
+            backoff_cap_secs: 0.0,
+            jitter: 0.0,
+            timeout_secs: f64::INFINITY,
+        };
+        let env = FaultEnv {
+            plan: Some(&plan),
+            retry: &retry,
+        };
+        let mut events = Vec::new();
+        let mut calls = 0;
+        let err = env
+            .run_task(0, "q", SourceId(1), "DB1", None, &mut events, || {
+                calls += 1;
+                Ok(Some(()))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 0, "every attempt faulted before the query ran");
+        assert!(
+            matches!(err, MediatorError::SourceFault { attempts: 3, .. }),
+            "{err}"
+        );
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.outcome == FaultOutcome::Retried)
+                .count(),
+            2
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.outcome == FaultOutcome::Surfaced)
+                .count(),
+            1
+        );
+    }
+}

@@ -3,6 +3,7 @@ pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod explain;
+pub mod faults;
 pub mod graph;
 pub mod json;
 pub mod merge;
@@ -18,12 +19,18 @@ pub use cost::{response_time, CostGraph, Plan, TaskCost};
 pub use error::MediatorError;
 pub use exec::{execute_graph, ExecOptions, ExecResult, Measured, RelStore};
 pub use explain::{render_graph, render_plan, render_report};
+pub use faults::{
+    FaultConfig, FaultEvent, FaultKind, FaultOutcome, FaultPlan, ResilienceLog, RetryPolicy,
+};
 pub use graph::{build_graph, GraphOptions, TaskGraph};
 pub use json::Json;
 pub use merge::{merge, merge_pair, no_merge, MergeDecision, MergeOutcome};
-pub use obs::{PhaseSample, Phases, RunReport, SourceObs, TaskObs};
+pub use obs::{
+    FaultEventObs, PhaseSample, Phases, ResilienceObs, RunReport, SourceObs, TaskObs,
+    SCHEMA_VERSION,
+};
 pub use parallel::execute_graph_parallel;
 pub use pipeline::{canonical, run, run_with_report, MediatorOptions, MediatorRun};
-pub use schedule::{naive_plan, schedule};
+pub use schedule::{naive_plan, replan_surviving, schedule};
 pub use sim::NetworkModel;
 pub use unfold::{unfold, CutOff, FrontierSite, Unfolded};

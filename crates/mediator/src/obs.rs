@@ -9,6 +9,7 @@
 
 use crate::cost::{completion_times, Plan, TaskCost};
 use crate::exec::Measured;
+use crate::faults::{FaultOutcome, ResilienceLog};
 use crate::graph::{TaskGraph, TaskKind};
 use crate::json::Json;
 use crate::merge::MergeOutcome;
@@ -158,6 +159,57 @@ pub struct PlanSeqObs {
     pub steps: Vec<PlanStepObs>,
 }
 
+/// Version of the [`RunReport`] JSON schema. Bumped whenever fields are
+/// added, removed, or change meaning, so downstream consumers of the
+/// `BENCH_*.json` / report files can dispatch on it.
+///
+/// History: 1 = the PR-1 report (no version field); 2 = adds
+/// `schema_version` and the `resilience` section.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// One injected fault as recorded in the report: where it hit and how the
+/// retry/failover machinery resolved it.
+#[derive(Debug, Clone)]
+pub struct FaultEventObs {
+    pub task: usize,
+    pub label: String,
+    pub source: String,
+    pub attempt: usize,
+    /// `transient`, `latency`, or `outage`.
+    pub kind: String,
+    /// `retried`, `timed_out`, `failed_over`, `surfaced`, or `absorbed`.
+    pub outcome: String,
+    pub backoff_secs: f64,
+    pub stall_secs: f64,
+}
+
+/// The resilience section: what the fault model injected and what the
+/// recovery machinery did about it. The counts satisfy
+/// `injected = retried + timed_out + failed_over + surfaced` (absorbed
+/// sub-timeout latency spikes are tracked separately).
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceObs {
+    /// Whether fault injection was configured for the run.
+    pub enabled: bool,
+    /// Seed of the fault stream (0 when disabled).
+    pub seed: u64,
+    /// Injected faults excluding absorbed spikes.
+    pub injected: usize,
+    pub retried: usize,
+    pub timed_out: usize,
+    pub failed_over: usize,
+    pub surfaced: usize,
+    pub absorbed_spikes: usize,
+    /// `Schedule` re-runs on the surviving subgraph after outages.
+    pub replans: usize,
+    /// Total seconds slept in retry backoff.
+    pub backoff_secs: f64,
+    /// Total seconds stalled by injected latency (spikes and timeouts).
+    pub stall_secs: f64,
+    /// Events in canonical `(task, attempt)` order.
+    pub events: Vec<FaultEventObs>,
+}
+
 /// Size snapshot of one catalog table, for checking per-task byte counts
 /// against the actual relation sizes.
 #[derive(Debug, Clone)]
@@ -171,6 +223,8 @@ pub struct CatalogTableObs {
 /// The complete observability record of one mediator run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
+    /// Schema version of the report (see [`SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Wall-clock seconds of the whole pipeline run.
     pub total_secs: f64,
     /// The unfolding depth that sufficed.
@@ -194,6 +248,8 @@ pub struct RunReport {
     /// Simulated response time of the final (possibly merged) plan.
     pub sim_response_merged_secs: f64,
     pub merges: usize,
+    /// What the fault-injection and recovery layer did during execution.
+    pub resilience: ResilienceObs,
 }
 
 /// Everything the report builder needs from the pipeline.
@@ -208,6 +264,9 @@ pub(crate) struct ReportInputs<'a> {
     pub depth: usize,
     pub unfold_rounds: usize,
     pub parallel_exec: bool,
+    pub resilience: &'a ResilienceLog,
+    /// Seed of the fault stream; None when fault injection was disabled.
+    pub fault_seed: Option<u64>,
 }
 
 fn kind_tag(kind: &TaskKind) -> &'static str {
@@ -264,6 +323,8 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         depth,
         unfold_rounds,
         parallel_exec,
+        resilience,
+        fault_seed,
     } = inputs;
 
     let shipped = shipped_bytes(graph, measured);
@@ -343,7 +404,42 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
     }
     catalog_obs.sort_by(|a, b| (&a.source, &a.table).cmp(&(&b.source, &b.table)));
 
+    let events: Vec<FaultEventObs> = resilience
+        .sorted_events()
+        .into_iter()
+        .map(|e| FaultEventObs {
+            task: e.task,
+            label: e.label,
+            source: e.source,
+            attempt: e.attempt,
+            kind: e.kind.name().to_string(),
+            outcome: e.outcome.name().to_string(),
+            backoff_secs: e.backoff_secs,
+            stall_secs: e.stall_secs,
+        })
+        .collect();
+    let resilience_obs = ResilienceObs {
+        enabled: fault_seed.is_some(),
+        seed: fault_seed.unwrap_or(0),
+        injected: resilience.injected(),
+        retried: resilience.count(FaultOutcome::Retried),
+        timed_out: resilience.count(FaultOutcome::TimedOut),
+        failed_over: resilience.count(FaultOutcome::FailedOver),
+        surfaced: resilience.count(FaultOutcome::Surfaced),
+        absorbed_spikes: resilience.count(FaultOutcome::Absorbed),
+        replans: resilience.replans,
+        // fold, not sum: the empty f64 sum is -0.0, which leaks a minus
+        // sign into formatted output.
+        backoff_secs: resilience
+            .events
+            .iter()
+            .fold(0.0, |a, e| a + e.backoff_secs),
+        stall_secs: resilience.events.iter().fold(0.0, |a, e| a + e.stall_secs),
+        events,
+    };
+
     RunReport {
+        schema_version: SCHEMA_VERSION,
         total_secs,
         depth,
         unfold_rounds,
@@ -358,6 +454,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         sim_response_unmerged_secs: baseline.response_secs,
         sim_response_merged_secs: merged.response_secs,
         merges: merged.merges,
+        resilience: resilience_obs,
     }
 }
 
@@ -433,6 +530,12 @@ impl RunReport {
         for source in &mut report.sources {
             source.busy_secs = 0.0;
         }
+        report.resilience.backoff_secs = 0.0;
+        report.resilience.stall_secs = 0.0;
+        for event in &mut report.resilience.events {
+            event.backoff_secs = 0.0;
+            event.stall_secs = 0.0;
+        }
         report
     }
 
@@ -440,6 +543,7 @@ impl RunReport {
     /// output is byte-stable for a given report).
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
+            ("schema_version", Json::num(self.schema_version as f64)),
             ("total_secs", Json::num(self.total_secs)),
             ("depth", Json::num(self.depth as f64)),
             ("unfold_rounds", Json::num(self.unfold_rounds as f64)),
@@ -457,6 +561,46 @@ impl RunReport {
                         Json::num(self.sim_response_merged_secs),
                     ),
                     ("merges", Json::num(self.merges as f64)),
+                ]),
+            ),
+            (
+                "resilience",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(self.resilience.enabled)),
+                    ("seed", Json::num(self.resilience.seed as f64)),
+                    ("injected", Json::num(self.resilience.injected as f64)),
+                    ("retried", Json::num(self.resilience.retried as f64)),
+                    ("timed_out", Json::num(self.resilience.timed_out as f64)),
+                    ("failed_over", Json::num(self.resilience.failed_over as f64)),
+                    ("surfaced", Json::num(self.resilience.surfaced as f64)),
+                    (
+                        "absorbed_spikes",
+                        Json::num(self.resilience.absorbed_spikes as f64),
+                    ),
+                    ("replans", Json::num(self.resilience.replans as f64)),
+                    ("backoff_secs", Json::num(self.resilience.backoff_secs)),
+                    ("stall_secs", Json::num(self.resilience.stall_secs)),
+                    (
+                        "events",
+                        Json::Arr(
+                            self.resilience
+                                .events
+                                .iter()
+                                .map(|e| {
+                                    Json::obj(vec![
+                                        ("task", Json::num(e.task as f64)),
+                                        ("label", Json::str(&e.label)),
+                                        ("source", Json::str(&e.source)),
+                                        ("attempt", Json::num(e.attempt as f64)),
+                                        ("kind", Json::str(&e.kind)),
+                                        ("outcome", Json::str(&e.outcome)),
+                                        ("backoff_secs", Json::num(e.backoff_secs)),
+                                        ("stall_secs", Json::num(e.stall_secs)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             (
@@ -627,6 +771,7 @@ mod tests {
         let mut phases = Phases::new();
         phases.record("compile_constraints", 0.0, 0.1);
         let mut report = RunReport {
+            schema_version: SCHEMA_VERSION,
             total_secs: 0.1,
             depth: 1,
             unfold_rounds: 1,
@@ -641,6 +786,7 @@ mod tests {
             sim_response_unmerged_secs: 0.0,
             sim_response_merged_secs: 0.0,
             merges: 0,
+            resilience: ResilienceObs::default(),
         };
         report.prepend_phase("parse", 0.05);
         assert_eq!(report.phases[0].name, "parse");

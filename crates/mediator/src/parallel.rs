@@ -14,7 +14,9 @@
 
 use crate::error::MediatorError;
 use crate::exec::{input_rows, ExecOptions, ExecResult, Executor, Measured, RelSource, RelStore};
+use crate::faults::{FaultEnv, FaultEvent, ResilienceLog};
 use crate::graph::{RelKey, TaskGraph};
+use crate::schedule::replan_surviving;
 use aig_core::spec::Aig;
 use aig_relstore::{Catalog, Relation, SourceId, Value};
 use std::collections::HashMap;
@@ -35,8 +37,14 @@ struct SharedStore<'g> {
 struct Progress {
     done: Vec<bool>,
     failed: Option<MediatorError>,
+    /// A worker reached a task whose source is hard-down: the round aborts
+    /// so the coordinator can fail over and re-plan the surviving subgraph.
+    halted: Option<SourceId>,
     /// Per-task timing/size accounting, filled on completion.
     measured: Vec<Measured>,
+    /// Fault events appended as tasks complete (any order; the report
+    /// canonicalizes).
+    events: Vec<FaultEvent>,
 }
 
 impl RelSource for SharedStore<'_> {
@@ -57,7 +65,7 @@ impl RelSource for SharedStore<'_> {
 
 impl SharedStore<'_> {
     /// Blocks until every dependency of `task` has completed (or any worker
-    /// failed). Returns false on failure-abort.
+    /// failed or hit a dead source). Returns false on abort.
     fn wait_for_deps(&self, task: usize) -> bool {
         let deps: Vec<usize> = self.graph.tasks[task]
             .deps
@@ -66,7 +74,7 @@ impl SharedStore<'_> {
             .collect();
         let mut state = self.state.lock().expect("store mutex");
         loop {
-            if state.failed.is_some() {
+            if state.failed.is_some() || state.halted.is_some() {
                 return false;
             }
             if deps.iter().all(|&d| state.done[d]) {
@@ -76,13 +84,29 @@ impl SharedStore<'_> {
         }
     }
 
+    fn is_done(&self, task: usize) -> bool {
+        self.state.lock().expect("store mutex").done[task]
+    }
+
+    /// Marks the round aborted because `source` is hard-down.
+    fn halt(&self, source: SourceId) {
+        let mut state = self.state.lock().expect("store mutex");
+        if state.halted.is_none() {
+            state.halted = Some(source);
+        }
+        drop(state);
+        self.wake.notify_all();
+    }
+
     fn complete(
         &self,
         task: usize,
         result: Result<Option<Relation>, MediatorError>,
         measured: Measured,
+        events: Vec<FaultEvent>,
     ) {
         let mut state = self.state.lock().expect("store mutex");
+        state.events.extend(events);
         match result {
             Ok(rel) => {
                 if let Some(rel) = rel {
@@ -107,6 +131,15 @@ impl SharedStore<'_> {
 /// the *uncontracted* graph so node ids are task ids). The returned
 /// [`ExecResult`] carries the same relations as the sequential executor
 /// plus per-task measurements including queue/wait time.
+///
+/// Under fault injection, source tasks retry with backoff through the same
+/// [`FaultEnv`] as the sequential executor. A hard outage aborts the
+/// current round: every worker drains, the dead source's remaining tasks
+/// are re-homed to its declared replica (via a failover catalog view), the
+/// scheduler re-runs on the surviving subgraph
+/// ([`crate::schedule::replan_surviving`]), and a new round of workers
+/// continues from the completed tasks' write-once slots. With no usable
+/// replica the run fails with [`MediatorError::SourceUnavailable`].
 pub fn execute_graph_parallel(
     aig: &Aig,
     catalog: &Catalog,
@@ -121,16 +154,103 @@ pub fn execute_graph_parallel(
         state: Mutex::new(Progress {
             done: vec![false; graph.tasks.len()],
             failed: None,
+            halted: None,
             measured: vec![Measured::default(); graph.tasks.len()],
+            events: Vec::new(),
         }),
         wake: Condvar::new(),
     };
     let epoch = Instant::now();
+    let mut effective: Vec<SourceId> = graph.tasks.iter().map(|t| t.source).collect();
+    let mut active_catalog: Option<Catalog> = None;
+    let mut plan = per_source.clone();
 
+    // Each round redirects at least one dead source, and a redirected
+    // source cannot halt again, so the loop is bounded by the source count.
+    // The round index doubles as the failover/replan count: every earlier
+    // round ended in exactly one failover.
+    for replans in 0..catalog.len() + 1 {
+        let cat: &Catalog = active_catalog.as_ref().unwrap_or(catalog);
+        run_round(
+            aig, cat, graph, args, opts, &shared, &plan, &effective, &epoch,
+        );
+
+        let halted = {
+            let mut state = shared.state.lock().expect("store mutex");
+            if let Some(e) = state.failed.take() {
+                return Err(e);
+            }
+            state.halted.take()
+        };
+        let Some(down) = halted else {
+            // Clean finish: collect the slots into a plain store.
+            let state = shared.state.into_inner().expect("store mutex");
+            let mut store = RelStore::default();
+            for (id, slot) in shared.slots.into_iter().enumerate() {
+                if let (Some(key), Some(rel)) = (graph.tasks[id].output.clone(), slot.into_inner())
+                {
+                    store.insert(key, rel);
+                }
+            }
+            return Ok(ExecResult {
+                store,
+                measured: state.measured,
+                resilience: ResilienceLog {
+                    events: state.events,
+                    replans,
+                },
+            });
+        };
+
+        // Fail over the dead source and re-plan the surviving subgraph.
+        let fault_plan = opts
+            .faults
+            .as_ref()
+            .expect("halt only happens under fault injection");
+        let done = shared.state.lock().expect("store mutex").done.clone();
+        let replica = cat.replica_of(down).filter(|r| !fault_plan.source_down(*r));
+        let Some(replica) = replica else {
+            let lost_tasks: Vec<String> = graph
+                .topo
+                .iter()
+                .filter(|&&id| effective[id] == down && !done[id])
+                .map(|&id| graph.tasks[id].label.clone())
+                .collect();
+            return Err(MediatorError::SourceUnavailable {
+                source: catalog.source(down).name().to_string(),
+                lost_tasks,
+            });
+        };
+        active_catalog = Some(cat.failover(down).expect("replica is declared"));
+        for (id, eff) in effective.iter_mut().enumerate() {
+            if *eff == down && !done[id] {
+                *eff = replica;
+            }
+        }
+        plan = replan_surviving(graph, &done, &effective, &opts.network);
+    }
+    Err(MediatorError::Internal(
+        "failover rounds exceeded the source count".to_string(),
+    ))
+}
+
+/// One round of per-source workers over `plan`, skipping already-completed
+/// tasks. Returns when every worker has drained (finished its sequence,
+/// failed, or aborted on a halt).
+#[allow(clippy::too_many_arguments)]
+fn run_round(
+    aig: &Aig,
+    catalog: &Catalog,
+    graph: &TaskGraph,
+    args: &[(&str, Value)],
+    opts: &ExecOptions,
+    shared: &SharedStore<'_>,
+    plan: &HashMap<SourceId, Vec<usize>>,
+    effective: &[SourceId],
+    epoch: &Instant,
+) {
     std::thread::scope(|scope| {
-        for (source, sequence) in per_source {
-            let shared = &shared;
-            let epoch = &epoch;
+        for (source, sequence) in plan {
             let sequence = sequence.clone();
             std::thread::Builder::new()
                 .name(format!("aig-source-{}", source.0))
@@ -142,17 +262,44 @@ pub fn execute_graph_parallel(
                         store: shared,
                         opts,
                     };
+                    let env = FaultEnv {
+                        plan: opts.faults.as_ref(),
+                        retry: &opts.retry,
+                    };
                     for task_id in sequence {
+                        if shared.is_done(task_id) {
+                            continue;
+                        }
+                        // A dead source aborts the round *before* blocking on
+                        // dependencies, so no worker waits on output that will
+                        // never come.
+                        if let Some(plan) = &env.plan {
+                            if plan.source_down(effective[task_id]) {
+                                shared.halt(effective[task_id]);
+                                return;
+                            }
+                        }
                         let queued = Instant::now();
                         if !shared.wait_for_deps(task_id) {
-                            return; // another worker failed
+                            return; // another worker failed or halted
                         }
                         let wait_secs = queued.elapsed().as_secs_f64();
                         let task = &graph.tasks[task_id];
                         let in_rows = input_rows(task, shared);
                         let started = Instant::now();
                         let start_secs = (started - *epoch).as_secs_f64();
-                        let result = exec.run_task(task, args);
+                        let failed_over_from = (effective[task_id] != task.source)
+                            .then(|| catalog.source(task.source).name());
+                        let mut events = Vec::new();
+                        let result = env.run_task(
+                            task_id,
+                            &task.label,
+                            effective[task_id],
+                            catalog.source(effective[task_id]).name(),
+                            failed_over_from,
+                            &mut events,
+                            || exec.run_task(task, args),
+                        );
                         let secs = started.elapsed().as_secs_f64();
                         let (out_rows, out_bytes) = match &result {
                             Ok(Some(rel)) => (rel.len() as f64, rel.byte_size() as f64),
@@ -170,6 +317,7 @@ pub fn execute_graph_parallel(
                                 wait_secs,
                                 start_secs,
                             },
+                            events,
                         );
                         if failed {
                             return;
@@ -179,22 +327,6 @@ pub fn execute_graph_parallel(
                 .expect("spawn source worker");
         }
     });
-
-    let mut state = shared.state.into_inner().expect("store mutex");
-    if let Some(e) = state.failed.take() {
-        return Err(e);
-    }
-    // Collect the slots into a plain store.
-    let mut store = RelStore::default();
-    for (id, slot) in shared.slots.into_iter().enumerate() {
-        if let (Some(key), Some(rel)) = (graph.tasks[id].output.clone(), slot.into_inner()) {
-            store.insert(key, rel);
-        }
-    }
-    Ok(ExecResult {
-        store,
-        measured: state.measured,
-    })
 }
 
 #[cfg(test)]

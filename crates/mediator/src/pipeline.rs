@@ -12,6 +12,7 @@
 use crate::cost::{measured_costs, CostGraph};
 use crate::error::MediatorError;
 use crate::exec::{execute_graph, ExecOptions, ExecResult};
+use crate::faults::{FaultConfig, FaultPlan, RetryPolicy};
 use crate::graph::{build_graph, source_histogram, GraphOptions, Occ, RelKey};
 use crate::merge::{merge, no_merge, MergeOutcome};
 use crate::obs::{build_report, Phases, ReportInputs, RunReport};
@@ -46,6 +47,10 @@ pub struct MediatorOptions {
     pub parallel_exec: bool,
     pub network: NetworkModel,
     pub graph: GraphOptions,
+    /// Deterministic fault injection for source tasks (None = no faults).
+    pub faults: Option<FaultConfig>,
+    /// Retry/backoff/timeout policy when faults are injected.
+    pub retry: RetryPolicy,
 }
 
 impl Default for MediatorOptions {
@@ -60,6 +65,8 @@ impl Default for MediatorOptions {
             parallel_exec: false,
             network: NetworkModel::default(),
             graph: GraphOptions::default(),
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -143,6 +150,13 @@ pub fn run_with_report(
     })?;
     let (specialized, _report) = phases.time("decompose", || decompose_queries(&compiled))?;
 
+    // Bind the fault model once: outage draws and per-attempt decisions are
+    // functions of the seed, so every unfold round replays the same faults.
+    let fault_plan = match &options.faults {
+        Some(cfg) => Some(FaultPlan::new(cfg, catalog)?),
+        None => None,
+    };
+
     let mut depth = options.unfold_depth.max(1);
     let mut rounds = 0usize;
     loop {
@@ -153,6 +167,9 @@ pub fn run_with_report(
         })?;
         let exec_opts = ExecOptions {
             check_guards: options.check_guards,
+            faults: fault_plan.clone(),
+            retry: options.retry.clone(),
+            network: options.network.clone(),
         };
         let exec: ExecResult = phases.time("execute", || {
             if options.parallel_exec {
@@ -254,6 +271,8 @@ pub fn run_with_report(
                 depth,
                 unfold_rounds: rounds,
                 parallel_exec: options.parallel_exec,
+                resilience: &exec.resilience,
+                fault_seed: fault_plan.as_ref().map(|p| p.seed()),
             },
             phases,
             total_secs,

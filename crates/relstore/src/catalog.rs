@@ -101,6 +101,7 @@ impl Database {
 pub struct Catalog {
     sources: Vec<Database>,
     by_name: HashMap<String, SourceId>,
+    replicas: HashMap<SourceId, SourceId>,
 }
 
 impl Catalog {
@@ -112,6 +113,7 @@ impl Catalog {
         Catalog {
             sources: vec![mediator],
             by_name,
+            replicas: HashMap::new(),
         }
     }
 
@@ -165,6 +167,51 @@ impl Catalog {
     /// Names of all sources in id order.
     pub fn source_names(&self) -> Vec<&str> {
         self.sources.iter().map(|s| s.name()).collect()
+    }
+
+    /// Declares `replica` as the failover target for `primary`: when
+    /// `primary` is unavailable, the mediator may re-issue its queries
+    /// against `replica`'s tables. The mediator pseudo-source has no
+    /// replica, and a source cannot replicate itself.
+    pub fn declare_replica(
+        &mut self,
+        primary: SourceId,
+        replica: SourceId,
+    ) -> Result<(), StoreError> {
+        if primary.is_mediator() || replica.is_mediator() {
+            return Err(StoreError::Duplicate(
+                "the mediator pseudo-source cannot take part in replication".to_string(),
+            ));
+        }
+        if primary == replica {
+            return Err(StoreError::Duplicate(format!(
+                "source {} cannot be its own replica",
+                self.source(primary).name()
+            )));
+        }
+        if primary.index() >= self.sources.len() || replica.index() >= self.sources.len() {
+            return Err(StoreError::NoSuchSource(format!("{primary} or {replica}")));
+        }
+        self.replicas.insert(primary, replica);
+        Ok(())
+    }
+
+    /// The declared failover target of `primary`, if any.
+    pub fn replica_of(&self, primary: SourceId) -> Option<SourceId> {
+        self.replicas.get(&primary).copied()
+    }
+
+    /// A catalog in which `primary`'s tables are served by its declared
+    /// replica: the replica's database is cloned under the primary's name,
+    /// so queries addressed to the primary resolve without rewriting.
+    /// Returns `None` when no replica is declared.
+    pub fn failover(&self, primary: SourceId) -> Option<Catalog> {
+        let replica = self.replica_of(primary)?;
+        let mut out = self.clone();
+        let mut db = self.sources[replica.index()].clone();
+        db.name = self.sources[primary.index()].name().to_string();
+        out.sources[primary.index()] = db;
+        Some(out)
     }
 }
 
@@ -224,6 +271,28 @@ mod tests {
         assert!(db
             .add_table(Table::new(TableSchema::strings("t", &["b"], &[])))
             .is_err());
+    }
+
+    #[test]
+    fn replica_declaration_and_failover_view() {
+        let mut c = Catalog::new();
+        let db1 = c.add_source(db_with_table("DB1", "patient")).unwrap();
+        let db1r = c.add_source(db_with_table("DB1R", "patient")).unwrap();
+        assert!(c.replica_of(db1).is_none());
+        assert!(c.failover(db1).is_none());
+
+        c.declare_replica(db1, db1r).unwrap();
+        assert_eq!(c.replica_of(db1), Some(db1r));
+        let view = c.failover(db1).unwrap();
+        // The primary name now resolves to the replica's tables, and ids
+        // are untouched so task graphs keep working.
+        assert_eq!(view.source(db1).name(), "DB1");
+        assert_eq!(view.table("DB1", "patient").unwrap().len(), 1);
+        assert_eq!(view.source_id("DB1").unwrap(), db1);
+
+        assert!(c.declare_replica(db1, db1).is_err());
+        assert!(c.declare_replica(SourceId::MEDIATOR, db1r).is_err());
+        assert!(c.declare_replica(db1, SourceId::MEDIATOR).is_err());
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub mod prelude {
         MediatorOptions,
     };
     pub use aig_mediator::unfold::CutOff;
-    pub use aig_mediator::{render_report, Json, MediatorError, NetworkModel, RunReport};
+    pub use aig_mediator::{
+        render_report, FaultConfig, Json, MediatorError, NetworkModel, RetryPolicy, RunReport,
+    };
     pub use aig_relstore::{Catalog, Database, Relation, Table, TableSchema, Value};
     pub use aig_xml::{validate, Constraint, ConstraintSet, Dtd, XmlTree};
 }

@@ -1,0 +1,197 @@
+//! Perf-regression gate for the committed bench artifacts.
+//!
+//! Usage: `check_perf_regression <baseline_dir> <current_dir>`
+//!
+//! Compares freshly regenerated `BENCH_fig10.json` and
+//! `BENCH_ablation_dynamic_live.json` against the committed baselines. The
+//! simulated quantities (merging ratios, predicted speedups) are
+//! deterministic and get a tight relative band; wall-clock quantities
+//! (phase timers, live speedups) vary with the machine, so they only fail
+//! on large factors — the gate catches an accidental quadratic blowup, not
+//! a noisy CI runner.
+
+use aig_mediator::json::parse;
+use aig_mediator::Json;
+use std::process::ExitCode;
+
+/// Relative tolerance for deterministic simulated quantities.
+const SIM_TOLERANCE: f64 = 0.25;
+/// Relative tolerance for live (wall-clock-derived) speedups.
+const LIVE_TOLERANCE: f64 = 0.30;
+/// A phase may regress by this factor plus the absolute floor before it
+/// fails (timers well under the floor are pure noise).
+const PHASE_FACTOR: f64 = 3.0;
+const PHASE_FLOOR_SECS: f64 = 0.05;
+
+struct Gate {
+    failures: Vec<String>,
+    checks: usize,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            failures: Vec::new(),
+            checks: 0,
+        }
+    }
+
+    fn within(&mut self, what: &str, baseline: f64, current: f64, tolerance: f64) {
+        self.checks += 1;
+        if baseline == 0.0 {
+            if current.abs() > 1e-9 {
+                self.failures
+                    .push(format!("{what}: baseline 0, current {current}"));
+            }
+            return;
+        }
+        let drift = (current / baseline - 1.0).abs();
+        if drift > tolerance {
+            self.failures.push(format!(
+                "{what}: {baseline:.4} -> {current:.4} ({:+.1}% > ±{:.0}%)",
+                (current / baseline - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+
+    fn bounded(&mut self, what: &str, baseline: f64, current: f64) {
+        self.checks += 1;
+        let bound = baseline * PHASE_FACTOR + PHASE_FLOOR_SECS;
+        if current > bound {
+            self.failures.push(format!(
+                "{what}: {current:.4}s exceeds {bound:.4}s ({baseline:.4}s baseline x{PHASE_FACTOR} + {PHASE_FLOOR_SECS}s)"
+            ));
+        }
+    }
+
+    fn require(&mut self, what: &str, ok: bool) {
+        self.checks += 1;
+        if !ok {
+            self.failures.push(what.to_string());
+        }
+    }
+}
+
+fn load(dir: &str, name: &str) -> Json {
+    let path = format!("{dir}/{name}");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+fn num(json: &Json, key: &str) -> f64 {
+    json.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric field {key}"))
+}
+
+fn check_fig10(gate: &mut Gate, baseline: &Json, current: &Json) {
+    // Merging ratios are simulated, hence deterministic up to measured
+    // byte sizes: match the cells by (dataset, unfold).
+    let base_cells = baseline.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    let cur_cells = current.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    gate.require(
+        "fig10: cell count changed",
+        base_cells.len() == cur_cells.len(),
+    );
+    for base in base_cells {
+        let dataset = base.get("dataset").and_then(Json::as_str).unwrap_or("?");
+        let unfold = num(base, "unfold");
+        let Some(cur) = cur_cells.iter().find(|c| {
+            c.get("dataset").and_then(Json::as_str) == Some(dataset)
+                && c.get("unfold").and_then(Json::as_f64) == Some(unfold)
+        }) else {
+            gate.require(&format!("fig10 cell {dataset}/{unfold}: missing"), false);
+            continue;
+        };
+        gate.within(
+            &format!("fig10 {dataset}/unfold {unfold} merging ratio"),
+            num(base, "ratio"),
+            num(cur, "ratio"),
+            SIM_TOLERANCE,
+        );
+    }
+    // Phase timers are wall-clock: only large factors fail.
+    let phases = |j: &Json| -> Vec<(String, f64)> {
+        j.get("report")
+            .and_then(|r| r.get("phases"))
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|p| {
+                (
+                    p.get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    num(p, "secs"),
+                )
+            })
+            .collect()
+    };
+    let cur_phases = phases(current);
+    for (name, base_secs) in phases(baseline) {
+        if let Some((_, cur_secs)) = cur_phases.iter().find(|(n, _)| *n == name) {
+            gate.bounded(&format!("fig10 phase {name}"), base_secs, *cur_secs);
+        }
+    }
+}
+
+fn check_dynamic_live(gate: &mut Gate, baseline: &Json, current: &Json) {
+    gate.within(
+        "dynamic_live predicted speedup",
+        num(baseline, "predicted_speedup"),
+        num(current, "predicted_speedup"),
+        SIM_TOLERANCE,
+    );
+    gate.within(
+        "dynamic_live live speedup",
+        num(baseline, "live_speedup"),
+        num(current, "live_speedup"),
+        LIVE_TOLERANCE,
+    );
+    gate.require(
+        "dynamic_live: live run disagrees with the simulator beyond ±20%",
+        current
+            .get("within_tolerance")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    );
+    gate.require(
+        "dynamic_live: live dynamic no longer beats static",
+        num(current, "live_speedup") > 1.05,
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_dir, current_dir] = &args[..] else {
+        eprintln!("usage: check_perf_regression <baseline_dir> <current_dir>");
+        return ExitCode::from(2);
+    };
+    let mut gate = Gate::new();
+    check_fig10(
+        &mut gate,
+        &load(baseline_dir, "BENCH_fig10.json"),
+        &load(current_dir, "BENCH_fig10.json"),
+    );
+    check_dynamic_live(
+        &mut gate,
+        &load(baseline_dir, "BENCH_ablation_dynamic_live.json"),
+        &load(current_dir, "BENCH_ablation_dynamic_live.json"),
+    );
+    if gate.failures.is_empty() {
+        println!("perf regression gate: {} checks passed", gate.checks);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "perf regression gate: {}/{} checks failed",
+            gate.failures.len(),
+            gate.checks
+        );
+        for f in &gate.failures {
+            eprintln!("  FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

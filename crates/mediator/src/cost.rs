@@ -129,6 +129,30 @@ impl CostGraph {
         (order.len() == n).then_some(order)
     }
 
+    /// Checks that every evaluation time and edge size is finite and
+    /// non-negative. The scheduler's priority ordering compares these with a
+    /// total order, so a NaN or negative cost would silently produce an
+    /// arbitrary (but no longer meaningful) plan — callers validate up front
+    /// and surface a structured error instead.
+    pub fn validate(&self) -> Result<(), crate::error::MediatorError> {
+        let bad = |node: usize, detail: String| {
+            Err(crate::error::MediatorError::InvalidCost { node, detail })
+        };
+        for (id, n) in self.nodes.iter().enumerate() {
+            if !n.eval_secs.is_finite() || n.eval_secs < 0.0 {
+                return bad(id, format!("eval_secs = {}", n.eval_secs));
+            }
+        }
+        for (id, deps) in self.deps.iter().enumerate() {
+            for &(dep, bytes) in deps {
+                if !bytes.is_finite() || bytes < 0.0 {
+                    return bad(id, format!("edge from node {dep} ships {bytes} bytes"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Successor lists.
     pub fn successors(&self) -> Vec<Vec<(usize, f64)>> {
         let mut out = vec![Vec::new(); self.nodes.len()];

@@ -30,6 +30,12 @@ pub enum MediatorError {
         source: String,
         lost_tasks: Vec<String>,
     },
+    /// A cost graph carried a non-finite or negative evaluation time or
+    /// edge size, which would poison the scheduler's priority ordering.
+    InvalidCost {
+        node: usize,
+        detail: String,
+    },
     /// Wrapped specification/evaluation error.
     Aig(AigError),
     Sql(SqlError),
@@ -61,6 +67,9 @@ impl fmt::Display for MediatorError {
                 "source {source} is unavailable with no replica; lost tasks: {}",
                 lost_tasks.join(", ")
             ),
+            MediatorError::InvalidCost { node, detail } => {
+                write!(f, "invalid cost input at node {node}: {detail}")
+            }
             MediatorError::Aig(e) => e.fmt(f),
             MediatorError::Sql(e) => e.fmt(f),
             MediatorError::Store(e) => e.fmt(f),

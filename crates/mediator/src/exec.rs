@@ -22,6 +22,57 @@ use aig_sql::{execute as sql_execute, ParamValue, Params};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
+/// How the parallel executor orders tasks at each source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Walk the planned per-source sequences as given; each worker blocks
+    /// on its next planned task even when later tasks are already ready.
+    #[default]
+    Static,
+    /// Per-source ready queues: an idle worker picks the highest-priority
+    /// *ready* task at its source, with priorities recomputed from a hybrid
+    /// cost graph — measured actuals for completed tasks, estimates for the
+    /// rest. The live counterpart of
+    /// [`crate::schedule::dynamic_response_time`] (paper §5.5/§7).
+    Dynamic,
+}
+
+/// One runtime pick of the dynamic scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskPick {
+    pub task: usize,
+    /// Effective source the task ran at.
+    pub source: SourceId,
+    /// Position the static plan assigned the task at its source.
+    pub planned_pos: usize,
+    /// Position the task actually ran at (per-source pick counter).
+    pub actual_pos: usize,
+    /// The task's priority (hybrid `level`) at pick time.
+    pub priority: f64,
+}
+
+/// What the scheduler did during one execution: empty and `dynamic: false`
+/// under static scheduling and the sequential executor.
+#[derive(Debug, Clone, Default)]
+pub struct SchedLog {
+    /// True when the dynamic (ready-queue) scheduler ran.
+    pub dynamic: bool,
+    /// Every dynamic pick, in pick order.
+    pub picks: Vec<TaskPick>,
+}
+
+impl SchedLog {
+    /// Picks that ran at a different per-source position than the static
+    /// plan assigned them.
+    pub fn deviations(&self) -> Vec<TaskPick> {
+        self.picks
+            .iter()
+            .copied()
+            .filter(|p| p.planned_pos != p.actual_pos)
+            .collect()
+    }
+}
+
 /// Execution options.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
@@ -33,8 +84,21 @@ pub struct ExecOptions {
     /// Retry/backoff/timeout policy applied when faults are injected.
     pub retry: RetryPolicy,
     /// Network model used when an outage forces a re-plan of the surviving
-    /// subgraph (parallel executor).
+    /// subgraph and by the dynamic scheduler's priority recomputation
+    /// (parallel executor).
     pub network: crate::sim::NetworkModel,
+    /// Static (planned sequences) or dynamic (ready-queue) scheduling in
+    /// the parallel executor. The sequential executor ignores this.
+    pub scheduling: Scheduling,
+    /// Calibration factor converting measured wall-clock seconds into the
+    /// task estimates' cost units when the dynamic scheduler patches
+    /// actuals into its hybrid graph (mirrors
+    /// [`crate::graph::GraphOptions::eval_scale`]).
+    pub eval_scale: f64,
+    /// Optional per-task pacing: task `i` sleeps `pace[i]` seconds inside
+    /// its measured execution window. Lets benches and tests emulate slow
+    /// autonomous sources with controlled, reproducible durations.
+    pub pace: Option<Vec<f64>>,
 }
 
 impl Default for ExecOptions {
@@ -44,6 +108,9 @@ impl Default for ExecOptions {
             faults: None,
             retry: RetryPolicy::default(),
             network: crate::sim::NetworkModel::default(),
+            scheduling: Scheduling::default(),
+            eval_scale: 1.0,
+            pace: None,
         }
     }
 }
@@ -123,6 +190,8 @@ pub struct ExecResult {
     pub measured: Vec<Measured>,
     /// What the fault layer did: injected-fault events and re-plans.
     pub resilience: ResilienceLog,
+    /// What the scheduler did (dynamic picks; empty under static).
+    pub sched: SchedLog,
 }
 
 /// The `__occ` tag of rows produced by the generator of `(occ, item)`.
@@ -193,17 +262,64 @@ pub fn execute_graph(
     let mut measured = vec![Measured::default(); graph.tasks.len()];
     let mut resilience = ResilienceLog::default();
     let mut effective: Vec<SourceId> = graph.tasks.iter().map(|t| t.source).collect();
-    let active = match &opts.faults {
+    let mut active = match &opts.faults {
         Some(plan) => resolve_outages(catalog, graph, plan, &mut effective)?,
         None => None,
     };
-    let catalog = active.as_ref().unwrap_or(catalog);
+    let base_catalog = catalog;
     let env = FaultEnv {
         plan: opts.faults.as_ref(),
         retry: &opts.retry,
     };
+    // Per-source completed-task counters, consulted only when the fault
+    // plan schedules a mid-run outage ("source dies after k tasks").
+    let mid_run = opts
+        .faults
+        .as_ref()
+        .is_some_and(|p| p.has_mid_run_outages());
+    let mut completed_at: HashMap<SourceId, usize> = HashMap::new();
     let epoch = Instant::now();
-    for &id in &graph.topo {
+    for (pos, &id) in graph.topo.iter().enumerate() {
+        if mid_run {
+            let plan = opts.faults.as_ref().expect("mid_run implies a plan");
+            let sid = effective[id];
+            let dead = |s: SourceId| {
+                plan.outage_after(s)
+                    .is_some_and(|k| completed_at.get(&s).copied().unwrap_or(0) >= k)
+            };
+            if !sid.is_mediator() && dead(sid) {
+                // The source completed its allotted tasks and died: fail
+                // its remaining tasks over to a live declared replica, or
+                // abort with the lost tasks if none exists.
+                let cat = active.as_ref().unwrap_or(base_catalog);
+                let replica = cat
+                    .replica_of(sid)
+                    .filter(|r| !plan.source_down(*r) && !dead(*r));
+                match replica {
+                    Some(replica) => {
+                        active = Some(cat.failover(sid).expect("replica is declared"));
+                        for &later in &graph.topo[pos..] {
+                            if effective[later] == sid {
+                                effective[later] = replica;
+                            }
+                        }
+                        resilience.replans += 1;
+                    }
+                    None => {
+                        let lost_tasks: Vec<String> = graph.topo[pos..]
+                            .iter()
+                            .filter(|&&t| effective[t] == sid)
+                            .map(|&t| graph.tasks[t].label.clone())
+                            .collect();
+                        return Err(MediatorError::SourceUnavailable {
+                            source: base_catalog.source(sid).name().to_string(),
+                            lost_tasks,
+                        });
+                    }
+                }
+            }
+        }
+        let catalog = active.as_ref().unwrap_or(base_catalog);
         let task = &graph.tasks[id];
         let in_rows = input_rows(task, &store);
         let start = Instant::now();
@@ -218,6 +334,9 @@ pub fn execute_graph(
                 store: &store,
                 opts,
             };
+            if let Some(secs) = opts.pace.as_ref().and_then(|p| p.get(id)) {
+                crate::faults::sleep_secs(*secs);
+            }
             env.run_task(
                 id,
                 &task.label,
@@ -244,11 +363,15 @@ pub fn execute_graph(
             wait_secs: 0.0,
             start_secs,
         };
+        if mid_run && !effective[id].is_mediator() {
+            *completed_at.entry(effective[id]).or_insert(0) += 1;
+        }
     }
     Ok(ExecResult {
         store,
         measured,
         resilience,
+        sched: SchedLog::default(),
     })
 }
 

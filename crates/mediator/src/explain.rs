@@ -169,6 +169,23 @@ pub fn render_report(report: &RunReport) -> String {
             );
         }
     }
+    if report.scheduler.mode != "static" || !report.scheduler.deviations.is_empty() {
+        let s = &report.scheduler;
+        let _ = writeln!(
+            out,
+            "scheduler: {} ({} picks, {} deviated from the planned order)",
+            s.mode,
+            s.picks,
+            s.deviations.len(),
+        );
+        for d in &s.deviations {
+            let _ = writeln!(
+                out,
+                "  task {} ({}) @{}: planned #{} ran #{} (priority {:.3})",
+                d.task, d.label, d.source, d.planned_pos, d.actual_pos, d.priority
+            );
+        }
+    }
     let _ = writeln!(out, "final plan");
     for seq in &report.plan {
         let steps: Vec<String> = seq

@@ -19,7 +19,7 @@
 use crate::error::MediatorError;
 use aig_prng::{Rng, SeedableRng, StdRng};
 use aig_relstore::{Catalog, SourceId};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 /// Configuration of the deterministic fault model. All rates are per
@@ -43,6 +43,10 @@ pub struct FaultConfig {
     /// Probability that any given source is additionally drawn hard-down
     /// from the seed.
     pub outage_rate: f64,
+    /// Mid-run outages: `(source name, k)` — the source completes `k` tasks
+    /// and then goes hard-down for the rest of the run. `k = 0` is a
+    /// whole-run outage, equivalent to listing the source in `outages`.
+    pub dies_after: Vec<(String, usize)>,
 }
 
 impl Default for FaultConfig {
@@ -54,6 +58,7 @@ impl Default for FaultConfig {
             latency_secs: 0.001,
             outages: Vec::new(),
             outage_rate: 0.0,
+            dies_after: Vec::new(),
         }
     }
 }
@@ -225,6 +230,9 @@ impl ResilienceLog {
 pub struct FaultPlan {
     cfg: FaultConfig,
     down: BTreeSet<SourceId>,
+    /// Mid-run outage thresholds: the source dies after completing this
+    /// many tasks (always >= 1; zero thresholds fold into `down`).
+    down_after: BTreeMap<SourceId, usize>,
 }
 
 impl FaultPlan {
@@ -253,9 +261,24 @@ impl FaultPlan {
                 }
             }
         }
+        let mut down_after = BTreeMap::new();
+        for (name, k) in &cfg.dies_after {
+            let sid = catalog.source_id(name).map_err(MediatorError::Store)?;
+            if sid.is_mediator() {
+                return Err(MediatorError::Internal(
+                    "cannot declare an outage of the mediator pseudo-source".to_string(),
+                ));
+            }
+            if *k == 0 {
+                down.insert(sid);
+            } else {
+                down_after.insert(sid, *k);
+            }
+        }
         Ok(FaultPlan {
             cfg: cfg.clone(),
             down,
+            down_after,
         })
     }
 
@@ -270,6 +293,20 @@ impl FaultPlan {
     /// Whether `source` is hard-down for the entire run.
     pub fn source_down(&self, source: SourceId) -> bool {
         self.down.contains(&source)
+    }
+
+    /// The mid-run outage threshold of `source`: it dies after completing
+    /// this many tasks (None = no mid-run outage declared). Executors track
+    /// per-source completion counts and treat the source as hard-down once
+    /// the threshold is reached.
+    pub fn outage_after(&self, source: SourceId) -> Option<usize> {
+        self.down_after.get(&source).copied()
+    }
+
+    /// Whether any mid-run outage is declared (lets executors skip the
+    /// completion-count bookkeeping entirely when not).
+    pub fn has_mid_run_outages(&self) -> bool {
+        !self.down_after.is_empty()
     }
 
     /// The fault injected into attempt `attempt` of `task` at `source`
@@ -405,7 +442,7 @@ impl FaultEnv<'_> {
     }
 }
 
-fn sleep_secs(secs: f64) {
+pub(crate) fn sleep_secs(secs: f64) {
     if secs > 0.0 {
         std::thread::sleep(Duration::from_secs_f64(secs));
     }

@@ -314,17 +314,45 @@ impl Parser<'_> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("bad \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            self.pos += 4;
-                            // Surrogate pairs are not produced by our writer;
-                            // lone surrogates map to the replacement char.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4()?;
+                            match code {
+                                // High surrogate: combine with a following
+                                // `\uDC00..\uDFFF` escape into one scalar;
+                                // without one it is lone and becomes U+FFFD.
+                                0xD800..=0xDBFF => {
+                                    let paired = self
+                                        .bytes
+                                        .get(self.pos..self.pos + 2)
+                                        .map(|b| b == br"\u")
+                                        .unwrap_or(false);
+                                    let low = if paired {
+                                        self.pos += 2;
+                                        Some(self.hex4()?)
+                                    } else {
+                                        None
+                                    };
+                                    match low {
+                                        Some(lo @ 0xDC00..=0xDFFF) => {
+                                            let scalar =
+                                                0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                            out.push(
+                                                char::from_u32(scalar)
+                                                    .expect("valid supplementary"),
+                                            );
+                                        }
+                                        Some(other) => {
+                                            // Lone high surrogate followed by a
+                                            // non-surrogate escape: keep both.
+                                            out.push('\u{fffd}');
+                                            out.push(char::from_u32(other).unwrap_or('\u{fffd}'));
+                                        }
+                                        None => out.push('\u{fffd}'),
+                                    }
+                                }
+                                // Lone low surrogate.
+                                0xDC00..=0xDFFF => out.push('\u{fffd}'),
+                                _ => out.push(char::from_u32(code).unwrap_or('\u{fffd}')),
+                            }
                         }
                         _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
                     }
@@ -338,6 +366,18 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Reads four hex digits of a `\u` escape and advances past them.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or("bad \\u escape")?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -401,6 +441,44 @@ mod tests {
     fn parse_rejects_malformed_input() {
         for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2"] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_scalar() {
+        // U+1F600 😀 as the UTF-16 surrogate pair D83D DE00.
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap(), Json::str("\u{1F600}"));
+        // U+1D11E 𝄞 mixed with surrounding text and a BMP escape.
+        assert_eq!(
+            parse("\"a\\u00e9 \\ud834\\udd1e z\"").unwrap(),
+            Json::str("a\u{e9} \u{1D11E} z")
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_chars() {
+        // Lone high, lone low, and high followed by a non-surrogate escape.
+        assert_eq!(parse(r#""\ud83d""#).unwrap(), Json::str("\u{fffd}"));
+        assert_eq!(parse(r#""\ude00""#).unwrap(), Json::str("\u{fffd}"));
+        assert_eq!(parse(r#""\ud83dx""#).unwrap(), Json::str("\u{fffd}x"));
+        assert_eq!(
+            parse(r#""\ud83dA""#).unwrap(),
+            Json::str("\u{fffd}A"),
+            "non-surrogate escape after a lone high surrogate survives"
+        );
+        // Two high surrogates in a row: both are lone.
+        assert_eq!(
+            parse(r#""\ud83d\ud83d""#).unwrap(),
+            Json::str("\u{fffd}\u{fffd}")
+        );
+    }
+
+    #[test]
+    fn astral_text_round_trips() {
+        // The writer emits astral chars as raw UTF-8; parse(write(s)) == s.
+        let value = Json::str("emoji 😀 and 𝄞 clef");
+        for text in [value.to_compact(), value.to_pretty()] {
+            assert_eq!(parse(&text).unwrap(), value, "{text}");
         }
     }
 

@@ -17,7 +17,9 @@ pub mod unfold;
 
 pub use cost::{response_time, CostGraph, Plan, TaskCost};
 pub use error::MediatorError;
-pub use exec::{execute_graph, ExecOptions, ExecResult, Measured, RelStore};
+pub use exec::{
+    execute_graph, ExecOptions, ExecResult, Measured, RelStore, SchedLog, Scheduling, TaskPick,
+};
 pub use explain::{render_graph, render_plan, render_report};
 pub use faults::{
     FaultConfig, FaultEvent, FaultKind, FaultOutcome, FaultPlan, ResilienceLog, RetryPolicy,
@@ -26,11 +28,14 @@ pub use graph::{build_graph, GraphOptions, TaskGraph};
 pub use json::Json;
 pub use merge::{merge, merge_pair, no_merge, MergeDecision, MergeOutcome};
 pub use obs::{
-    FaultEventObs, PhaseSample, Phases, ResilienceObs, RunReport, SourceObs, TaskObs,
-    SCHEMA_VERSION,
+    FaultEventObs, PhaseSample, Phases, PlanDeviationObs, ResilienceObs, RunReport, SchedulerObs,
+    SourceObs, TaskObs, SCHEMA_VERSION,
 };
 pub use parallel::execute_graph_parallel;
 pub use pipeline::{canonical, run, run_with_report, MediatorOptions, MediatorRun};
-pub use schedule::{naive_plan, replan_surviving, schedule};
+pub use schedule::{
+    dynamic_response_time, levels, naive_plan, replan_surviving, schedule,
+    static_response_on_actuals,
+};
 pub use sim::NetworkModel;
 pub use unfold::{unfold, CutOff, FrontierSite, Unfolded};

@@ -73,7 +73,10 @@ pub fn merge_pair_into(
     let mut nodes = graph.nodes.clone();
     let mut deps = graph.deps.clone();
     // Fold v's cost and membership into u.
-    nodes[keep].eval_secs = nodes[keep].eval_secs + nodes[gone].eval_secs - overhead_saving_secs;
+    // The saved per-statement overhead cannot exceed the combined work:
+    // evaluation time stays non-negative.
+    nodes[keep].eval_secs =
+        (nodes[keep].eval_secs + nodes[gone].eval_secs - overhead_saving_secs).max(0.0);
     let members = nodes[gone].members.clone();
     nodes[keep].members.extend(members);
     // Rewire edges: every reference to `gone` becomes `keep`.

@@ -164,8 +164,10 @@ pub struct PlanSeqObs {
 /// `BENCH_*.json` / report files can dispatch on it.
 ///
 /// History: 1 = the PR-1 report (no version field); 2 = adds
-/// `schema_version` and the `resilience` section.
-pub const SCHEMA_VERSION: u32 = 2;
+/// `schema_version` and the `resilience` section; 3 = adds the `scheduler`
+/// section and emits the fault seed as a lossless decimal string (a u64
+/// above 2^53 is not representable as a JSON number).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One injected fault as recorded in the report: where it hit and how the
 /// retry/failover machinery resolved it.
@@ -210,6 +212,45 @@ pub struct ResilienceObs {
     pub events: Vec<FaultEventObs>,
 }
 
+/// One dynamic-scheduler pick that ran at a different per-source position
+/// than the static plan assigned it.
+#[derive(Debug, Clone)]
+pub struct PlanDeviationObs {
+    pub task: usize,
+    pub label: String,
+    pub source: String,
+    /// Position the static plan assigned the task at its source.
+    pub planned_pos: usize,
+    /// Position the task actually ran at.
+    pub actual_pos: usize,
+    /// The task's hybrid-level priority at pick time (zeroed in redacted
+    /// reports — it is derived from wall-clock measurements).
+    pub priority: f64,
+}
+
+/// The scheduler section: which scheduling mode the executor ran and how
+/// the live schedule deviated from the static plan.
+#[derive(Debug, Clone)]
+pub struct SchedulerObs {
+    /// `static` or `dynamic`.
+    pub mode: String,
+    /// Runtime picks the dynamic scheduler made (0 under static).
+    pub picks: usize,
+    /// Picks that deviated from the planned per-source order, sorted by
+    /// `(source, actual_pos, task)` for a deterministic report.
+    pub deviations: Vec<PlanDeviationObs>,
+}
+
+impl Default for SchedulerObs {
+    fn default() -> Self {
+        SchedulerObs {
+            mode: "static".to_string(),
+            picks: 0,
+            deviations: Vec::new(),
+        }
+    }
+}
+
 /// Size snapshot of one catalog table, for checking per-task byte counts
 /// against the actual relation sizes.
 #[derive(Debug, Clone)]
@@ -250,6 +291,9 @@ pub struct RunReport {
     pub merges: usize,
     /// What the fault-injection and recovery layer did during execution.
     pub resilience: ResilienceObs,
+    /// Which scheduling mode ran and how the live schedule deviated from
+    /// the static plan.
+    pub scheduler: SchedulerObs,
 }
 
 /// Everything the report builder needs from the pipeline.
@@ -267,6 +311,8 @@ pub(crate) struct ReportInputs<'a> {
     pub resilience: &'a ResilienceLog,
     /// Seed of the fault stream; None when fault injection was disabled.
     pub fault_seed: Option<u64>,
+    /// What the scheduler did during the final execution round.
+    pub sched: &'a crate::exec::SchedLog,
 }
 
 fn kind_tag(kind: &TaskKind) -> &'static str {
@@ -325,6 +371,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         parallel_exec,
         resilience,
         fault_seed,
+        sched,
     } = inputs;
 
     let shipped = shipped_bytes(graph, measured);
@@ -438,6 +485,26 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         events,
     };
 
+    let mut deviations: Vec<PlanDeviationObs> = sched
+        .deviations()
+        .into_iter()
+        .map(|p| PlanDeviationObs {
+            task: p.task,
+            label: graph.tasks[p.task].label.clone(),
+            source: catalog.source(p.source).name().to_string(),
+            planned_pos: p.planned_pos,
+            actual_pos: p.actual_pos,
+            priority: p.priority,
+        })
+        .collect();
+    deviations
+        .sort_by(|a, b| (&a.source, a.actual_pos, a.task).cmp(&(&b.source, b.actual_pos, b.task)));
+    let scheduler = SchedulerObs {
+        mode: if sched.dynamic { "dynamic" } else { "static" }.to_string(),
+        picks: sched.picks.len(),
+        deviations,
+    };
+
     RunReport {
         schema_version: SCHEMA_VERSION,
         total_secs,
@@ -455,6 +522,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         sim_response_merged_secs: merged.response_secs,
         merges: merged.merges,
         resilience: resilience_obs,
+        scheduler,
     }
 }
 
@@ -536,6 +604,9 @@ impl RunReport {
             event.backoff_secs = 0.0;
             event.stall_secs = 0.0;
         }
+        for deviation in &mut report.scheduler.deviations {
+            deviation.priority = 0.0;
+        }
         report
     }
 
@@ -567,7 +638,9 @@ impl RunReport {
                 "resilience",
                 Json::obj(vec![
                     ("enabled", Json::Bool(self.resilience.enabled)),
-                    ("seed", Json::num(self.resilience.seed as f64)),
+                    // A u64 seed above 2^53 would silently lose precision
+                    // as a JSON number; emit it as a decimal string.
+                    ("seed", Json::str(self.resilience.seed.to_string())),
                     ("injected", Json::num(self.resilience.injected as f64)),
                     ("retried", Json::num(self.resilience.retried as f64)),
                     ("timed_out", Json::num(self.resilience.timed_out as f64)),
@@ -596,6 +669,32 @@ impl RunReport {
                                         ("outcome", Json::str(&e.outcome)),
                                         ("backoff_secs", Json::num(e.backoff_secs)),
                                         ("stall_secs", Json::num(e.stall_secs)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "scheduler",
+                Json::obj(vec![
+                    ("mode", Json::str(&self.scheduler.mode)),
+                    ("picks", Json::num(self.scheduler.picks as f64)),
+                    (
+                        "deviations",
+                        Json::Arr(
+                            self.scheduler
+                                .deviations
+                                .iter()
+                                .map(|d| {
+                                    Json::obj(vec![
+                                        ("task", Json::num(d.task as f64)),
+                                        ("label", Json::str(&d.label)),
+                                        ("source", Json::str(&d.source)),
+                                        ("planned_pos", Json::num(d.planned_pos as f64)),
+                                        ("actual_pos", Json::num(d.actual_pos as f64)),
+                                        ("priority", Json::num(d.priority)),
                                     ])
                                 })
                                 .collect(),
@@ -787,11 +886,49 @@ mod tests {
             sim_response_merged_secs: 0.0,
             merges: 0,
             resilience: ResilienceObs::default(),
+            scheduler: SchedulerObs::default(),
         };
         report.prepend_phase("parse", 0.05);
         assert_eq!(report.phases[0].name, "parse");
         assert!((report.phases[1].first_start_secs - 0.05).abs() < 1e-12);
         assert!((report.total_secs - 0.15).abs() < 1e-12);
         assert!((report.phase_secs_total() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_seed_survives_json_above_f64_precision() {
+        // u64::MAX has no exact f64 representation; a numeric JSON field
+        // would silently round it. The report emits the seed as a decimal
+        // string instead, so the exact value round-trips.
+        let mut report = RunReport {
+            schema_version: SCHEMA_VERSION,
+            total_secs: 0.0,
+            depth: 1,
+            unfold_rounds: 1,
+            parallel_exec: false,
+            phases: vec![],
+            tasks: vec![],
+            sources: vec![],
+            merge_decisions: vec![],
+            plan: vec![],
+            catalog: vec![],
+            exec_wall_secs: 0.0,
+            sim_response_unmerged_secs: 0.0,
+            sim_response_merged_secs: 0.0,
+            merges: 0,
+            resilience: ResilienceObs::default(),
+            scheduler: SchedulerObs::default(),
+        };
+        report.resilience.enabled = true;
+        report.resilience.seed = u64::MAX;
+        let json = report.to_json().to_pretty();
+        assert!(
+            json.contains("\"seed\": \"18446744073709551615\""),
+            "{json}"
+        );
+        assert!(
+            !json.contains("18446744073709552000"),
+            "seed was rounded through f64"
+        );
     }
 }

@@ -12,11 +12,15 @@
 //! one (see the equivalence tests); response-time *accounting* stays with
 //! the simulation in [`crate::cost`], which models the paper's network.
 
+use crate::cost::{estimated_costs, CostGraph};
 use crate::error::MediatorError;
-use crate::exec::{input_rows, ExecOptions, ExecResult, Executor, Measured, RelSource, RelStore};
-use crate::faults::{FaultEnv, FaultEvent, ResilienceLog};
+use crate::exec::{
+    input_rows, ExecOptions, ExecResult, Executor, Measured, RelSource, RelStore, SchedLog,
+    Scheduling, TaskPick,
+};
+use crate::faults::{FaultEnv, FaultEvent, FaultPlan, ResilienceLog};
 use crate::graph::{RelKey, TaskGraph};
-use crate::schedule::replan_surviving;
+use crate::schedule::{levels, replan_surviving};
 use aig_core::spec::Aig;
 use aig_relstore::{Catalog, Relation, SourceId, Value};
 use std::collections::HashMap;
@@ -45,6 +49,47 @@ struct Progress {
     /// Fault events appended as tasks complete (any order; the report
     /// canonicalizes).
     events: Vec<FaultEvent>,
+    /// Live ready-queue state of the current round (None under Static);
+    /// rebuilt — re-primed — at every failover round from the completed
+    /// tasks and their measured actuals.
+    dyn_sched: Option<DynSched>,
+    /// Dynamic pick log; persists across failover rounds.
+    picks: Vec<TaskPick>,
+    /// Tasks completed per effective source (drives the mid-run outage
+    /// model: a source with `dies_after = k` halts once this reaches `k`).
+    completed_at: HashMap<SourceId, usize>,
+}
+
+/// Runtime state of the dynamic (ready-queue) scheduler: the live
+/// counterpart of the event simulation in
+/// [`crate::schedule::dynamic_response_time`]. A worker going idle picks the
+/// highest-priority *ready* task at its source; priorities come from
+/// `levels` over a hybrid cost graph that starts as the compile-time
+/// estimates and absorbs measured actuals as tasks complete.
+struct DynSched {
+    /// Estimates, patched in place with actuals on completion.
+    hybrid: CostGraph,
+    /// `(consumer, dep position)` pairs per producer, for patching the
+    /// consumer-side edge sizes once the producer's output is measured.
+    consumers: Vec<Vec<(usize, usize)>>,
+    /// Open (distinct, not-done) producer counts; a task is ready at 0.
+    waiting: Vec<usize>,
+    /// Ready, not-yet-picked tasks per effective source.
+    ready: HashMap<SourceId, Vec<usize>>,
+    /// Not-yet-completed task counts per effective source; a worker drains
+    /// when its source reaches 0.
+    remaining: HashMap<SourceId, usize>,
+    /// Effective source per task in this round (fixed between failovers).
+    effective: Vec<SourceId>,
+    /// Position each task holds in the baseline static plan at its source
+    /// (the "planned position" of the deviation log).
+    planned_pos: Vec<usize>,
+    /// Priorities from `levels` over `hybrid`; recomputed lazily at the
+    /// next pick after a completion patched actuals in.
+    priority: Vec<f64>,
+    stale: bool,
+    /// Calibration from measured wall-clock seconds to estimate units.
+    eval_scale: f64,
 }
 
 impl RelSource for SharedStore<'_> {
@@ -98,9 +143,96 @@ impl SharedStore<'_> {
         self.wake.notify_all();
     }
 
+    /// Whether `source` has reached its mid-run outage threshold (completed
+    /// its allotted task count and died).
+    fn outage_reached(&self, plan: &FaultPlan, source: SourceId) -> bool {
+        match plan.outage_after(source) {
+            Some(k) => {
+                let state = self.state.lock().expect("store mutex");
+                state.completed_at.get(&source).copied().unwrap_or(0) >= k
+            }
+            None => false,
+        }
+    }
+
+    /// Dynamic scheduling: blocks until a task at `source` is ready (picking
+    /// the highest-priority one and logging the pick), the source has no
+    /// tasks left (drained), the source hits its mid-run outage threshold
+    /// (halts the round), or the round aborts. Returns None in all but the
+    /// first case.
+    fn pick_next(
+        &self,
+        source: SourceId,
+        net: &crate::sim::NetworkModel,
+        topo_pos: &[usize],
+        fault_plan: Option<&FaultPlan>,
+    ) -> Option<usize> {
+        let mut state = self.state.lock().expect("store mutex");
+        loop {
+            if state.failed.is_some() || state.halted.is_some() {
+                return None;
+            }
+            if state
+                .dyn_sched
+                .as_ref()
+                .expect("dynamic round state")
+                .remaining
+                .get(&source)
+                .copied()
+                .unwrap_or(0)
+                == 0
+            {
+                return None; // this source's work is complete
+            }
+            // The source still owns tasks: a hard-down or mid-run-dead
+            // source halts the round so the coordinator can fail over.
+            if let Some(fp) = fault_plan {
+                let died = fp
+                    .outage_after(source)
+                    .is_some_and(|k| state.completed_at.get(&source).copied().unwrap_or(0) >= k);
+                if fp.source_down(source) || died {
+                    state.halted = Some(source);
+                    drop(state);
+                    self.wake.notify_all();
+                    return None;
+                }
+            }
+            let sched = state.dyn_sched.as_mut().expect("dynamic round state");
+            let queue_has_work = sched.ready.get(&source).is_some_and(|q| !q.is_empty());
+            if queue_has_work {
+                if sched.stale {
+                    sched.priority = levels(&sched.hybrid, net);
+                    sched.stale = false;
+                }
+                let queue = sched.ready.get_mut(&source).expect("checked non-empty");
+                let best_at = (0..queue.len())
+                    .max_by(|&a, &b| {
+                        let (ta, tb) = (queue[a], queue[b]);
+                        sched.priority[ta]
+                            .total_cmp(&sched.priority[tb])
+                            .then(topo_pos[tb].cmp(&topo_pos[ta]))
+                    })
+                    .expect("non-empty queue");
+                let task = queue.remove(best_at);
+                let (priority, planned_pos) = (sched.priority[task], sched.planned_pos[task]);
+                let actual_pos = state.picks.iter().filter(|p| p.source == source).count();
+                state.picks.push(TaskPick {
+                    task,
+                    source,
+                    planned_pos,
+                    actual_pos,
+                    priority,
+                });
+                return Some(task);
+            }
+            state = self.wake.wait(state).expect("store mutex");
+        }
+    }
+
     fn complete(
         &self,
         task: usize,
+        source: SourceId,
         result: Result<Option<Relation>, MediatorError>,
         measured: Measured,
         events: Vec<FaultEvent>,
@@ -114,6 +246,27 @@ impl SharedStore<'_> {
                 }
                 state.done[task] = true;
                 state.measured[task] = measured;
+                if !source.is_mediator() {
+                    *state.completed_at.entry(source).or_insert(0) += 1;
+                }
+                if let Some(sched) = state.dyn_sched.as_mut() {
+                    // Patch the task's measured actuals into the hybrid
+                    // graph (evaluation time and consumer-side edge sizes)
+                    // and release any consumers this completion unblocks.
+                    sched.hybrid.nodes[task].eval_secs = measured.secs * sched.eval_scale;
+                    for &(consumer, pos) in &sched.consumers[task] {
+                        sched.hybrid.deps[consumer][pos].1 = measured.out_bytes;
+                        sched.waiting[consumer] -= 1;
+                        if sched.waiting[consumer] == 0 {
+                            let home = sched.effective[consumer];
+                            sched.ready.entry(home).or_default().push(consumer);
+                        }
+                    }
+                    sched.stale = true;
+                    if let Some(left) = sched.remaining.get_mut(&source) {
+                        *left = left.saturating_sub(1);
+                    }
+                }
             }
             Err(e) => {
                 if state.failed.is_none() {
@@ -157,6 +310,9 @@ pub fn execute_graph_parallel(
             halted: None,
             measured: vec![Measured::default(); graph.tasks.len()],
             events: Vec::new(),
+            dyn_sched: None,
+            picks: Vec::new(),
+            completed_at: HashMap::new(),
         }),
         wake: Condvar::new(),
     };
@@ -164,6 +320,10 @@ pub fn execute_graph_parallel(
     let mut effective: Vec<SourceId> = graph.tasks.iter().map(|t| t.source).collect();
     let mut active_catalog: Option<Catalog> = None;
     let mut plan = per_source.clone();
+    let mut topo_pos = vec![0usize; graph.tasks.len()];
+    for (pos, &id) in graph.topo.iter().enumerate() {
+        topo_pos[id] = pos;
+    }
 
     // Each round redirects at least one dead source, and a redirected
     // source cannot halt again, so the loop is bounded by the source count.
@@ -171,8 +331,11 @@ pub fn execute_graph_parallel(
     // round ended in exactly one failover.
     for replans in 0..catalog.len() + 1 {
         let cat: &Catalog = active_catalog.as_ref().unwrap_or(catalog);
+        if opts.scheduling == Scheduling::Dynamic {
+            prime_dynamic(&shared, graph, &plan, &effective, opts);
+        }
         run_round(
-            aig, cat, graph, args, opts, &shared, &plan, &effective, &epoch,
+            aig, cat, graph, args, opts, &shared, &plan, &effective, &topo_pos, &epoch,
         );
 
         let halted = {
@@ -199,6 +362,10 @@ pub fn execute_graph_parallel(
                     events: state.events,
                     replans,
                 },
+                sched: SchedLog {
+                    dynamic: opts.scheduling == Scheduling::Dynamic,
+                    picks: state.picks,
+                },
             });
         };
 
@@ -207,8 +374,18 @@ pub fn execute_graph_parallel(
             .faults
             .as_ref()
             .expect("halt only happens under fault injection");
-        let done = shared.state.lock().expect("store mutex").done.clone();
-        let replica = cat.replica_of(down).filter(|r| !fault_plan.source_down(*r));
+        let (done, completed_at) = {
+            let state = shared.state.lock().expect("store mutex");
+            (state.done.clone(), state.completed_at.clone())
+        };
+        // A usable replica must be up for the whole run *and* not itself
+        // already dead from a mid-run outage.
+        let replica = cat.replica_of(down).filter(|r| {
+            !fault_plan.source_down(*r)
+                && fault_plan
+                    .outage_after(*r)
+                    .is_none_or(|k| completed_at.get(r).copied().unwrap_or(0) < k)
+        });
         let Some(replica) = replica else {
             let lost_tasks: Vec<String> = graph
                 .topo
@@ -234,9 +411,77 @@ pub fn execute_graph_parallel(
     ))
 }
 
+/// Builds (or rebuilds, after a failover) the dynamic scheduler's round
+/// state: the hybrid cost graph with every completed task's measured actuals
+/// already patched in, dependency counts over the surviving tasks, and the
+/// initial ready queues per effective source.
+fn prime_dynamic(
+    shared: &SharedStore<'_>,
+    graph: &TaskGraph,
+    plan: &HashMap<SourceId, Vec<usize>>,
+    effective: &[SourceId],
+    opts: &ExecOptions,
+) {
+    let n = graph.tasks.len();
+    let mut hybrid = CostGraph::from_task_graph(graph, &estimated_costs(graph));
+    let mut consumers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (id, deps) in hybrid.deps.iter().enumerate() {
+        for (pos, &(dep, _)) in deps.iter().enumerate() {
+            consumers[dep].push((id, pos));
+        }
+    }
+    let mut planned_pos = vec![0usize; n];
+    for seq in plan.values() {
+        for (pos, &id) in seq.iter().enumerate() {
+            planned_pos[id] = pos;
+        }
+    }
+    let mut state = shared.state.lock().expect("store mutex");
+    for (task, task_consumers) in consumers.iter().enumerate() {
+        if !state.done[task] {
+            continue;
+        }
+        hybrid.nodes[task].eval_secs = state.measured[task].secs * opts.eval_scale;
+        for &(consumer, pos) in task_consumers {
+            hybrid.deps[consumer][pos].1 = state.measured[task].out_bytes;
+        }
+    }
+    let mut waiting = vec![0usize; n];
+    let mut ready: HashMap<SourceId, Vec<usize>> = HashMap::new();
+    let mut remaining: HashMap<SourceId, usize> = HashMap::new();
+    for &task in &graph.topo {
+        if state.done[task] {
+            continue;
+        }
+        waiting[task] = hybrid.deps[task]
+            .iter()
+            .filter(|(d, _)| !state.done[*d])
+            .count();
+        if waiting[task] == 0 {
+            ready.entry(effective[task]).or_default().push(task);
+        }
+        *remaining.entry(effective[task]).or_insert(0) += 1;
+    }
+    let priority = levels(&hybrid, &opts.network);
+    state.dyn_sched = Some(DynSched {
+        hybrid,
+        consumers,
+        waiting,
+        ready,
+        remaining,
+        effective: effective.to_vec(),
+        planned_pos,
+        priority,
+        stale: false,
+        eval_scale: opts.eval_scale,
+    });
+}
+
 /// One round of per-source workers over `plan`, skipping already-completed
 /// tasks. Returns when every worker has drained (finished its sequence,
-/// failed, or aborted on a halt).
+/// failed, or aborted on a halt). Under [`Scheduling::Dynamic`] the planned
+/// sequences only seed the deviation log's planned positions; each worker
+/// instead draws from its source's live ready queue.
 #[allow(clippy::too_many_arguments)]
 fn run_round(
     aig: &Aig,
@@ -247,10 +492,12 @@ fn run_round(
     shared: &SharedStore<'_>,
     plan: &HashMap<SourceId, Vec<usize>>,
     effective: &[SourceId],
+    topo_pos: &[usize],
     epoch: &Instant,
 ) {
     std::thread::scope(|scope| {
         for (source, sequence) in plan {
+            let source = *source;
             let sequence = sequence.clone();
             std::thread::Builder::new()
                 .name(format!("aig-source-{}", source.0))
@@ -266,24 +513,9 @@ fn run_round(
                         plan: opts.faults.as_ref(),
                         retry: &opts.retry,
                     };
-                    for task_id in sequence {
-                        if shared.is_done(task_id) {
-                            continue;
-                        }
-                        // A dead source aborts the round *before* blocking on
-                        // dependencies, so no worker waits on output that will
-                        // never come.
-                        if let Some(plan) = &env.plan {
-                            if plan.source_down(effective[task_id]) {
-                                shared.halt(effective[task_id]);
-                                return;
-                            }
-                        }
-                        let queued = Instant::now();
-                        if !shared.wait_for_deps(task_id) {
-                            return; // another worker failed or halted
-                        }
-                        let wait_secs = queued.elapsed().as_secs_f64();
+                    // Runs one task and records its measurements; returns
+                    // false when the worker must stop (the task failed).
+                    let run_one = |task_id: usize, wait_secs: f64| -> bool {
                         let task = &graph.tasks[task_id];
                         let in_rows = input_rows(task, shared);
                         let started = Instant::now();
@@ -291,6 +523,9 @@ fn run_round(
                         let failed_over_from = (effective[task_id] != task.source)
                             .then(|| catalog.source(task.source).name());
                         let mut events = Vec::new();
+                        if let Some(secs) = opts.pace.as_ref().and_then(|p| p.get(task_id)) {
+                            crate::faults::sleep_secs(*secs);
+                        }
                         let result = env.run_task(
                             task_id,
                             &task.label,
@@ -308,6 +543,7 @@ fn run_round(
                         let failed = result.is_err();
                         shared.complete(
                             task_id,
+                            effective[task_id],
                             result,
                             Measured {
                                 secs,
@@ -319,9 +555,45 @@ fn run_round(
                             },
                             events,
                         );
-                        if failed {
-                            return;
+                        !failed
+                    };
+                    match opts.scheduling {
+                        Scheduling::Static => {
+                            for task_id in sequence {
+                                if shared.is_done(task_id) {
+                                    continue;
+                                }
+                                // A dead source aborts the round *before*
+                                // blocking on dependencies, so no worker
+                                // waits on output that will never come.
+                                if let Some(plan) = &env.plan {
+                                    if plan.source_down(effective[task_id])
+                                        || shared.outage_reached(plan, effective[task_id])
+                                    {
+                                        shared.halt(effective[task_id]);
+                                        return;
+                                    }
+                                }
+                                let queued = Instant::now();
+                                if !shared.wait_for_deps(task_id) {
+                                    return; // another worker failed or halted
+                                }
+                                if !run_one(task_id, queued.elapsed().as_secs_f64()) {
+                                    return;
+                                }
+                            }
                         }
+                        Scheduling::Dynamic => loop {
+                            let queued = Instant::now();
+                            let Some(task_id) =
+                                shared.pick_next(source, &opts.network, topo_pos, env.plan)
+                            else {
+                                return; // drained, halted, or failed
+                            };
+                            if !run_one(task_id, queued.elapsed().as_secs_f64()) {
+                                return;
+                            }
+                        },
                     }
                 })
                 .expect("spawn source worker");
@@ -390,6 +662,74 @@ mod tests {
             assert_eq!(s.in_rows, p.in_rows, "task {id} input rows");
             assert!(p.wait_secs >= 0.0 && p.secs >= 0.0);
         }
+    }
+
+    #[test]
+    fn dynamic_scheduling_matches_sequential_results() {
+        let (aig, catalog, graph) = setup();
+        let args = [("date", Value::str("d1"))];
+        let sequential =
+            execute_graph(&aig, &catalog, &graph, &args, &ExecOptions::default()).unwrap();
+        let opts = ExecOptions {
+            scheduling: Scheduling::Dynamic,
+            ..ExecOptions::default()
+        };
+        let plan = topo_plan(&graph);
+        let dynamic = execute_graph_parallel(&aig, &catalog, &graph, &args, &opts, &plan).unwrap();
+        for task in &graph.tasks {
+            if let Some(key) = &task.output {
+                assert_eq!(
+                    sequential.store.get(key).unwrap(),
+                    dynamic.store.get(key).unwrap(),
+                    "{}",
+                    task.label
+                );
+            }
+        }
+        assert!(dynamic.sched.dynamic);
+        // Every task goes through the ready queue exactly once.
+        assert_eq!(dynamic.sched.picks.len(), graph.tasks.len());
+        let mut picked = vec![false; graph.tasks.len()];
+        for pick in &dynamic.sched.picks {
+            assert!(!picked[pick.task], "task {} picked twice", pick.task);
+            picked[pick.task] = true;
+        }
+    }
+
+    #[test]
+    fn dynamic_scheduling_is_immune_to_adversarial_plan_order() {
+        // Reverse every per-source sequence — an order the static walk could
+        // never execute (same-source consumers before their producers). The
+        // dynamic scheduler only reads the sequences to seed the deviation
+        // log's planned positions, so the run still completes, still matches
+        // the sequential executor, and the log shows the disagreement.
+        let (aig, catalog, graph) = setup();
+        let args = [("date", Value::str("d1"))];
+        let sequential =
+            execute_graph(&aig, &catalog, &graph, &args, &ExecOptions::default()).unwrap();
+        let mut plan = topo_plan(&graph);
+        for seq in plan.values_mut() {
+            seq.reverse();
+        }
+        let opts = ExecOptions {
+            scheduling: Scheduling::Dynamic,
+            ..ExecOptions::default()
+        };
+        let dynamic = execute_graph_parallel(&aig, &catalog, &graph, &args, &opts, &plan).unwrap();
+        for task in &graph.tasks {
+            if let Some(key) = &task.output {
+                assert_eq!(
+                    sequential.store.get(key).unwrap(),
+                    dynamic.store.get(key).unwrap(),
+                    "{}",
+                    task.label
+                );
+            }
+        }
+        assert!(
+            !dynamic.sched.deviations().is_empty(),
+            "a reversed plan must surface deviations"
+        );
     }
 
     #[test]

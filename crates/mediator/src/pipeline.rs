@@ -11,7 +11,7 @@
 
 use crate::cost::{measured_costs, CostGraph};
 use crate::error::MediatorError;
-use crate::exec::{execute_graph, ExecOptions, ExecResult};
+use crate::exec::{execute_graph, ExecOptions, ExecResult, Scheduling};
 use crate::faults::{FaultConfig, FaultPlan, RetryPolicy};
 use crate::graph::{build_graph, source_histogram, GraphOptions, Occ, RelKey};
 use crate::merge::{merge, no_merge, MergeOutcome};
@@ -51,6 +51,9 @@ pub struct MediatorOptions {
     pub faults: Option<FaultConfig>,
     /// Retry/backoff/timeout policy when faults are injected.
     pub retry: RetryPolicy,
+    /// Static (planned sequences) or dynamic (live ready-queue) scheduling
+    /// in the parallel executor; ignored by the sequential executor.
+    pub scheduling: Scheduling,
 }
 
 impl Default for MediatorOptions {
@@ -67,6 +70,7 @@ impl Default for MediatorOptions {
             graph: GraphOptions::default(),
             faults: None,
             retry: RetryPolicy::default(),
+            scheduling: Scheduling::default(),
         }
     }
 }
@@ -170,6 +174,9 @@ pub fn run_with_report(
             faults: fault_plan.clone(),
             retry: options.retry.clone(),
             network: options.network.clone(),
+            scheduling: options.scheduling,
+            eval_scale: options.graph.eval_scale,
+            pace: None,
         };
         let exec: ExecResult = phases.time("execute", || {
             if options.parallel_exec {
@@ -273,6 +280,7 @@ pub fn run_with_report(
                 parallel_exec: options.parallel_exec,
                 resilience: &exec.resilience,
                 fault_seed: fault_plan.as_ref().map(|p| p.seed()),
+                sched: &exec.sched,
             },
             phases,
             total_secs,

@@ -34,6 +34,11 @@ pub fn levels(graph: &CostGraph, net: &NetworkModel) -> Vec<f64> {
 /// priority. Ties break on topological position, which keeps the plan
 /// consistent with the dependency DAG.
 pub fn schedule(graph: &CostGraph, net: &NetworkModel) -> Plan {
+    debug_assert!(
+        graph.validate().is_ok(),
+        "non-finite cost input: {:?}",
+        graph.validate()
+    );
     let level = levels(graph, net);
     let topo = graph.topo().expect("cost graphs are acyclic");
     let mut topo_pos = vec![0usize; graph.len()];
@@ -46,9 +51,11 @@ pub fn schedule(graph: &CostGraph, net: &NetworkModel) -> Plan {
     }
     for seq in per_source.values_mut() {
         seq.sort_by(|&a, &b| {
+            // `total_cmp` keeps the order deterministic even if a NaN cost
+            // slips past validation in release builds (a NaN level gets a
+            // fixed place instead of poisoning the comparator).
             level[b]
-                .partial_cmp(&level[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&level[a])
                 .then(topo_pos[a].cmp(&topo_pos[b]))
         });
     }
@@ -179,6 +186,43 @@ mod tests {
         let plan = naive_plan(&g);
         assert!(plan.consistent_with(&g));
     }
+
+    #[test]
+    fn non_finite_and_negative_costs_are_rejected() {
+        use crate::error::MediatorError;
+        assert!(diamond().validate().is_ok());
+        let mut g = diamond();
+        g.nodes[2].eval_secs = f64::NAN;
+        assert!(matches!(
+            g.validate().unwrap_err(),
+            MediatorError::InvalidCost { node: 2, .. }
+        ));
+        let mut g = diamond();
+        g.nodes[1].eval_secs = -1.0;
+        assert!(matches!(
+            g.validate().unwrap_err(),
+            MediatorError::InvalidCost { node: 1, .. }
+        ));
+        let mut g = diamond();
+        g.deps[3][0].1 = f64::INFINITY;
+        assert!(matches!(
+            g.validate().unwrap_err(),
+            MediatorError::InvalidCost { node: 3, .. }
+        ));
+    }
+
+    /// Regression: a NaN estimate used to flow through
+    /// `partial_cmp(..).unwrap_or(Equal)` and silently poison the
+    /// per-source ordering; now it trips the debug assertion (and in
+    /// release the `total_cmp` tie-break stays deterministic).
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite cost input")]
+    fn schedule_asserts_on_nan_costs_in_debug() {
+        let mut g = diamond();
+        g.nodes[1].eval_secs = f64::NAN;
+        let _ = schedule(&g, &NetworkModel::infinite());
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -201,26 +245,18 @@ pub fn dynamic_response_time(est: &CostGraph, actual: &CostGraph, net: &NetworkM
     let mut finish: Vec<Option<f64>> = vec![None; n];
     let mut free: HashMap<SourceId, f64> = HashMap::new();
     let mut remaining = n;
+    // One hybrid graph, patched in place as tasks finish: actual costs for
+    // completed tasks, estimates for the rest. `consumers[p]` lists the
+    // `(consumer, dep position)` pairs whose edge size becomes actual once
+    // producer `p` has run.
+    let mut hybrid = est.clone();
+    let mut consumers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (id, deps) in est.deps.iter().enumerate() {
+        for (pos, &(dep, _)) in deps.iter().enumerate() {
+            consumers[dep].push((id, pos));
+        }
+    }
     while remaining > 0 {
-        // Hybrid priorities: known actuals, estimated otherwise.
-        let hybrid = {
-            let mut g = est.clone();
-            for (id, f) in finish.iter().enumerate() {
-                if f.is_some() {
-                    g.nodes[id].eval_secs = actual.nodes[id].eval_secs;
-                }
-            }
-            // Edge sizes become actual once the producer has run.
-            for id in 0..n {
-                for (pos, (dep, bytes)) in g.deps[id].clone().into_iter().enumerate() {
-                    if finish[dep].is_some() {
-                        let _ = bytes;
-                        g.deps[id][pos].1 = actual.deps[id][pos].1;
-                    }
-                }
-            }
-            g
-        };
         let priority = levels(&hybrid, net);
 
         // For each source, the best ready task and its earliest start.
@@ -259,6 +295,11 @@ pub fn dynamic_response_time(est: &CostGraph, actual: &CostGraph, net: &NetworkM
         finish[task] = Some(end);
         free.insert(actual.nodes[task].source, end);
         remaining -= 1;
+        // Patch the finished task's actuals into the hybrid graph.
+        hybrid.nodes[task].eval_secs = actual.nodes[task].eval_secs;
+        for &(consumer, pos) in &consumers[task] {
+            hybrid.deps[consumer][pos].1 = actual.deps[consumer][pos].1;
+        }
     }
     finish.into_iter().map(|f| f.unwrap()).fold(0.0, f64::max)
 }

@@ -10,7 +10,7 @@
 use aig_core::paper::{mini_hospital_catalog, sigma0};
 use aig_core::spec::Aig;
 use aig_core::{compile_constraints, decompose_queries};
-use aig_mediator::exec::{execute_graph, ExecOptions, ExecResult};
+use aig_mediator::exec::{execute_graph, ExecOptions, ExecResult, Scheduling};
 use aig_mediator::faults::{FaultConfig, FaultOutcome, FaultPlan, RetryPolicy};
 use aig_mediator::graph::{build_graph, GraphOptions, TaskGraph};
 use aig_mediator::parallel::execute_graph_parallel;
@@ -192,9 +192,15 @@ fn zero_retry_policy_surfaces_structured_error() {
 /// The mini hospital catalog with `DB3R` added as a byte-identical replica
 /// of `DB3`, declared as its failover target.
 fn catalog_with_replica() -> Catalog {
+    catalog_with_replica_of("DB3")
+}
+
+/// The mini hospital catalog with a byte-identical replica of `name` added
+/// and declared as its failover target.
+fn catalog_with_replica_of(name: &str) -> Catalog {
     let mut catalog = mini_hospital_catalog().unwrap();
-    let primary = catalog.source_id("DB3").unwrap();
-    let mut replica_db = Database::new("DB3R");
+    let primary = catalog.source_id(name).unwrap();
+    let mut replica_db = Database::new(format!("{name}R"));
     for table in catalog.source(primary).tables() {
         replica_db.add_table(table.clone()).unwrap();
     }
@@ -245,6 +251,67 @@ fn outage_with_replica_fails_over_and_replans() {
         par.resilience.replans >= 1,
         "the outage must re-run Schedule on the surviving subgraph"
     );
+}
+
+#[test]
+fn mid_run_outage_fails_over_in_every_executor() {
+    let catalog = catalog_with_replica_of("DB4");
+    let (aig, graph) = setup(&catalog);
+    let args = [("date", Value::str("d1"))];
+    let clean = execute_graph(&aig, &catalog, &graph, &args, &ExecOptions::default()).unwrap();
+    let db4 = catalog.source_id("DB4").unwrap();
+    let db4_tasks = graph.tasks.iter().filter(|t| t.source == db4).count();
+    assert!(db4_tasks >= 2, "need at least two DB4 tasks to die mid-run");
+
+    // DB4 completes exactly one task, then goes hard-down; the rest of its
+    // work must fail over to the replica in every executor.
+    let cfg = FaultConfig {
+        seed: 7,
+        dies_after: vec![("DB4".to_string(), 1)],
+        ..FaultConfig::default()
+    };
+    let fault_plan = FaultPlan::new(&cfg, &catalog).unwrap();
+
+    let seq = execute_graph(
+        &aig,
+        &catalog,
+        &graph,
+        &args,
+        &faulted_opts(fault_plan.clone(), fast_retry(3)),
+    )
+    .unwrap();
+    assert_stores_identical(&graph, &clean, &seq);
+    assert_accounted(&seq);
+    assert_eq!(
+        seq.resilience.count(FaultOutcome::FailedOver),
+        db4_tasks - 1,
+        "all but the completed task re-ran at the replica"
+    );
+    assert_eq!(seq.resilience.replans, 1);
+
+    for scheduling in [Scheduling::Static, Scheduling::Dynamic] {
+        let opts = ExecOptions {
+            scheduling,
+            ..faulted_opts(fault_plan.clone(), fast_retry(3))
+        };
+        let par = execute_graph_parallel(&aig, &catalog, &graph, &args, &opts, &topo_plan(&graph))
+            .unwrap();
+        assert_stores_identical(&graph, &clean, &par);
+        assert_accounted(&par);
+        assert!(
+            par.resilience.count(FaultOutcome::FailedOver) > 0,
+            "{scheduling:?}: no task failed over"
+        );
+        assert_eq!(
+            par.resilience.replans, 1,
+            "{scheduling:?}: the mid-run death must re-run Schedule once"
+        );
+        assert_eq!(
+            par.sched.dynamic,
+            scheduling == Scheduling::Dynamic,
+            "{scheduling:?}"
+        );
+    }
 }
 
 #[test]
@@ -336,6 +403,8 @@ fn pipeline_reports_resilience_and_preserves_the_document() {
         // The JSON serialization carries the section.
         let json = report.to_json().to_pretty();
         assert!(json.contains("\"resilience\""));
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
+        // The seed is emitted losslessly as a decimal string.
+        assert!(json.contains("\"seed\": \"11\""));
     }
 }

@@ -69,6 +69,7 @@ pub mod prelude {
     pub use aig_mediator::unfold::CutOff;
     pub use aig_mediator::{
         render_report, FaultConfig, Json, MediatorError, NetworkModel, RetryPolicy, RunReport,
+        Scheduling,
     };
     pub use aig_relstore::{Catalog, Database, Relation, Table, TableSchema, Value};
     pub use aig_xml::{validate, Constraint, ConstraintSet, Dtd, XmlTree};

@@ -1,0 +1,230 @@
+//! Ablation H: plan-cache amortization in the mediator service.
+//!
+//! The same batch of requests is evaluated two ways: **cold**, where every
+//! request runs the one-shot pipeline (`run_with_report`) and pays constraint
+//! compilation, decomposition, unfolding, graph building and estimate-based
+//! planning from scratch — with `unfold_depth 1` the frontier cut-off makes
+//! that *three* full prepare/execute rounds for a full-recursion date (depth
+//! 1 → 2 → 4) — and **warm**, where a [`Mediator`] serves the batch from one
+//! cached [`aig_mediator::PreparedPlan`] that the first request promoted to
+//! depth 4, so each request is a cache hit plus a single execute round.
+//!
+//! The gated measurement uses `date = d1`, the date that exercises the full
+//! referral recursion: cold and warm then do identical final-round work
+//! (same depth-4 execute, tagging, validation and measured-cost merge), so
+//! the ratio isolates preparation and the extra frontier rounds. The mixed-
+//! date rows are reported as context: promotion serves shallower dates from
+//! the deep plan, which trades a larger per-request graph for skipping
+//! preparation, and the ratio reflects that trade honestly.
+//!
+//! The committed `BENCH_ablation_plan_cache.json` records the amortized
+//! per-request ratio (warm / cold), which `check_perf_regression` requires to
+//! stay below 0.5: preparation must be amortized away, not just shaved.
+
+use aig_bench::{markdown_table, table_json, write_bench_json, Json};
+use aig_core::paper::{mini_hospital_catalog, sigma0};
+use aig_core::spec::Aig;
+use aig_mediator::{run_with_report, Mediator, MediatorOptions, RunReport};
+use aig_relstore::{Catalog, Value};
+use std::time::Instant;
+
+const DEEP_DATES: [&str; 1] = ["d1"];
+const MIXED_DATES: [&str; 3] = ["d1", "d2", "d9"];
+const REQUESTS: usize = 16;
+/// Whole-batch repetitions; the fastest batch filters scheduler noise.
+const BATCHES: usize = 5;
+
+struct Measurement {
+    cold_total: f64,
+    warm_total: f64,
+    cold_report: RunReport,
+    warm_report: RunReport,
+}
+
+impl Measurement {
+    fn cold_per_request(&self) -> f64 {
+        self.cold_total / REQUESTS as f64
+    }
+
+    fn warm_per_request(&self) -> f64 {
+        self.warm_total / REQUESTS as f64
+    }
+
+    fn ratio(&self) -> f64 {
+        self.warm_per_request() / self.cold_per_request()
+    }
+}
+
+/// Times cold (one-shot pipeline per request) and warm (pre-warmed service,
+/// every request a cache hit) batches over the same date cycle, keeping the
+/// fastest of [`BATCHES`] repetitions of each.
+fn measure(
+    aig: &Aig,
+    catalog: &Catalog,
+    options: &MediatorOptions,
+    mediator: &Mediator,
+    dates: &[&str],
+) -> Measurement {
+    let mut cold_total = f64::INFINITY;
+    let mut warm_total = f64::INFINITY;
+    let mut cold_report = None;
+    let mut warm_report = None;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for i in 0..REQUESTS {
+            let args = [("date", Value::str(dates[i % dates.len()]))];
+            let (_, report) = run_with_report(aig, catalog, &args, options).expect("cold run");
+            cold_report = Some(report);
+        }
+        cold_total = cold_total.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for i in 0..REQUESTS {
+            let args = [("date", Value::str(dates[i % dates.len()]))];
+            let (_, report) = mediator.request(aig, &args).expect("warm run");
+            warm_report = Some(report);
+        }
+        warm_total = warm_total.min(start.elapsed().as_secs_f64());
+    }
+    Measurement {
+        cold_total,
+        warm_total,
+        cold_report: cold_report.expect("ran requests"),
+        warm_report: warm_report.expect("ran requests"),
+    }
+}
+
+fn main() {
+    let aig = sigma0().unwrap();
+    let catalog = mini_hospital_catalog().unwrap();
+    // Depth 1 with the frontier cut-off: the data's referral depth (3)
+    // forces the cold pipeline through three prepare/execute rounds for d1,
+    // while the service promotes its cached plan to depth 4 once.
+    let options = MediatorOptions::builder().unfold_depth(1).build();
+
+    let mediator = Mediator::new(catalog.clone(), &options).unwrap();
+    // Warm-up request: prepares, hits the frontier, promotes 1 -> 2 -> 4.
+    mediator
+        .request(&aig, &[("date", Value::str("d1"))])
+        .expect("warm-up");
+
+    let deep = measure(&aig, &catalog, &options, &mediator, &DEEP_DATES);
+    let mixed = measure(&aig, &catalog, &options, &mediator, &MIXED_DATES);
+    let stats = mediator.cache_stats();
+
+    println!(
+        "Ablation H: plan-cache amortization ({REQUESTS} requests per batch, best of {BATCHES})"
+    );
+    println!(
+        "(cold = one-shot pipeline per request; warm = cached depth-4 plan, \
+         1 execute round each; d1 exercises the full referral recursion)\n"
+    );
+    let header = [
+        "dates",
+        "mode",
+        "batch (s)",
+        "per request (s)",
+        "unfold rounds",
+    ];
+    let row = |dates: &str, mode: &str, total: f64, per: f64, rounds: usize| {
+        vec![
+            dates.to_string(),
+            mode.to_string(),
+            format!("{total:.4}"),
+            format!("{per:.6}"),
+            format!("{rounds}"),
+        ]
+    };
+    let rows = vec![
+        row(
+            "d1",
+            "cold",
+            deep.cold_total,
+            deep.cold_per_request(),
+            deep.cold_report.unfold_rounds,
+        ),
+        row(
+            "d1",
+            "warm",
+            deep.warm_total,
+            deep.warm_per_request(),
+            deep.warm_report.unfold_rounds,
+        ),
+        row(
+            "mixed",
+            "cold",
+            mixed.cold_total,
+            mixed.cold_per_request(),
+            mixed.cold_report.unfold_rounds,
+        ),
+        row(
+            "mixed",
+            "warm",
+            mixed.warm_total,
+            mixed.warm_per_request(),
+            mixed.warm_report.unfold_rounds,
+        ),
+    ];
+    println!("{}", markdown_table(&header, &rows));
+    println!(
+        "amortized warm/cold ratio: {:.3} on d1 (must be < 0.5), {:.3} mixed; \
+         cache: {} hits / {} misses / {} promotions",
+        deep.ratio(),
+        mixed.ratio(),
+        stats.hits,
+        stats.misses,
+        stats.promotions
+    );
+
+    write_bench_json(
+        "ablation_plan_cache",
+        &Json::obj(vec![
+            ("requests", Json::num(REQUESTS as f64)),
+            ("batches", Json::num(BATCHES as f64)),
+            ("cold_batch_secs", Json::num(deep.cold_total)),
+            ("warm_batch_secs", Json::num(deep.warm_total)),
+            ("cold_per_request_secs", Json::num(deep.cold_per_request())),
+            ("warm_per_request_secs", Json::num(deep.warm_per_request())),
+            ("amortized_ratio", Json::num(deep.ratio())),
+            ("mixed_ratio", Json::num(mixed.ratio())),
+            (
+                "cold_unfold_rounds",
+                Json::num(deep.cold_report.unfold_rounds as f64),
+            ),
+            (
+                "warm_unfold_rounds",
+                Json::num(deep.warm_report.unfold_rounds as f64),
+            ),
+            (
+                "cold_prepare_secs",
+                Json::num(deep.cold_report.prepare_secs),
+            ),
+            (
+                "warm_prepare_secs",
+                Json::num(deep.warm_report.prepare_secs),
+            ),
+            ("cache_hits", Json::num(stats.hits as f64)),
+            ("cache_misses", Json::num(stats.misses as f64)),
+            ("cache_promotions", Json::num(stats.promotions as f64)),
+            ("cache_evictions", Json::num(stats.evictions as f64)),
+            // The schema_version-4 report of the last warm request carries
+            // the per-run cache hit flag and counters alongside the stage
+            // split (`prepare_secs` / `execute_secs`).
+            ("report", deep.warm_report.redacted().to_json()),
+            ("rows", table_json(&header, &rows)),
+        ]),
+    );
+    assert!(
+        deep.warm_report.cache.hit && deep.warm_report.cache.enabled,
+        "warm requests must be served from the plan cache"
+    );
+    assert_eq!(
+        deep.warm_report.unfold_rounds, 1,
+        "warm requests must not re-unfold"
+    );
+    assert!(
+        deep.ratio() < 0.5,
+        "plan cache failed to amortize preparation: warm/cold = {:.3}",
+        deep.ratio()
+    );
+}

@@ -2,8 +2,9 @@
 //!
 //! Usage: `check_perf_regression <baseline_dir> <current_dir>`
 //!
-//! Compares freshly regenerated `BENCH_fig10.json` and
-//! `BENCH_ablation_dynamic_live.json` against the committed baselines. The
+//! Compares freshly regenerated `BENCH_fig10.json`,
+//! `BENCH_ablation_dynamic_live.json` and `BENCH_ablation_plan_cache.json`
+//! against the committed baselines. The
 //! simulated quantities (merging ratios, predicted speedups) are
 //! deterministic and get a tight relative band; wall-clock quantities
 //! (phase timers, live speedups) vary with the machine, so they only fail
@@ -163,6 +164,31 @@ fn check_dynamic_live(gate: &mut Gate, baseline: &Json, current: &Json) {
     );
 }
 
+fn check_plan_cache(gate: &mut Gate, baseline: &Json, current: &Json) {
+    // The amortized ratio is wall-clock-derived but its headline claim —
+    // warm requests cost less than half a cold pipeline — must hold on any
+    // machine, so it is a hard requirement, not a drift band.
+    gate.require(
+        "plan_cache: warm requests no longer cost < 0.5x a cold pipeline",
+        num(current, "amortized_ratio") < 0.5,
+    );
+    gate.within(
+        "plan_cache amortized ratio",
+        num(baseline, "amortized_ratio"),
+        num(current, "amortized_ratio"),
+        LIVE_TOLERANCE,
+    );
+    gate.require(
+        "plan_cache: warm requests stopped hitting the cache in one round",
+        num(current, "warm_unfold_rounds") == 1.0 && num(current, "cache_misses") <= 3.0,
+    );
+    gate.bounded(
+        "plan_cache warm per-request",
+        num(baseline, "warm_per_request_secs"),
+        num(current, "warm_per_request_secs"),
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, baseline_dir, current_dir] = &args[..] else {
@@ -179,6 +205,11 @@ fn main() -> ExitCode {
         &mut gate,
         &load(baseline_dir, "BENCH_ablation_dynamic_live.json"),
         &load(current_dir, "BENCH_ablation_dynamic_live.json"),
+    );
+    check_plan_cache(
+        &mut gate,
+        &load(baseline_dir, "BENCH_ablation_plan_cache.json"),
+        &load(current_dir, "BENCH_ablation_plan_cache.json"),
     );
     if gate.failures.is_empty() {
         println!("perf regression gate: {} checks passed", gate.checks);

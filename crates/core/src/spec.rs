@@ -273,6 +273,34 @@ impl Aig {
         id
     }
 
+    /// A stable structural fingerprint of the AIG: FNV-1a over a canonical
+    /// rendering of the element infos (in index order), the query table,
+    /// the constraints, and the DTD. Two structurally equal AIGs — even
+    /// ones built by separate calls — fingerprint identically, so the hash
+    /// can key caches of compiled artifacts (e.g. the mediator's prepared
+    /// plans). The name-lookup map is deliberately excluded: `HashMap`
+    /// iteration order is instance-specific.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut write = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        write(self.name.as_bytes());
+        write(&self.root.0.to_le_bytes());
+        for elem in &self.elems {
+            write(format!("{elem:?}").as_bytes());
+        }
+        for query in &self.queries {
+            write(format!("{query:?}").as_bytes());
+        }
+        write(format!("{:?}", self.constraints).as_bytes());
+        write(self.dtd.canonical_string().as_bytes());
+        hash
+    }
+
     /// Registers a new element type. Used by the specialization transforms
     /// (§3.3–3.4) and recursion unfolding (§5.5).
     pub fn add_elem(&mut self, info: ElemInfo) -> ElemIdx {

@@ -101,12 +101,32 @@ pub fn render_report(report: &RunReport) -> String {
             "sequential execution"
         },
     );
-    let _ = writeln!(out, "phases ({:.3}s total)", report.total_secs);
+    let _ = writeln!(
+        out,
+        "phases ({:.3}s total = {:.3}s prepare + {:.3}s execute)",
+        report.total_secs, report.prepare_secs, report.execute_secs
+    );
     for phase in &report.phases {
         let _ = writeln!(
             out,
             "  {:<20} {:>9.4}s  (x{}, from {:.4}s)",
             phase.name, phase.secs, phase.calls, phase.first_start_secs
+        );
+    }
+    if report.cache.enabled {
+        let c = &report.cache;
+        let _ = writeln!(
+            out,
+            "plan cache: {}{}; totals {} hits / {} misses / {} promotions / \
+             {} evictions; {} of {} plans resident",
+            if c.hit { "hit" } else { "miss" },
+            if c.promoted { " (promoted deeper)" } else { "" },
+            c.hits,
+            c.misses,
+            c.promotions,
+            c.evictions,
+            c.entries,
+            c.capacity,
         );
     }
     let _ = writeln!(out, "sources");

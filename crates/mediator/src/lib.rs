@@ -10,7 +10,9 @@ pub mod merge;
 pub mod obs;
 pub mod parallel;
 pub mod pipeline;
+pub mod plan;
 pub mod schedule;
+pub mod service;
 pub mod sim;
 pub mod tagging;
 pub mod unfold;
@@ -28,14 +30,20 @@ pub use graph::{build_graph, GraphOptions, TaskGraph};
 pub use json::Json;
 pub use merge::{merge, merge_pair, no_merge, MergeDecision, MergeOutcome};
 pub use obs::{
-    FaultEventObs, PhaseSample, Phases, PlanDeviationObs, ResilienceObs, RunReport, SchedulerObs,
-    SourceObs, TaskObs, SCHEMA_VERSION,
+    CacheObs, FaultEventObs, PhaseSample, Phases, PlanDeviationObs, ResilienceObs, RunReport,
+    SchedulerObs, SourceObs, TaskObs, SCHEMA_VERSION,
 };
 pub use parallel::execute_graph_parallel;
-pub use pipeline::{canonical, run, run_with_report, MediatorOptions, MediatorRun};
+pub use pipeline::{
+    canonical, run, run_with_report, MediatorOptions, MediatorOptionsBuilder, MediatorRun,
+};
+pub use plan::{
+    deepen, execute_prepared, prepare, ExecPolicy, ExecuteOutcome, PlanOptions, PreparedPlan,
+};
 pub use schedule::{
     dynamic_response_time, levels, naive_plan, replan_surviving, schedule,
     static_response_on_actuals,
 };
+pub use service::{CacheStats, Mediator};
 pub use sim::NetworkModel;
 pub use unfold::{unfold, CutOff, FrontierSite, Unfolded};

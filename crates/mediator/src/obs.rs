@@ -80,6 +80,11 @@ impl Phases {
         self.epoch.elapsed().as_secs_f64()
     }
 
+    /// The samples recorded so far, in chronological first-entry order.
+    pub fn samples(&self) -> &[PhaseSample] {
+        &self.samples
+    }
+
     pub fn into_samples(self) -> Vec<PhaseSample> {
         self.samples
     }
@@ -166,8 +171,50 @@ pub struct PlanSeqObs {
 /// History: 1 = the PR-1 report (no version field); 2 = adds
 /// `schema_version` and the `resilience` section; 3 = adds the `scheduler`
 /// section and emits the fault seed as a lossless decimal string (a u64
-/// above 2^53 is not representable as a JSON number).
-pub const SCHEMA_VERSION: u32 = 3;
+/// above 2^53 is not representable as a JSON number); 4 = adds the
+/// prepare/execute stage split (`prepare_secs`, `execute_secs`) and the
+/// `cache` section with the plan cache's hit/miss/promotion counters.
+pub const SCHEMA_VERSION: u32 = 4;
+
+/// Which stage of the prepared-plan split a phase belongs to: everything
+/// argument-independent (compilation through estimate-based planning, plus
+/// cache lookups and pre-pipeline parsing) is **prepare**; everything that
+/// touches bound arguments (execution through the measured-cost simulation)
+/// is **execute**.
+pub fn phase_stage(name: &str) -> &'static str {
+    match name {
+        "parse"
+        | "compile_constraints"
+        | "decompose"
+        | "unfold"
+        | "graph_build"
+        | "plan"
+        | "plan_cache" => "prepare",
+        _ => "execute",
+    }
+}
+
+/// The plan-cache section of the report: what the request saw on lookup and
+/// the service-wide counters at report time. `Default` (all zero/false)
+/// describes a run that never consulted a cache — the one-shot pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct CacheObs {
+    /// Whether a plan cache was consulted at all.
+    pub enabled: bool,
+    /// Whether the request's first plan lookup hit.
+    pub hit: bool,
+    /// Whether this request promoted the plan to a deeper unfolding depth
+    /// (frontier-driven re-unfolding, §5.5).
+    pub promoted: bool,
+    /// Service-wide counters at report time.
+    pub hits: u64,
+    pub misses: u64,
+    pub promotions: u64,
+    pub evictions: u64,
+    /// Plans resident / capacity of the cache.
+    pub entries: usize,
+    pub capacity: usize,
+}
 
 /// One injected fault as recorded in the report: where it hit and how the
 /// retry/failover machinery resolved it.
@@ -268,6 +315,11 @@ pub struct RunReport {
     pub schema_version: u32,
     /// Wall-clock seconds of the whole pipeline run.
     pub total_secs: f64,
+    /// Seconds spent in argument-independent **prepare** phases (see
+    /// [`phase_stage`]) — the cost a plan-cache hit amortizes away.
+    pub prepare_secs: f64,
+    /// Seconds spent in argument-bound **execute** phases.
+    pub execute_secs: f64,
     /// The unfolding depth that sufficed.
     pub depth: usize,
     /// How many unfold→execute rounds the frontier loop took.
@@ -294,6 +346,9 @@ pub struct RunReport {
     /// Which scheduling mode ran and how the live schedule deviated from
     /// the static plan.
     pub scheduler: SchedulerObs,
+    /// What the plan cache saw for this request (default when the one-shot
+    /// pipeline ran without a cache).
+    pub cache: CacheObs,
 }
 
 /// Everything the report builder needs from the pipeline.
@@ -313,6 +368,8 @@ pub(crate) struct ReportInputs<'a> {
     pub fault_seed: Option<u64>,
     /// What the scheduler did during the final execution round.
     pub sched: &'a crate::exec::SchedLog,
+    /// Plan-cache observability for the request (default when no cache).
+    pub cache: CacheObs,
 }
 
 fn kind_tag(kind: &TaskKind) -> &'static str {
@@ -372,6 +429,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         resilience,
         fault_seed,
         sched,
+        cache,
     } = inputs;
 
     let shipped = shipped_bytes(graph, measured);
@@ -505,9 +563,22 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         deviations,
     };
 
+    let stage_secs = |stage: &str| {
+        phases
+            .samples()
+            .iter()
+            .filter(|p| phase_stage(&p.name) == stage)
+            .map(|p| p.secs)
+            .fold(0.0, |a, s| a + s)
+    };
+    let prepare_secs = stage_secs("prepare");
+    let execute_secs = stage_secs("execute");
+
     RunReport {
         schema_version: SCHEMA_VERSION,
         total_secs,
+        prepare_secs,
+        execute_secs,
         depth,
         unfold_rounds,
         parallel_exec,
@@ -523,6 +594,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         merges: merged.merges,
         resilience: resilience_obs,
         scheduler,
+        cache,
     }
 }
 
@@ -577,6 +649,11 @@ impl RunReport {
             },
         );
         self.total_secs += secs;
+        if phase_stage(name) == "prepare" {
+            self.prepare_secs += secs;
+        } else {
+            self.execute_secs += secs;
+        }
     }
 
     /// A copy with every wall-clock measurement zeroed, leaving only the
@@ -585,6 +662,8 @@ impl RunReport {
     pub fn redacted(&self) -> RunReport {
         let mut report = self.clone();
         report.total_secs = 0.0;
+        report.prepare_secs = 0.0;
+        report.execute_secs = 0.0;
         report.exec_wall_secs = 0.0;
         for phase in &mut report.phases {
             phase.secs = 0.0;
@@ -616,6 +695,8 @@ impl RunReport {
         Json::obj(vec![
             ("schema_version", Json::num(self.schema_version as f64)),
             ("total_secs", Json::num(self.total_secs)),
+            ("prepare_secs", Json::num(self.prepare_secs)),
+            ("execute_secs", Json::num(self.execute_secs)),
             ("depth", Json::num(self.depth as f64)),
             ("unfold_rounds", Json::num(self.unfold_rounds as f64)),
             ("parallel_exec", Json::Bool(self.parallel_exec)),
@@ -700,6 +781,20 @@ impl RunReport {
                                 .collect(),
                         ),
                     ),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(self.cache.enabled)),
+                    ("hit", Json::Bool(self.cache.hit)),
+                    ("promoted", Json::Bool(self.cache.promoted)),
+                    ("hits", Json::num(self.cache.hits as f64)),
+                    ("misses", Json::num(self.cache.misses as f64)),
+                    ("promotions", Json::num(self.cache.promotions as f64)),
+                    ("evictions", Json::num(self.cache.evictions as f64)),
+                    ("entries", Json::num(self.cache.entries as f64)),
+                    ("capacity", Json::num(self.cache.capacity as f64)),
                 ]),
             ),
             (
@@ -872,6 +967,8 @@ mod tests {
         let mut report = RunReport {
             schema_version: SCHEMA_VERSION,
             total_secs: 0.1,
+            prepare_secs: 0.1,
+            execute_secs: 0.0,
             depth: 1,
             unfold_rounds: 1,
             parallel_exec: false,
@@ -887,12 +984,16 @@ mod tests {
             merges: 0,
             resilience: ResilienceObs::default(),
             scheduler: SchedulerObs::default(),
+            cache: CacheObs::default(),
         };
         report.prepend_phase("parse", 0.05);
         assert_eq!(report.phases[0].name, "parse");
         assert!((report.phases[1].first_start_secs - 0.05).abs() < 1e-12);
         assert!((report.total_secs - 0.15).abs() < 1e-12);
         assert!((report.phase_secs_total() - 0.15).abs() < 1e-12);
+        // Parsing happens before the pipeline: it counts as prepare time.
+        assert!((report.prepare_secs - 0.15).abs() < 1e-12);
+        assert_eq!(report.execute_secs, 0.0);
     }
 
     #[test]
@@ -903,6 +1004,8 @@ mod tests {
         let mut report = RunReport {
             schema_version: SCHEMA_VERSION,
             total_secs: 0.0,
+            prepare_secs: 0.0,
+            execute_secs: 0.0,
             depth: 1,
             unfold_rounds: 1,
             parallel_exec: false,
@@ -918,6 +1021,7 @@ mod tests {
             merges: 0,
             resilience: ResilienceObs::default(),
             scheduler: SchedulerObs::default(),
+            cache: CacheObs::default(),
         };
         report.resilience.enabled = true;
         report.resilience.seed = u64::MAX;

@@ -8,24 +8,30 @@
 //! sources and intermediate tables are cached; if the recursion frontier is
 //! still producing data the AIG is unfolded deeper and re-run. *Tagging*:
 //! the cached relations become the final DTD-conforming document.
+//!
+//! Since the prepare/execute split ([`crate::plan`]) this module is the
+//! one-shot facade: [`run`] / [`run_with_report`] prepare a fresh plan and
+//! execute it once, with the frontier loop re-preparing deeper as needed.
+//! Long-lived callers should use [`crate::service::Mediator`], which caches
+//! prepared plans across requests.
 
-use crate::cost::{measured_costs, CostGraph};
 use crate::error::MediatorError;
-use crate::exec::{execute_graph, ExecOptions, ExecResult, Scheduling};
+use crate::exec::{ExecOptions, Scheduling};
 use crate::faults::{FaultConfig, FaultPlan, RetryPolicy};
-use crate::graph::{build_graph, source_histogram, GraphOptions, Occ, RelKey};
-use crate::merge::{merge, no_merge, MergeOutcome};
-use crate::obs::{build_report, Phases, ReportInputs, RunReport};
-use crate::parallel::execute_graph_parallel;
+use crate::graph::GraphOptions;
+use crate::obs::{CacheObs, Phases, RunReport};
+use crate::plan::{deepen, execute_prepared, prepare, ExecPolicy, ExecuteOutcome, PlanOptions};
 use crate::sim::NetworkModel;
-use crate::unfold::{unfold, CutOff};
+use crate::unfold::CutOff;
 use aig_core::spec::Aig;
-use aig_core::{compile_constraints, decompose_queries};
-use aig_relstore::{Catalog, SourceId, Value};
-use aig_xml::{validate, XmlTree};
-use std::collections::{BTreeMap, HashMap};
+use aig_relstore::{Catalog, Value};
+use aig_xml::XmlTree;
+use std::collections::BTreeMap;
 
-/// Options of a mediator run.
+/// Options of a mediator run: the compatibility facade over the split
+/// [`PlanOptions`] (argument-independent planning) and [`ExecPolicy`]
+/// (per-request execution). Construct with [`MediatorOptions::default`] and
+/// mutate fields, or chain [`MediatorOptions::builder`].
 #[derive(Debug, Clone)]
 pub struct MediatorOptions {
     /// Initial unfolding depth for recursive AIGs ("a user-supplied estimate
@@ -75,6 +81,155 @@ impl Default for MediatorOptions {
     }
 }
 
+impl MediatorOptions {
+    /// A chainable builder starting from the defaults.
+    pub fn builder() -> MediatorOptionsBuilder {
+        MediatorOptionsBuilder {
+            options: MediatorOptions::default(),
+        }
+    }
+
+    /// The argument-independent half: what the **Prepare** stage consumes
+    /// (and what identifies a cached plan).
+    pub fn plan_options(&self) -> PlanOptions {
+        PlanOptions {
+            unfold_depth: self.unfold_depth,
+            max_depth: self.max_depth,
+            cutoff: self.cutoff,
+            merging: self.merging,
+            graph: self.graph.clone(),
+        }
+    }
+
+    /// The per-request half: what the **Execute** stage consumes.
+    pub fn exec_policy(&self) -> ExecPolicy {
+        ExecPolicy {
+            check_guards: self.check_guards,
+            validate_output: self.validate_output,
+            parallel_exec: self.parallel_exec,
+            network: self.network.clone(),
+            faults: self.faults.clone(),
+            retry: self.retry.clone(),
+            scheduling: self.scheduling,
+        }
+    }
+
+    /// Reassembles the facade from its two halves.
+    pub fn from_parts(plan: PlanOptions, policy: ExecPolicy) -> MediatorOptions {
+        MediatorOptions {
+            unfold_depth: plan.unfold_depth,
+            max_depth: plan.max_depth,
+            cutoff: plan.cutoff,
+            merging: plan.merging,
+            graph: plan.graph,
+            check_guards: policy.check_guards,
+            validate_output: policy.validate_output,
+            parallel_exec: policy.parallel_exec,
+            network: policy.network,
+            faults: policy.faults,
+            retry: policy.retry,
+            scheduling: policy.scheduling,
+        }
+    }
+}
+
+impl From<&MediatorOptions> for PlanOptions {
+    fn from(options: &MediatorOptions) -> PlanOptions {
+        options.plan_options()
+    }
+}
+
+impl From<&MediatorOptions> for ExecPolicy {
+    fn from(options: &MediatorOptions) -> ExecPolicy {
+        options.exec_policy()
+    }
+}
+
+/// Chainable construction of [`MediatorOptions`]:
+///
+/// ```
+/// use aig_mediator::{CutOff, MediatorOptions, Scheduling};
+///
+/// let options = MediatorOptions::builder()
+///     .unfold_depth(1)
+///     .cutoff(CutOff::Frontier)
+///     .parallel_exec(true)
+///     .scheduling(Scheduling::Dynamic)
+///     .build();
+/// assert_eq!(options.unfold_depth, 1);
+/// assert!(options.parallel_exec);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MediatorOptionsBuilder {
+    options: MediatorOptions,
+}
+
+impl MediatorOptionsBuilder {
+    pub fn unfold_depth(mut self, depth: usize) -> Self {
+        self.options.unfold_depth = depth;
+        self
+    }
+
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.options.max_depth = depth;
+        self
+    }
+
+    pub fn cutoff(mut self, cutoff: CutOff) -> Self {
+        self.options.cutoff = cutoff;
+        self
+    }
+
+    pub fn merging(mut self, merging: bool) -> Self {
+        self.options.merging = merging;
+        self
+    }
+
+    pub fn check_guards(mut self, check: bool) -> Self {
+        self.options.check_guards = check;
+        self
+    }
+
+    pub fn validate_output(mut self, validate: bool) -> Self {
+        self.options.validate_output = validate;
+        self
+    }
+
+    pub fn parallel_exec(mut self, parallel: bool) -> Self {
+        self.options.parallel_exec = parallel;
+        self
+    }
+
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.options.network = network;
+        self
+    }
+
+    pub fn graph(mut self, graph: GraphOptions) -> Self {
+        self.options.graph = graph;
+        self
+    }
+
+    pub fn faults(mut self, faults: Option<FaultConfig>) -> Self {
+        self.options.faults = faults;
+        self
+    }
+
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.options.retry = retry;
+        self
+    }
+
+    pub fn scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.options.scheduling = scheduling;
+        self
+    }
+
+    pub fn build(self) -> MediatorOptions {
+        self.options
+    }
+}
+
 /// The result of a mediator run.
 #[derive(Debug)]
 pub struct MediatorRun {
@@ -98,15 +253,28 @@ pub struct MediatorRun {
     pub exec_secs: f64,
 }
 
+/// Denominator floor of [`MediatorRun::merging_speedup`]: response times
+/// below this are treated as "effectively zero" so a degenerate merged time
+/// cannot divide the ratio to infinity.
+const SPEEDUP_EPSILON_SECS: f64 = 1e-12;
+
 impl MediatorRun {
     /// The ratio the paper's Fig. 10 reports: evaluation time without query
     /// merging over evaluation time with it.
+    ///
+    /// Degenerate cases are explicit: when both times are effectively zero
+    /// (below [`SPEEDUP_EPSILON_SECS`]) there is nothing to speed up and
+    /// the ratio is 1.0; when only the merged time is zero the denominator
+    /// is clamped to the epsilon instead of silently reporting 1.0, so a
+    /// positive unmerged time yields the large-but-finite speedup it
+    /// actually represents.
     pub fn merging_speedup(&self) -> f64 {
-        if self.response_merged_secs > 0.0 {
-            self.response_unmerged_secs / self.response_merged_secs
-        } else {
-            1.0
+        if self.response_unmerged_secs < SPEEDUP_EPSILON_SECS
+            && self.response_merged_secs < SPEEDUP_EPSILON_SECS
+        {
+            return 1.0;
         }
+        self.response_unmerged_secs / self.response_merged_secs.max(SPEEDUP_EPSILON_SECS)
     }
 }
 
@@ -121,22 +289,13 @@ pub fn run(
     run_with_report(aig, catalog, args, options).map(|(run, _)| run)
 }
 
-/// Per-source sequences in topological order (dependency-safe input for the
-/// parallel executor when no schedule over raw task ids is available).
-fn topo_per_source(graph: &crate::graph::TaskGraph) -> HashMap<SourceId, Vec<usize>> {
-    let mut per_source: HashMap<SourceId, Vec<usize>> = HashMap::new();
-    for &id in &graph.topo {
-        per_source
-            .entry(graph.tasks[id].source)
-            .or_default()
-            .push(id);
-    }
-    per_source
-}
-
 /// [`run`], additionally producing the full observability record of the run:
 /// phase timers, per-task and per-source metrics, the merge decision log,
 /// the final plan ordering, and simulated vs. actual timings.
+///
+/// One-shot wrapper over the prepare/execute split: a fresh
+/// [`crate::plan::PreparedPlan`] is built, executed once, and deepened in
+/// place while the recursion frontier keeps producing data (§5.5).
 pub fn run_with_report(
     aig: &Aig,
     catalog: &Catalog,
@@ -144,161 +303,57 @@ pub fn run_with_report(
     options: &MediatorOptions,
 ) -> Result<(MediatorRun, RunReport), MediatorError> {
     let mut phases = Phases::new();
-    // -- Pre-processing ------------------------------------------------------
-    let compiled = phases.time("compile_constraints", || {
-        if aig.constraints.is_empty() {
-            Ok(aig.clone())
-        } else {
-            compile_constraints(aig)
-        }
-    })?;
-    let (specialized, _report) = phases.time("decompose", || decompose_queries(&compiled))?;
+    let plan_options = options.plan_options();
+    let policy = options.exec_policy();
 
-    // Bind the fault model once: outage draws and per-attempt decisions are
-    // functions of the seed, so every unfold round replays the same faults.
-    let fault_plan = match &options.faults {
+    // Derive the executor options once (not per unfold round); bind the
+    // fault model once so every round replays the same fault stream, and
+    // carry the evaluation-scale calibration from the plan-side options.
+    let mut exec_opts = ExecOptions::from(&policy);
+    exec_opts.eval_scale = plan_options.graph.eval_scale;
+    exec_opts.faults = match &policy.faults {
         Some(cfg) => Some(FaultPlan::new(cfg, catalog)?),
         None => None,
     };
 
-    let mut depth = options.unfold_depth.max(1);
+    let mut depth = plan_options.unfold_depth.max(1);
     let mut rounds = 0usize;
+    let mut current = None;
     loop {
         rounds += 1;
-        let unfolded = phases.time("unfold", || unfold(&specialized, depth, options.cutoff))?;
-        let graph = phases.time("graph_build", || {
-            build_graph(&unfolded.aig, catalog, &options.graph)
-        })?;
-        let exec_opts = ExecOptions {
-            check_guards: options.check_guards,
-            faults: fault_plan.clone(),
-            retry: options.retry.clone(),
-            network: options.network.clone(),
-            scheduling: options.scheduling,
-            eval_scale: options.graph.eval_scale,
-            pace: None,
+        let plan = match current.take() {
+            None => prepare(
+                aig,
+                catalog,
+                depth,
+                &plan_options,
+                &policy.network,
+                &mut phases,
+            )?,
+            // Frontier rounds reuse the compiled/decomposed AIG.
+            Some(prev) => deepen(&prev, catalog, depth, &mut phases)?,
         };
-        let exec: ExecResult = phases.time("execute", || {
-            if options.parallel_exec {
-                let per_source = topo_per_source(&graph);
-                execute_graph_parallel(
-                    &unfolded.aig,
-                    catalog,
-                    &graph,
-                    args,
-                    &exec_opts,
-                    &per_source,
-                )
-            } else {
-                execute_graph(&unfolded.aig, catalog, &graph, args, &exec_opts)
-            }
-        })?;
-
-        // Frontier check: if the deepest unfolded level still produced
-        // instances, the data recurses deeper than `depth` — unfold further
-        // (the paper's runtime re-unrolling, §5.5).
-        if options.cutoff == CutOff::Frontier && !unfolded.frontier.is_empty() {
-            let extend = phases.time("frontier_check", || -> Result<bool, MediatorError> {
-                for site in &unfolded.frontier {
-                    let Some(parent) = unfolded.aig.elem(&site.parent) else {
-                        continue;
-                    };
-                    // The frontier parent's base instances: non-empty means
-                    // the cut could have produced children.
-                    let occ = graph
-                        .bindings
-                        .iter()
-                        .find(|(_, b)| b.elem == parent)
-                        .map(|(occ, _)| occ.clone())
-                        .unwrap_or(Occ::mat(parent));
-                    let base = exec.store.get(&RelKey::Instances(occ.base))?;
-                    if !base.is_empty() {
-                        return Ok(true);
-                    }
-                }
-                Ok(false)
-            })?;
-            if extend {
-                if depth >= options.max_depth {
+        match execute_prepared(
+            &plan,
+            catalog,
+            args,
+            &policy,
+            &exec_opts,
+            &mut phases,
+            rounds,
+            CacheObs::default(),
+        )? {
+            ExecuteOutcome::Complete(done) => return Ok(*done),
+            ExecuteOutcome::FrontierExtend => {
+                if depth >= plan_options.max_depth {
                     return Err(MediatorError::RecursionBudget {
-                        max_depth: options.max_depth,
+                        max_depth: plan_options.max_depth,
                     });
                 }
-                depth = (depth * 2).min(options.max_depth);
-                continue;
+                depth = (depth * 2).min(plan_options.max_depth);
+                current = Some(plan);
             }
         }
-
-        // -- Tagging ----------------------------------------------------------
-        let tree = phases.time("tag", || {
-            crate::tagging::tag_document(&unfolded.aig, &graph, &exec.store)
-        })?;
-        if options.validate_output {
-            phases.time("validate", || {
-                validate(&tree, &aig.dtd)
-                    .map_err(|e| MediatorError::Internal(format!("output validation: {e}")))
-            })?;
-        }
-
-        // -- Response-time simulation (§5.2-5.4) -------------------------------
-        let (costs, cg) = phases.time("simulate", || {
-            let costs = measured_costs(
-                &graph,
-                &exec.measured,
-                options.graph.cost_model.per_query_overhead_secs,
-                options.graph.eval_scale,
-            );
-            let cg = CostGraph::from_task_graph(&graph, &costs).contract_passthrough();
-            (costs, cg)
-        });
-        let baseline = phases.time("schedule", || no_merge(&cg, &options.network));
-        let merged: MergeOutcome = phases.time("merge", || {
-            if options.merging {
-                merge(
-                    &cg,
-                    &options.network,
-                    options.graph.cost_model.per_query_overhead_secs,
-                )
-            } else {
-                baseline.clone()
-            }
-        });
-        let exec_secs: f64 = exec.measured.iter().map(|m| m.secs).sum();
-        let per_source = source_histogram(&graph, catalog);
-        let total_secs = phases.elapsed_secs();
-        let report = build_report(
-            ReportInputs {
-                graph: &graph,
-                catalog,
-                measured: &exec.measured,
-                costs: &costs,
-                baseline: &baseline,
-                merged: &merged,
-                net: &options.network,
-                depth,
-                unfold_rounds: rounds,
-                parallel_exec: options.parallel_exec,
-                resilience: &exec.resilience,
-                fault_seed: fault_plan.as_ref().map(|p| p.seed()),
-                sched: &exec.sched,
-            },
-            phases,
-            total_secs,
-        );
-        return Ok((
-            MediatorRun {
-                tree,
-                depth,
-                tasks: graph.len(),
-                source_queries: graph.source_query_count,
-                response_unmerged_secs: baseline.response_secs,
-                response_merged_secs: merged.response_secs,
-                merges: merged.merges,
-                per_source,
-                exec_secs,
-            },
-            report,
-        ));
     }
 }
 
@@ -359,8 +414,7 @@ mod tests {
     fn frontier_mode_extends_until_data_depth() {
         let aig = sigma0().unwrap();
         let catalog = mini_hospital_catalog().unwrap();
-        let mut options = opts();
-        options.unfold_depth = 1;
+        let options = MediatorOptions::builder().unfold_depth(1).build();
         let run = run(&aig, &catalog, &[("date", Value::str("d1"))], &options).unwrap();
         // Data depth is 3 (t1 -> t4 -> t5): depth 1 -> 2 -> 4.
         assert!(run.depth >= 3, "depth {}", run.depth);
@@ -372,9 +426,10 @@ mod tests {
     fn truncate_mode_stops_at_depth() {
         let aig = sigma0().unwrap();
         let catalog = mini_hospital_catalog().unwrap();
-        let mut options = opts();
-        options.unfold_depth = 1;
-        options.cutoff = CutOff::Truncate;
+        let options = MediatorOptions::builder()
+            .unfold_depth(1)
+            .cutoff(CutOff::Truncate)
+            .build();
         let run = run(&aig, &catalog, &[("date", Value::str("d1"))], &options);
         // Truncation drops t4/t5; the inclusion constraint *still holds*
         // (billing covers all), but t4/t5 items disappear because the bill
@@ -432,9 +487,7 @@ mod tests {
             "{err}"
         );
         // With guards disabled the run completes.
-        let mut options = opts();
-        options.check_guards = false;
-        options.validate_output = true;
+        let options = MediatorOptions::builder().check_guards(false).build();
         assert!(run_ok(&aig, &catalog, &options));
     }
 
@@ -449,5 +502,50 @@ mod tests {
         let run = run(&aig, &catalog, &[("date", Value::str("d1"))], &opts()).unwrap();
         assert!(run.merges > 0, "σ0 has same-source queries to merge");
         assert!(run.merging_speedup() >= 1.0);
+    }
+
+    fn run_with_times(unmerged: f64, merged: f64) -> MediatorRun {
+        MediatorRun {
+            tree: XmlTree::new("x"),
+            depth: 1,
+            tasks: 0,
+            source_queries: 0,
+            response_unmerged_secs: unmerged,
+            response_merged_secs: merged,
+            merges: 0,
+            per_source: BTreeMap::new(),
+            exec_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn merging_speedup_handles_degenerate_times() {
+        // Both zero: nothing was sped up.
+        assert_eq!(run_with_times(0.0, 0.0).merging_speedup(), 1.0);
+        // Positive unmerged with zero merged used to silently report 1.0;
+        // it now reports the (finite, epsilon-clamped) ratio it stands for.
+        let speedup = run_with_times(2.0, 0.0).merging_speedup();
+        assert!(speedup > 1e6, "speedup = {speedup}");
+        assert!(speedup.is_finite());
+        // The ordinary case is the plain ratio.
+        assert!((run_with_times(3.0, 1.5).merging_speedup() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn options_split_round_trips_through_the_facade() {
+        let options = MediatorOptions::builder()
+            .unfold_depth(2)
+            .max_depth(16)
+            .merging(false)
+            .validate_output(false)
+            .scheduling(Scheduling::Dynamic)
+            .build();
+        let rebuilt = MediatorOptions::from_parts(options.plan_options(), options.exec_policy());
+        assert_eq!(rebuilt.unfold_depth, 2);
+        assert_eq!(rebuilt.max_depth, 16);
+        assert!(!rebuilt.merging);
+        assert!(!rebuilt.validate_output);
+        assert_eq!(rebuilt.scheduling, Scheduling::Dynamic);
+        assert_eq!(rebuilt.cutoff, options.cutoff);
     }
 }

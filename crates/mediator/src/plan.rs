@@ -1,0 +1,500 @@
+//! The prepared-plan split of the mediator pipeline (paper §5.1, Fig. 5).
+//!
+//! **Prepare** performs every argument-independent stage — constraint
+//! compilation (§3.3), query decomposition (§3.4), recursion unfolding to a
+//! depth estimate (§5.5), task-graph construction, and estimate-based
+//! costing/scheduling/merging (§5.2–5.4) — and freezes the result into an
+//! immutable [`PreparedPlan`]. **Execute** binds the request arguments and
+//! runs the plan: source queries, frontier detection, tagging, validation,
+//! and the measured-cost response-time simulation. Splitting the two lets a
+//! service ([`crate::service::Mediator`]) amortize preparation across
+//! requests the way relational engines amortize prepared statements.
+
+use crate::cost::{estimated_costs, measured_costs, CostGraph};
+use crate::error::MediatorError;
+use crate::exec::{execute_graph, ExecOptions, ExecResult, Scheduling};
+use crate::faults::{FaultConfig, RetryPolicy};
+use crate::graph::{build_graph, source_histogram, GraphOptions, Occ, RelKey, TaskGraph};
+use crate::merge::{merge, no_merge, MergeOutcome};
+use crate::obs::{build_report, CacheObs, Phases, ReportInputs, RunReport};
+use crate::parallel::execute_graph_parallel;
+use crate::pipeline::MediatorRun;
+use crate::sim::NetworkModel;
+use crate::unfold::{unfold, CutOff, FrontierSite};
+use aig_core::spec::Aig;
+use aig_core::{compile_constraints, decompose_queries};
+use aig_relstore::{Catalog, SourceId, Value};
+use aig_xml::{validate, Dtd};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The argument-independent half of [`crate::pipeline::MediatorOptions`]:
+/// everything the **Prepare** stage consumes. Two requests with equal
+/// `PlanOptions` (and equal AIG and depth) can share one [`PreparedPlan`].
+#[derive(Debug, Clone)]
+pub struct PlanOptions {
+    /// Initial unfolding depth for recursive AIGs ("a user-supplied estimate
+    /// d of the maximum depth", §5.5).
+    pub unfold_depth: usize,
+    /// Upper bound for frontier-driven re-unfolding.
+    pub max_depth: usize,
+    /// Truncate at the depth (the paper's §6 setup) or detect and extend.
+    pub cutoff: CutOff,
+    /// Whether query merging (§5.4) is applied when reporting response time.
+    pub merging: bool,
+    pub graph: GraphOptions,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            unfold_depth: 3,
+            max_depth: 64,
+            cutoff: CutOff::Frontier,
+            merging: true,
+            graph: GraphOptions::default(),
+        }
+    }
+}
+
+/// The per-request half of [`crate::pipeline::MediatorOptions`]: everything
+/// the **Execute** stage consumes. A change of policy never invalidates a
+/// cached plan — the same [`PreparedPlan`] serves strict and lenient
+/// requests alike.
+#[derive(Debug, Clone)]
+pub struct ExecPolicy {
+    /// Whether compiled-constraint guards abort the run.
+    pub check_guards: bool,
+    /// Whether the output is validated against the DTD (sanity check).
+    pub validate_output: bool,
+    /// Execute with the per-source worker threads of [`crate::parallel`]
+    /// instead of the sequential executor.
+    pub parallel_exec: bool,
+    pub network: NetworkModel,
+    /// Deterministic fault injection for source tasks (None = no faults).
+    pub faults: Option<FaultConfig>,
+    /// Retry/backoff/timeout policy when faults are injected.
+    pub retry: RetryPolicy,
+    /// Static (planned sequences) or dynamic (live ready-queue) scheduling
+    /// in the parallel executor; ignored by the sequential executor.
+    pub scheduling: Scheduling,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            check_guards: true,
+            validate_output: true,
+            parallel_exec: false,
+            network: NetworkModel::default(),
+            faults: None,
+            retry: RetryPolicy::default(),
+            scheduling: Scheduling::default(),
+        }
+    }
+}
+
+/// Derives the executor options from a policy once per run, instead of
+/// hand-copying fields at every unfold round. The fault plan (which must be
+/// bound to a catalog) and the evaluation-scale calibration (which lives
+/// with the plan-side [`GraphOptions`]) are filled in by the caller.
+impl From<&ExecPolicy> for ExecOptions {
+    fn from(policy: &ExecPolicy) -> ExecOptions {
+        ExecOptions {
+            check_guards: policy.check_guards,
+            faults: None,
+            retry: policy.retry.clone(),
+            network: policy.network.clone(),
+            scheduling: policy.scheduling,
+            eval_scale: 1.0,
+            pace: None,
+        }
+    }
+}
+
+/// An immutable, argument-independent evaluation plan: the unfolded AIG,
+/// its task graph, the per-source execution sequences, and the
+/// estimate-based schedule/merge outcome. Built once by [`prepare`], shared
+/// across requests behind an `Arc`, and executed any number of times with
+/// different argument bindings by [`execute_prepared`].
+#[derive(Debug)]
+pub struct PreparedPlan {
+    fingerprint: u64,
+    /// The unfolding depth the plan was prepared at.
+    pub depth: usize,
+    /// The plan-side options the plan was prepared under.
+    pub options: PlanOptions,
+    /// Network model the estimate-based schedule was computed under.
+    pub network: NetworkModel,
+    /// The compiled, decomposed (but not yet unfolded) AIG — kept so
+    /// [`deepen`] can re-unfold without repeating compilation.
+    specialized: Arc<Aig>,
+    /// The DTD of the *source* AIG, used to validate execution output.
+    dtd: Dtd,
+    /// The unfolded, specialized AIG the task graph was built from.
+    pub aig: Aig,
+    /// Cut-off sites of the unfolding (empty when nothing recursed deeper).
+    pub frontier: Vec<FrontierSite>,
+    pub graph: TaskGraph,
+    /// Per-source task sequences in topological order — the static input of
+    /// the parallel executor.
+    pub per_source: HashMap<SourceId, Vec<usize>>,
+    /// Estimate-based response time without merging (§5.2–5.3).
+    pub est_baseline: MergeOutcome,
+    /// Estimate-based response time of the final plan (merged when
+    /// `options.merging`; equals the baseline otherwise, §5.4).
+    pub est_merged: MergeOutcome,
+    /// Wall-clock seconds preparation took (the cost a cache hit saves).
+    pub prepare_secs: f64,
+}
+
+impl PreparedPlan {
+    /// The structural fingerprint of the source AIG (see
+    /// [`Aig::fingerprint`]) — the cache-key component identifying *what*
+    /// the plan evaluates.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Estimate-based response time of the final (possibly merged) plan.
+    pub fn predicted_response_secs(&self) -> f64 {
+        self.est_merged.response_secs
+    }
+
+    /// Estimate-based response time without merging.
+    pub fn predicted_unmerged_secs(&self) -> f64 {
+        self.est_baseline.response_secs
+    }
+
+    /// Pair merges the estimate-based optimizer applied.
+    pub fn predicted_merges(&self) -> usize {
+        self.est_merged.merges
+    }
+}
+
+/// Per-source sequences in topological order (dependency-safe input for the
+/// parallel executor when no schedule over raw task ids is available).
+pub fn topo_per_source(graph: &TaskGraph) -> HashMap<SourceId, Vec<usize>> {
+    let mut per_source: HashMap<SourceId, Vec<usize>> = HashMap::new();
+    for &id in &graph.topo {
+        per_source
+            .entry(graph.tasks[id].source)
+            .or_default()
+            .push(id);
+    }
+    per_source
+}
+
+/// The **Prepare** stage: compiles constraints into guards, decomposes
+/// multi-source queries, unfolds recursion to `depth`, builds the task
+/// graph, and computes the estimate-based schedule and merge. The phases
+/// are charged to `phases` under their pipeline names
+/// (`compile_constraints`, `decompose`, `unfold`, `graph_build`, `plan`).
+pub fn prepare(
+    aig: &Aig,
+    catalog: &Catalog,
+    depth: usize,
+    options: &PlanOptions,
+    net: &NetworkModel,
+    phases: &mut Phases,
+) -> Result<PreparedPlan, MediatorError> {
+    let start = Instant::now();
+    let compiled = phases.time("compile_constraints", || {
+        if aig.constraints.is_empty() {
+            Ok(aig.clone())
+        } else {
+            compile_constraints(aig)
+        }
+    })?;
+    let (specialized, _report) = phases.time("decompose", || decompose_queries(&compiled))?;
+    prepare_unfolded(
+        aig.fingerprint(),
+        Arc::new(specialized),
+        aig.dtd.clone(),
+        catalog,
+        depth,
+        options,
+        net,
+        phases,
+        start,
+    )
+}
+
+/// Re-unfolds an existing plan to a greater depth, reusing its compiled and
+/// decomposed AIG — the frontier-promotion path of the plan cache (§5.5):
+/// only `unfold`, `graph_build`, and `plan` run again.
+pub fn deepen(
+    plan: &PreparedPlan,
+    catalog: &Catalog,
+    depth: usize,
+    phases: &mut Phases,
+) -> Result<PreparedPlan, MediatorError> {
+    prepare_unfolded(
+        plan.fingerprint,
+        plan.specialized.clone(),
+        plan.dtd.clone(),
+        catalog,
+        depth,
+        &plan.options,
+        &plan.network,
+        phases,
+        Instant::now(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn prepare_unfolded(
+    fingerprint: u64,
+    specialized: Arc<Aig>,
+    dtd: Dtd,
+    catalog: &Catalog,
+    depth: usize,
+    options: &PlanOptions,
+    net: &NetworkModel,
+    phases: &mut Phases,
+    start: Instant,
+) -> Result<PreparedPlan, MediatorError> {
+    let depth = depth.max(1);
+    let unfolded = phases.time("unfold", || unfold(&specialized, depth, options.cutoff))?;
+    let graph = phases.time("graph_build", || {
+        build_graph(&unfolded.aig, catalog, &options.graph)
+    })?;
+    let (est_baseline, est_merged) = phases.time("plan", || {
+        let costs = estimated_costs(&graph);
+        let cg = CostGraph::from_task_graph(&graph, &costs).contract_passthrough();
+        let baseline = no_merge(&cg, net);
+        let merged = if options.merging {
+            merge(&cg, net, options.graph.cost_model.per_query_overhead_secs)
+        } else {
+            baseline.clone()
+        };
+        (baseline, merged)
+    });
+    let per_source = topo_per_source(&graph);
+    Ok(PreparedPlan {
+        fingerprint,
+        depth,
+        options: options.clone(),
+        network: net.clone(),
+        specialized,
+        dtd,
+        aig: unfolded.aig,
+        frontier: unfolded.frontier,
+        graph,
+        per_source,
+        est_baseline,
+        est_merged,
+        prepare_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// What one execution of a prepared plan produced.
+pub enum ExecuteOutcome {
+    /// The run finished; the document, metrics and report are final.
+    Complete(Box<(MediatorRun, RunReport)>),
+    /// The recursion frontier is still producing data: the plan's depth is
+    /// insufficient and the caller must re-prepare deeper (the paper's
+    /// runtime re-unrolling, §5.5 — the plan cache's promotion path).
+    FrontierExtend,
+}
+
+/// The **Execute** stage: binds `args`, runs the plan's task graph through
+/// the sequential or parallel executor, checks the recursion frontier, tags
+/// the document, validates it, and runs the measured-cost response-time
+/// simulation. `exec_opts` should be derived once per run via
+/// [`From<&ExecPolicy>`] (with the fault plan bound and `eval_scale`
+/// copied from the plan-side graph options). `rounds` counts the
+/// prepare/execute rounds of the enclosing request; `cache` is the plan
+/// cache's observability snapshot (default when no cache is involved).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_prepared(
+    plan: &PreparedPlan,
+    catalog: &Catalog,
+    args: &[(&str, Value)],
+    policy: &ExecPolicy,
+    exec_opts: &ExecOptions,
+    phases: &mut Phases,
+    rounds: usize,
+    cache: CacheObs,
+) -> Result<ExecuteOutcome, MediatorError> {
+    let exec: ExecResult = phases.time("execute", || {
+        if policy.parallel_exec {
+            execute_graph_parallel(
+                &plan.aig,
+                catalog,
+                &plan.graph,
+                args,
+                exec_opts,
+                &plan.per_source,
+            )
+        } else {
+            execute_graph(&plan.aig, catalog, &plan.graph, args, exec_opts)
+        }
+    })?;
+
+    // Frontier check: if the deepest unfolded level still produced
+    // instances, the data recurses deeper than the plan's depth — the
+    // caller must prepare a deeper plan (§5.5).
+    if plan.options.cutoff == CutOff::Frontier && !plan.frontier.is_empty() {
+        let extend = phases.time("frontier_check", || -> Result<bool, MediatorError> {
+            for site in &plan.frontier {
+                let Some(parent) = plan.aig.elem(&site.parent) else {
+                    continue;
+                };
+                // The frontier parent's base instances: non-empty means
+                // the cut could have produced children.
+                let occ = plan
+                    .graph
+                    .bindings
+                    .iter()
+                    .find(|(_, b)| b.elem == parent)
+                    .map(|(occ, _)| occ.clone())
+                    .unwrap_or(Occ::mat(parent));
+                let base = exec.store.get(&RelKey::Instances(occ.base))?;
+                if !base.is_empty() {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        })?;
+        if extend {
+            return Ok(ExecuteOutcome::FrontierExtend);
+        }
+    }
+
+    // -- Tagging -------------------------------------------------------------
+    let tree = phases.time("tag", || {
+        crate::tagging::tag_document(&plan.aig, &plan.graph, &exec.store)
+    })?;
+    if policy.validate_output {
+        phases.time("validate", || {
+            validate(&tree, &plan.dtd)
+                .map_err(|e| MediatorError::Internal(format!("output validation: {e}")))
+        })?;
+    }
+
+    // -- Response-time simulation (§5.2-5.4) ---------------------------------
+    let (costs, cg) = phases.time("simulate", || {
+        let costs = measured_costs(
+            &plan.graph,
+            &exec.measured,
+            plan.options.graph.cost_model.per_query_overhead_secs,
+            plan.options.graph.eval_scale,
+        );
+        let cg = CostGraph::from_task_graph(&plan.graph, &costs).contract_passthrough();
+        (costs, cg)
+    });
+    let baseline = phases.time("schedule", || no_merge(&cg, &policy.network));
+    let merged: MergeOutcome = phases.time("merge", || {
+        if plan.options.merging {
+            merge(
+                &cg,
+                &policy.network,
+                plan.options.graph.cost_model.per_query_overhead_secs,
+            )
+        } else {
+            baseline.clone()
+        }
+    });
+    let exec_secs: f64 = exec.measured.iter().map(|m| m.secs).sum();
+    let per_source = source_histogram(&plan.graph, catalog);
+    let total_secs = phases.elapsed_secs();
+    let report = build_report(
+        ReportInputs {
+            graph: &plan.graph,
+            catalog,
+            measured: &exec.measured,
+            costs: &costs,
+            baseline: &baseline,
+            merged: &merged,
+            net: &policy.network,
+            depth: plan.depth,
+            unfold_rounds: rounds,
+            parallel_exec: policy.parallel_exec,
+            resilience: &exec.resilience,
+            fault_seed: exec_opts.faults.as_ref().map(|p| p.seed()),
+            sched: &exec.sched,
+            cache,
+        },
+        std::mem::take(phases),
+        total_secs,
+    );
+    let run = MediatorRun {
+        tree,
+        depth: plan.depth,
+        tasks: plan.graph.len(),
+        source_queries: plan.graph.source_query_count,
+        response_unmerged_secs: baseline.response_secs,
+        response_merged_secs: merged.response_secs,
+        merges: merged.merges,
+        per_source,
+        exec_secs,
+    };
+    Ok(ExecuteOutcome::Complete(Box::new((run, report))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig_core::paper::{mini_hospital_catalog, sigma0};
+
+    #[test]
+    fn prepare_is_argument_independent_and_reusable() {
+        let aig = sigma0().unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        let options = PlanOptions::default();
+        let net = NetworkModel::default();
+        let mut phases = Phases::new();
+        let plan = prepare(&aig, &catalog, 3, &options, &net, &mut phases).unwrap();
+        assert_eq!(plan.depth, 3);
+        assert_eq!(plan.fingerprint(), aig.fingerprint());
+        assert!(plan.graph.len() > 10);
+        assert!(plan.predicted_response_secs() > 0.0);
+        assert!(plan.predicted_response_secs() <= plan.predicted_unmerged_secs());
+        // Prepare-stage phases were charged; no execute-stage phase ran.
+        let names: Vec<&str> = phases.samples().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "compile_constraints",
+                "decompose",
+                "unfold",
+                "graph_build",
+                "plan"
+            ]
+        );
+    }
+
+    #[test]
+    fn deepen_reuses_the_specialized_aig() {
+        let aig = sigma0().unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        let options = PlanOptions {
+            unfold_depth: 1,
+            ..PlanOptions::default()
+        };
+        let net = NetworkModel::default();
+        let mut phases = Phases::new();
+        let shallow = prepare(&aig, &catalog, 1, &options, &net, &mut phases).unwrap();
+        let mut deepen_phases = Phases::new();
+        let deep = deepen(&shallow, &catalog, 2, &mut deepen_phases).unwrap();
+        assert_eq!(deep.depth, 2);
+        assert_eq!(deep.fingerprint(), shallow.fingerprint());
+        assert!(deep.graph.len() > shallow.graph.len());
+        // Deepening never recompiles or re-decomposes.
+        let names: Vec<&str> = deepen_phases
+            .samples()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(names, ["unfold", "graph_build", "plan"]);
+    }
+
+    #[test]
+    fn identical_aigs_built_separately_share_a_fingerprint() {
+        let a = sigma0().unwrap();
+        let b = sigma0().unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -1,0 +1,513 @@
+//! The mediator as a long-lived service: a [`Mediator`] owns the source
+//! [`Catalog`], a bounded LRU cache of [`PreparedPlan`]s keyed by
+//! (AIG fingerprint, unfolding depth, plan options), and a concurrent
+//! request driver. One-shot callers pay the full prepare pipeline on every
+//! evaluation; the service pays it once per (AIG, depth) and serves every
+//! further request from the shared `Arc<PreparedPlan>`.
+//!
+//! Frontier-driven re-unfolding (§5.5) becomes the cache's *promotion*
+//! path: when a depth-d plan's frontier still produces data, the request
+//! deepens the plan to depth 2d, caches it, and records a depth hint so
+//! later requests for the same AIG skip the shallow plan entirely.
+
+use crate::error::MediatorError;
+use crate::exec::ExecOptions;
+use crate::faults::FaultPlan;
+use crate::obs::{CacheObs, Phases, RunReport};
+use crate::pipeline::{MediatorOptions, MediatorRun};
+use crate::plan::{ExecPolicy, ExecuteOutcome, PlanOptions, PreparedPlan};
+use aig_core::spec::Aig;
+use aig_relstore::{Catalog, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Default number of prepared plans the cache retains.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 16;
+
+/// Cache key of one prepared plan: *what* is evaluated (the structural AIG
+/// fingerprint), *how deep* it was unfolded, and *under which* plan-side
+/// options (graph/merge settings, hashed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    aig: u64,
+    depth: usize,
+    opts: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    plan: Arc<PreparedPlan>,
+    /// Last-use stamp for LRU eviction.
+    stamp: u64,
+}
+
+/// Bounded LRU map of prepared plans plus the depth-hint table and the
+/// service-wide counters surfaced in reports and [`CacheStats`].
+#[derive(Debug)]
+struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<PlanKey, CacheEntry>,
+    /// (aig fingerprint, opts fingerprint) → deepest promoted depth, so
+    /// requests after a frontier promotion start deep enough immediately.
+    hints: HashMap<(u64, u64), usize>,
+    hits: u64,
+    misses: u64,
+    promotions: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+            hints: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            promotions: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<PreparedPlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|e| {
+            e.stamp = tick;
+            e.plan.clone()
+        })
+    }
+
+    fn insert(&mut self, key: PlanKey, plan: Arc<PreparedPlan>) {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // Evict the least-recently-used entry.
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                plan,
+                stamp: self.tick,
+            },
+        );
+    }
+}
+
+/// Snapshot of the plan cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Frontier-driven depth promotions (§5.5).
+    pub promotions: u64,
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub entries: usize,
+    pub capacity: usize,
+}
+
+/// A long-lived mediator service: catalog + plan cache + request driver.
+///
+/// ```
+/// use aig_core::paper::{mini_hospital_catalog, sigma0};
+/// use aig_mediator::{Mediator, MediatorOptions};
+/// use aig_relstore::Value;
+///
+/// let aig = sigma0().unwrap();
+/// let catalog = mini_hospital_catalog().unwrap();
+/// let options = MediatorOptions::builder().unfold_depth(4).build();
+/// let mediator = Mediator::new(catalog, &options).unwrap();
+///
+/// let (_, report) = mediator.request(&aig, &[("date", Value::str("d1"))]).unwrap();
+/// assert!(!report.cache.hit); // cold: the plan was prepared
+/// let (_, report) = mediator.request(&aig, &[("date", Value::str("d2"))]).unwrap();
+/// assert!(report.cache.hit); // warm: served from the plan cache
+/// assert_eq!(mediator.cache_stats().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct Mediator {
+    catalog: Catalog,
+    plan_options: PlanOptions,
+    policy: ExecPolicy,
+    /// Fingerprint of the plan-side options, part of every cache key.
+    opts_fp: u64,
+    /// Executor options derived once from the policy, with the fault plan
+    /// bound to the catalog at construction (every request replays the same
+    /// deterministic fault stream) and the eval-scale calibration applied.
+    exec_opts: ExecOptions,
+    cache: Mutex<PlanCache>,
+}
+
+/// FNV-1a over the plan-side options that determine a plan's shape. The
+/// unfolding depth is part of the cache key itself, not of this hash.
+fn options_fingerprint(options: &PlanOptions) -> u64 {
+    let rendered = format!(
+        "{:?}|{}|{:?}",
+        options.cutoff, options.merging, options.graph
+    );
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in rendered.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl Mediator {
+    /// A service with the default plan-cache capacity
+    /// ([`DEFAULT_PLAN_CACHE_CAPACITY`]).
+    pub fn new(catalog: Catalog, options: &MediatorOptions) -> Result<Mediator, MediatorError> {
+        Mediator::with_cache_capacity(catalog, options, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// A service retaining at most `capacity` prepared plans (minimum 1).
+    pub fn with_cache_capacity(
+        catalog: Catalog,
+        options: &MediatorOptions,
+        capacity: usize,
+    ) -> Result<Mediator, MediatorError> {
+        let plan_options = options.plan_options();
+        let policy = options.exec_policy();
+        let mut exec_opts = ExecOptions::from(&policy);
+        exec_opts.eval_scale = plan_options.graph.eval_scale;
+        exec_opts.faults = match &policy.faults {
+            Some(cfg) => Some(FaultPlan::new(cfg, &catalog)?),
+            None => None,
+        };
+        let opts_fp = options_fingerprint(&plan_options);
+        Ok(Mediator {
+            catalog,
+            plan_options,
+            policy,
+            opts_fp,
+            exec_opts,
+            cache: Mutex::new(PlanCache::new(capacity)),
+        })
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn plan_options(&self) -> &PlanOptions {
+        &self.plan_options
+    }
+
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
+    }
+
+    /// Snapshot of the plan cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.lock();
+        CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            promotions: cache.promotions,
+            evictions: cache.evictions,
+            entries: cache.entries.len(),
+            capacity: cache.capacity,
+        }
+    }
+
+    /// Warms the cache for `aig` without executing anything: prepares (or
+    /// fetches) the plan at the effective starting depth and returns it.
+    pub fn prepare(&self, aig: &Aig) -> Result<Arc<PreparedPlan>, MediatorError> {
+        let mut phases = Phases::new();
+        let fp = aig.fingerprint();
+        let depth = self.starting_depth(fp);
+        let (plan, _) = self.lookup_or_prepare(aig, fp, depth, None, &mut phases)?;
+        Ok(plan)
+    }
+
+    /// Evaluates one request: fetches the plan from the cache (preparing on
+    /// a miss), executes it with the bound arguments, and — when the
+    /// recursion frontier still produces data — promotes the plan to twice
+    /// the depth and retries, updating the cache and the depth hint so
+    /// later requests start deep (§5.5).
+    pub fn request(
+        &self,
+        aig: &Aig,
+        args: &[(&str, Value)],
+    ) -> Result<(MediatorRun, RunReport), MediatorError> {
+        let mut phases = Phases::new();
+        let fp = phases.time("plan_cache", || aig.fingerprint());
+        let mut depth = self.starting_depth(fp);
+        let mut rounds = 0usize;
+        let mut first_lookup_hit: Option<bool> = None;
+        let mut promoted = false;
+        let mut prev: Option<Arc<PreparedPlan>> = None;
+        loop {
+            rounds += 1;
+            let (plan, hit) = self.lookup_or_prepare(aig, fp, depth, prev.take(), &mut phases)?;
+            if first_lookup_hit.is_none() {
+                first_lookup_hit = Some(hit);
+            }
+            let cache_obs = self.cache_obs(first_lookup_hit == Some(true), promoted);
+            match crate::plan::execute_prepared(
+                &plan,
+                &self.catalog,
+                args,
+                &self.policy,
+                &self.exec_opts,
+                &mut phases,
+                rounds,
+                cache_obs,
+            )? {
+                ExecuteOutcome::Complete(done) => return Ok(*done),
+                ExecuteOutcome::FrontierExtend => {
+                    if plan.depth >= self.plan_options.max_depth {
+                        return Err(MediatorError::RecursionBudget {
+                            max_depth: self.plan_options.max_depth,
+                        });
+                    }
+                    depth = (plan.depth * 2).min(self.plan_options.max_depth);
+                    promoted = true;
+                    prev = Some(plan);
+                }
+            }
+        }
+    }
+
+    /// Evaluates a batch of argument bindings for one AIG concurrently, one
+    /// scoped thread per request, all sharing the cached plan. Results come
+    /// back in request order.
+    #[allow(clippy::type_complexity)]
+    pub fn run_many(
+        &self,
+        aig: &Aig,
+        requests: &[Vec<(String, Value)>],
+    ) -> Vec<Result<(MediatorRun, RunReport), MediatorError>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .iter()
+                .map(|request| {
+                    scope.spawn(move || {
+                        let args: Vec<(&str, Value)> = request
+                            .iter()
+                            .map(|(name, value)| (name.as_str(), value.clone()))
+                            .collect();
+                        self.request(aig, &args)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("request worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Like [`Mediator::run_many`] for a heterogeneous stream: each request
+    /// names its own AIG, so a batch can exercise several cached plans.
+    #[allow(clippy::type_complexity)]
+    pub fn serve(
+        &self,
+        requests: &[(&Aig, Vec<(String, Value)>)],
+    ) -> Vec<Result<(MediatorRun, RunReport), MediatorError>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .iter()
+                .map(|(aig, request)| {
+                    scope.spawn(move || {
+                        let args: Vec<(&str, Value)> = request
+                            .iter()
+                            .map(|(name, value)| (name.as_str(), value.clone()))
+                            .collect();
+                        self.request(aig, &args)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("request worker panicked"))
+                .collect()
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCache> {
+        self.cache.lock().expect("plan cache lock poisoned")
+    }
+
+    /// The depth a request for `fp` should start at: the configured
+    /// unfolding depth, or the promoted depth if a frontier extension
+    /// already taught us the data recurses deeper.
+    fn starting_depth(&self, fp: u64) -> usize {
+        let configured = self.plan_options.unfold_depth.max(1);
+        let cache = self.lock();
+        cache
+            .hints
+            .get(&(fp, self.opts_fp))
+            .copied()
+            .unwrap_or(0)
+            .max(configured)
+            .min(self.plan_options.max_depth)
+    }
+
+    /// Fetches the plan for (fp, depth) or prepares it on a miss. The
+    /// preparation happens *while holding the cache lock*: a thundering
+    /// herd of identical cold requests serializes into one miss and N-1
+    /// hits instead of N redundant prepares. `promoted_from` carries the
+    /// shallower plan of a frontier extension — deepening reuses its
+    /// compiled/decomposed AIG and records the depth hint.
+    fn lookup_or_prepare(
+        &self,
+        aig: &Aig,
+        fp: u64,
+        depth: usize,
+        promoted_from: Option<Arc<PreparedPlan>>,
+        phases: &mut Phases,
+    ) -> Result<(Arc<PreparedPlan>, bool), MediatorError> {
+        let key = PlanKey {
+            aig: fp,
+            depth,
+            opts: self.opts_fp,
+        };
+        let mut cache = self.lock();
+        if promoted_from.is_some() {
+            cache.promotions += 1;
+            let hint = cache.hints.entry((fp, self.opts_fp)).or_insert(0);
+            *hint = (*hint).max(depth);
+        }
+        if let Some(plan) = cache.get(&key) {
+            cache.hits += 1;
+            return Ok((plan, true));
+        }
+        cache.misses += 1;
+        let plan = Arc::new(match promoted_from {
+            Some(prev) => crate::plan::deepen(&prev, &self.catalog, depth, phases)?,
+            None => crate::plan::prepare(
+                aig,
+                &self.catalog,
+                depth,
+                &self.plan_options,
+                &self.policy.network,
+                phases,
+            )?,
+        });
+        cache.insert(key, plan.clone());
+        Ok((plan, false))
+    }
+
+    fn cache_obs(&self, hit: bool, promoted: bool) -> CacheObs {
+        let cache = self.lock();
+        CacheObs {
+            enabled: true,
+            hit,
+            promoted,
+            hits: cache.hits,
+            misses: cache.misses,
+            promotions: cache.promotions,
+            evictions: cache.evictions,
+            entries: cache.entries.len(),
+            capacity: cache.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig_core::paper::{mini_hospital_catalog, sigma0};
+
+    #[test]
+    fn second_request_hits_the_plan_cache() {
+        let aig = sigma0().unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        // Depth 4 exceeds the data depth (3), so no frontier extension
+        // muddies the counters: exactly one plan is ever prepared.
+        let options = MediatorOptions::builder().unfold_depth(4).build();
+        let mediator = Mediator::new(catalog, &options).unwrap();
+        let (_, cold) = mediator
+            .request(&aig, &[("date", Value::str("d1"))])
+            .unwrap();
+        let (_, warm) = mediator
+            .request(&aig, &[("date", Value::str("d2"))])
+            .unwrap();
+        assert!(!cold.cache.hit);
+        assert!(warm.cache.hit);
+        assert!(cold.cache.enabled && warm.cache.enabled);
+        assert_eq!(warm.cache.misses, 1);
+        assert!(warm.cache.hits >= 1);
+        assert_eq!(warm.unfold_rounds, 1);
+        let stats = mediator.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn frontier_promotion_updates_hint_and_serves_later_requests_deep() {
+        let aig = sigma0().unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        let options = MediatorOptions::builder().unfold_depth(1).build();
+        let mediator = Mediator::new(catalog, &options).unwrap();
+
+        // Cold request: depth 1 hits the frontier twice (data depth 3),
+        // promoting 1 -> 2 -> 4.
+        let (run, report) = mediator
+            .request(&aig, &[("date", Value::str("d1"))])
+            .unwrap();
+        assert_eq!(run.depth, 4);
+        assert_eq!(report.unfold_rounds, 3);
+        assert!(report.cache.promoted);
+        assert_eq!(mediator.cache_stats().promotions, 2);
+
+        // Warm request: the depth hint starts it at depth 4 directly — one
+        // round, served from the promoted plan.
+        let (run, report) = mediator
+            .request(&aig, &[("date", Value::str("d1"))])
+            .unwrap();
+        assert_eq!(run.depth, 4);
+        assert_eq!(report.unfold_rounds, 1);
+        assert!(report.cache.hit);
+        assert!(!report.cache.promoted);
+    }
+
+    #[test]
+    fn lru_cache_evicts_at_capacity() {
+        let aig = sigma0().unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        let options = MediatorOptions::builder().unfold_depth(1).build();
+        // Capacity 1: each promotion evicts the shallower plan.
+        let mediator = Mediator::with_cache_capacity(catalog, &options, 1).unwrap();
+        mediator
+            .request(&aig, &[("date", Value::str("d1"))])
+            .unwrap();
+        let stats = mediator.cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.capacity, 1);
+        // Depth 1, 2 and 4 plans were prepared; only one fits.
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 2);
+        // The resident plan is the deep one: the next request hits.
+        let (_, report) = mediator
+            .request(&aig, &[("date", Value::str("d1"))])
+            .unwrap();
+        assert!(report.cache.hit);
+        assert_eq!(mediator.cache_stats().evictions, 2);
+    }
+
+    #[test]
+    fn warm_up_prepare_makes_the_first_request_hit() {
+        let aig = sigma0().unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        let mediator = Mediator::new(catalog, &MediatorOptions::default()).unwrap();
+        let plan = mediator.prepare(&aig).unwrap();
+        assert_eq!(plan.depth, 3);
+        let (_, report) = mediator
+            .request(&aig, &[("date", Value::str("d1"))])
+            .unwrap();
+        assert!(report.cache.hit);
+    }
+}

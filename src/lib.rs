@@ -68,7 +68,8 @@ pub mod prelude {
     };
     pub use aig_mediator::unfold::CutOff;
     pub use aig_mediator::{
-        render_report, FaultConfig, Json, MediatorError, NetworkModel, RetryPolicy, RunReport,
+        prepare, render_report, CacheStats, ExecPolicy, FaultConfig, Json, Mediator, MediatorError,
+        MediatorOptionsBuilder, NetworkModel, PlanOptions, PreparedPlan, RetryPolicy, RunReport,
         Scheduling,
     };
     pub use aig_relstore::{Catalog, Database, Relation, Table, TableSchema, Value};

@@ -3,8 +3,8 @@
 //! Usage: `check_perf_regression <baseline_dir> <current_dir>`
 //!
 //! Compares freshly regenerated `BENCH_fig10.json`,
-//! `BENCH_ablation_dynamic_live.json` and `BENCH_ablation_plan_cache.json`
-//! against the committed baselines. The
+//! `BENCH_ablation_dynamic_live.json`, `BENCH_ablation_plan_cache.json` and
+//! `BENCH_shipcut.json` against the committed baselines. The
 //! simulated quantities (merging ratios, predicted speedups) are
 //! deterministic and get a tight relative band; wall-clock quantities
 //! (phase timers, live speedups) vary with the machine, so they only fail
@@ -189,6 +189,52 @@ fn check_plan_cache(gate: &mut Gate, baseline: &Json, current: &Json) {
     );
 }
 
+fn check_shipcut(gate: &mut Gate, baseline: &Json, current: &Json) {
+    // The two headline claims hold on any machine: pruning strictly reduces
+    // the shipped bytes and never changes the document.
+    gate.require(
+        "shipcut: shipped bytes no longer strictly reduced",
+        num(current, "saved_bytes") > 0.0
+            && num(current, "shipped_cut_bytes") < num(current, "shipped_full_bytes"),
+    );
+    gate.require(
+        "shipcut: documents are no longer byte-identical across pruning/threads",
+        current
+            .get("docs_identical")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    );
+    gate.require(
+        "shipcut: pruned response time exceeds the unpruned one",
+        num(current, "response_on_secs") <= num(current, "response_off_secs"),
+    );
+    // Byte counts and simulated responses are deterministic up to measured
+    // eval times: a tight drift band against the committed baseline.
+    gate.within(
+        "shipcut shipped bytes (pruned)",
+        num(baseline, "shipped_cut_bytes"),
+        num(current, "shipped_cut_bytes"),
+        SIM_TOLERANCE,
+    );
+    gate.within(
+        "shipcut response with pruning",
+        num(baseline, "response_on_secs"),
+        num(current, "response_on_secs"),
+        SIM_TOLERANCE,
+    );
+    // Wall clocks only fail on large factors.
+    gate.bounded(
+        "shipcut cold wall (pruned)",
+        num(baseline, "cold_on_wall_secs"),
+        num(current, "cold_on_wall_secs"),
+    );
+    gate.bounded(
+        "shipcut warm per-request",
+        num(baseline, "warm_per_request_secs"),
+        num(current, "warm_per_request_secs"),
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, baseline_dir, current_dir] = &args[..] else {
@@ -210,6 +256,11 @@ fn main() -> ExitCode {
         &mut gate,
         &load(baseline_dir, "BENCH_ablation_plan_cache.json"),
         &load(current_dir, "BENCH_ablation_plan_cache.json"),
+    );
+    check_shipcut(
+        &mut gate,
+        &load(baseline_dir, "BENCH_shipcut.json"),
+        &load(current_dir, "BENCH_shipcut.json"),
     );
     if gate.failures.is_empty() {
         println!("perf regression gate: {} checks passed", gate.checks);

@@ -299,7 +299,10 @@ pub fn measured_costs(
             };
             TaskCost {
                 eval_secs: m.secs * eval_scale + overhead,
-                out_bytes: m.out_bytes,
+                // The ship image (column-pruned under ship-cut, the full
+                // relation otherwise) is what crosses the wire, so it is
+                // what transfer and temp-load costs are charged on.
+                out_bytes: m.ship_bytes,
             }
         })
         .collect()

@@ -13,13 +13,16 @@ use crate::graph::{
     resolve_syn_key, Binding, Occ, ParamInput, RelKey, ScalarBind, Task, TaskGraph, TaskKind,
     VectorQuery,
 };
+use crate::shipcut::ShipCut;
 use aig_core::attrs::FieldType;
 use aig_core::copyelim::{resolve_scalar, ResolvedScalar};
 use aig_core::spec::{Aig, ElemIdx, FieldRule, GuardKind, Prod, SetExpr, ValueExpr};
 use aig_core::AigError;
+use aig_relstore::par::stable_sort_rows;
 use aig_relstore::{Catalog, Relation, SourceId, Value};
-use aig_sql::{execute as sql_execute, ParamValue, Params};
+use aig_sql::{execute_with as sql_execute_with, ParamValue, Params};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How the parallel executor orders tasks at each source.
@@ -99,6 +102,15 @@ pub struct ExecOptions {
     /// its measured execution window. Lets benches and tests emulate slow
     /// autonomous sources with controlled, reproducible durations.
     pub pace: Option<Vec<f64>>,
+    /// Ship-cut liveness profiles (see [`crate::shipcut`]): when set, each
+    /// task's [`Measured::ship_bytes`] is the size of the column-pruned
+    /// (and possibly deduplicated) ship image of its output instead of the
+    /// full relation. Stores and documents are unaffected either way.
+    pub shipcut: Option<Arc<ShipCut>>,
+    /// Upper bound on worker threads the partitioned kernels (hash join
+    /// build/probe, canonical sort, dedup) may use per task. `1` keeps
+    /// every kernel sequential; results are byte-identical regardless.
+    pub threads: usize,
 }
 
 impl Default for ExecOptions {
@@ -111,6 +123,8 @@ impl Default for ExecOptions {
             scheduling: Scheduling::default(),
             eval_scale: 1.0,
             pace: None,
+            shipcut: None,
+            threads: 1,
         }
     }
 }
@@ -122,6 +136,10 @@ pub struct Measured {
     pub secs: f64,
     pub out_rows: f64,
     pub out_bytes: f64,
+    /// Bytes of the output's *ship image*: the column-pruned (and, for
+    /// duplicate-insensitive consumers, deduplicated) relation a ship-cut
+    /// shipper puts on the wire. Equal to `out_bytes` when ship-cut is off.
+    pub ship_bytes: f64,
     /// Rows read from dependency relations (distinct input relations).
     pub in_rows: f64,
     /// Seconds the task spent waiting for its inputs before running
@@ -352,6 +370,10 @@ pub fn execute_graph(
             .as_ref()
             .map(|r| (r.len() as f64, r.byte_size() as f64))
             .unwrap_or((0.0, 0.0));
+        let ship_bytes = output
+            .as_ref()
+            .map(|r| ship_image_bytes(opts, id, r))
+            .unwrap_or(0.0);
         if let (Some(key), Some(rel)) = (task.output.clone(), output) {
             store.insert(key, rel);
         }
@@ -359,6 +381,7 @@ pub fn execute_graph(
             secs,
             out_rows: rows,
             out_bytes: bytes,
+            ship_bytes,
             in_rows,
             wait_secs: 0.0,
             start_secs,
@@ -373,6 +396,15 @@ pub fn execute_graph(
         resilience,
         sched: SchedLog::default(),
     })
+}
+
+/// The ship-image size of a task's output under the active ship-cut
+/// profiles; the full relation size when ship-cut is off.
+pub(crate) fn ship_image_bytes(opts: &ExecOptions, task_id: usize, rel: &Relation) -> f64 {
+    match &opts.shipcut {
+        Some(cut) => cut.ship_bytes(task_id, rel) as f64,
+        None => rel.byte_size() as f64,
+    }
 }
 
 /// Total rows across the task's distinct input relations (observability
@@ -494,7 +526,11 @@ impl<S: RelSource> Executor<'_, S> {
                     rows.push(row);
                 }
                 // Canonical per-parent order: (parent, fields), then ordinal.
-                rows.sort_by(|a, b| (a[0].clone(), &a[2..]).cmp(&(b[0].clone(), &b[2..])));
+                // Compared by reference — no per-comparison clones — and
+                // partitioned over the configured threads for large outputs.
+                stable_sort_rows(&mut rows, self.opts.threads, |a, b| {
+                    a[0].cmp(&b[0]).then_with(|| a[2..].cmp(&b[2..]))
+                });
                 let mut last_parent: Option<Value> = None;
                 let mut ord = 0i64;
                 let mut finished: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
@@ -524,7 +560,7 @@ impl<S: RelSource> Executor<'_, S> {
                 let info = self.aig.elem_info(binding.elem);
                 if let Some(decl) = info.inh.iter().find(|f| &f.name == field) {
                     if matches!(decl.ty, FieldType::Set(_)) {
-                        rel.dedup();
+                        rel.dedup_parallel(self.opts.threads);
                     }
                 }
                 Ok(Some(rel))
@@ -704,7 +740,12 @@ impl<S: RelSource> Executor<'_, S> {
             };
             params.insert(name.clone(), ParamValue::Rel(rel));
         }
-        Ok(sql_execute(&vq.query, self.catalog, &params)?)
+        Ok(sql_execute_with(
+            &vq.query,
+            self.catalog,
+            &params,
+            self.opts.threads,
+        )?)
     }
 
     /// Resolves a scalar rule expression for a specific base row.
@@ -813,7 +854,7 @@ impl<S: RelSource> Executor<'_, S> {
             }
         }
         if is_set {
-            out.dedup();
+            out.dedup_parallel(self.opts.threads);
         }
         Ok(out)
     }

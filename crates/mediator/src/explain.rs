@@ -129,6 +129,20 @@ pub fn render_report(report: &RunReport) -> String {
             c.capacity,
         );
     }
+    if report.shipcut.enabled {
+        let s = &report.shipcut;
+        let pct = if s.shipped_full_bytes > 0.0 {
+            100.0 * s.saved_bytes / s.shipped_full_bytes
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "ship-cut: {:.0} of {:.0} shipped bytes ({:.0} saved, {:.1}%); \
+             {} task shipments pruned",
+            s.shipped_cut_bytes, s.shipped_full_bytes, s.saved_bytes, pct, s.pruned_tasks,
+        );
+    }
     let _ = writeln!(out, "sources");
     for source in &report.sources {
         let _ = writeln!(

@@ -13,6 +13,7 @@ pub mod pipeline;
 pub mod plan;
 pub mod schedule;
 pub mod service;
+pub mod shipcut;
 pub mod sim;
 pub mod tagging;
 pub mod unfold;
@@ -31,7 +32,7 @@ pub use json::Json;
 pub use merge::{merge, merge_pair, no_merge, MergeDecision, MergeOutcome};
 pub use obs::{
     CacheObs, FaultEventObs, PhaseSample, Phases, PlanDeviationObs, ResilienceObs, RunReport,
-    SchedulerObs, SourceObs, TaskObs, SCHEMA_VERSION,
+    SchedulerObs, ShipcutObs, SourceObs, TaskObs, SCHEMA_VERSION,
 };
 pub use parallel::execute_graph_parallel;
 pub use pipeline::{
@@ -45,5 +46,6 @@ pub use schedule::{
     static_response_on_actuals,
 };
 pub use service::{CacheStats, Mediator};
+pub use shipcut::{LiveSet, ShipCut, ShipProfile};
 pub use sim::NetworkModel;
 pub use unfold::{unfold, CutOff, FrontierSite, Unfolded};

@@ -104,8 +104,11 @@ pub struct TaskObs {
     pub in_rows: f64,
     pub out_rows: f64,
     pub out_bytes: f64,
-    /// Bytes this task's output ships over the simulated network (counted
-    /// once per consumer at a different source).
+    /// Bytes of the output's ship image after ship-cut column pruning
+    /// (equal to `out_bytes` when ship-cut is off or nothing was prunable).
+    pub ship_bytes: f64,
+    /// Bytes this task's output ships over the simulated network (its ship
+    /// image, counted once per consumer at a different source).
     pub shipped_bytes: f64,
     /// Actual in-process execution seconds.
     pub secs: f64,
@@ -173,8 +176,10 @@ pub struct PlanSeqObs {
 /// section and emits the fault seed as a lossless decimal string (a u64
 /// above 2^53 is not representable as a JSON number); 4 = adds the
 /// prepare/execute stage split (`prepare_secs`, `execute_secs`) and the
-/// `cache` section with the plan cache's hit/miss/promotion counters.
-pub const SCHEMA_VERSION: u32 = 4;
+/// `cache` section with the plan cache's hit/miss/promotion counters;
+/// 5 = adds the `shipcut` section (column-liveness pruning at ship
+/// boundaries) and the per-task `ship_bytes` field.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Which stage of the prepared-plan split a phase belongs to: everything
 /// argument-independent (compilation through estimate-based planning, plus
@@ -189,6 +194,7 @@ pub fn phase_stage(name: &str) -> &'static str {
         | "unfold"
         | "graph_build"
         | "plan"
+        | "shipcut"
         | "plan_cache" => "prepare",
         _ => "execute",
     }
@@ -298,6 +304,25 @@ impl Default for SchedulerObs {
     }
 }
 
+/// The ship-cut section: what column-liveness pruning at ship boundaries
+/// saved on the simulated wire. `Default` (disabled, all zero) describes a
+/// run without ship-cut; when enabled, `shipped_cut_bytes` is what actually
+/// entered the transfer model and `shipped_full_bytes` what the unpruned
+/// relations would have cost.
+#[derive(Debug, Clone, Default)]
+pub struct ShipcutObs {
+    /// Whether ship-cut liveness pruning was active for the run.
+    pub enabled: bool,
+    /// Total cross-source shipped bytes of the full (unpruned) outputs.
+    pub shipped_full_bytes: f64,
+    /// Total cross-source shipped bytes of the ship images.
+    pub shipped_cut_bytes: f64,
+    /// `shipped_full_bytes - shipped_cut_bytes`.
+    pub saved_bytes: f64,
+    /// Tasks whose ship image is strictly smaller than their full output.
+    pub pruned_tasks: usize,
+}
+
 /// Size snapshot of one catalog table, for checking per-task byte counts
 /// against the actual relation sizes.
 #[derive(Debug, Clone)]
@@ -349,6 +374,8 @@ pub struct RunReport {
     /// What the plan cache saw for this request (default when the one-shot
     /// pipeline ran without a cache).
     pub cache: CacheObs,
+    /// What ship-cut column pruning saved on the simulated wire.
+    pub shipcut: ShipcutObs,
 }
 
 /// Everything the report builder needs from the pipeline.
@@ -370,6 +397,8 @@ pub(crate) struct ReportInputs<'a> {
     pub sched: &'a crate::exec::SchedLog,
     /// Plan-cache observability for the request (default when no cache).
     pub cache: CacheObs,
+    /// Whether ship-cut liveness pruning was active during execution.
+    pub shipcut_enabled: bool,
 }
 
 fn kind_tag(kind: &TaskKind) -> &'static str {
@@ -385,16 +414,28 @@ fn kind_tag(kind: &TaskKind) -> &'static str {
     }
 }
 
-/// Bytes each task ships over the simulated network: its measured output
-/// size, counted once per distinct consumer at a different source (the §5.2
-/// transfer model; same-source reads are local).
+/// Bytes each task ships over the simulated network: its measured ship
+/// image (column-pruned under ship-cut, the full output otherwise), counted
+/// once per distinct consumer at a different source (the §5.2 transfer
+/// model; same-source reads are local).
 pub fn shipped_bytes(graph: &TaskGraph, measured: &[Measured]) -> Vec<f64> {
+    shipped_bytes_by(graph, measured, |m| m.ship_bytes)
+}
+
+/// [`shipped_bytes`] with a caller-chosen size accessor, so the report can
+/// put the pruned totals side by side with what the full relations would
+/// have cost on the wire.
+fn shipped_bytes_by(
+    graph: &TaskGraph,
+    measured: &[Measured],
+    size: impl Fn(&Measured) -> f64,
+) -> Vec<f64> {
     let mut shipped = vec![0.0f64; graph.tasks.len()];
     for task in &graph.tasks {
         let mut seen = HashSet::new();
         for (dep, _) in &task.deps {
             if seen.insert(*dep) && graph.tasks[*dep].source != task.source {
-                shipped[*dep] += measured[*dep].out_bytes;
+                shipped[*dep] += size(&measured[*dep]);
             }
         }
     }
@@ -430,9 +471,24 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         fault_seed,
         sched,
         cache,
+        shipcut_enabled,
     } = inputs;
 
     let shipped = shipped_bytes(graph, measured);
+    let shipped_full = shipped_bytes_by(graph, measured, |m| m.out_bytes);
+    let shipcut = ShipcutObs {
+        enabled: shipcut_enabled,
+        shipped_full_bytes: shipped_full.iter().fold(0.0, |a, b| a + b),
+        shipped_cut_bytes: shipped.iter().fold(0.0, |a, b| a + b),
+        saved_bytes: shipped_full
+            .iter()
+            .zip(&shipped)
+            .fold(0.0, |a, (f, c)| a + (f - c)),
+        pruned_tasks: measured
+            .iter()
+            .filter(|m| m.ship_bytes < m.out_bytes)
+            .count(),
+    };
     let tasks: Vec<TaskObs> = graph
         .tasks
         .iter()
@@ -446,6 +502,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
             in_rows: measured[id].in_rows,
             out_rows: measured[id].out_rows,
             out_bytes: measured[id].out_bytes,
+            ship_bytes: measured[id].ship_bytes,
             shipped_bytes: shipped[id],
             secs: measured[id].secs,
             wait_secs: measured[id].wait_secs,
@@ -595,6 +652,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         resilience: resilience_obs,
         scheduler,
         cache,
+        shipcut,
     }
 }
 
@@ -716,6 +774,22 @@ impl RunReport {
                 ]),
             ),
             (
+                "shipcut",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(self.shipcut.enabled)),
+                    (
+                        "shipped_full_bytes",
+                        Json::num(self.shipcut.shipped_full_bytes),
+                    ),
+                    (
+                        "shipped_cut_bytes",
+                        Json::num(self.shipcut.shipped_cut_bytes),
+                    ),
+                    ("saved_bytes", Json::num(self.shipcut.saved_bytes)),
+                    ("pruned_tasks", Json::num(self.shipcut.pruned_tasks as f64)),
+                ]),
+            ),
+            (
                 "resilience",
                 Json::obj(vec![
                     ("enabled", Json::Bool(self.resilience.enabled)),
@@ -828,6 +902,7 @@ impl RunReport {
                                 ("in_rows", Json::num(t.in_rows)),
                                 ("out_rows", Json::num(t.out_rows)),
                                 ("out_bytes", Json::num(t.out_bytes)),
+                                ("ship_bytes", Json::num(t.ship_bytes)),
                                 ("shipped_bytes", Json::num(t.shipped_bytes)),
                                 ("secs", Json::num(t.secs)),
                                 ("wait_secs", Json::num(t.wait_secs)),
@@ -985,6 +1060,7 @@ mod tests {
             resilience: ResilienceObs::default(),
             scheduler: SchedulerObs::default(),
             cache: CacheObs::default(),
+            shipcut: ShipcutObs::default(),
         };
         report.prepend_phase("parse", 0.05);
         assert_eq!(report.phases[0].name, "parse");
@@ -1022,6 +1098,7 @@ mod tests {
             resilience: ResilienceObs::default(),
             scheduler: SchedulerObs::default(),
             cache: CacheObs::default(),
+            shipcut: ShipcutObs::default(),
         };
         report.resilience.enabled = true;
         report.resilience.seed = u64::MAX;

@@ -255,7 +255,7 @@ impl SharedStore<'_> {
                     // and release any consumers this completion unblocks.
                     sched.hybrid.nodes[task].eval_secs = measured.secs * sched.eval_scale;
                     for &(consumer, pos) in &sched.consumers[task] {
-                        sched.hybrid.deps[consumer][pos].1 = measured.out_bytes;
+                        sched.hybrid.deps[consumer][pos].1 = measured.ship_bytes;
                         sched.waiting[consumer] -= 1;
                         if sched.waiting[consumer] == 0 {
                             let home = sched.effective[consumer];
@@ -443,7 +443,7 @@ fn prime_dynamic(
         }
         hybrid.nodes[task].eval_secs = state.measured[task].secs * opts.eval_scale;
         for &(consumer, pos) in task_consumers {
-            hybrid.deps[consumer][pos].1 = state.measured[task].out_bytes;
+            hybrid.deps[consumer][pos].1 = state.measured[task].ship_bytes;
         }
     }
     let mut waiting = vec![0usize; n];
@@ -536,9 +536,13 @@ fn run_round(
                             || exec.run_task(task, args),
                         );
                         let secs = started.elapsed().as_secs_f64();
-                        let (out_rows, out_bytes) = match &result {
-                            Ok(Some(rel)) => (rel.len() as f64, rel.byte_size() as f64),
-                            _ => (0.0, 0.0),
+                        let (out_rows, out_bytes, ship_bytes) = match &result {
+                            Ok(Some(rel)) => (
+                                rel.len() as f64,
+                                rel.byte_size() as f64,
+                                crate::exec::ship_image_bytes(opts, task_id, rel),
+                            ),
+                            _ => (0.0, 0.0, 0.0),
                         };
                         let failed = result.is_err();
                         shared.complete(
@@ -549,6 +553,7 @@ fn run_round(
                                 secs,
                                 out_rows,
                                 out_bytes,
+                                ship_bytes,
                                 in_rows,
                                 wait_secs,
                                 start_secs,

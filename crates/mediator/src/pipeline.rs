@@ -60,6 +60,15 @@ pub struct MediatorOptions {
     /// Static (planned sequences) or dynamic (live ready-queue) scheduling
     /// in the parallel executor; ignored by the sequential executor.
     pub scheduling: Scheduling,
+    /// Column-liveness pruning at ship boundaries: shipped relations are
+    /// projected to the columns downstream consumers actually read (and
+    /// deduplicated for set-semantics consumers) before byte accounting.
+    /// Stores and the final document are byte-identical either way.
+    pub shipcut: bool,
+    /// Worker threads for the partitioned in-process kernels (hash join,
+    /// canonical sort, dedup). `1` = sequential; results are byte-identical
+    /// at any thread count.
+    pub threads: usize,
 }
 
 impl Default for MediatorOptions {
@@ -77,6 +86,8 @@ impl Default for MediatorOptions {
             faults: None,
             retry: RetryPolicy::default(),
             scheduling: Scheduling::default(),
+            shipcut: true,
+            threads: 1,
         }
     }
 }
@@ -98,6 +109,7 @@ impl MediatorOptions {
             cutoff: self.cutoff,
             merging: self.merging,
             graph: self.graph.clone(),
+            shipcut: self.shipcut,
         }
     }
 
@@ -111,6 +123,7 @@ impl MediatorOptions {
             faults: self.faults.clone(),
             retry: self.retry.clone(),
             scheduling: self.scheduling,
+            threads: self.threads,
         }
     }
 
@@ -122,6 +135,7 @@ impl MediatorOptions {
             cutoff: plan.cutoff,
             merging: plan.merging,
             graph: plan.graph,
+            shipcut: plan.shipcut,
             check_guards: policy.check_guards,
             validate_output: policy.validate_output,
             parallel_exec: policy.parallel_exec,
@@ -129,6 +143,7 @@ impl MediatorOptions {
             faults: policy.faults,
             retry: policy.retry,
             scheduling: policy.scheduling,
+            threads: policy.threads,
         }
     }
 }
@@ -222,6 +237,16 @@ impl MediatorOptionsBuilder {
 
     pub fn scheduling(mut self, scheduling: Scheduling) -> Self {
         self.options.scheduling = scheduling;
+        self
+    }
+
+    pub fn shipcut(mut self, shipcut: bool) -> Self {
+        self.options.shipcut = shipcut;
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads.max(1);
         self
     }
 
@@ -539,6 +564,8 @@ mod tests {
             .merging(false)
             .validate_output(false)
             .scheduling(Scheduling::Dynamic)
+            .shipcut(false)
+            .threads(4)
             .build();
         let rebuilt = MediatorOptions::from_parts(options.plan_options(), options.exec_policy());
         assert_eq!(rebuilt.unfold_depth, 2);
@@ -547,5 +574,7 @@ mod tests {
         assert!(!rebuilt.validate_output);
         assert_eq!(rebuilt.scheduling, Scheduling::Dynamic);
         assert_eq!(rebuilt.cutoff, options.cutoff);
+        assert!(!rebuilt.shipcut);
+        assert_eq!(rebuilt.threads, 4);
     }
 }

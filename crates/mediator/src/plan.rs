@@ -43,6 +43,9 @@ pub struct PlanOptions {
     pub cutoff: CutOff,
     /// Whether query merging (§5.4) is applied when reporting response time.
     pub merging: bool,
+    /// Whether ship-cut column-liveness profiles are computed for the task
+    /// graph (see [`crate::shipcut`]) and applied to the transfer model.
+    pub shipcut: bool,
     pub graph: GraphOptions,
 }
 
@@ -53,6 +56,7 @@ impl Default for PlanOptions {
             max_depth: 64,
             cutoff: CutOff::Frontier,
             merging: true,
+            shipcut: true,
             graph: GraphOptions::default(),
         }
     }
@@ -79,6 +83,10 @@ pub struct ExecPolicy {
     /// Static (planned sequences) or dynamic (live ready-queue) scheduling
     /// in the parallel executor; ignored by the sequential executor.
     pub scheduling: Scheduling,
+    /// Worker-thread bound for the partitioned kernels (hash join,
+    /// canonical sort, dedup) inside each task. Results are byte-identical
+    /// for any value; `1` keeps every kernel sequential.
+    pub threads: usize,
 }
 
 impl Default for ExecPolicy {
@@ -91,6 +99,7 @@ impl Default for ExecPolicy {
             faults: None,
             retry: RetryPolicy::default(),
             scheduling: Scheduling::default(),
+            threads: 1,
         }
     }
 }
@@ -109,6 +118,8 @@ impl From<&ExecPolicy> for ExecOptions {
             scheduling: policy.scheduling,
             eval_scale: 1.0,
             pace: None,
+            shipcut: None,
+            threads: policy.threads.max(1),
         }
     }
 }
@@ -145,6 +156,9 @@ pub struct PreparedPlan {
     /// Estimate-based response time of the final plan (merged when
     /// `options.merging`; equals the baseline otherwise, §5.4).
     pub est_merged: MergeOutcome,
+    /// Ship-cut column-liveness profiles of the task graph (None when
+    /// `options.shipcut` is off). Shared with every execution's options.
+    pub shipcut: Option<Arc<crate::shipcut::ShipCut>>,
     /// Wall-clock seconds preparation took (the cost a cache hit saves).
     pub prepare_secs: f64,
 }
@@ -271,6 +285,11 @@ fn prepare_unfolded(
         };
         (baseline, merged)
     });
+    let shipcut = options.shipcut.then(|| {
+        phases.time("shipcut", || {
+            Arc::new(crate::shipcut::ShipCut::analyze(&unfolded.aig, &graph))
+        })
+    });
     let per_source = topo_per_source(&graph);
     Ok(PreparedPlan {
         fingerprint,
@@ -285,6 +304,7 @@ fn prepare_unfolded(
         per_source,
         est_baseline,
         est_merged,
+        shipcut,
         prepare_secs: start.elapsed().as_secs_f64(),
     })
 }
@@ -318,6 +338,12 @@ pub fn execute_prepared(
     rounds: usize,
     cache: CacheObs,
 ) -> Result<ExecuteOutcome, MediatorError> {
+    // The liveness profiles are part of the prepared plan; bind them into
+    // this run's options so both executors account ship images with them.
+    let exec_opts = &ExecOptions {
+        shipcut: plan.shipcut.clone(),
+        ..exec_opts.clone()
+    };
     let exec: ExecResult = phases.time("execute", || {
         if policy.parallel_exec {
             execute_graph_parallel(
@@ -416,6 +442,7 @@ pub fn execute_prepared(
             fault_seed: exec_opts.faults.as_ref().map(|p| p.seed()),
             sched: &exec.sched,
             cache,
+            shipcut_enabled: plan.shipcut.is_some(),
         },
         std::mem::take(phases),
         total_secs,
@@ -461,9 +488,11 @@ mod tests {
                 "decompose",
                 "unfold",
                 "graph_build",
-                "plan"
+                "plan",
+                "shipcut"
             ]
         );
+        assert!(plan.shipcut.is_some());
     }
 
     #[test]
@@ -488,7 +517,7 @@ mod tests {
             .iter()
             .map(|s| s.name.as_str())
             .collect();
-        assert_eq!(names, ["unfold", "graph_build", "plan"]);
+        assert_eq!(names, ["unfold", "graph_build", "plan", "shipcut"]);
     }
 
     #[test]

@@ -25,13 +25,15 @@ use std::sync::{Arc, Mutex};
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 16;
 
 /// Cache key of one prepared plan: *what* is evaluated (the structural AIG
-/// fingerprint), *how deep* it was unfolded, and *under which* plan-side
-/// options (graph/merge settings, hashed).
+/// fingerprint), *how deep* it was unfolded, *under which* plan-side
+/// options (graph/merge settings, hashed), and *against which* catalog
+/// schema (so a schema change can never serve a stale plan).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct PlanKey {
     aig: u64,
     depth: usize,
     opts: u64,
+    cat: u64,
 }
 
 #[derive(Debug)]
@@ -55,6 +57,9 @@ struct PlanCache {
     misses: u64,
     promotions: u64,
     evictions: u64,
+    /// Schema-change purges: each time the catalog schema fingerprint moves,
+    /// every resident plan (and depth hint) is dropped in one event.
+    invalidations: u64,
 }
 
 impl PlanCache {
@@ -68,6 +73,7 @@ impl PlanCache {
             misses: 0,
             promotions: 0,
             evictions: 0,
+            invalidations: 0,
         }
     }
 
@@ -112,6 +118,8 @@ pub struct CacheStats {
     /// Frontier-driven depth promotions (§5.5).
     pub promotions: u64,
     pub evictions: u64,
+    /// Schema-change purges of the whole cache ([`Mediator::with_catalog_mut`]).
+    pub invalidations: u64,
     /// Plans currently resident.
     pub entries: usize,
     pub capacity: usize,
@@ -142,6 +150,10 @@ pub struct Mediator {
     policy: ExecPolicy,
     /// Fingerprint of the plan-side options, part of every cache key.
     opts_fp: u64,
+    /// Fingerprint of the catalog *schema* (tables, columns, types, keys,
+    /// replicas — not data), part of every cache key. Recomputed by
+    /// [`Mediator::with_catalog_mut`] so schema changes invalidate plans.
+    cat_fp: u64,
     /// Executor options derived once from the policy, with the fault plan
     /// bound to the catalog at construction (every request replays the same
     /// deterministic fault stream) and the eval-scale calibration applied.
@@ -153,8 +165,8 @@ pub struct Mediator {
 /// unfolding depth is part of the cache key itself, not of this hash.
 fn options_fingerprint(options: &PlanOptions) -> u64 {
     let rendered = format!(
-        "{:?}|{}|{:?}",
-        options.cutoff, options.merging, options.graph
+        "{:?}|{}|{}|{:?}",
+        options.cutoff, options.merging, options.shipcut, options.graph
     );
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for b in rendered.as_bytes() {
@@ -186,11 +198,13 @@ impl Mediator {
             None => None,
         };
         let opts_fp = options_fingerprint(&plan_options);
+        let cat_fp = catalog.schema_fingerprint();
         Ok(Mediator {
             catalog,
             plan_options,
             policy,
             opts_fp,
+            cat_fp,
             exec_opts,
             cache: Mutex::new(PlanCache::new(capacity)),
         })
@@ -198,6 +212,33 @@ impl Mediator {
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Mutates the catalog in place (new replicas, redefined tables, data
+    /// loads) and re-fingerprints its schema afterwards. If the schema
+    /// changed, every cached plan and depth hint is purged — plans embed
+    /// schema-derived costs and replica choices, so serving one across a
+    /// schema change would be stale — and the fault plan is re-bound to the
+    /// new catalog. Pure data changes keep the cache intact: prepared plans
+    /// are argument- and data-independent.
+    pub fn with_catalog_mut<T>(
+        &mut self,
+        f: impl FnOnce(&mut Catalog) -> T,
+    ) -> Result<T, MediatorError> {
+        let out = f(&mut self.catalog);
+        let cat_fp = self.catalog.schema_fingerprint();
+        if cat_fp != self.cat_fp {
+            self.cat_fp = cat_fp;
+            self.exec_opts.faults = match &self.policy.faults {
+                Some(cfg) => Some(FaultPlan::new(cfg, &self.catalog)?),
+                None => None,
+            };
+            let mut cache = self.lock();
+            cache.entries.clear();
+            cache.hints.clear();
+            cache.invalidations += 1;
+        }
+        Ok(out)
     }
 
     pub fn plan_options(&self) -> &PlanOptions {
@@ -216,6 +257,7 @@ impl Mediator {
             misses: cache.misses,
             promotions: cache.promotions,
             evictions: cache.evictions,
+            invalidations: cache.invalidations,
             entries: cache.entries.len(),
             capacity: cache.capacity,
         }
@@ -373,6 +415,7 @@ impl Mediator {
             aig: fp,
             depth,
             opts: self.opts_fp,
+            cat: self.cat_fp,
         };
         let mut cache = self.lock();
         if promoted_from.is_some() {
@@ -496,6 +539,57 @@ mod tests {
             .unwrap();
         assert!(report.cache.hit);
         assert_eq!(mediator.cache_stats().evictions, 2);
+    }
+
+    #[test]
+    fn schema_change_invalidates_cached_plans() {
+        let aig = sigma0().unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        let options = MediatorOptions::builder().unfold_depth(4).build();
+        let mut mediator = Mediator::new(catalog, &options).unwrap();
+
+        mediator
+            .request(&aig, &[("date", Value::str("d1"))])
+            .unwrap();
+        assert_eq!(mediator.cache_stats().misses, 1);
+        assert_eq!(mediator.cache_stats().entries, 1);
+
+        // A schema change (declaring a replica pair) purges the cache: the
+        // next request must re-prepare instead of serving the stale plan.
+        mediator
+            .with_catalog_mut(|catalog| {
+                let db1 = catalog.source_id("DB1").unwrap();
+                let db2 = catalog.source_id("DB2").unwrap();
+                catalog.declare_replica(db1, db2).unwrap();
+            })
+            .unwrap();
+        let stats = mediator.cache_stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 0);
+
+        let (_, report) = mediator
+            .request(&aig, &[("date", Value::str("d1"))])
+            .unwrap();
+        assert!(!report.cache.hit, "stale plan served across schema change");
+        assert_eq!(mediator.cache_stats().misses, 2);
+
+        // Pure data changes leave the cache intact.
+        mediator
+            .with_catalog_mut(|catalog| {
+                let db3 = catalog.source_id("DB3").unwrap();
+                let table = catalog.source_mut(db3).table_mut("billing").unwrap();
+                table
+                    .insert(vec![Value::str("t9"), Value::str("7")])
+                    .unwrap();
+            })
+            .unwrap();
+        let stats = mediator.cache_stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 1);
+        let (_, report) = mediator
+            .request(&aig, &[("date", Value::str("d1"))])
+            .unwrap();
+        assert!(report.cache.hit);
     }
 
     #[test]

@@ -125,6 +125,50 @@ fn chaos_matrix_recovered_runs_are_byte_identical() {
     assert!(total_injected > 0, "the matrix never injected a fault");
 }
 
+/// The chaos matrix again, with the partitioned parallel kernels and
+/// ship-cut pruning switched on: recovered runs must still be byte-identical
+/// to the clean sequential run. (CI also runs this as the `--threads` smoke.)
+#[test]
+fn chaos_matrix_is_byte_identical_with_threads_and_shipcut() {
+    let catalog = mini_hospital_catalog().unwrap();
+    let (aig, graph) = setup(&catalog);
+    let args = [("date", Value::str("d1"))];
+    let clean = execute_graph(&aig, &catalog, &graph, &args, &ExecOptions::default()).unwrap();
+    let shipcut = std::sync::Arc::new(aig_mediator::ShipCut::analyze(&aig, &graph));
+
+    for seed in [1u64, 3] {
+        let cfg = FaultConfig {
+            seed,
+            transient_rate: 0.2,
+            latency_rate: 0.1,
+            latency_secs: 0.0003,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(&cfg, &catalog).unwrap();
+        let opts = ExecOptions {
+            threads: 4,
+            shipcut: Some(shipcut.clone()),
+            ..faulted_opts(plan, fast_retry(6))
+        };
+
+        let seq = execute_graph(&aig, &catalog, &graph, &args, &opts).unwrap();
+        assert_stores_identical(&graph, &clean, &seq);
+        assert_accounted(&seq);
+
+        for scheduling in [Scheduling::Static, Scheduling::Dynamic] {
+            let opts = ExecOptions {
+                scheduling,
+                ..opts.clone()
+            };
+            let par =
+                execute_graph_parallel(&aig, &catalog, &graph, &args, &opts, &topo_plan(&graph))
+                    .unwrap();
+            assert_stores_identical(&graph, &clean, &par);
+            assert_accounted(&par);
+        }
+    }
+}
+
 #[test]
 fn timeouts_bound_wall_clock() {
     let catalog = mini_hospital_catalog().unwrap();
@@ -403,7 +447,7 @@ fn pipeline_reports_resilience_and_preserves_the_document() {
         // The JSON serialization carries the section.
         let json = report.to_json().to_pretty();
         assert!(json.contains("\"resilience\""));
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         // The seed is emitted losslessly as a decimal string.
         assert!(json.contains("\"seed\": \"11\""));
     }

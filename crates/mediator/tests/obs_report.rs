@@ -116,22 +116,37 @@ fn report_catalog_and_shipped_bytes_are_consistent() {
         );
     }
 
-    // Shipped bytes are a whole multiple of the produced bytes (one copy per
-    // distinct cross-source consumer), and zero output ships nothing.
+    // Shipped bytes are a whole multiple of the *ship image* (one copy per
+    // distinct cross-source consumer) — the image never exceeds the produced
+    // bytes (ship-cut only prunes), and zero output ships nothing.
     for task in &report.tasks {
-        if task.out_bytes > 0.0 {
-            let copies = task.shipped_bytes / task.out_bytes;
+        assert!(
+            task.ship_bytes <= task.out_bytes,
+            "task {} ship image grew: {} > {}",
+            task.id,
+            task.ship_bytes,
+            task.out_bytes
+        );
+        if task.ship_bytes > 0.0 {
+            let copies = task.shipped_bytes / task.ship_bytes;
             assert!(
                 (copies - copies.round()).abs() < 1e-9,
-                "task {} ships {} bytes from {} produced",
+                "task {} ships {} bytes from a {} byte image",
                 task.id,
                 task.shipped_bytes,
-                task.out_bytes
+                task.ship_bytes
             );
         } else {
             assert_eq!(task.shipped_bytes, 0.0, "task {}", task.id);
         }
     }
+    // Ship-cut actually engaged on this workload.
+    assert!(report.shipcut.enabled);
+    assert!(
+        report.shipcut.saved_bytes > 0.0,
+        "no shipment was pruned on the datagen workload"
+    );
+    assert!(report.shipcut.pruned_tasks > 0);
 }
 
 #[test]

@@ -201,6 +201,49 @@ impl Catalog {
         self.replicas.get(&primary).copied()
     }
 
+    /// A fingerprint of the catalog's *schema*: source names in id order,
+    /// each source's tables (sorted by name) with their column names, types
+    /// and key positions, and the declared replica pairs. Two catalogs with
+    /// the same schema fingerprint produce the same task graphs and
+    /// execution plans for any AIG, so prepared plans keyed by it can never
+    /// go stale across a `declare_replica` / table redefinition (data
+    /// contents deliberately do not participate).
+    pub fn schema_fingerprint(&self) -> u64 {
+        // FNV-1a, matching the fingerprint style used for plans/options.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash ^= 0xff; // field separator
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for db in &self.sources {
+            eat(db.name().as_bytes());
+            for table_name in db.table_names() {
+                let table = db.table(table_name).expect("listed table exists");
+                let schema = table.schema();
+                eat(schema.name.as_bytes());
+                for col in &schema.columns {
+                    eat(col.name.as_bytes());
+                    eat(col.ty.to_string().as_bytes());
+                }
+                for &k in &schema.key {
+                    eat(&(k as u64).to_le_bytes());
+                }
+            }
+        }
+        let mut pairs: Vec<(SourceId, SourceId)> =
+            self.replicas.iter().map(|(&p, &r)| (p, r)).collect();
+        pairs.sort_unstable();
+        for (p, r) in pairs {
+            eat(&(p.0 as u64).to_le_bytes());
+            eat(&(r.0 as u64).to_le_bytes());
+        }
+        hash
+    }
+
     /// A catalog in which `primary`'s tables are served by its declared
     /// replica: the replica's database is cloned under the primary's name,
     /// so queries addressed to the primary resolve without rewriting.
@@ -293,6 +336,29 @@ mod tests {
         assert!(c.declare_replica(db1, db1).is_err());
         assert!(c.declare_replica(SourceId::MEDIATOR, db1r).is_err());
         assert!(c.declare_replica(db1, SourceId::MEDIATOR).is_err());
+    }
+
+    #[test]
+    fn schema_fingerprint_tracks_schema_not_data() {
+        let mut c = Catalog::new();
+        let db1 = c.add_source(db_with_table("DB1", "patient")).unwrap();
+        let fp = c.schema_fingerprint();
+        assert_eq!(fp, c.schema_fingerprint(), "fingerprint is deterministic");
+
+        // Inserting data does not change the schema fingerprint.
+        c.source_mut(db1)
+            .table_mut("patient")
+            .unwrap()
+            .insert(vec![Value::str("y")])
+            .unwrap();
+        assert_eq!(fp, c.schema_fingerprint());
+
+        // Adding a source, and declaring a replica, both do.
+        let db1r = c.add_source(db_with_table("DB1R", "patient")).unwrap();
+        let with_replica_source = c.schema_fingerprint();
+        assert_ne!(fp, with_replica_source);
+        c.declare_replica(db1, db1r).unwrap();
+        assert_ne!(with_replica_source, c.schema_fingerprint());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 pub mod catalog;
 pub mod error;
+pub mod par;
 pub mod relation;
 pub mod schema;
 pub mod stats;

@@ -1,0 +1,185 @@
+//! Deterministic partitioned kernels for large row sets.
+//!
+//! The workspace builds without external crates, so instead of rayon this
+//! module provides the two data-parallel primitives the executors need,
+//! built on `std::thread::scope`:
+//!
+//! * [`stable_sort_rows`] — a partitioned stable sort: the input is split
+//!   into contiguous chunks, each chunk is stable-sorted on its own thread,
+//!   and the chunks are merged taking from the *earlier* chunk on ties, so
+//!   the result is byte-identical to a sequential `sort_by` with the same
+//!   comparator.
+//! * [`dedup_rows`] — a partitioned first-occurrence dedup: each thread
+//!   finds its chunk-local first occurrences, then one sequential pass over
+//!   the (much smaller) survivor set keeps global first occurrences. The
+//!   result is byte-identical to the sequential `HashSet`-retain dedup.
+//!
+//! Both fall back to the sequential path below [`PAR_THRESHOLD`] rows or
+//! with `threads <= 1`, where partitioning overhead would dominate.
+
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+/// Below this many rows the sequential path is used regardless of `threads`.
+pub const PAR_THRESHOLD: usize = 2048;
+
+/// Stable sort of `rows` by `cmp`, partitioned over up to `threads` threads.
+/// Byte-identical to `rows.sort_by(cmp)` for any comparator.
+pub fn stable_sort_rows<F>(rows: &mut Vec<Vec<Value>>, threads: usize, cmp: F)
+where
+    F: Fn(&[Value], &[Value]) -> Ordering + Sync,
+{
+    if threads <= 1 || rows.len() < PAR_THRESHOLD {
+        rows.sort_by(|a, b| cmp(a, b));
+        return;
+    }
+    let chunk_len = rows.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for chunk in rows.chunks_mut(chunk_len) {
+            scope.spawn(|| chunk.sort_by(|a, b| cmp(a, b)));
+        }
+    });
+    // K-way merge of the sorted chunks; ties take from the earlier chunk,
+    // which (chunks being contiguous) preserves the original relative order
+    // of equal rows — exactly the stability contract of `sort_by`.
+    let taken = std::mem::take(rows);
+    let total = taken.len();
+    let mut chunks: Vec<std::vec::IntoIter<Vec<Value>>> = Vec::new();
+    let mut remaining = taken;
+    while !remaining.is_empty() {
+        let rest = remaining.split_off(chunk_len.min(remaining.len()));
+        chunks.push(std::mem::replace(&mut remaining, rest).into_iter());
+    }
+    let mut heads: Vec<Option<Vec<Value>>> = chunks.iter_mut().map(Iterator::next).collect();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            let Some(row) = head else { continue };
+            best = match best {
+                Some(b)
+                    if cmp(heads[b].as_ref().expect("best is live"), row) != Ordering::Greater =>
+                {
+                    Some(b)
+                }
+                _ => Some(i),
+            };
+        }
+        let Some(b) = best else { break };
+        out.push(heads[b].take().expect("best is live"));
+        heads[b] = chunks[b].next();
+    }
+    *rows = out;
+}
+
+/// First-occurrence dedup of `rows`, partitioned over up to `threads`
+/// threads. Byte-identical to the sequential `HashSet`-retain dedup.
+pub fn dedup_rows(rows: &mut Vec<Vec<Value>>, threads: usize) {
+    if threads <= 1 || rows.len() < PAR_THRESHOLD {
+        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(rows.len());
+        rows.retain(|row| seen.insert(row.clone()));
+        return;
+    }
+    let chunk_len = rows.len().div_ceil(threads);
+    // Per-chunk local first occurrences (row indices within the chunk).
+    let keep: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = rows
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut seen: HashSet<&[Value]> = HashSet::with_capacity(chunk.len());
+                    (0..chunk.len())
+                        .filter(|&i| seen.insert(&chunk[i]))
+                        .collect::<Vec<usize>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dedup worker"))
+            .collect()
+    });
+    // Sequential pass over the survivors only: chunk order is original
+    // order, so the first global occurrence is kept, as in the sequential
+    // dedup.
+    let taken = std::mem::take(rows);
+    let mut chunk_rows: Vec<Vec<Vec<Value>>> = Vec::new();
+    let mut remaining = taken;
+    while !remaining.is_empty() {
+        let rest = remaining.split_off(chunk_len.min(remaining.len()));
+        chunk_rows.push(std::mem::replace(&mut remaining, rest));
+    }
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    let mut out = Vec::new();
+    for (chunk, keep) in chunk_rows.into_iter().zip(keep) {
+        let mut chunk: Vec<Option<Vec<Value>>> = chunk.into_iter().map(Some).collect();
+        for i in keep {
+            let row = chunk[i].take().expect("kept once");
+            if !seen.contains(&row) {
+                seen.insert(row.clone());
+                out.push(row);
+            }
+        }
+    }
+    *rows = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_rows(n: usize) -> Vec<Vec<Value>> {
+        // A deterministic, duplicate-heavy, unsorted row set.
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::int(((i * 7919) % 257) as i64),
+                    Value::str(format!("s{}", (i * 31) % 97)),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_sort_matches_sequential() {
+        for n in [0, 1, 100, PAR_THRESHOLD + 123] {
+            let rows = make_rows(n);
+            let mut seq = rows.clone();
+            seq.sort();
+            for threads in [2, 3, 4, 9] {
+                let mut par = rows.clone();
+                stable_sort_rows(&mut par, threads, |a, b| a.cmp(b));
+                assert_eq!(seq, par, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sort_is_stable() {
+        // Sort by the first column only; equal keys must keep input order.
+        let rows: Vec<Vec<Value>> = (0..(PAR_THRESHOLD * 2))
+            .map(|i| vec![Value::int((i % 5) as i64), Value::int(i as i64)])
+            .collect();
+        let mut seq = rows.clone();
+        seq.sort_by(|a, b| a[0].cmp(&b[0]));
+        let mut par = rows.clone();
+        stable_sort_rows(&mut par, 4, |a, b| a[0].cmp(&b[0]));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_dedup_matches_sequential() {
+        for n in [0, 1, 100, PAR_THRESHOLD + 57] {
+            let rows = make_rows(n);
+            let mut seq = rows.clone();
+            let mut seen: HashSet<Vec<Value>> = HashSet::new();
+            seq.retain(|row| seen.insert(row.clone()));
+            for threads in [2, 4, 7] {
+                let mut par = rows.clone();
+                dedup_rows(&mut par, threads);
+                assert_eq!(seq, par, "n={n} threads={threads}");
+            }
+        }
+    }
+}

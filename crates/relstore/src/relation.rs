@@ -149,6 +149,13 @@ impl Relation {
         self.rows.retain(|row| seen.insert(row.clone()));
     }
 
+    /// Removes duplicate rows like [`Relation::dedup`], partitioning the
+    /// scan over up to `threads` threads for large relations. The result is
+    /// byte-identical to the sequential dedup (see [`crate::par`]).
+    pub fn dedup_parallel(&mut self, threads: usize) {
+        crate::par::dedup_rows(&mut self.rows, threads);
+    }
+
     /// Returns a deduplicated copy.
     pub fn distinct(&self) -> Relation {
         let mut out = self.clone();

@@ -7,6 +7,7 @@
 
 use crate::ast::{CmpOp, FromItem, Pred, Query, Scalar, SetRef};
 use crate::error::SqlError;
+use aig_relstore::par::PAR_THRESHOLD;
 use aig_relstore::{Catalog, Relation, Value};
 use std::collections::{HashMap, HashSet};
 
@@ -65,6 +66,20 @@ struct ColRef {
 /// Executes `query` against `catalog` with the given parameter bindings,
 /// producing a relation whose columns follow the SELECT list.
 pub fn execute(query: &Query, catalog: &Catalog, params: &Params) -> Result<Relation, SqlError> {
+    execute_with(query, catalog, params, 1)
+}
+
+/// Like [`execute`], but with `threads > 1` the hash-join build and probe
+/// phases and the DISTINCT dedup run partitioned over up to that many
+/// scoped threads. Partitions are contiguous and merged in partition order,
+/// so the result is **byte-identical** to the sequential path (small inputs
+/// fall back to it outright).
+pub fn execute_with(
+    query: &Query,
+    catalog: &Catalog,
+    params: &Params,
+    threads: usize,
+) -> Result<Relation, SqlError> {
     // -- Resolve FROM items --------------------------------------------------
     let mut inputs: Vec<Input<'_>> = Vec::with_capacity(query.from.len());
     for item in &query.from {
@@ -372,28 +387,66 @@ pub fn execute(query: &Query, catalog: &Catalog, params: &Params) -> Result<Rela
             }
         } else {
             // Hash join: build on `next`, probe with the current composites.
-            let mut table: HashMap<Vec<Value>, Vec<u32>> =
-                HashMap::with_capacity(next_input.live.len());
-            for &r in &next_input.live {
+            // With `threads > 1`, both phases run over contiguous partitions
+            // merged in partition order: chunk i's rows all precede chunk
+            // i+1's in the original scan order, so per-key row lists and the
+            // output composites come out in exactly the sequential order.
+            let build_key = |r: u32| -> Option<Vec<Value>> {
                 let key: Vec<Value> = eq_pairs
                     .iter()
                     .map(|&(_, col)| next_input.rows[r as usize][col].clone())
                     .collect();
-                if key.iter().any(Value::is_null) {
-                    continue;
+                (!key.iter().any(Value::is_null)).then_some(key)
+            };
+            let mut table: HashMap<Vec<Value>, Vec<u32>> =
+                HashMap::with_capacity(next_input.live.len());
+            if threads > 1 && next_input.live.len() >= PAR_THRESHOLD {
+                let chunk = next_input.live.len().div_ceil(threads);
+                let build_key = &build_key;
+                let parts: Vec<HashMap<Vec<Value>, Vec<u32>>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = next_input
+                        .live
+                        .chunks(chunk)
+                        .map(|rows| {
+                            scope.spawn(move || {
+                                let mut m: HashMap<Vec<Value>, Vec<u32>> =
+                                    HashMap::with_capacity(rows.len());
+                                for &r in rows {
+                                    if let Some(key) = build_key(r) {
+                                        m.entry(key).or_default().push(r);
+                                    }
+                                }
+                                m
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("join build worker"))
+                        .collect()
+                });
+                for part in parts {
+                    for (key, mut rs) in part {
+                        table.entry(key).or_default().append(&mut rs);
+                    }
                 }
-                table.entry(key).or_default().push(r);
+            } else {
+                for &r in &next_input.live {
+                    if let Some(key) = build_key(r) {
+                        table.entry(key).or_default().push(r);
+                    }
+                }
             }
-            for composite in &composites {
+            let probe = |composite: &Vec<u32>, out: &mut Vec<Vec<u32>>| {
                 let key: Vec<Value> = eq_pairs
                     .iter()
                     .map(|&(other, _)| get(composite, other.input, other.col, &joined))
                     .collect();
                 if key.iter().any(Value::is_null) {
-                    continue;
+                    return;
                 }
                 let Some(matches) = table.get(&key) else {
-                    continue;
+                    return;
                 };
                 'matches: for &r in matches {
                     for (pred, next_is_lhs) in &residuals {
@@ -415,7 +468,34 @@ pub fn execute(query: &Query, catalog: &Catalog, params: &Params) -> Result<Rela
                     }
                     let mut extended = composite.clone();
                     extended.push(r);
-                    new_composites.push(extended);
+                    out.push(extended);
+                }
+            };
+            if threads > 1 && composites.len() >= PAR_THRESHOLD {
+                let chunk = composites.len().div_ceil(threads);
+                let probe = &probe;
+                let parts: Vec<Vec<Vec<u32>>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = composites
+                        .chunks(chunk)
+                        .map(|chunk_rows| {
+                            scope.spawn(move || {
+                                let mut out = Vec::new();
+                                for composite in chunk_rows {
+                                    probe(composite, &mut out);
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("join probe worker"))
+                        .collect()
+                });
+                new_composites = parts.concat();
+            } else {
+                for composite in &composites {
+                    probe(composite, &mut new_composites);
                 }
             }
         }
@@ -458,7 +538,7 @@ pub fn execute(query: &Query, catalog: &Catalog, params: &Params) -> Result<Rela
     }
     let mut rel = Relation::new(columns, rows)?;
     if query.distinct {
-        rel.dedup();
+        rel.dedup_parallel(threads);
     }
     Ok(rel)
 }
@@ -695,6 +775,47 @@ mod tests {
             execute(&q, &catalog(), &Params::new()),
             Err(SqlError::Bind(_))
         ));
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical() {
+        // Large enough to cross PAR_THRESHOLD in the build, the probe and
+        // the DISTINCT dedup; the parallel plan must reproduce the
+        // sequential output byte for byte (including duplicate order).
+        let n = PAR_THRESHOLD * 3;
+        let mut c = Catalog::new();
+        let mut db = Database::new("D");
+        let mut left = Table::new(TableSchema::strings("l", &["k", "payload"], &[]));
+        let mut right = Table::new(TableSchema::strings("r", &["k", "tag"], &[]));
+        for i in 0..n {
+            left.insert(vec![
+                Value::str(format!("k{}", i % 97)),
+                Value::str(format!("p{}", i % 11)),
+            ])
+            .unwrap();
+            right
+                .insert(vec![
+                    Value::str(format!("k{}", (i * 7) % 97)),
+                    Value::str(format!("t{}", i % 5)),
+                ])
+                .unwrap();
+        }
+        db.add_table(left).unwrap();
+        db.add_table(right).unwrap();
+        c.add_source(db).unwrap();
+
+        for sql in [
+            "select l.payload, r.tag from D:l l, D:r r where l.k = r.k and l.payload < r.tag",
+            "select distinct l.payload, r.tag from D:l l, D:r r where l.k = r.k",
+        ] {
+            let q = Query::parse(sql).unwrap();
+            let seq = execute_with(&q, &c, &Params::new(), 1).unwrap();
+            assert!(!seq.is_empty(), "fixture produced no rows for {sql}");
+            for threads in [2, 4] {
+                let par = execute_with(&q, &c, &Params::new(), threads).unwrap();
+                assert_eq!(seq, par, "threads={threads} sql={sql}");
+            }
+        }
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! Usage: `check_perf_regression <baseline_dir> <current_dir>`
 //!
 //! Compares freshly regenerated `BENCH_fig10.json`,
-//! `BENCH_ablation_dynamic_live.json`, `BENCH_ablation_plan_cache.json` and
-//! `BENCH_shipcut.json` against the committed baselines. The
+//! `BENCH_ablation_dynamic_live.json`, `BENCH_ablation_plan_cache.json`,
+//! `BENCH_shipcut.json` and `BENCH_integrity.json` against the committed
+//! baselines. The
 //! simulated quantities (merging ratios, predicted speedups) are
 //! deterministic and get a tight relative band; wall-clock quantities
 //! (phase timers, live speedups) vary with the machine, so they only fail
@@ -235,6 +236,52 @@ fn check_shipcut(gate: &mut Gate, baseline: &Json, current: &Json) {
     );
 }
 
+fn check_integrity(gate: &mut Gate, baseline: &Json, current: &Json) {
+    // The headline claims are machine-independent hard requirements: the
+    // sweep injects corruption, none of it goes undetected, every defended
+    // document is byte-identical to the clean run — and the defense-off
+    // control proves the schedule really does publish wrong answers when
+    // nobody checks (otherwise the sweep is vacuous).
+    gate.require(
+        "integrity: the sweep no longer injects corruption",
+        num(current, "injected_total") > 0.0,
+    );
+    gate.require(
+        "integrity: corruption slipped past the defense",
+        num(current, "undetected_with_defense") == 0.0
+            && num(current, "masked_total") == num(current, "injected_total"),
+    );
+    gate.require(
+        "integrity: defended documents are no longer byte-identical",
+        current
+            .get("docs_identical")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    );
+    gate.require(
+        "integrity: the defense-off control no longer publishes a wrong answer",
+        num(current, "defense_off_undetected") > 0.0
+            && !current
+                .get("defense_off_doc_identical")
+                .and_then(Json::as_bool)
+                .unwrap_or(true),
+    );
+    // The injection schedule is a pure function of (seed, catalog): the
+    // totals track the committed baseline tightly.
+    gate.within(
+        "integrity injected corruptions",
+        num(baseline, "injected_total"),
+        num(current, "injected_total"),
+        SIM_TOLERANCE,
+    );
+    // Wall clocks only fail on large factors.
+    gate.bounded(
+        "integrity checked clean wall",
+        num(baseline, "checked_wall_secs"),
+        num(current, "checked_wall_secs"),
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, baseline_dir, current_dir] = &args[..] else {
@@ -261,6 +308,11 @@ fn main() -> ExitCode {
         &mut gate,
         &load(baseline_dir, "BENCH_shipcut.json"),
         &load(current_dir, "BENCH_shipcut.json"),
+    );
+    check_integrity(
+        &mut gate,
+        &load(baseline_dir, "BENCH_integrity.json"),
+        &load(current_dir, "BENCH_integrity.json"),
     );
     if gate.failures.is_empty() {
         println!("perf regression gate: {} checks passed", gate.checks);

@@ -30,6 +30,18 @@ pub enum MediatorError {
         source: String,
         lost_tasks: Vec<String>,
     },
+    /// The integrity defense caught wrong data: a shipped relation or the
+    /// tagged document violated a schema/key/inclusion constraint and the
+    /// retry budget could not mask it. Names the task, table, and violated
+    /// constraint so the caller knows exactly what was refused — the
+    /// alternative would have been a silently wrong document.
+    IntegrityViolation {
+        task: String,
+        source: String,
+        table: String,
+        constraint: String,
+        value: String,
+    },
     /// A cost graph carried a non-finite or negative evaluation time or
     /// edge size, which would poison the scheduler's priority ordering.
     InvalidCost {
@@ -67,6 +79,23 @@ impl fmt::Display for MediatorError {
                 "source {source} is unavailable with no replica; lost tasks: {}",
                 lost_tasks.join(", ")
             ),
+            MediatorError::IntegrityViolation {
+                task,
+                source,
+                table,
+                constraint,
+                value,
+            } => {
+                write!(
+                    f,
+                    "integrity violation in task {task} (source {source}, table {table}): \
+                     constraint {constraint} violated"
+                )?;
+                if !value.is_empty() {
+                    write!(f, " by {value}")?;
+                }
+                Ok(())
+            }
             MediatorError::InvalidCost { node, detail } => {
                 write!(f, "invalid cost input at node {node}: {detail}")
             }

@@ -8,11 +8,12 @@
 //! queries and simulating the transfers.
 
 use crate::error::MediatorError;
-use crate::faults::{FaultEnv, FaultPlan, ResilienceLog, RetryPolicy};
+use crate::faults::{FaultEnv, FaultPlan, IntegrityLog, ResilienceLog, RetryPolicy, TaskFaultCtx};
 use crate::graph::{
     resolve_syn_key, Binding, Occ, ParamInput, RelKey, ScalarBind, Task, TaskGraph, TaskKind,
     VectorQuery,
 };
+use crate::integrity;
 use crate::shipcut::ShipCut;
 use aig_core::attrs::FieldType;
 use aig_core::copyelim::{resolve_scalar, ResolvedScalar};
@@ -82,6 +83,13 @@ pub struct ExecOptions {
     /// Whether guard tasks abort on violations (disable for the constraint
     /// ablation).
     pub check_guards: bool,
+    /// Whether the per-task integrity guard checks shipped relations
+    /// against the catalog schema (key uniqueness, type/NULL and arity
+    /// conformance, row identity). Detections on non-final attempts retry;
+    /// final-attempt detections surface as
+    /// [`MediatorError::IntegrityViolation`]. Off by default: the checks
+    /// exist to measure the wrong-answer defense, not to tax clean runs.
+    pub check_integrity: bool,
     /// Deterministic fault injection for source tasks (None = no faults).
     pub faults: Option<FaultPlan>,
     /// Retry/backoff/timeout policy applied when faults are injected.
@@ -117,6 +125,7 @@ impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
             check_guards: true,
+            check_integrity: false,
             faults: None,
             retry: RetryPolicy::default(),
             network: crate::sim::NetworkModel::default(),
@@ -208,6 +217,9 @@ pub struct ExecResult {
     pub measured: Vec<Measured>,
     /// What the fault layer did: injected-fault events and re-plans.
     pub resilience: ResilienceLog,
+    /// What the wrong-answer layer did: injected corruptions and how each
+    /// was resolved (masked, detected, or undetected).
+    pub integrity: IntegrityLog,
     /// What the scheduler did (dynamic picks; empty under static).
     pub sched: SchedLog,
 }
@@ -279,6 +291,14 @@ pub fn execute_graph(
     let mut store = RelStore::default();
     let mut measured = vec![Measured::default(); graph.tasks.len()];
     let mut resilience = ResilienceLog::default();
+    let mut integrity_log = IntegrityLog::default();
+    // Relation profiles only matter when corruptions can be injected or
+    // the guard checks are on; clean runs skip the catalog lookups.
+    let profiling = opts.check_integrity
+        || opts
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.has_wrong_answer_faults());
     let mut effective: Vec<SourceId> = graph.tasks.iter().map(|t| t.source).collect();
     let mut active = match &opts.faults {
         Some(plan) => resolve_outages(catalog, graph, plan, &mut effective)?,
@@ -344,6 +364,11 @@ pub fn execute_graph(
         let start_secs = (start - epoch).as_secs_f64();
         let failed_over_from =
             (effective[id] != task.source).then(|| catalog.source(task.source).name());
+        let profile = if profiling {
+            integrity::profile_task(task, catalog)
+        } else {
+            None
+        };
         let output = {
             let exec = Executor {
                 aig,
@@ -355,13 +380,20 @@ pub fn execute_graph(
             if let Some(secs) = opts.pace.as_ref().and_then(|p| p.get(id)) {
                 crate::faults::sleep_secs(*secs);
             }
-            env.run_task(
-                id,
-                &task.label,
-                effective[id],
-                catalog.source(effective[id]).name(),
+            let ctx = TaskFaultCtx {
+                task_id: id,
+                label: &task.label,
+                source: effective[id],
+                source_name: catalog.source(effective[id]).name(),
+                table: integrity::task_table(task),
                 failed_over_from,
+                profile: profile.as_ref(),
+                check_integrity: opts.check_integrity,
+            };
+            env.run_task(
+                &ctx,
                 &mut resilience.events,
+                &mut integrity_log.events,
                 || exec.run_task(task, args),
             )?
         };
@@ -394,6 +426,7 @@ pub fn execute_graph(
         store,
         measured,
         resilience,
+        integrity: integrity_log,
         sched: SchedLog::default(),
     })
 }

@@ -203,6 +203,50 @@ pub fn render_report(report: &RunReport) -> String {
             );
         }
     }
+    if report.integrity.enabled || report.integrity.injected > 0 {
+        let i = &report.integrity;
+        let _ = writeln!(
+            out,
+            "integrity ({}): {} injected = {} masked by retry + {} detected by guard + \
+             {} detected by constraint + {} undetected ({})",
+            if i.enabled { "checks on" } else { "checks off" },
+            i.injected,
+            i.masked_by_retry,
+            i.detected_by_guard,
+            i.detected_by_constraint,
+            i.undetected,
+            if i.balanced {
+                "balanced"
+            } else {
+                "UNBALANCED: silent corruption"
+            },
+        );
+        for e in &i.events {
+            let detail = if e.detail.is_empty() {
+                String::new()
+            } else {
+                format!("/{}", e.detail)
+            };
+            let constraint = if e.constraint.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", e.constraint)
+            };
+            let _ = writeln!(
+                out,
+                "  task {} ({}) @{}.{} attempt {}: {}{} -> {}{}",
+                e.task,
+                e.label,
+                e.source,
+                e.table,
+                e.attempt,
+                e.kind,
+                detail,
+                e.outcome,
+                constraint
+            );
+        }
+    }
     if report.scheduler.mode != "static" || !report.scheduler.deviations.is_empty() {
         let s = &report.scheduler;
         let _ = writeln!(

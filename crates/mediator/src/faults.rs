@@ -17,8 +17,9 @@
 //! a fault-free run (see the chaos-matrix tests).
 
 use crate::error::MediatorError;
+use crate::integrity::{self, CorruptionKind, RelProfile};
 use aig_prng::{Rng, SeedableRng, StdRng};
-use aig_relstore::{Catalog, SourceId};
+use aig_relstore::{Catalog, Relation, SourceId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
@@ -47,6 +48,19 @@ pub struct FaultConfig {
     /// and then goes hard-down for the rest of the run. `k = 0` is a
     /// whole-run outage, equivalent to listing the source in `outages`.
     pub dies_after: Vec<(String, usize)>,
+    /// Probability that an attempt's shipped relation is corrupted with a
+    /// seeded wrong-answer mutation (a [`CorruptionKind`] drawn uniformly).
+    pub corrupt_rate: f64,
+    /// Probability that the attempt's primary table has vanished while its
+    /// source stays up; the attempt fails naming the table. Re-decided per
+    /// attempt, so retries can find the table back.
+    pub table_outage_rate: f64,
+    /// Probability that an attempt running at a failover replica returns a
+    /// stale answer lagging the primary: the shipped relation is truncated
+    /// by up to [`FaultConfig::stale_replica_rows`] trailing rows.
+    pub stale_replica_rate: f64,
+    /// Maximum replica lag in rows (the drawn lag is uniform in `1..=max`).
+    pub stale_replica_rows: usize,
 }
 
 impl Default for FaultConfig {
@@ -59,6 +73,10 @@ impl Default for FaultConfig {
             outages: Vec::new(),
             outage_rate: 0.0,
             dies_after: Vec::new(),
+            corrupt_rate: 0.0,
+            table_outage_rate: 0.0,
+            stale_replica_rate: 0.0,
+            stale_replica_rows: 2,
         }
     }
 }
@@ -133,6 +151,11 @@ pub enum FaultKind {
     Transient,
     Latency,
     Outage,
+    /// The attempt's primary table vanished while its source stayed up.
+    TableOutage,
+    /// The attempt shipped a corrupted relation that the integrity guard
+    /// rejected at the task boundary.
+    CorruptRow,
 }
 
 impl FaultKind {
@@ -141,6 +164,8 @@ impl FaultKind {
             FaultKind::Transient => "transient",
             FaultKind::Latency => "latency",
             FaultKind::Outage => "outage",
+            FaultKind::TableOutage => "table-outage",
+            FaultKind::CorruptRow => "corrupt-row",
         }
     }
 }
@@ -220,6 +245,149 @@ impl ResilienceLog {
             .iter()
             .filter(|e| e.outcome != FaultOutcome::Absorbed)
             .count()
+    }
+}
+
+/// The wrong-answer fault taxonomy tracked by the integrity ledger. Unlike
+/// the fail-stop [`FaultKind`]s, every one of these can put *wrong data*
+/// in front of the mediator — the ledger exists to prove none of it
+/// reaches the published document silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WrongAnswerKind {
+    /// A seeded cell/row mutation of a shipped relation.
+    CorruptRow(CorruptionKind),
+    /// The attempt's primary table vanished while its source stayed up.
+    TableOutage,
+    /// A failover replica answered with a truncated (lagging) relation.
+    StaleReplica,
+}
+
+impl WrongAnswerKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            WrongAnswerKind::CorruptRow(_) => "corrupt-row",
+            WrongAnswerKind::TableOutage => "table-outage",
+            WrongAnswerKind::StaleReplica => "stale-replica",
+        }
+    }
+
+    /// The mutation detail for corruptions, empty otherwise.
+    pub fn detail(self) -> &'static str {
+        match self {
+            WrongAnswerKind::CorruptRow(k) => k.name(),
+            _ => "",
+        }
+    }
+}
+
+/// How one wrong-answer injection resolved. The accounting identity is
+/// `injected = masked_by_retry + detected_by_guard +
+/// detected_by_constraint + undetected`; the chaos harness and the CI
+/// perf gate then pin `undetected` to zero (or to runs whose output is
+/// byte-identical to the clean run, i.e. the corruption was absorbed by
+/// later processing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IntegrityOutcome {
+    /// The guard detected the fault and a subsequent attempt replaced the
+    /// data — the run's output is byte-identical to a clean run.
+    MaskedByRetry,
+    /// The guard detected the fault on the final attempt; the run surfaced
+    /// a structured [`MediatorError::IntegrityViolation`].
+    DetectedByGuard,
+    /// The fault slipped past the task-boundary guard but the document
+    /// constraint check ([`aig_xml::ConstraintSet::check`]) caught it.
+    DetectedByConstraint,
+    /// No layer detected the fault (yet). Document-level reconciliation
+    /// upgrades these to [`IntegrityOutcome::DetectedByConstraint`]; any
+    /// that remain are the silent corruptions the harness asserts against.
+    Undetected,
+}
+
+impl IntegrityOutcome {
+    pub fn name(self) -> &'static str {
+        match self {
+            IntegrityOutcome::MaskedByRetry => "masked_by_retry",
+            IntegrityOutcome::DetectedByGuard => "detected_by_guard",
+            IntegrityOutcome::DetectedByConstraint => "detected_by_constraint",
+            IntegrityOutcome::Undetected => "undetected",
+        }
+    }
+}
+
+/// One recorded wrong-answer injection: where it hit, what was injected,
+/// how it resolved, and which check caught it (empty while undetected).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegrityEvent {
+    pub task: usize,
+    pub label: String,
+    pub source: String,
+    pub table: String,
+    pub attempt: usize,
+    pub kind: WrongAnswerKind,
+    pub outcome: IntegrityOutcome,
+    /// The violated check, e.g. `key(treatment[SSN, trId])` or
+    /// `table-available(procedure)`.
+    pub constraint: String,
+}
+
+/// The integrity ledger of one execution: every wrong-answer injection and
+/// its resolution. Reported in the `integrity` section of the RunReport
+/// (schema v6).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IntegrityLog {
+    pub events: Vec<IntegrityEvent>,
+}
+
+impl IntegrityLog {
+    /// Events in canonical `(task, attempt, kind)` order — the parallel
+    /// executor appends in completion order.
+    pub fn sorted_events(&self) -> Vec<IntegrityEvent> {
+        let mut events = self.events.clone();
+        events.sort_by(|a, b| {
+            (a.task, a.attempt, a.kind, a.outcome).cmp(&(b.task, b.attempt, b.kind, b.outcome))
+        });
+        events
+    }
+
+    pub fn count(&self, outcome: IntegrityOutcome) -> usize {
+        self.events.iter().filter(|e| e.outcome == outcome).count()
+    }
+
+    /// Total wrong-answer injections (the ledger identity's left side).
+    pub fn injected(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Injections no layer has detected. Zero on every run whose output is
+    /// trusted; the chaos harness asserts this (or byte-identity with the
+    /// clean run) across the whole fault matrix.
+    pub fn undetected(&self) -> usize {
+        self.count(IntegrityOutcome::Undetected)
+    }
+
+    /// Document-level reconciliation: the constraint check on the tagged
+    /// document found violations, so every injection still marked
+    /// [`IntegrityOutcome::Undetected`] is claimed by the constraint layer.
+    pub fn resolve_undetected(&mut self, constraint: &str) {
+        for e in &mut self.events {
+            if e.outcome == IntegrityOutcome::Undetected {
+                e.outcome = IntegrityOutcome::DetectedByConstraint;
+                e.constraint = constraint.to_string();
+            }
+        }
+    }
+
+    /// The ledger identity `injected = masked_by_retry +
+    /// detected_by_guard + detected_by_constraint` — every injection was
+    /// masked or detected (equivalently, [`IntegrityLog::undetected`] is
+    /// zero). False on defense-off runs where corruption flowed through;
+    /// the chaos harness asserts it (or byte-identity with the clean run)
+    /// everywhere else.
+    pub fn balanced(&self) -> bool {
+        self.injected()
+            == self.count(IntegrityOutcome::MaskedByRetry)
+                + self.count(IntegrityOutcome::DetectedByGuard)
+                + self.count(IntegrityOutcome::DetectedByConstraint)
     }
 }
 
@@ -338,6 +506,116 @@ impl FaultPlan {
             None
         }
     }
+
+    /// Whether any wrong-answer fault (corruption, table outage, stale
+    /// replica) is configured — executors then derive integrity profiles
+    /// for their source tasks.
+    pub fn has_wrong_answer_faults(&self) -> bool {
+        self.cfg.corrupt_rate > 0.0
+            || self.cfg.table_outage_rate > 0.0
+            || self.cfg.stale_replica_rate > 0.0
+    }
+
+    /// Whether attempt `attempt` of `task` finds `table` vanished at
+    /// `source` (the source itself stays up). Pure in
+    /// `(seed, source, table, task, attempt)`: re-decided per attempt, so a
+    /// retry can find the table back.
+    pub fn decide_table_outage(
+        &self,
+        source: SourceId,
+        table: &str,
+        task: usize,
+        attempt: usize,
+    ) -> bool {
+        if source.is_mediator() || self.cfg.table_outage_rate <= 0.0 || table.is_empty() {
+            return false;
+        }
+        let mut rng = StdRng::seed_from_u64(mix(&[
+            self.cfg.seed,
+            0x7AB7_E007,
+            source.0 as u64,
+            fnv64(table),
+            task as u64,
+            attempt as u64,
+        ]));
+        rng.gen_bool(self.cfg.table_outage_rate)
+    }
+
+    /// The wrong-answer corruption injected into attempt `attempt` of
+    /// `task` at `source` (None = the relation ships clean). Pure in
+    /// `(seed, source, table, task, attempt)`.
+    pub fn decide_corruption(
+        &self,
+        source: SourceId,
+        table: &str,
+        task: usize,
+        attempt: usize,
+    ) -> Option<CorruptionKind> {
+        if source.is_mediator() || self.cfg.corrupt_rate <= 0.0 || table.is_empty() {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(mix(&[
+            self.cfg.seed,
+            0xC0BB_ED05,
+            source.0 as u64,
+            fnv64(table),
+            task as u64,
+            attempt as u64,
+        ]));
+        if !rng.gen_bool(self.cfg.corrupt_rate) {
+            return None;
+        }
+        Some(CorruptionKind::ALL[rng.gen_range(0..CorruptionKind::ALL.len())])
+    }
+
+    /// The RNG stream driving a corruption's mutation site, independent of
+    /// the decision stream (and equally pure).
+    pub fn corruption_rng(
+        &self,
+        source: SourceId,
+        table: &str,
+        task: usize,
+        attempt: usize,
+    ) -> StdRng {
+        StdRng::seed_from_u64(mix(&[
+            self.cfg.seed,
+            0xC0BB_ED06,
+            source.0 as u64,
+            fnv64(table),
+            task as u64,
+            attempt as u64,
+        ]))
+    }
+
+    /// The replica lag (in trailing rows dropped) of attempt `attempt` of
+    /// `task` when it runs at a failover target (None = the replica is
+    /// caught up). Pure in `(seed, source, table, task, attempt)`.
+    pub fn decide_stale(
+        &self,
+        source: SourceId,
+        table: &str,
+        task: usize,
+        attempt: usize,
+    ) -> Option<usize> {
+        if source.is_mediator()
+            || self.cfg.stale_replica_rate <= 0.0
+            || self.cfg.stale_replica_rows == 0
+        {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(mix(&[
+            self.cfg.seed,
+            0x57A7_E00D,
+            source.0 as u64,
+            fnv64(table),
+            task as u64,
+            attempt as u64,
+        ]));
+        if !rng.gen_bool(self.cfg.stale_replica_rate) {
+            return None;
+        }
+        Some(rng.gen_range(1..self.cfg.stale_replica_rows + 1))
+    }
 }
 
 /// The per-execution fault environment both executors run tasks through.
@@ -347,30 +625,51 @@ pub(crate) struct FaultEnv<'a> {
     pub retry: &'a RetryPolicy,
 }
 
+/// Everything the fault layer needs to know about the task it wraps —
+/// bundled so both executors call [`FaultEnv::run_task`] identically.
+pub(crate) struct TaskFaultCtx<'a> {
+    pub task_id: usize,
+    pub label: &'a str,
+    pub source: SourceId,
+    pub source_name: &'a str,
+    /// The primary stored table the task reads (wrong-answer fault
+    /// coordinate); None for mediator tasks.
+    pub table: Option<&'a str>,
+    /// The original source's name when this task was rerouted to a replica.
+    pub failed_over_from: Option<&'a str>,
+    /// Integrity profile of the shipped relation; None disables both
+    /// corruption injection and guard checks for this task.
+    pub profile: Option<&'a RelProfile>,
+    /// Whether the task-boundary guard checks run (detections feed the
+    /// retry loop; final-attempt detections surface as
+    /// [`MediatorError::IntegrityViolation`]).
+    pub check_integrity: bool,
+}
+
 impl FaultEnv<'_> {
     /// Runs one task under the fault model: injected latency spikes are
-    /// slept (capped at the timeout), transient errors and timeouts are
-    /// retried with exponential backoff up to `max_attempts`, and the last
-    /// failure surfaces as a structured [`MediatorError::SourceFault`].
-    /// `failed_over_from` marks a task rerouted from a dead source to a
-    /// replica; the outage is recorded before the (replica) attempts run.
+    /// slept (capped at the timeout), transient errors, vanished tables and
+    /// timeouts are retried with exponential backoff up to `max_attempts`,
+    /// and the last failure surfaces as a structured
+    /// [`MediatorError::SourceFault`]. Shipped relations then pass the
+    /// wrong-answer layer: seeded corruptions and replica staleness are
+    /// injected, the integrity guard checks the result, and every injection
+    /// is recorded in `ledger` with its resolution. A guard detection on a
+    /// non-final attempt retries (masking the corruption); on the final
+    /// attempt it surfaces as [`MediatorError::IntegrityViolation`].
     /// Genuine task errors (constraint violations, internal errors) are
     /// never retried.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn run_task<T>(
+    pub(crate) fn run_task(
         &self,
-        task_id: usize,
-        label: &str,
-        source: SourceId,
-        source_name: &str,
-        failed_over_from: Option<&str>,
+        ctx: &TaskFaultCtx<'_>,
         events: &mut Vec<FaultEvent>,
-        mut run: impl FnMut() -> Result<T, MediatorError>,
-    ) -> Result<T, MediatorError> {
-        if let Some(origin) = failed_over_from {
+        ledger: &mut Vec<IntegrityEvent>,
+        mut run: impl FnMut() -> Result<Option<Relation>, MediatorError>,
+    ) -> Result<Option<Relation>, MediatorError> {
+        if let Some(origin) = ctx.failed_over_from {
             events.push(FaultEvent {
-                task: task_id,
-                label: label.to_string(),
+                task: ctx.task_id,
+                label: ctx.label.to_string(),
                 source: origin.to_string(),
                 attempt: 0,
                 kind: FaultKind::Outage,
@@ -382,20 +681,34 @@ impl FaultEnv<'_> {
         let Some(plan) = self.plan else {
             return run();
         };
+        let table = ctx.table.unwrap_or("");
         let max = self.retry.max_attempts.max(1);
         for attempt in 0..max {
             let event = |kind, outcome, backoff_secs, stall_secs| FaultEvent {
-                task: task_id,
-                label: label.to_string(),
-                source: source_name.to_string(),
+                task: ctx.task_id,
+                label: ctx.label.to_string(),
+                source: ctx.source_name.to_string(),
                 attempt,
                 kind,
                 outcome,
                 backoff_secs,
                 stall_secs,
             };
-            let (kind, stall) = match plan.decide(source, task_id, attempt) {
-                None => return run(),
+            let ledger_event = |kind, outcome, constraint: String| IntegrityEvent {
+                task: ctx.task_id,
+                label: ctx.label.to_string(),
+                source: ctx.source_name.to_string(),
+                table: table.to_string(),
+                attempt,
+                kind,
+                outcome,
+                constraint,
+            };
+            // Fail-stop faults first (the pre-existing decision stream,
+            // unchanged so fail-stop chaos runs replay byte-identically).
+            let mut failure: Option<(FaultKind, f64)> = None;
+            match plan.decide(ctx.source, ctx.task_id, attempt) {
+                None => {}
                 Some(InjectedFault::Latency(spike)) => {
                     let spike_secs = spike.as_secs_f64();
                     if spike_secs < self.retry.timeout_secs {
@@ -407,36 +720,156 @@ impl FaultEnv<'_> {
                             0.0,
                             spike_secs,
                         ));
-                        return run();
-                    }
-                    // The stall would exceed the timeout: sleep only the
-                    // timeout, then fail the attempt.
-                    let stall = if self.retry.timeout_secs.is_finite() {
-                        self.retry.timeout_secs
                     } else {
-                        spike_secs
-                    };
-                    sleep_secs(stall);
-                    (FaultKind::Latency, stall)
+                        // The stall would exceed the timeout: sleep only
+                        // the timeout, then fail the attempt.
+                        let stall = if self.retry.timeout_secs.is_finite() {
+                            self.retry.timeout_secs
+                        } else {
+                            spike_secs
+                        };
+                        sleep_secs(stall);
+                        failure = Some((FaultKind::Latency, stall));
+                    }
                 }
-                Some(InjectedFault::Transient) => (FaultKind::Transient, 0.0),
-            };
-            if attempt + 1 == max {
-                events.push(event(kind, FaultOutcome::Surfaced, 0.0, stall));
-                return Err(MediatorError::SourceFault {
-                    source: source_name.to_string(),
-                    task: label.to_string(),
-                    kind: kind.name().to_string(),
-                    attempts: max,
-                });
+                Some(InjectedFault::Transient) => failure = Some((FaultKind::Transient, 0.0)),
             }
-            let backoff = self.retry.backoff_secs(plan.seed(), task_id, attempt);
-            sleep_secs(backoff);
-            let outcome = match kind {
-                FaultKind::Latency => FaultOutcome::TimedOut,
-                _ => FaultOutcome::Retried,
-            };
-            events.push(event(kind, outcome, backoff, stall));
+            // Then the vanished-table model: the source answers, but this
+            // attempt's primary table is gone.
+            let mut table_gone = false;
+            if failure.is_none()
+                && plan.decide_table_outage(ctx.source, table, ctx.task_id, attempt)
+            {
+                failure = Some((FaultKind::TableOutage, 0.0));
+                table_gone = true;
+            }
+            if let Some((kind, stall)) = failure {
+                let availability = || format!("table-available({table})");
+                if attempt + 1 == max {
+                    events.push(event(kind, FaultOutcome::Surfaced, 0.0, stall));
+                    if table_gone {
+                        ledger.push(ledger_event(
+                            WrongAnswerKind::TableOutage,
+                            IntegrityOutcome::DetectedByGuard,
+                            availability(),
+                        ));
+                    }
+                    return Err(MediatorError::SourceFault {
+                        source: ctx.source_name.to_string(),
+                        task: ctx.label.to_string(),
+                        kind: if table_gone {
+                            format!("{}({table})", kind.name())
+                        } else {
+                            kind.name().to_string()
+                        },
+                        attempts: max,
+                    });
+                }
+                let backoff = self.retry.backoff_secs(plan.seed(), ctx.task_id, attempt);
+                sleep_secs(backoff);
+                let outcome = match kind {
+                    FaultKind::Latency => FaultOutcome::TimedOut,
+                    _ => FaultOutcome::Retried,
+                };
+                events.push(event(kind, outcome, backoff, stall));
+                if table_gone {
+                    ledger.push(ledger_event(
+                        WrongAnswerKind::TableOutage,
+                        IntegrityOutcome::MaskedByRetry,
+                        availability(),
+                    ));
+                }
+                continue;
+            }
+            // The attempt runs; genuine errors are never retried.
+            let mut out = run()?;
+            if let Some(rel) = out.as_mut() {
+                // Stale replica: a failover target answers with a relation
+                // lagging the primary by a seeded number of trailing rows.
+                // Invisible at this boundary by design — the document-level
+                // constraint check is the layer that can expose it.
+                if ctx.failed_over_from.is_some() && !rel.is_empty() {
+                    if let Some(lag) = plan.decide_stale(ctx.source, table, ctx.task_id, attempt) {
+                        let keep = rel.len().saturating_sub(lag);
+                        if keep < rel.len() {
+                            rel.truncate(keep);
+                            ledger.push(ledger_event(
+                                WrongAnswerKind::StaleReplica,
+                                IntegrityOutcome::Undetected,
+                                String::new(),
+                            ));
+                        }
+                    }
+                }
+                // Seeded wrong-answer corruption of the shipped relation.
+                let mut corrupted: Option<CorruptionKind> = None;
+                if let (Some(profile), Some(kind)) = (
+                    ctx.profile,
+                    plan.decide_corruption(ctx.source, table, ctx.task_id, attempt),
+                ) {
+                    let mut rng = plan.corruption_rng(ctx.source, table, ctx.task_id, attempt);
+                    corrupted = integrity::corrupt_relation(rel, kind, &mut rng, profile);
+                }
+                // The task-boundary guard: key uniqueness, type/NULL and
+                // arity conformance against the catalog schema.
+                if ctx.check_integrity {
+                    if let Some(profile) = ctx.profile {
+                        if let Some(finding) = integrity::check_relation(rel, profile) {
+                            let violation = || MediatorError::IntegrityViolation {
+                                task: ctx.label.to_string(),
+                                source: ctx.source_name.to_string(),
+                                table: table.to_string(),
+                                constraint: finding.constraint.clone(),
+                                value: finding.value.clone(),
+                            };
+                            let Some(kind) = corrupted else {
+                                // Genuine bad data (nothing injected this
+                                // attempt): surface immediately, a retry
+                                // would re-fetch the same rows.
+                                return Err(violation());
+                            };
+                            if attempt + 1 == max {
+                                events.push(event(
+                                    FaultKind::CorruptRow,
+                                    FaultOutcome::Surfaced,
+                                    0.0,
+                                    0.0,
+                                ));
+                                ledger.push(ledger_event(
+                                    WrongAnswerKind::CorruptRow(kind),
+                                    IntegrityOutcome::DetectedByGuard,
+                                    finding.constraint.clone(),
+                                ));
+                                return Err(violation());
+                            }
+                            let backoff =
+                                self.retry.backoff_secs(plan.seed(), ctx.task_id, attempt);
+                            sleep_secs(backoff);
+                            events.push(event(
+                                FaultKind::CorruptRow,
+                                FaultOutcome::Retried,
+                                backoff,
+                                0.0,
+                            ));
+                            ledger.push(ledger_event(
+                                WrongAnswerKind::CorruptRow(kind),
+                                IntegrityOutcome::MaskedByRetry,
+                                finding.constraint.clone(),
+                            ));
+                            continue;
+                        }
+                    }
+                }
+                if let Some(kind) = corrupted {
+                    // Defense off (or no profile): the corruption flows on.
+                    ledger.push(ledger_event(
+                        WrongAnswerKind::CorruptRow(kind),
+                        IntegrityOutcome::Undetected,
+                        String::new(),
+                    ));
+                }
+            }
+            return Ok(out);
         }
         unreachable!("max_attempts >= 1 always returns or surfaces")
     }
@@ -460,6 +893,17 @@ fn mix(parts: &[u64]) -> u64 {
         acc = z ^ (z >> 31);
     }
     acc
+}
+
+/// FNV-1a hash of a table name, folding the string coordinate of the
+/// wrong-answer fault streams into the `mix` word list.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -609,15 +1053,27 @@ mod tests {
             plan: Some(&plan),
             retry: &retry,
         };
+        let ctx = TaskFaultCtx {
+            task_id: 0,
+            label: "q",
+            source: SourceId(1),
+            source_name: "DB1",
+            table: None,
+            failed_over_from: None,
+            profile: None,
+            check_integrity: false,
+        };
         let mut events = Vec::new();
+        let mut ledger = Vec::new();
         let mut calls = 0;
         let err = env
-            .run_task(0, "q", SourceId(1), "DB1", None, &mut events, || {
+            .run_task(&ctx, &mut events, &mut ledger, || {
                 calls += 1;
-                Ok(Some(()))
+                Ok(Some(Relation::empty(vec!["a".into()])))
             })
             .unwrap_err();
         assert_eq!(calls, 0, "every attempt faulted before the query ran");
+        assert!(ledger.is_empty());
         assert!(
             matches!(err, MediatorError::SourceFault { attempts: 3, .. }),
             "{err}"
@@ -637,5 +1093,234 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn wrong_answer_deciders_are_pure_and_rate_honoring() {
+        let cfg = FaultConfig {
+            seed: 21,
+            corrupt_rate: 0.25,
+            table_outage_rate: 0.1,
+            stale_replica_rate: 0.5,
+            stale_replica_rows: 3,
+            ..FaultConfig::default()
+        };
+        let cat = catalog();
+        let plan = FaultPlan::new(&cfg, &cat).unwrap();
+        assert!(plan.has_wrong_answer_faults());
+        let mut corrupted = 0;
+        let mut gone = 0;
+        let mut stale = 0;
+        let n = 8_000;
+        for t in 0..n {
+            let c = plan.decide_corruption(SourceId(1), "patient", t, 0);
+            assert_eq!(c, plan.decide_corruption(SourceId(1), "patient", t, 0));
+            corrupted += c.is_some() as usize;
+            let g = plan.decide_table_outage(SourceId(1), "patient", t, 0);
+            assert_eq!(g, plan.decide_table_outage(SourceId(1), "patient", t, 0));
+            gone += g as usize;
+            let s = plan.decide_stale(SourceId(1), "patient", t, 0);
+            assert_eq!(s, plan.decide_stale(SourceId(1), "patient", t, 0));
+            if let Some(lag) = s {
+                assert!((1..=3).contains(&lag));
+                stale += 1;
+            }
+        }
+        let cf = corrupted as f64 / n as f64;
+        let gf = gone as f64 / n as f64;
+        let sf = stale as f64 / n as f64;
+        assert!((0.22..0.28).contains(&cf), "corrupt rate {cf}");
+        assert!((0.08..0.12).contains(&gf), "table outage rate {gf}");
+        assert!((0.46..0.54).contains(&sf), "stale rate {sf}");
+        // Distinct tables draw from independent streams.
+        let a: Vec<_> = (0..64)
+            .map(|t| plan.decide_corruption(SourceId(1), "patient", t, 0))
+            .collect();
+        let b: Vec<_> = (0..64)
+            .map(|t| plan.decide_corruption(SourceId(1), "treatment", t, 0))
+            .collect();
+        assert_ne!(a, b);
+        // The mediator is never a corruption site.
+        for t in 0..200 {
+            assert_eq!(plan.decide_corruption(SourceId::MEDIATOR, "x", t, 0), None);
+            assert!(!plan.decide_table_outage(SourceId::MEDIATOR, "x", t, 0));
+        }
+        // Wrong-answer faults leave the fail-stop stream untouched.
+        let clean = FaultPlan::new(
+            &FaultConfig {
+                seed: 21,
+                ..FaultConfig::default()
+            },
+            &cat,
+        )
+        .unwrap();
+        for t in 0..200 {
+            assert_eq!(
+                plan.decide(SourceId(1), t, 0),
+                clean.decide(SourceId(1), t, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn run_task_masks_detected_corruption_by_retry() {
+        use aig_relstore::{Value, ValueType};
+        let cfg = FaultConfig {
+            seed: 2,
+            corrupt_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let cat = catalog();
+        let plan = FaultPlan::new(&cfg, &cat).unwrap();
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_secs: 0.0,
+            backoff_cap_secs: 0.0,
+            jitter: 0.0,
+            timeout_secs: f64::INFINITY,
+        };
+        let env = FaultEnv {
+            plan: Some(&plan),
+            retry: &retry,
+        };
+        let profile = RelProfile {
+            table: "patient".to_string(),
+            col_types: [
+                ("__parent".to_string(), ValueType::Int),
+                ("__ord".to_string(), ValueType::Int),
+                ("ssn".to_string(), ValueType::Str),
+            ]
+            .into_iter()
+            .collect(),
+            key_cols: vec!["ssn".to_string()],
+        };
+        let ctx = TaskFaultCtx {
+            task_id: 0,
+            label: "q",
+            source: SourceId(1),
+            source_name: "DB1",
+            table: Some("patient"),
+            failed_over_from: None,
+            profile: Some(&profile),
+            check_integrity: true,
+        };
+        let fresh = || {
+            Ok(Some(
+                Relation::new(
+                    vec!["__parent".into(), "__ord".into(), "ssn".into()],
+                    vec![
+                        vec![Value::int(0), Value::int(0), Value::str("a")],
+                        vec![Value::int(0), Value::int(1), Value::str("b")],
+                        vec![Value::int(0), Value::int(2), Value::str("c")],
+                    ],
+                )
+                .unwrap(),
+            ))
+        };
+        let mut events = Vec::new();
+        let mut ledger = Vec::new();
+        let result = env.run_task(&ctx, &mut events, &mut ledger, fresh);
+        // corrupt_rate = 1.0 with max_attempts = 3: every attempt corrupts,
+        // every attempt is detected, the final one surfaces.
+        let err = result.unwrap_err();
+        assert!(
+            matches!(err, MediatorError::IntegrityViolation { .. }),
+            "{err}"
+        );
+        assert_eq!(ledger.len(), 3);
+        assert_eq!(
+            ledger
+                .iter()
+                .filter(|e| e.outcome == IntegrityOutcome::MaskedByRetry)
+                .count(),
+            2
+        );
+        assert_eq!(
+            ledger
+                .iter()
+                .filter(|e| e.outcome == IntegrityOutcome::DetectedByGuard)
+                .count(),
+            1
+        );
+        for e in &ledger {
+            assert!(matches!(e.kind, WrongAnswerKind::CorruptRow(_)));
+            assert!(!e.constraint.is_empty());
+        }
+
+        // With the guard off the same corruption flows through undetected.
+        let ctx_off = TaskFaultCtx {
+            check_integrity: false,
+            ..ctx
+        };
+        let mut events = Vec::new();
+        let mut ledger = Vec::new();
+        let out = env
+            .run_task(&ctx_off, &mut events, &mut ledger, fresh)
+            .unwrap()
+            .unwrap();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].outcome, IntegrityOutcome::Undetected);
+        let clean = fresh().unwrap().unwrap();
+        assert_ne!(out, clean, "corruption must actually change the relation");
+    }
+
+    #[test]
+    fn run_task_truncates_stale_replica_after_failover() {
+        use aig_relstore::Value;
+        let cfg = FaultConfig {
+            seed: 4,
+            stale_replica_rate: 1.0,
+            stale_replica_rows: 2,
+            ..FaultConfig::default()
+        };
+        let cat = catalog();
+        let plan = FaultPlan::new(&cfg, &cat).unwrap();
+        let retry = RetryPolicy {
+            max_attempts: 1,
+            backoff_base_secs: 0.0,
+            backoff_cap_secs: 0.0,
+            jitter: 0.0,
+            timeout_secs: f64::INFINITY,
+        };
+        let env = FaultEnv {
+            plan: Some(&plan),
+            retry: &retry,
+        };
+        let fresh = || Ok(Some(Relation::single_column("id", (0..5).map(Value::int))));
+        // No failover: staleness never fires.
+        let ctx = TaskFaultCtx {
+            task_id: 0,
+            label: "q",
+            source: SourceId(1),
+            source_name: "DB1",
+            table: Some("patient"),
+            failed_over_from: None,
+            profile: None,
+            check_integrity: false,
+        };
+        let mut events = Vec::new();
+        let mut ledger = Vec::new();
+        let out = env
+            .run_task(&ctx, &mut events, &mut ledger, fresh)
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(ledger.is_empty());
+        // After failover the replica lags by a seeded suffix.
+        let ctx_failed_over = TaskFaultCtx {
+            failed_over_from: Some("DB2"),
+            ..ctx
+        };
+        let mut events = Vec::new();
+        let mut ledger = Vec::new();
+        let out = env
+            .run_task(&ctx_failed_over, &mut events, &mut ledger, fresh)
+            .unwrap()
+            .unwrap();
+        assert!(out.len() < 5, "stale replica must drop trailing rows");
+        assert_eq!(out.rows()[0][0], Value::int(0), "prefix preserved");
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].kind.name(), "stale-replica");
+        assert_eq!(ledger[0].outcome, IntegrityOutcome::Undetected);
     }
 }

@@ -5,6 +5,7 @@ pub mod exec;
 pub mod explain;
 pub mod faults;
 pub mod graph;
+pub mod integrity;
 pub mod json;
 pub mod merge;
 pub mod obs;
@@ -25,14 +26,17 @@ pub use exec::{
 };
 pub use explain::{render_graph, render_plan, render_report};
 pub use faults::{
-    FaultConfig, FaultEvent, FaultKind, FaultOutcome, FaultPlan, ResilienceLog, RetryPolicy,
+    FaultConfig, FaultEvent, FaultKind, FaultOutcome, FaultPlan, IntegrityEvent, IntegrityLog,
+    IntegrityOutcome, ResilienceLog, RetryPolicy, WrongAnswerKind,
 };
 pub use graph::{build_graph, GraphOptions, TaskGraph};
+pub use integrity::{CorruptionKind, IntegrityFinding, RelProfile};
 pub use json::Json;
 pub use merge::{merge, merge_pair, no_merge, MergeDecision, MergeOutcome};
 pub use obs::{
-    CacheObs, FaultEventObs, PhaseSample, Phases, PlanDeviationObs, ResilienceObs, RunReport,
-    SchedulerObs, ShipcutObs, SourceObs, TaskObs, SCHEMA_VERSION,
+    CacheObs, FaultEventObs, IntegrityEventObs, IntegrityObs, PhaseSample, Phases,
+    PlanDeviationObs, ResilienceObs, RunReport, SchedulerObs, ShipcutObs, SourceObs, TaskObs,
+    SCHEMA_VERSION,
 };
 pub use parallel::execute_graph_parallel;
 pub use pipeline::{

@@ -9,7 +9,7 @@
 
 use crate::cost::{completion_times, Plan, TaskCost};
 use crate::exec::Measured;
-use crate::faults::{FaultOutcome, ResilienceLog};
+use crate::faults::{FaultOutcome, IntegrityLog, IntegrityOutcome, ResilienceLog};
 use crate::graph::{TaskGraph, TaskKind};
 use crate::json::Json;
 use crate::merge::MergeOutcome;
@@ -178,8 +178,10 @@ pub struct PlanSeqObs {
 /// prepare/execute stage split (`prepare_secs`, `execute_secs`) and the
 /// `cache` section with the plan cache's hit/miss/promotion counters;
 /// 5 = adds the `shipcut` section (column-liveness pruning at ship
-/// boundaries) and the per-task `ship_bytes` field.
-pub const SCHEMA_VERSION: u32 = 5;
+/// boundaries) and the per-task `ship_bytes` field; 6 = adds the
+/// `integrity` section (the wrong-answer ledger: injected corruptions and
+/// how each was masked or detected).
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Which stage of the prepared-plan split a phase belongs to: everything
 /// argument-independent (compilation through estimate-based planning, plus
@@ -263,6 +265,56 @@ pub struct ResilienceObs {
     pub stall_secs: f64,
     /// Events in canonical `(task, attempt)` order.
     pub events: Vec<FaultEventObs>,
+}
+
+/// One wrong-answer fault as recorded in the report: where it hit and how
+/// the integrity defense resolved it.
+#[derive(Debug, Clone)]
+pub struct IntegrityEventObs {
+    pub task: usize,
+    pub label: String,
+    pub source: String,
+    /// Stored table the task reads (the wrong-answer fault coordinate).
+    pub table: String,
+    pub attempt: usize,
+    /// `corrupt-row`, `table-outage`, or `stale-replica`.
+    pub kind: String,
+    /// The specific mutation for corruptions (`flip-key`, `null-column`,
+    /// `duplicate-row`, `type-confuse`); equals `kind` otherwise.
+    pub detail: String,
+    /// `masked_by_retry`, `detected_by_guard`, `detected_by_constraint`,
+    /// or `undetected`.
+    pub outcome: String,
+    /// The violated constraint the detection named (empty while
+    /// undetected).
+    pub constraint: String,
+}
+
+/// The integrity section: the wrong-answer ledger. The headline invariant
+/// is `injected = masked_by_retry + detected_by_guard +
+/// detected_by_constraint + undetected` with `undetected = 0` whenever the
+/// defense is on — zero silent corruptions, asserted, not hoped.
+#[derive(Debug, Clone, Default)]
+pub struct IntegrityObs {
+    /// Whether the integrity guard checks were on for the run.
+    pub enabled: bool,
+    /// Wrong-answer faults injected (ledger entries).
+    pub injected: usize,
+    /// Detected by the task-boundary guard and masked by a retry that
+    /// re-fetched clean data.
+    pub masked_by_retry: usize,
+    /// Detected by the task-boundary guard on the final attempt (the run
+    /// surfaced a structured `IntegrityViolation`).
+    pub detected_by_guard: usize,
+    /// Detected by the document-level key/inclusion constraint check.
+    pub detected_by_constraint: usize,
+    /// Corruptions that flowed through unseen (only the defense-off
+    /// ablation should ever report a nonzero count).
+    pub undetected: usize,
+    /// Whether the ledger balances: every injection is accounted for.
+    pub balanced: bool,
+    /// Events in canonical `(task, attempt)` order.
+    pub events: Vec<IntegrityEventObs>,
 }
 
 /// One dynamic-scheduler pick that ran at a different per-source position
@@ -368,6 +420,9 @@ pub struct RunReport {
     pub merges: usize,
     /// What the fault-injection and recovery layer did during execution.
     pub resilience: ResilienceObs,
+    /// The wrong-answer ledger: injected corruptions and how each was
+    /// masked or detected.
+    pub integrity: IntegrityObs,
     /// Which scheduling mode ran and how the live schedule deviated from
     /// the static plan.
     pub scheduler: SchedulerObs,
@@ -391,6 +446,10 @@ pub(crate) struct ReportInputs<'a> {
     pub unfold_rounds: usize,
     pub parallel_exec: bool,
     pub resilience: &'a ResilienceLog,
+    /// The wrong-answer ledger of the final execution round.
+    pub integrity: &'a IntegrityLog,
+    /// Whether the integrity guard checks were on.
+    pub check_integrity: bool,
     /// Seed of the fault stream; None when fault injection was disabled.
     pub fault_seed: Option<u64>,
     /// What the scheduler did during the final execution round.
@@ -468,6 +527,8 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         unfold_rounds,
         parallel_exec,
         resilience,
+        integrity,
+        check_integrity,
         fault_seed,
         sched,
         cache,
@@ -600,6 +661,32 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         events,
     };
 
+    let integrity_events: Vec<IntegrityEventObs> = integrity
+        .sorted_events()
+        .into_iter()
+        .map(|e| IntegrityEventObs {
+            task: e.task,
+            label: e.label,
+            source: e.source,
+            table: e.table,
+            attempt: e.attempt,
+            kind: e.kind.name().to_string(),
+            detail: e.kind.detail().to_string(),
+            outcome: e.outcome.name().to_string(),
+            constraint: e.constraint,
+        })
+        .collect();
+    let integrity_obs = IntegrityObs {
+        enabled: check_integrity,
+        injected: integrity.injected(),
+        masked_by_retry: integrity.count(IntegrityOutcome::MaskedByRetry),
+        detected_by_guard: integrity.count(IntegrityOutcome::DetectedByGuard),
+        detected_by_constraint: integrity.count(IntegrityOutcome::DetectedByConstraint),
+        undetected: integrity.undetected(),
+        balanced: integrity.balanced(),
+        events: integrity_events,
+    };
+
     let mut deviations: Vec<PlanDeviationObs> = sched
         .deviations()
         .into_iter()
@@ -650,6 +737,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         sim_response_merged_secs: merged.response_secs,
         merges: merged.merges,
         resilience: resilience_obs,
+        integrity: integrity_obs,
         scheduler,
         cache,
         shipcut,
@@ -824,6 +912,49 @@ impl RunReport {
                                         ("outcome", Json::str(&e.outcome)),
                                         ("backoff_secs", Json::num(e.backoff_secs)),
                                         ("stall_secs", Json::num(e.stall_secs)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "integrity",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(self.integrity.enabled)),
+                    ("injected", Json::num(self.integrity.injected as f64)),
+                    (
+                        "masked_by_retry",
+                        Json::num(self.integrity.masked_by_retry as f64),
+                    ),
+                    (
+                        "detected_by_guard",
+                        Json::num(self.integrity.detected_by_guard as f64),
+                    ),
+                    (
+                        "detected_by_constraint",
+                        Json::num(self.integrity.detected_by_constraint as f64),
+                    ),
+                    ("undetected", Json::num(self.integrity.undetected as f64)),
+                    ("balanced", Json::Bool(self.integrity.balanced)),
+                    (
+                        "events",
+                        Json::Arr(
+                            self.integrity
+                                .events
+                                .iter()
+                                .map(|e| {
+                                    Json::obj(vec![
+                                        ("task", Json::num(e.task as f64)),
+                                        ("label", Json::str(&e.label)),
+                                        ("source", Json::str(&e.source)),
+                                        ("table", Json::str(&e.table)),
+                                        ("attempt", Json::num(e.attempt as f64)),
+                                        ("kind", Json::str(&e.kind)),
+                                        ("detail", Json::str(&e.detail)),
+                                        ("outcome", Json::str(&e.outcome)),
+                                        ("constraint", Json::str(&e.constraint)),
                                     ])
                                 })
                                 .collect(),
@@ -1058,6 +1189,7 @@ mod tests {
             sim_response_merged_secs: 0.0,
             merges: 0,
             resilience: ResilienceObs::default(),
+            integrity: IntegrityObs::default(),
             scheduler: SchedulerObs::default(),
             cache: CacheObs::default(),
             shipcut: ShipcutObs::default(),
@@ -1096,6 +1228,7 @@ mod tests {
             sim_response_merged_secs: 0.0,
             merges: 0,
             resilience: ResilienceObs::default(),
+            integrity: IntegrityObs::default(),
             scheduler: SchedulerObs::default(),
             cache: CacheObs::default(),
             shipcut: ShipcutObs::default(),

@@ -18,8 +18,11 @@ use crate::exec::{
     input_rows, ExecOptions, ExecResult, Executor, Measured, RelSource, RelStore, SchedLog,
     Scheduling, TaskPick,
 };
-use crate::faults::{FaultEnv, FaultEvent, FaultPlan, ResilienceLog};
+use crate::faults::{
+    FaultEnv, FaultEvent, FaultPlan, IntegrityEvent, IntegrityLog, ResilienceLog, TaskFaultCtx,
+};
 use crate::graph::{RelKey, TaskGraph};
+use crate::integrity;
 use crate::schedule::{levels, replan_surviving};
 use aig_core::spec::Aig;
 use aig_relstore::{Catalog, Relation, SourceId, Value};
@@ -49,6 +52,9 @@ struct Progress {
     /// Fault events appended as tasks complete (any order; the report
     /// canonicalizes).
     events: Vec<FaultEvent>,
+    /// Wrong-answer ledger entries appended as tasks complete (any order;
+    /// the report canonicalizes).
+    integrity: Vec<IntegrityEvent>,
     /// Live ready-queue state of the current round (None under Static);
     /// rebuilt — re-primed — at every failover round from the completed
     /// tasks and their measured actuals.
@@ -236,9 +242,11 @@ impl SharedStore<'_> {
         result: Result<Option<Relation>, MediatorError>,
         measured: Measured,
         events: Vec<FaultEvent>,
+        ledger: Vec<IntegrityEvent>,
     ) {
         let mut state = self.state.lock().expect("store mutex");
         state.events.extend(events);
+        state.integrity.extend(ledger);
         match result {
             Ok(rel) => {
                 if let Some(rel) = rel {
@@ -310,6 +318,7 @@ pub fn execute_graph_parallel(
             halted: None,
             measured: vec![Measured::default(); graph.tasks.len()],
             events: Vec::new(),
+            integrity: Vec::new(),
             dyn_sched: None,
             picks: Vec::new(),
             completed_at: HashMap::new(),
@@ -361,6 +370,9 @@ pub fn execute_graph_parallel(
                 resilience: ResilienceLog {
                     events: state.events,
                     replans,
+                },
+                integrity: IntegrityLog {
+                    events: state.integrity,
                 },
                 sched: SchedLog {
                     dynamic: opts.scheduling == Scheduling::Dynamic,
@@ -495,6 +507,11 @@ fn run_round(
     topo_pos: &[usize],
     epoch: &Instant,
 ) {
+    let profiling = opts.check_integrity
+        || opts
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.has_wrong_answer_faults());
     std::thread::scope(|scope| {
         for (source, sequence) in plan {
             let source = *source;
@@ -522,19 +539,28 @@ fn run_round(
                         let start_secs = (started - *epoch).as_secs_f64();
                         let failed_over_from = (effective[task_id] != task.source)
                             .then(|| catalog.source(task.source).name());
+                        let profile = if profiling {
+                            integrity::profile_task(task, catalog)
+                        } else {
+                            None
+                        };
                         let mut events = Vec::new();
+                        let mut ledger = Vec::new();
                         if let Some(secs) = opts.pace.as_ref().and_then(|p| p.get(task_id)) {
                             crate::faults::sleep_secs(*secs);
                         }
-                        let result = env.run_task(
+                        let ctx = TaskFaultCtx {
                             task_id,
-                            &task.label,
-                            effective[task_id],
-                            catalog.source(effective[task_id]).name(),
+                            label: &task.label,
+                            source: effective[task_id],
+                            source_name: catalog.source(effective[task_id]).name(),
+                            table: integrity::task_table(task),
                             failed_over_from,
-                            &mut events,
-                            || exec.run_task(task, args),
-                        );
+                            profile: profile.as_ref(),
+                            check_integrity: opts.check_integrity,
+                        };
+                        let result = env
+                            .run_task(&ctx, &mut events, &mut ledger, || exec.run_task(task, args));
                         let secs = started.elapsed().as_secs_f64();
                         let (out_rows, out_bytes, ship_bytes) = match &result {
                             Ok(Some(rel)) => (
@@ -559,6 +585,7 @@ fn run_round(
                                 start_secs,
                             },
                             events,
+                            ledger,
                         );
                         !failed
                     };

@@ -47,6 +47,10 @@ pub struct MediatorOptions {
     pub check_guards: bool,
     /// Whether the output is validated against the DTD (sanity check).
     pub validate_output: bool,
+    /// Whether the integrity defense runs: per-task guard checks on shipped
+    /// relations plus the key/inclusion constraint check on the tagged
+    /// document (see [`crate::integrity`]).
+    pub check_integrity: bool,
     /// Execute with the per-source worker threads of [`crate::parallel`]
     /// instead of the sequential executor (identical relations; the run
     /// report additionally carries per-task queue/wait times).
@@ -80,6 +84,7 @@ impl Default for MediatorOptions {
             merging: true,
             check_guards: true,
             validate_output: true,
+            check_integrity: false,
             parallel_exec: false,
             network: NetworkModel::default(),
             graph: GraphOptions::default(),
@@ -118,6 +123,7 @@ impl MediatorOptions {
         ExecPolicy {
             check_guards: self.check_guards,
             validate_output: self.validate_output,
+            check_integrity: self.check_integrity,
             parallel_exec: self.parallel_exec,
             network: self.network.clone(),
             faults: self.faults.clone(),
@@ -138,6 +144,7 @@ impl MediatorOptions {
             shipcut: plan.shipcut,
             check_guards: policy.check_guards,
             validate_output: policy.validate_output,
+            check_integrity: policy.check_integrity,
             parallel_exec: policy.parallel_exec,
             network: policy.network,
             faults: policy.faults,
@@ -207,6 +214,11 @@ impl MediatorOptionsBuilder {
 
     pub fn validate_output(mut self, validate: bool) -> Self {
         self.options.validate_output = validate;
+        self
+    }
+
+    pub fn check_integrity(mut self, check: bool) -> Self {
+        self.options.check_integrity = check;
         self
     }
 

@@ -13,7 +13,7 @@
 use crate::cost::{estimated_costs, measured_costs, CostGraph};
 use crate::error::MediatorError;
 use crate::exec::{execute_graph, ExecOptions, ExecResult, Scheduling};
-use crate::faults::{FaultConfig, RetryPolicy};
+use crate::faults::{FaultConfig, IntegrityOutcome, RetryPolicy};
 use crate::graph::{build_graph, source_histogram, GraphOptions, Occ, RelKey, TaskGraph};
 use crate::merge::{merge, no_merge, MergeOutcome};
 use crate::obs::{build_report, CacheObs, Phases, ReportInputs, RunReport};
@@ -72,6 +72,10 @@ pub struct ExecPolicy {
     pub check_guards: bool,
     /// Whether the output is validated against the DTD (sanity check).
     pub validate_output: bool,
+    /// Whether the integrity defense runs: per-task guard checks on shipped
+    /// relations plus the key/inclusion constraint check on the tagged
+    /// document, with detections recorded in the report's integrity ledger.
+    pub check_integrity: bool,
     /// Execute with the per-source worker threads of [`crate::parallel`]
     /// instead of the sequential executor.
     pub parallel_exec: bool,
@@ -94,6 +98,7 @@ impl Default for ExecPolicy {
         ExecPolicy {
             check_guards: true,
             validate_output: true,
+            check_integrity: false,
             parallel_exec: false,
             network: NetworkModel::default(),
             faults: None,
@@ -112,6 +117,7 @@ impl From<&ExecPolicy> for ExecOptions {
     fn from(policy: &ExecPolicy) -> ExecOptions {
         ExecOptions {
             check_guards: policy.check_guards,
+            check_integrity: policy.check_integrity,
             faults: None,
             retry: policy.retry.clone(),
             network: policy.network.clone(),
@@ -344,7 +350,7 @@ pub fn execute_prepared(
         shipcut: plan.shipcut.clone(),
         ..exec_opts.clone()
     };
-    let exec: ExecResult = phases.time("execute", || {
+    let mut exec: ExecResult = phases.time("execute", || {
         if policy.parallel_exec {
             execute_graph_parallel(
                 &plan.aig,
@@ -399,6 +405,36 @@ pub fn execute_prepared(
                 .map_err(|e| MediatorError::Internal(format!("output validation: {e}")))
         })?;
     }
+    // -- Integrity defense: the document-level constraint check --------------
+    // The second detection layer (after the task-boundary guards inside the
+    // executors): the tagged document is checked against the AIG's key and
+    // inclusion constraints. This is what catches corruptions invisible at
+    // the relation boundary, e.g. a stale replica whose truncated answer
+    // breaks an inclusion between elements assembled from different tables.
+    if policy.check_integrity {
+        let violation = phases.time("constraint_check", || {
+            plan.aig.constraints.check_first(&tree)
+        });
+        if let Some(v) = violation {
+            // Reconcile the ledger before surfacing: any injection still
+            // marked undetected is claimed by the constraint layer.
+            exec.integrity.resolve_undetected(&v.constraint);
+            let culprit = exec
+                .integrity
+                .events
+                .iter()
+                .find(|e| e.outcome == IntegrityOutcome::DetectedByConstraint);
+            return Err(MediatorError::IntegrityViolation {
+                task: culprit
+                    .map(|e| e.label.clone())
+                    .unwrap_or_else(|| "document".to_string()),
+                source: culprit.map(|e| e.source.clone()).unwrap_or_default(),
+                table: culprit.map(|e| e.table.clone()).unwrap_or_default(),
+                constraint: v.constraint,
+                value: v.value,
+            });
+        }
+    }
 
     // -- Response-time simulation (§5.2-5.4) ---------------------------------
     let (costs, cg) = phases.time("simulate", || {
@@ -439,6 +475,8 @@ pub fn execute_prepared(
             unfold_rounds: rounds,
             parallel_exec: policy.parallel_exec,
             resilience: &exec.resilience,
+            integrity: &exec.integrity,
+            check_integrity: policy.check_integrity,
             fault_seed: exec_opts.faults.as_ref().map(|p| p.seed()),
             sched: &exec.sched,
             cache,

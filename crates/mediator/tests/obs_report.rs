@@ -159,6 +159,113 @@ fn json_report_round_trips_through_its_own_output() {
     assert_eq!(compact, value, "compact round-trip changed the report");
 }
 
+/// Schema v6 round-trip: a report with a *populated* integrity ledger
+/// reaches a serialization fixpoint (encode → decode → encode is identity),
+/// and a fault seed above 2^53 — unrepresentable as an f64-backed JSON
+/// number — survives losslessly through the decimal-string path.
+#[test]
+fn json_v6_reaches_a_fixpoint_with_integrity_ledger_and_big_seed() {
+    let catalog = mini_hospital_catalog().unwrap();
+    let aig = sigma0().unwrap();
+    let args = [("date", Value::str("d1"))];
+    let seed = (1u64 << 60) + 7; // 1152921504606846983 > 2^53
+    let mut options = det_options(3);
+    options.check_integrity = true;
+    options.faults = Some(aig_mediator::faults::FaultConfig {
+        seed,
+        corrupt_rate: 0.6,
+        ..Default::default()
+    });
+    options.retry = aig_mediator::faults::RetryPolicy {
+        max_attempts: 6,
+        backoff_base_secs: 0.0001,
+        backoff_cap_secs: 0.001,
+        jitter: 0.5,
+        timeout_secs: f64::INFINITY,
+    };
+    let (_, report) = run_with_report(&aig, &catalog, &args, &options).unwrap();
+    assert_eq!(report.schema_version, aig_mediator::SCHEMA_VERSION);
+    assert!(
+        report.integrity.injected > 0,
+        "fixture injected no corruption — the ledger round-trip is vacuous"
+    );
+
+    let value = report.to_json();
+    let pretty = value.to_pretty();
+    let decoded = json::parse(&pretty).unwrap();
+    assert_eq!(decoded, value, "decode changed the report");
+    assert_eq!(
+        decoded.to_pretty(),
+        pretty,
+        "pretty encoding is not a fixpoint"
+    );
+    let compact = value.to_compact();
+    assert_eq!(
+        json::parse(&compact).unwrap().to_compact(),
+        compact,
+        "compact encoding is not a fixpoint"
+    );
+
+    // The seed exceeds 2^53: as a JSON number it would round, so it travels
+    // as a decimal string and must parse back to the exact u64.
+    assert_ne!(
+        seed as f64 as u64, seed,
+        "seed must exercise the string path"
+    );
+    let emitted = decoded
+        .get("resilience")
+        .and_then(|r| r.get("seed"))
+        .and_then(|s| s.as_str())
+        .expect("seed must be a string");
+    assert_eq!(emitted.parse::<u64>().unwrap(), seed);
+
+    // The decoded integrity section mirrors the in-memory ledger.
+    let integrity = decoded.get("integrity").expect("v6 carries integrity");
+    assert_eq!(
+        integrity.get("enabled").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    assert_eq!(
+        integrity.get("balanced").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    for (field, expect) in [
+        ("injected", report.integrity.injected),
+        ("masked_by_retry", report.integrity.masked_by_retry),
+        ("detected_by_guard", report.integrity.detected_by_guard),
+        (
+            "detected_by_constraint",
+            report.integrity.detected_by_constraint,
+        ),
+        ("undetected", report.integrity.undetected),
+    ] {
+        assert_eq!(
+            integrity.get(field).and_then(|v| v.as_f64()),
+            Some(expect as f64),
+            "{field}"
+        );
+    }
+    let events = integrity
+        .get("events")
+        .and_then(|v| v.as_arr())
+        .expect("events array");
+    assert_eq!(events.len(), report.integrity.events.len());
+    for (json_event, event) in events.iter().zip(&report.integrity.events) {
+        assert_eq!(
+            json_event.get("kind").and_then(|v| v.as_str()),
+            Some(event.kind.as_str())
+        );
+        assert_eq!(
+            json_event.get("outcome").and_then(|v| v.as_str()),
+            Some(event.outcome.as_str())
+        );
+        assert_eq!(
+            json_event.get("constraint").and_then(|v| v.as_str()),
+            Some(event.constraint.as_str())
+        );
+    }
+}
+
 #[test]
 fn merge_decisions_agree_with_the_outcome() {
     let (run, report) = tiny_report(1, &det_options(4));

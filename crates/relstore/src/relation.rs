@@ -79,6 +79,21 @@ impl Relation {
         &self.rows
     }
 
+    /// Mutable row access. Used by the mediator's chaos layer to apply
+    /// seeded wrong-answer corruptions to shipped relations; regular
+    /// operators never mutate rows in place.
+    #[inline]
+    pub fn rows_mut(&mut self) -> &mut [Vec<Value>] {
+        &mut self.rows
+    }
+
+    /// Drops all rows past the first `n` (no-op when `n >= len`), keeping
+    /// columns intact — the shape of a stale replica that lags the primary
+    /// by the truncated suffix.
+    pub fn truncate(&mut self, n: usize) {
+        self.rows.truncate(n);
+    }
+
     #[inline]
     pub fn len(&self) -> usize {
         self.rows.len()

@@ -148,9 +148,30 @@ impl ConstraintSet {
         violations
     }
 
-    /// True if the document satisfies every constraint.
+    /// The first violation found, stopping the walk as soon as one
+    /// surfaces — unlike [`ConstraintSet::check`], which collects all of
+    /// them. Constraints are tried in declaration order, so on a violating
+    /// document this returns a violation of the earliest violated
+    /// constraint (though not necessarily the one `check` lists first,
+    /// since key violations can surface mid-walk while inclusion
+    /// violations only surface at context exit).
+    pub fn check_first(&self, tree: &XmlTree) -> Option<Violation> {
+        for c in &self.constraints {
+            let found = match c {
+                Constraint::Key(k) => first_key_violation(tree, k),
+                Constraint::Inclusion(i) => first_inclusion_violation(tree, i),
+            };
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    /// True if the document satisfies every constraint. Short-circuits on
+    /// the first violation instead of collecting all of them.
     pub fn satisfied(&self, tree: &XmlTree) -> bool {
-        self.check(tree).is_empty()
+        self.check_first(tree).is_none()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -288,6 +309,119 @@ fn walk(tree: &XmlTree, node: NodeId, f: &mut impl FnMut(&XmlTree, NodeId, bool)
         walk(tree, c, f);
     }
     f(tree, node, false);
+}
+
+/// Like [`walk`], but stops (returning `true`) as soon as `f` does.
+fn walk_until(
+    tree: &XmlTree,
+    node: NodeId,
+    f: &mut impl FnMut(&XmlTree, NodeId, bool) -> bool,
+) -> bool {
+    if f(tree, node, true) {
+        return true;
+    }
+    for &c in tree.children(node) {
+        if walk_until(tree, c, f) {
+            return true;
+        }
+    }
+    f(tree, node, false)
+}
+
+/// The first key violation in document order, abandoning the walk as soon
+/// as a duplicate key value is seen in any open context.
+fn first_key_violation(tree: &XmlTree, key: &Key) -> Option<Violation> {
+    struct Ctx {
+        node: NodeId,
+        seen: HashSet<String>,
+    }
+    let mut contexts: Vec<Ctx> = Vec::new();
+    let mut found: Option<Violation> = None;
+    walk_until(tree, tree.root(), &mut |tree, node, enter| {
+        let Some(tag) = tree.tag(node) else {
+            return false;
+        };
+        if enter {
+            if tag == key.context {
+                contexts.push(Ctx {
+                    node,
+                    seen: HashSet::new(),
+                });
+            }
+            if tag == key.target {
+                if let Some(value) = tree.subelement_value(node, &key.field) {
+                    for ctx in contexts.iter_mut() {
+                        if !ctx.seen.insert(value.clone()) {
+                            found = Some(Violation {
+                                constraint: key.to_string(),
+                                context_path: tree.path(ctx.node),
+                                value,
+                            });
+                            return true;
+                        }
+                    }
+                }
+            }
+        } else if tag == key.context {
+            contexts.pop();
+        }
+        false
+    });
+    found
+}
+
+/// The first inclusion violation, stopping at the first context whose
+/// `B.lB` values are not covered by its `A.lA` values. Violations only
+/// become decidable when a context closes, so the walk still visits the
+/// whole violating subtree — but never continues past it.
+fn first_inclusion_violation(tree: &XmlTree, ic: &Inclusion) -> Option<Violation> {
+    struct Ctx {
+        node: NodeId,
+        lhs: Vec<String>,
+        rhs: HashSet<String>,
+    }
+    let mut contexts: Vec<Ctx> = Vec::new();
+    let mut found: Option<Violation> = None;
+    walk_until(tree, tree.root(), &mut |tree, node, enter| {
+        let Some(tag) = tree.tag(node) else {
+            return false;
+        };
+        if enter {
+            if tag == ic.context {
+                contexts.push(Ctx {
+                    node,
+                    lhs: Vec::new(),
+                    rhs: HashSet::new(),
+                });
+            }
+            if tag == ic.lhs_elem {
+                if let Some(value) = tree.subelement_value(node, &ic.lhs_field) {
+                    for ctx in contexts.iter_mut() {
+                        ctx.lhs.push(value.clone());
+                    }
+                }
+            }
+            if tag == ic.rhs_elem {
+                if let Some(value) = tree.subelement_value(node, &ic.rhs_field) {
+                    for ctx in contexts.iter_mut() {
+                        ctx.rhs.insert(value.clone());
+                    }
+                }
+            }
+        } else if tag == ic.context {
+            let ctx = contexts.pop().expect("balanced enter/exit");
+            if let Some(value) = ctx.lhs.iter().find(|v| !ctx.rhs.contains(*v)) {
+                found = Some(Violation {
+                    constraint: ic.to_string(),
+                    context_path: tree.path(ctx.node),
+                    value: value.clone(),
+                });
+                return true;
+            }
+        }
+        false
+    });
+    found
 }
 
 // --------------------------------------------------------------------------

@@ -4,8 +4,8 @@
 //!
 //! Compares freshly regenerated `BENCH_fig10.json`,
 //! `BENCH_ablation_dynamic_live.json`, `BENCH_ablation_plan_cache.json`,
-//! `BENCH_shipcut.json` and `BENCH_integrity.json` against the committed
-//! baselines. The
+//! `BENCH_shipcut.json`, `BENCH_integrity.json` and `BENCH_server.json`
+//! against the committed baselines. The
 //! simulated quantities (merging ratios, predicted speedups) are
 //! deterministic and get a tight relative band; wall-clock quantities
 //! (phase timers, live speedups) vary with the machine, so they only fail
@@ -282,6 +282,64 @@ fn check_integrity(gate: &mut Gate, baseline: &Json, current: &Json) {
     );
 }
 
+fn check_server(gate: &mut Gate, baseline: &Json, current: &Json) {
+    // The server ledger is machine-independent by construction — arrivals,
+    // service times, fault stalls, and probe jitter all run on the logical
+    // clock — so the structural claims are hard requirements on any host.
+    gate.require(
+        "server: ledger identities no longer balance",
+        current
+            .get("balanced")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    );
+    gate.require(
+        "server: requests were silently dropped (offered != terminated)",
+        num(current, "silent_drops") == 0.0,
+    );
+    gate.require(
+        "server: admission control stopped rejecting under overload",
+        num(current, "rejected") > 0.0,
+    );
+    gate.require(
+        "server: no deadline was ever exceeded (budget plumbing is dead)",
+        num(current, "deadline_exceeded") > 0.0,
+    );
+    gate.require(
+        "server: the breaker lifecycle went quiet (no trip/probe/close)",
+        num(current, "breaker_trips") > 0.0
+            && num(current, "breaker_probes") > 0.0
+            && num(current, "breaker_closes") > 0.0,
+    );
+    gate.require(
+        "server: nothing was served degraded through the outage storms",
+        num(current, "degraded") > 0.0,
+    );
+    gate.require(
+        "server: nothing completed cleanly",
+        num(current, "completed") > 0.0,
+    );
+    // Ledger counts and latency percentiles are deterministic simulated
+    // quantities: tight drift bands against the committed baseline.
+    for key in [
+        "admitted",
+        "rejected",
+        "completed",
+        "deadline_exceeded",
+        "degraded",
+        "failed",
+        "p50_secs",
+        "p99_secs",
+    ] {
+        gate.within(
+            &format!("server {key}"),
+            num(baseline, key),
+            num(current, key),
+            SIM_TOLERANCE,
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, baseline_dir, current_dir] = &args[..] else {
@@ -313,6 +371,11 @@ fn main() -> ExitCode {
         &mut gate,
         &load(baseline_dir, "BENCH_integrity.json"),
         &load(current_dir, "BENCH_integrity.json"),
+    );
+    check_server(
+        &mut gate,
+        &load(baseline_dir, "BENCH_server.json"),
+        &load(current_dir, "BENCH_server.json"),
     );
     if gate.failures.is_empty() {
         println!("perf regression gate: {} checks passed", gate.checks);

@@ -48,6 +48,25 @@ pub enum MediatorError {
         node: usize,
         detail: String,
     },
+    /// The server's admission control refused the request: accepting it
+    /// would push the named limit (global queue depth, in-flight slots, or
+    /// the tenant's fair share) past its configured bound. Structured so
+    /// the caller can tell *which* limit it hit and back off accordingly.
+    Overloaded {
+        tenant: String,
+        /// The limit that tripped: `"queue"`, `"in_flight"`, or `"tenant"`.
+        scope: String,
+        depth: usize,
+        limit: usize,
+    },
+    /// The request's deadline budget ran out before the named task could
+    /// start (or finish) an attempt. Surfaced instead of letting the
+    /// request hang past its budget.
+    DeadlineExceeded {
+        task: String,
+        budget_secs: f64,
+        elapsed_secs: f64,
+    },
     /// Wrapped specification/evaluation error.
     Aig(AigError),
     Sql(SqlError),
@@ -99,6 +118,24 @@ impl fmt::Display for MediatorError {
             MediatorError::InvalidCost { node, detail } => {
                 write!(f, "invalid cost input at node {node}: {detail}")
             }
+            MediatorError::Overloaded {
+                tenant,
+                scope,
+                depth,
+                limit,
+            } => write!(
+                f,
+                "request from tenant {tenant} rejected: {scope} limit reached ({depth} of {limit})"
+            ),
+            MediatorError::DeadlineExceeded {
+                task,
+                budget_secs,
+                elapsed_secs,
+            } => write!(
+                f,
+                "deadline budget of {budget_secs:.3}s exceeded at task {task} \
+                 ({elapsed_secs:.3}s elapsed)"
+            ),
             MediatorError::Aig(e) => e.fmt(f),
             MediatorError::Sql(e) => e.fmt(f),
             MediatorError::Store(e) => e.fmt(f),
@@ -123,5 +160,120 @@ impl From<SqlError> for MediatorError {
 impl From<StoreError> for MediatorError {
     fn from(e: StoreError) -> Self {
         MediatorError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every variant renders a non-empty, self-describing message carrying
+    /// its structured fields — the server's outcome ledger relies on these
+    /// being distinguishable without string parsing on the way back in.
+    #[test]
+    fn every_variant_displays_its_fields() {
+        let cases: Vec<(MediatorError, &[&str])> = vec![
+            (
+                MediatorError::Unsupported("order-by".into()),
+                &["unsupported", "order-by"],
+            ),
+            (
+                MediatorError::Internal("orphan task".into()),
+                &["internal error", "orphan task"],
+            ),
+            (
+                MediatorError::RecursionBudget { max_depth: 7 },
+                &["maximum unfolding depth 7"],
+            ),
+            (
+                MediatorError::SourceFault {
+                    source: "DB2".into(),
+                    task: "gen[report]".into(),
+                    kind: "transient".into(),
+                    attempts: 3,
+                },
+                &["DB2", "gen[report]", "transient", "3 attempt"],
+            ),
+            (
+                MediatorError::SourceUnavailable {
+                    source: "DB3".into(),
+                    lost_tasks: vec!["a".into(), "b".into()],
+                },
+                &["DB3", "no replica", "a, b"],
+            ),
+            (
+                MediatorError::IntegrityViolation {
+                    task: "t".into(),
+                    source: "DB1".into(),
+                    table: "patient".into(),
+                    constraint: "key(ssn)".into(),
+                    value: "123".into(),
+                },
+                &[
+                    "integrity violation",
+                    "DB1",
+                    "patient",
+                    "key(ssn)",
+                    "by 123",
+                ],
+            ),
+            (
+                MediatorError::InvalidCost {
+                    node: 4,
+                    detail: "negative eval".into(),
+                },
+                &["node 4", "negative eval"],
+            ),
+            (
+                MediatorError::Overloaded {
+                    tenant: "acme".into(),
+                    scope: "queue".into(),
+                    depth: 64,
+                    limit: 64,
+                },
+                &["tenant acme", "queue limit", "64 of 64"],
+            ),
+            (
+                MediatorError::DeadlineExceeded {
+                    task: "gen[report]".into(),
+                    budget_secs: 0.25,
+                    elapsed_secs: 0.31,
+                },
+                &["deadline budget of 0.250s", "gen[report]", "0.310s elapsed"],
+            ),
+            (
+                MediatorError::Aig(aig_core::AigError::Spec("bad rule".into())),
+                &["bad rule"],
+            ),
+            (
+                MediatorError::Sql(aig_sql::SqlError::Bind("no column x".into())),
+                &["no column x"],
+            ),
+            (
+                MediatorError::Store(aig_relstore::StoreError::NoSuchSource("DB9".into())),
+                &["DB9"],
+            ),
+        ];
+        for (err, needles) in cases {
+            let text = err.to_string();
+            assert!(!text.is_empty(), "{err:?}");
+            for needle in needles {
+                assert!(text.contains(needle), "{text:?} missing {needle:?}");
+            }
+        }
+    }
+
+    /// An IntegrityViolation with no offending value omits the trailing
+    /// `by ...` clause instead of printing a dangling preposition.
+    #[test]
+    fn integrity_violation_without_value_has_no_by_clause() {
+        let err = MediatorError::IntegrityViolation {
+            task: "t".into(),
+            source: "DB1".into(),
+            table: "patient".into(),
+            constraint: "key(ssn)".into(),
+            value: String::new(),
+        };
+        assert!(!err.to_string().contains(" by "));
     }
 }

@@ -119,6 +119,16 @@ pub struct ExecOptions {
     /// build/probe, canonical sort, dedup) may use per task. `1` keeps
     /// every kernel sequential; results are byte-identical regardless.
     pub threads: usize,
+    /// Per-request deadline budget: no task attempt starts past it, sleeps
+    /// are clamped to it, and expiry surfaces as
+    /// [`MediatorError::DeadlineExceeded`]. Bound per request (the
+    /// service-level [`crate::plan::ExecPolicy::deadline_secs`] only
+    /// carries the budget; the clock starts when the request does).
+    pub deadline: Option<crate::faults::Deadline>,
+    /// Cross-request source arbiter: concurrent requests sharing a gate
+    /// serialize same-source task execution, earliest absolute deadline
+    /// first (see [`crate::schedule::EdfGate`]). None = no arbitration.
+    pub gate: Option<Arc<crate::schedule::EdfGate>>,
 }
 
 impl Default for ExecOptions {
@@ -134,6 +144,8 @@ impl Default for ExecOptions {
             pace: None,
             shipcut: None,
             threads: 1,
+            deadline: None,
+            gate: None,
         }
     }
 }
@@ -308,6 +320,7 @@ pub fn execute_graph(
     let env = FaultEnv {
         plan: opts.faults.as_ref(),
         retry: &opts.retry,
+        deadline: opts.deadline.as_ref(),
     };
     // Per-source completed-task counters, consulted only when the fault
     // plan schedules a mid-run outage ("source dies after k tasks").
@@ -394,7 +407,17 @@ pub fn execute_graph(
                 &ctx,
                 &mut resilience.events,
                 &mut integrity_log.events,
-                || exec.run_task(task, args),
+                || {
+                    // Same-source execution across concurrent requests is
+                    // arbitrated EDF; acquired per attempt so the slot is
+                    // never held across a backoff sleep.
+                    let _slot = opts
+                        .gate
+                        .as_ref()
+                        .filter(|_| !effective[id].is_mediator())
+                        .map(|gate| gate.acquire(effective[id], opts.deadline.as_ref()));
+                    exec.run_task(task, args)
+                },
             )?
         };
         let secs = start.elapsed().as_secs_f64();

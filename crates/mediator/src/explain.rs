@@ -247,6 +247,43 @@ pub fn render_report(report: &RunReport) -> String {
             );
         }
     }
+    if report.server.enabled {
+        let s = &report.server;
+        let _ = writeln!(
+            out,
+            "server (seed {}): {} offered = {} admitted + {} rejected \
+             ({} queue / {} in-flight / {} tenant); {} admitted = {} completed + \
+             {} deadline exceeded + {} degraded + {} failed ({})",
+            s.seed,
+            s.offered,
+            s.admitted,
+            s.rejected,
+            s.rejected_queue,
+            s.rejected_in_flight,
+            s.rejected_tenant,
+            s.admitted,
+            s.completed,
+            s.deadline_exceeded,
+            s.degraded,
+            s.failed,
+            if s.balanced {
+                "balanced"
+            } else {
+                "UNBALANCED: silent drop"
+            },
+        );
+        let _ = writeln!(
+            out,
+            "  breakers: {} trips / {} probes / {} closes; queue high-water {}, \
+             in-flight high-water {}",
+            s.breaker_trips, s.breaker_probes, s.breaker_closes, s.max_queue_depth, s.max_in_flight,
+        );
+        let _ = writeln!(
+            out,
+            "  latency: p50 {:.3}s  p95 {:.3}s  p99 {:.3}s",
+            s.p50_secs, s.p95_secs, s.p99_secs,
+        );
+    }
     if report.scheduler.mode != "static" || !report.scheduler.deviations.is_empty() {
         let s = &report.scheduler;
         let _ = writeln!(

@@ -21,7 +21,7 @@ use crate::integrity::{self, CorruptionKind, RelProfile};
 use aig_prng::{Rng, SeedableRng, StdRng};
 use aig_relstore::{Catalog, Relation, SourceId};
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of the deterministic fault model. All rates are per
 /// *attempt* probabilities in `[0, 1]`; the mediator pseudo-source is never
@@ -81,6 +81,66 @@ impl Default for FaultConfig {
     }
 }
 
+/// A per-request deadline budget: a wall-clock start plus a budget in
+/// seconds. Bound once when a request enters execution
+/// ([`crate::plan::ExecPolicy::deadline_secs`] →
+/// [`crate::exec::ExecOptions::deadline`]) and consulted by both executors
+/// (no task starts past the deadline) and the retry loop (no attempt starts
+/// past it; backoff and stall sleeps are clamped to the remaining budget).
+/// Because the only in-attempt sleeps are the injected stall — itself
+/// capped at the per-attempt timeout — and the clamped backoff, a run
+/// never overshoots its budget by more than one attempt-timeout.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    budget_secs: f64,
+}
+
+impl Deadline {
+    /// A deadline whose budget starts counting now. Negative budgets clamp
+    /// to zero (already expired).
+    pub fn starting_now(budget_secs: f64) -> Deadline {
+        Deadline {
+            start: Instant::now(),
+            budget_secs: budget_secs.max(0.0),
+        }
+    }
+
+    pub fn budget_secs(&self) -> f64 {
+        self.budget_secs
+    }
+
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Seconds of budget left (zero once expired, never negative).
+    pub fn remaining_secs(&self) -> f64 {
+        (self.budget_secs - self.elapsed_secs()).max(0.0)
+    }
+
+    pub fn expired(&self) -> bool {
+        self.elapsed_secs() >= self.budget_secs
+    }
+
+    /// The absolute instant the budget runs out; None for non-finite
+    /// budgets (they can never expire).
+    pub fn expires_at(&self) -> Option<Instant> {
+        self.budget_secs
+            .is_finite()
+            .then(|| self.start + Duration::from_secs_f64(self.budget_secs))
+    }
+
+    /// The structured error naming the task the budget ran out at.
+    pub fn exceeded_at(&self, task: &str) -> MediatorError {
+        MediatorError::DeadlineExceeded {
+            task: task.to_string(),
+            budget_secs: self.budget_secs,
+            elapsed_secs: self.elapsed_secs(),
+        }
+    }
+}
+
 /// Retry/backoff/timeout policy for source-task execution. The backoff is
 /// exponential with deterministic jitter (seeded per task and attempt, so
 /// reruns sleep the same schedule).
@@ -93,7 +153,9 @@ pub struct RetryPolicy {
     /// Upper bound on a single backoff sleep.
     pub backoff_cap_secs: f64,
     /// Jitter fraction in `[0, 1]`: each sleep is scaled by a deterministic
-    /// factor in `[1 - jitter, 1 + jitter]`.
+    /// factor in `[1 - jitter, 1 + jitter]`. Values outside `[0, 1]` are
+    /// clamped into it (and NaN disables jitter): a fraction above 1 would
+    /// permit negative sleeps, below 0 an inverted band.
     pub jitter: f64,
     /// Per-attempt timeout bounding injected stalls: a latency spike at or
     /// above this fails the attempt (counted as a timeout) after sleeping
@@ -126,11 +188,16 @@ impl RetryPolicy {
     pub fn backoff_secs(&self, seed: u64, task: usize, attempt: usize) -> f64 {
         let raw = self.backoff_base_secs * (1u64 << attempt.min(32)) as f64;
         let capped = raw.min(self.backoff_cap_secs);
-        if self.jitter <= 0.0 || capped <= 0.0 {
+        let jitter = if self.jitter.is_nan() {
+            0.0
+        } else {
+            self.jitter.clamp(0.0, 1.0)
+        };
+        if jitter <= 0.0 || capped <= 0.0 {
             return capped;
         }
         let mut rng = StdRng::seed_from_u64(mix(&[seed, 0xBACC_0FF5, task as u64, attempt as u64]));
-        let factor = rng.gen_range(1.0 - self.jitter..1.0 + self.jitter);
+        let factor = rng.gen_range(1.0 - jitter..1.0 + jitter);
         capped * factor
     }
 }
@@ -401,6 +468,10 @@ pub struct FaultPlan {
     /// Mid-run outage thresholds: the source dies after completing this
     /// many tasks (always >= 1; zero thresholds fold into `down`).
     down_after: BTreeMap<SourceId, usize>,
+    /// Sources a degraded request skips entirely: the mediator never
+    /// contacts them, so no fault of any kind fires there (they behave
+    /// like the mediator pseudo-source for the fault model).
+    skip: BTreeSet<SourceId>,
 }
 
 impl FaultPlan {
@@ -447,7 +518,18 @@ impl FaultPlan {
             cfg: cfg.clone(),
             down,
             down_after,
+            skip: BTreeSet::new(),
         })
+    }
+
+    /// A copy of this plan with `sources` exempted from every fault kind.
+    /// A degraded request serves those sources as empty views without ever
+    /// contacting them, so neither outages nor per-attempt faults can fire
+    /// there; everything else keeps its original seeded decisions.
+    pub fn with_skipped(&self, sources: &[SourceId]) -> FaultPlan {
+        let mut plan = self.clone();
+        plan.skip.extend(sources.iter().copied());
+        plan
     }
 
     pub fn seed(&self) -> u64 {
@@ -460,7 +542,7 @@ impl FaultPlan {
 
     /// Whether `source` is hard-down for the entire run.
     pub fn source_down(&self, source: SourceId) -> bool {
-        self.down.contains(&source)
+        !self.skip.contains(&source) && self.down.contains(&source)
     }
 
     /// The mid-run outage threshold of `source`: it dies after completing
@@ -468,6 +550,9 @@ impl FaultPlan {
     /// per-source completion counts and treat the source as hard-down once
     /// the threshold is reached.
     pub fn outage_after(&self, source: SourceId) -> Option<usize> {
+        if self.skip.contains(&source) {
+            return None;
+        }
         self.down_after.get(&source).copied()
     }
 
@@ -481,7 +566,7 @@ impl FaultPlan {
     /// (None = the attempt runs cleanly). Pure in its arguments: the same
     /// plan returns the same answer regardless of execution order.
     pub fn decide(&self, source: SourceId, task: usize, attempt: usize) -> Option<InjectedFault> {
-        if source.is_mediator() {
+        if source.is_mediator() || self.skip.contains(&source) {
             return None;
         }
         if self.cfg.transient_rate <= 0.0 && self.cfg.latency_rate <= 0.0 {
@@ -527,7 +612,11 @@ impl FaultPlan {
         task: usize,
         attempt: usize,
     ) -> bool {
-        if source.is_mediator() || self.cfg.table_outage_rate <= 0.0 || table.is_empty() {
+        if source.is_mediator()
+            || self.skip.contains(&source)
+            || self.cfg.table_outage_rate <= 0.0
+            || table.is_empty()
+        {
             return false;
         }
         let mut rng = StdRng::seed_from_u64(mix(&[
@@ -551,7 +640,11 @@ impl FaultPlan {
         task: usize,
         attempt: usize,
     ) -> Option<CorruptionKind> {
-        if source.is_mediator() || self.cfg.corrupt_rate <= 0.0 || table.is_empty() {
+        if source.is_mediator()
+            || self.skip.contains(&source)
+            || self.cfg.corrupt_rate <= 0.0
+            || table.is_empty()
+        {
             return None;
         }
         let mut rng = StdRng::seed_from_u64(mix(&[
@@ -598,6 +691,7 @@ impl FaultPlan {
         attempt: usize,
     ) -> Option<usize> {
         if source.is_mediator()
+            || self.skip.contains(&source)
             || self.cfg.stale_replica_rate <= 0.0
             || self.cfg.stale_replica_rows == 0
         {
@@ -623,6 +717,9 @@ impl FaultPlan {
 pub(crate) struct FaultEnv<'a> {
     pub plan: Option<&'a FaultPlan>,
     pub retry: &'a RetryPolicy,
+    /// The request's deadline budget: no attempt starts past it and every
+    /// sleep is clamped to the remaining budget. None = unbounded.
+    pub deadline: Option<&'a Deadline>,
 }
 
 /// Everything the fault layer needs to know about the task it wraps —
@@ -647,6 +744,18 @@ pub(crate) struct TaskFaultCtx<'a> {
 }
 
 impl FaultEnv<'_> {
+    /// Sleeps `secs`, clamped to the remaining deadline budget. Event logs
+    /// record the *nominal* (seeded, deterministic) durations so a run that
+    /// completes inside its budget stays byte-identical to an unbounded
+    /// run; only the real sleep is shortened.
+    fn nap(&self, secs: f64) {
+        let secs = match self.deadline {
+            Some(d) => secs.min(d.remaining_secs()),
+            None => secs,
+        };
+        sleep_secs(secs);
+    }
+
     /// Runs one task under the fault model: injected latency spikes are
     /// slept (capped at the timeout), transient errors, vanished tables and
     /// timeouts are retried with exponential backoff up to `max_attempts`,
@@ -679,11 +788,24 @@ impl FaultEnv<'_> {
             });
         }
         let Some(plan) = self.plan else {
+            if let Some(d) = self.deadline {
+                if d.expired() {
+                    return Err(d.exceeded_at(ctx.label));
+                }
+            }
             return run();
         };
         let table = ctx.table.unwrap_or("");
         let max = self.retry.max_attempts.max(1);
         for attempt in 0..max {
+            // No attempt starts once the deadline budget is spent: the
+            // request surfaces a structured error instead of burning more
+            // retries it can never finish.
+            if let Some(d) = self.deadline {
+                if d.expired() {
+                    return Err(d.exceeded_at(ctx.label));
+                }
+            }
             let event = |kind, outcome, backoff_secs, stall_secs| FaultEvent {
                 task: ctx.task_id,
                 label: ctx.label.to_string(),
@@ -713,7 +835,7 @@ impl FaultEnv<'_> {
                     let spike_secs = spike.as_secs_f64();
                     if spike_secs < self.retry.timeout_secs {
                         // The spike delays the attempt but does not fail it.
-                        sleep_secs(spike_secs);
+                        self.nap(spike_secs);
                         events.push(event(
                             FaultKind::Latency,
                             FaultOutcome::Absorbed,
@@ -728,7 +850,7 @@ impl FaultEnv<'_> {
                         } else {
                             spike_secs
                         };
-                        sleep_secs(stall);
+                        self.nap(stall);
                         failure = Some((FaultKind::Latency, stall));
                     }
                 }
@@ -766,7 +888,7 @@ impl FaultEnv<'_> {
                     });
                 }
                 let backoff = self.retry.backoff_secs(plan.seed(), ctx.task_id, attempt);
-                sleep_secs(backoff);
+                self.nap(backoff);
                 let outcome = match kind {
                     FaultKind::Latency => FaultOutcome::TimedOut,
                     _ => FaultOutcome::Retried,
@@ -844,7 +966,7 @@ impl FaultEnv<'_> {
                             }
                             let backoff =
                                 self.retry.backoff_secs(plan.seed(), ctx.task_id, attempt);
-                            sleep_secs(backoff);
+                            self.nap(backoff);
                             events.push(event(
                                 FaultKind::CorruptRow,
                                 FaultOutcome::Retried,
@@ -884,7 +1006,7 @@ pub(crate) fn sleep_secs(secs: f64) {
 /// SplitMix64-style finalizer folding a word list into one seed; the
 /// per-decision RNG streams are derived through this so that every
 /// `(seed, site, source, task, attempt)` tuple gets an independent draw.
-fn mix(parts: &[u64]) -> u64 {
+pub(crate) fn mix(parts: &[u64]) -> u64 {
     let mut acc = 0x9E37_79B9_7F4A_7C15u64;
     for &p in parts {
         let mut z = acc ^ p.wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -1052,6 +1174,7 @@ mod tests {
         let env = FaultEnv {
             plan: Some(&plan),
             retry: &retry,
+            deadline: None,
         };
         let ctx = TaskFaultCtx {
             task_id: 0,
@@ -1182,6 +1305,7 @@ mod tests {
         let env = FaultEnv {
             plan: Some(&plan),
             retry: &retry,
+            deadline: None,
         };
         let profile = RelProfile {
             table: "patient".to_string(),
@@ -1285,6 +1409,7 @@ mod tests {
         let env = FaultEnv {
             plan: Some(&plan),
             retry: &retry,
+            deadline: None,
         };
         let fresh = || Ok(Some(Relation::single_column("id", (0..5).map(Value::int))));
         // No failover: staleness never fires.
@@ -1322,5 +1447,318 @@ mod tests {
         assert_eq!(ledger.len(), 1);
         assert_eq!(ledger[0].kind.name(), "stale-replica");
         assert_eq!(ledger[0].outcome, IntegrityOutcome::Undetected);
+    }
+
+    #[test]
+    fn no_backoff_sleep_after_final_failed_attempt() {
+        // Every attempt faults; the backoff schedule is deliberately huge so
+        // that any sleep *after* the last attempt would blow the elapsed-time
+        // bound. With max_attempts = 1 there is exactly one (final) attempt,
+        // so no backoff may be slept at all.
+        let cfg = FaultConfig {
+            seed: 11,
+            transient_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let cat = catalog();
+        let plan = FaultPlan::new(&cfg, &cat).unwrap();
+        let retry = RetryPolicy {
+            max_attempts: 1,
+            backoff_base_secs: 30.0,
+            backoff_cap_secs: 30.0,
+            jitter: 0.0,
+            timeout_secs: f64::INFINITY,
+        };
+        let env = FaultEnv {
+            plan: Some(&plan),
+            retry: &retry,
+            deadline: None,
+        };
+        let ctx = TaskFaultCtx {
+            task_id: 0,
+            label: "q",
+            source: SourceId(1),
+            source_name: "DB1",
+            table: None,
+            failed_over_from: None,
+            profile: None,
+            check_integrity: false,
+        };
+        let mut events = Vec::new();
+        let mut ledger = Vec::new();
+        let start = Instant::now();
+        let err = env
+            .run_task(&ctx, &mut events, &mut ledger, || {
+                Ok(Some(Relation::empty(vec!["a".into()])))
+            })
+            .unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "the final failed attempt must not sleep its 30s backoff"
+        );
+        assert!(matches!(err, MediatorError::SourceFault { .. }), "{err}");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].outcome, FaultOutcome::Surfaced);
+        assert_eq!(
+            events[0].backoff_secs, 0.0,
+            "surfaced events carry no backoff"
+        );
+
+        // With retries the non-final attempts do record backoff, but the
+        // surfaced final attempt still records (and sleeps) none.
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_secs: 0.0005,
+            backoff_cap_secs: 0.01,
+            jitter: 0.0,
+            timeout_secs: f64::INFINITY,
+        };
+        let env = FaultEnv {
+            plan: Some(&plan),
+            retry: &retry,
+            deadline: None,
+        };
+        let mut events = Vec::new();
+        let mut ledger = Vec::new();
+        env.run_task(&ctx, &mut events, &mut ledger, || {
+            Ok(Some(Relation::empty(vec!["a".into()])))
+        })
+        .unwrap_err();
+        assert_eq!(events.len(), 3);
+        for e in &events[..2] {
+            assert_eq!(e.outcome, FaultOutcome::Retried);
+            assert!(e.backoff_secs > 0.0, "retried attempts back off");
+        }
+        assert_eq!(events[2].outcome, FaultOutcome::Surfaced);
+        assert_eq!(events[2].backoff_secs, 0.0);
+    }
+
+    #[test]
+    fn spike_equal_to_timeout_counts_as_exactly_one_timeout() {
+        // Find a task whose attempt 0 draws a latency spike, then set the
+        // per-attempt timeout to exactly that spike. The boundary is strict:
+        // only `spike < timeout` absorbs, so equality must fail the attempt
+        // as one timeout after sleeping only the timeout.
+        let cfg = FaultConfig {
+            seed: 13,
+            latency_rate: 1.0,
+            latency_secs: 0.002,
+            ..FaultConfig::default()
+        };
+        let cat = catalog();
+        let plan = FaultPlan::new(&cfg, &cat).unwrap();
+        let spike = (0..100)
+            .find_map(|t| match plan.decide(SourceId(1), t, 0) {
+                Some(InjectedFault::Latency(d)) => Some((t, d.as_secs_f64())),
+                _ => None,
+            })
+            .expect("latency_rate 1.0 draws a spike");
+        let (task_id, spike_secs) = spike;
+        let ctx = TaskFaultCtx {
+            task_id,
+            label: "q",
+            source: SourceId(1),
+            source_name: "DB1",
+            table: None,
+            failed_over_from: None,
+            profile: None,
+            check_integrity: false,
+        };
+        let run = || Ok(Some(Relation::empty(vec!["a".into()])));
+
+        // timeout == spike: the attempt times out, exactly one event, stall
+        // capped at the timeout (not the spike re-slept or double-counted).
+        let retry = RetryPolicy {
+            max_attempts: 1,
+            backoff_base_secs: 0.0,
+            backoff_cap_secs: 0.0,
+            jitter: 0.0,
+            timeout_secs: spike_secs,
+        };
+        let env = FaultEnv {
+            plan: Some(&plan),
+            retry: &retry,
+            deadline: None,
+        };
+        let mut events = Vec::new();
+        let mut ledger = Vec::new();
+        let err = env
+            .run_task(&ctx, &mut events, &mut ledger, run)
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                MediatorError::SourceFault { kind, attempts: 1, .. } if kind == "latency"
+            ),
+            "{err}"
+        );
+        assert_eq!(events.len(), 1, "exactly one timeout event");
+        assert_eq!(events[0].kind, FaultKind::Latency);
+        assert_eq!(events[0].outcome, FaultOutcome::Surfaced);
+        assert_eq!(events[0].stall_secs, spike_secs, "stall capped at timeout");
+
+        // Any strictly larger timeout absorbs the same spike instead.
+        let absorbing = RetryPolicy {
+            timeout_secs: spike_secs + 1e-9,
+            ..retry
+        };
+        let env = FaultEnv {
+            plan: Some(&plan),
+            retry: &absorbing,
+            deadline: None,
+        };
+        let mut events = Vec::new();
+        let mut ledger = Vec::new();
+        env.run_task(&ctx, &mut events, &mut ledger, run).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].outcome, FaultOutcome::Absorbed);
+        assert_eq!(
+            events[0].stall_secs, spike_secs,
+            "absorbed stall is the spike"
+        );
+    }
+
+    #[test]
+    fn jitter_band_is_honored_and_deterministic_per_seed() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            backoff_base_secs: 0.004,
+            backoff_cap_secs: 0.064,
+            jitter: 0.25,
+            timeout_secs: f64::INFINITY,
+        };
+        for a in 0..8 {
+            let nominal = (0.004 * (1u64 << a) as f64).min(0.064);
+            let x = policy.backoff_secs(17, 2, a);
+            assert!(
+                x >= nominal * 0.75 && x <= nominal * 1.25,
+                "{x} outside [0.75, 1.25] x {nominal}"
+            );
+            assert_eq!(x, policy.backoff_secs(17, 2, a), "same seed, same sleep");
+        }
+        // Different seeds draw different schedules (the jitter is seeded,
+        // not a fixed multiplier).
+        let a: Vec<f64> = (0..8).map(|i| policy.backoff_secs(17, 2, i)).collect();
+        let b: Vec<f64> = (0..8).map(|i| policy.backoff_secs(18, 2, i)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn jitter_outside_unit_interval_is_clamped() {
+        let base = RetryPolicy {
+            max_attempts: 4,
+            backoff_base_secs: 0.002,
+            backoff_cap_secs: 0.016,
+            jitter: 0.0,
+            timeout_secs: f64::INFINITY,
+        };
+        let with = |jitter| RetryPolicy {
+            jitter,
+            ..base.clone()
+        };
+        for a in 0..4 {
+            // Above 1 behaves exactly as 1 (a wider band would permit
+            // negative sleeps).
+            assert_eq!(
+                with(1.5).backoff_secs(3, 1, a),
+                with(1.0).backoff_secs(3, 1, a)
+            );
+            // Below 0 behaves exactly as 0 (no jitter).
+            assert_eq!(
+                with(-0.3).backoff_secs(3, 1, a),
+                with(0.0).backoff_secs(3, 1, a)
+            );
+            // NaN disables jitter rather than poisoning the range.
+            assert_eq!(
+                with(f64::NAN).backoff_secs(3, 1, a),
+                with(0.0).backoff_secs(3, 1, a)
+            );
+            // Full jitter still never goes negative.
+            let x = with(1.0).backoff_secs(3, 1, a);
+            let nominal = (0.002 * (1u64 << a) as f64).min(0.016);
+            assert!((0.0..=2.0 * nominal).contains(&x), "{x} vs {nominal}");
+        }
+    }
+
+    #[test]
+    fn deadline_gates_attempts_and_clamps_sleeps() {
+        // An expired deadline surfaces before any attempt runs.
+        let cfg = FaultConfig {
+            seed: 11,
+            transient_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let cat = catalog();
+        let plan = FaultPlan::new(&cfg, &cat).unwrap();
+        let deadline = Deadline::starting_now(0.0);
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_secs: 30.0,
+            backoff_cap_secs: 30.0,
+            jitter: 0.0,
+            timeout_secs: f64::INFINITY,
+        };
+        let env = FaultEnv {
+            plan: Some(&plan),
+            retry: &retry,
+            deadline: Some(&deadline),
+        };
+        let ctx = TaskFaultCtx {
+            task_id: 0,
+            label: "q",
+            source: SourceId(1),
+            source_name: "DB1",
+            table: None,
+            failed_over_from: None,
+            profile: None,
+            check_integrity: false,
+        };
+        let mut events = Vec::new();
+        let mut ledger = Vec::new();
+        let mut calls = 0;
+        let err = env
+            .run_task(&ctx, &mut events, &mut ledger, || {
+                calls += 1;
+                Ok(Some(Relation::empty(vec!["a".into()])))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 0);
+        assert!(events.is_empty(), "no attempt started, nothing injected");
+        assert!(
+            matches!(err, MediatorError::DeadlineExceeded { .. }),
+            "{err}"
+        );
+
+        // A near-exhausted deadline clamps the 30s backoff: the first
+        // faulted attempt retries, the sleep is cut to the remaining budget,
+        // and the second attempt's gate surfaces the deadline — all fast.
+        let deadline = Deadline::starting_now(0.05);
+        let env = FaultEnv {
+            plan: Some(&plan),
+            retry: &retry,
+            deadline: Some(&deadline),
+        };
+        let mut events = Vec::new();
+        let mut ledger = Vec::new();
+        let start = Instant::now();
+        let err = env
+            .run_task(&ctx, &mut events, &mut ledger, || {
+                Ok(Some(Relation::empty(vec!["a".into()])))
+            })
+            .unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "backoff sleeps must clamp to the remaining budget"
+        );
+        assert!(
+            matches!(err, MediatorError::DeadlineExceeded { .. }),
+            "{err}"
+        );
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].outcome, FaultOutcome::Retried);
+        assert_eq!(
+            events[0].backoff_secs, 30.0,
+            "the event records the nominal (seeded) backoff, not the clamp"
+        );
     }
 }

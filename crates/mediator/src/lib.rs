@@ -13,6 +13,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod plan;
 pub mod schedule;
+pub mod server;
 pub mod service;
 pub mod shipcut;
 pub mod sim;
@@ -26,8 +27,8 @@ pub use exec::{
 };
 pub use explain::{render_graph, render_plan, render_report};
 pub use faults::{
-    FaultConfig, FaultEvent, FaultKind, FaultOutcome, FaultPlan, IntegrityEvent, IntegrityLog,
-    IntegrityOutcome, ResilienceLog, RetryPolicy, WrongAnswerKind,
+    Deadline, FaultConfig, FaultEvent, FaultKind, FaultOutcome, FaultPlan, IntegrityEvent,
+    IntegrityLog, IntegrityOutcome, ResilienceLog, RetryPolicy, WrongAnswerKind,
 };
 pub use graph::{build_graph, GraphOptions, TaskGraph};
 pub use integrity::{CorruptionKind, IntegrityFinding, RelProfile};
@@ -35,8 +36,8 @@ pub use json::Json;
 pub use merge::{merge, merge_pair, no_merge, MergeDecision, MergeOutcome};
 pub use obs::{
     CacheObs, FaultEventObs, IntegrityEventObs, IntegrityObs, PhaseSample, Phases,
-    PlanDeviationObs, ResilienceObs, RunReport, SchedulerObs, ShipcutObs, SourceObs, TaskObs,
-    SCHEMA_VERSION,
+    PlanDeviationObs, ResilienceObs, RunReport, SchedulerObs, ServerObs, ShipcutObs, SourceObs,
+    TaskObs, SCHEMA_VERSION,
 };
 pub use parallel::execute_graph_parallel;
 pub use pipeline::{
@@ -47,9 +48,10 @@ pub use plan::{
 };
 pub use schedule::{
     dynamic_response_time, levels, naive_plan, replan_surviving, schedule,
-    static_response_on_actuals,
+    static_response_on_actuals, EdfGate, EdfSlot,
 };
-pub use service::{CacheStats, Mediator};
+pub use server::{Arrival, Disposition, MediatorServer, RequestOutcome, ServerConfig, ServerRun};
+pub use service::{CacheStats, Mediator, RequestCtx, ServedRequest};
 pub use shipcut::{LiveSet, ShipCut, ShipProfile};
 pub use sim::NetworkModel;
 pub use unfold::{unfold, CutOff, FrontierSite, Unfolded};

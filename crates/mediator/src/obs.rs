@@ -180,8 +180,10 @@ pub struct PlanSeqObs {
 /// 5 = adds the `shipcut` section (column-liveness pruning at ship
 /// boundaries) and the per-task `ship_bytes` field; 6 = adds the
 /// `integrity` section (the wrong-answer ledger: injected corruptions and
-/// how each was masked or detected).
-pub const SCHEMA_VERSION: u32 = 6;
+/// how each was masked or detected); 7 = adds the `server` section (the
+/// overload-resilient server's admission/deadline/breaker ledgers and
+/// latency percentiles).
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Which stage of the prepared-plan split a phase belongs to: everything
 /// argument-independent (compilation through estimate-based planning, plus
@@ -375,6 +377,56 @@ pub struct ShipcutObs {
     pub pruned_tasks: usize,
 }
 
+/// The server section: what the overload-resilient request server saw over
+/// one open-loop workload. `Default` (disabled, all zero) describes a
+/// per-request report — the section only carries data on the server-level
+/// summary report of [`crate::server::MediatorServer::run`].
+///
+/// Two ledger identities must hold (`balanced`):
+/// `offered = admitted + rejected` and
+/// `admitted = completed + deadline_exceeded + degraded + failed` —
+/// every offered request terminates with exactly one structured outcome.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerObs {
+    pub enabled: bool,
+    /// Seed of the server's probe/arrival randomness.
+    pub seed: u64,
+    /// Requests that reached admission control.
+    pub offered: u64,
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Requests rejected with [`crate::MediatorError::Overloaded`].
+    pub rejected: u64,
+    /// Rejections by scope: global queue bound, logical in-flight slots
+    /// (only with a zero-length queue), and per-tenant quota.
+    pub rejected_queue: u64,
+    pub rejected_in_flight: u64,
+    pub rejected_tenant: u64,
+    /// Admitted requests that completed cleanly and in budget.
+    pub completed: u64,
+    /// Admitted requests that exceeded their deadline budget (in queue,
+    /// mid-execution, or by finishing late).
+    pub deadline_exceeded: u64,
+    /// Admitted requests served degraded (skipped subtrees).
+    pub degraded: u64,
+    /// Admitted requests that surfaced an execution error.
+    pub failed: u64,
+    /// Circuit-breaker lifecycle counts.
+    pub breaker_trips: u64,
+    pub breaker_probes: u64,
+    pub breaker_closes: u64,
+    /// High-water marks of the queue and the in-flight slots.
+    pub max_queue_depth: usize,
+    pub max_in_flight: usize,
+    /// Latency percentiles (logical seconds, arrival to termination) over
+    /// every admitted request.
+    pub p50_secs: f64,
+    pub p95_secs: f64,
+    pub p99_secs: f64,
+    /// Whether both ledger identities hold.
+    pub balanced: bool,
+}
+
 /// Size snapshot of one catalog table, for checking per-task byte counts
 /// against the actual relation sizes.
 #[derive(Debug, Clone)]
@@ -431,6 +483,9 @@ pub struct RunReport {
     pub cache: CacheObs,
     /// What ship-cut column pruning saved on the simulated wire.
     pub shipcut: ShipcutObs,
+    /// The overload-resilient server's ledgers (default on per-request
+    /// reports; populated on server-level summary reports).
+    pub server: ServerObs,
 }
 
 /// Everything the report builder needs from the pipeline.
@@ -741,6 +796,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         scheduler,
         cache,
         shipcut,
+        server: ServerObs::default(),
     }
 }
 
@@ -772,6 +828,38 @@ fn plan_obs(
 }
 
 impl RunReport {
+    /// A server-level summary report: every per-request section at its
+    /// default and the `server` section carrying the ledger. The server's
+    /// clock is logical (simulated arrivals), so there are no wall-clock
+    /// fields to fill.
+    pub fn server_summary(server: ServerObs) -> RunReport {
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            total_secs: 0.0,
+            prepare_secs: 0.0,
+            execute_secs: 0.0,
+            depth: 0,
+            unfold_rounds: 0,
+            parallel_exec: false,
+            phases: vec![],
+            tasks: vec![],
+            sources: vec![],
+            merge_decisions: vec![],
+            plan: vec![],
+            catalog: vec![],
+            exec_wall_secs: 0.0,
+            sim_response_unmerged_secs: 0.0,
+            sim_response_merged_secs: 0.0,
+            merges: 0,
+            resilience: ResilienceObs::default(),
+            integrity: IntegrityObs::default(),
+            scheduler: SchedulerObs::default(),
+            cache: CacheObs::default(),
+            shipcut: ShipcutObs::default(),
+            server,
+        }
+    }
+
     /// Sum of all phase timers (should be within a few percent of
     /// `total_secs`: the pipeline times every phase, leaving only loop
     /// control unattributed).
@@ -1003,6 +1091,54 @@ impl RunReport {
                 ]),
             ),
             (
+                "server",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(self.server.enabled)),
+                    // Same lossless-decimal treatment as the fault seed.
+                    ("seed", Json::str(self.server.seed.to_string())),
+                    ("offered", Json::num(self.server.offered as f64)),
+                    ("admitted", Json::num(self.server.admitted as f64)),
+                    ("rejected", Json::num(self.server.rejected as f64)),
+                    (
+                        "rejected_queue",
+                        Json::num(self.server.rejected_queue as f64),
+                    ),
+                    (
+                        "rejected_in_flight",
+                        Json::num(self.server.rejected_in_flight as f64),
+                    ),
+                    (
+                        "rejected_tenant",
+                        Json::num(self.server.rejected_tenant as f64),
+                    ),
+                    ("completed", Json::num(self.server.completed as f64)),
+                    (
+                        "deadline_exceeded",
+                        Json::num(self.server.deadline_exceeded as f64),
+                    ),
+                    ("degraded", Json::num(self.server.degraded as f64)),
+                    ("failed", Json::num(self.server.failed as f64)),
+                    ("breaker_trips", Json::num(self.server.breaker_trips as f64)),
+                    (
+                        "breaker_probes",
+                        Json::num(self.server.breaker_probes as f64),
+                    ),
+                    (
+                        "breaker_closes",
+                        Json::num(self.server.breaker_closes as f64),
+                    ),
+                    (
+                        "max_queue_depth",
+                        Json::num(self.server.max_queue_depth as f64),
+                    ),
+                    ("max_in_flight", Json::num(self.server.max_in_flight as f64)),
+                    ("p50_secs", Json::num(self.server.p50_secs)),
+                    ("p95_secs", Json::num(self.server.p95_secs)),
+                    ("p99_secs", Json::num(self.server.p99_secs)),
+                    ("balanced", Json::Bool(self.server.balanced)),
+                ]),
+            ),
+            (
                 "phases",
                 Json::Arr(
                     self.phases
@@ -1193,6 +1329,7 @@ mod tests {
             scheduler: SchedulerObs::default(),
             cache: CacheObs::default(),
             shipcut: ShipcutObs::default(),
+            server: ServerObs::default(),
         };
         report.prepend_phase("parse", 0.05);
         assert_eq!(report.phases[0].name, "parse");
@@ -1232,6 +1369,7 @@ mod tests {
             scheduler: SchedulerObs::default(),
             cache: CacheObs::default(),
             shipcut: ShipcutObs::default(),
+            server: ServerObs::default(),
         };
         report.resilience.enabled = true;
         report.resilience.seed = u64::MAX;

@@ -529,6 +529,7 @@ fn run_round(
                     let env = FaultEnv {
                         plan: opts.faults.as_ref(),
                         retry: &opts.retry,
+                        deadline: opts.deadline.as_ref(),
                     };
                     // Runs one task and records its measurements; returns
                     // false when the worker must stop (the task failed).
@@ -559,8 +560,19 @@ fn run_round(
                             profile: profile.as_ref(),
                             check_integrity: opts.check_integrity,
                         };
-                        let result = env
-                            .run_task(&ctx, &mut events, &mut ledger, || exec.run_task(task, args));
+                        let result = env.run_task(&ctx, &mut events, &mut ledger, || {
+                            // Cross-request EDF arbitration per attempt
+                            // (dependencies are complete before run_one, so
+                            // holding the slot can never deadlock).
+                            let _slot = opts
+                                .gate
+                                .as_ref()
+                                .filter(|_| !effective[task_id].is_mediator())
+                                .map(|gate| {
+                                    gate.acquire(effective[task_id], opts.deadline.as_ref())
+                                });
+                            exec.run_task(task, args)
+                        });
                         let secs = started.elapsed().as_secs_f64();
                         let (out_rows, out_bytes, ship_bytes) = match &result {
                             Ok(Some(rel)) => (

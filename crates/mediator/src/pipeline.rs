@@ -73,6 +73,10 @@ pub struct MediatorOptions {
     /// canonical sort, dedup). `1` = sequential; results are byte-identical
     /// at any thread count.
     pub threads: usize,
+    /// Per-request deadline budget in seconds (None = unbounded): no task
+    /// attempt starts past it and expiry surfaces as
+    /// [`crate::MediatorError::DeadlineExceeded`].
+    pub deadline_secs: Option<f64>,
 }
 
 impl Default for MediatorOptions {
@@ -93,6 +97,7 @@ impl Default for MediatorOptions {
             scheduling: Scheduling::default(),
             shipcut: true,
             threads: 1,
+            deadline_secs: None,
         }
     }
 }
@@ -130,6 +135,7 @@ impl MediatorOptions {
             retry: self.retry.clone(),
             scheduling: self.scheduling,
             threads: self.threads,
+            deadline_secs: self.deadline_secs,
         }
     }
 
@@ -151,6 +157,7 @@ impl MediatorOptions {
             retry: policy.retry,
             scheduling: policy.scheduling,
             threads: policy.threads,
+            deadline_secs: policy.deadline_secs,
         }
     }
 }
@@ -259,6 +266,11 @@ impl MediatorOptionsBuilder {
 
     pub fn threads(mut self, threads: usize) -> Self {
         self.options.threads = threads.max(1);
+        self
+    }
+
+    pub fn deadline_secs(mut self, budget: Option<f64>) -> Self {
+        self.options.deadline_secs = budget;
         self
     }
 

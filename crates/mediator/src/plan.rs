@@ -91,6 +91,10 @@ pub struct ExecPolicy {
     /// canonical sort, dedup) inside each task. Results are byte-identical
     /// for any value; `1` keeps every kernel sequential.
     pub threads: usize,
+    /// Per-request deadline budget in seconds (None = unbounded). The
+    /// clock starts when a request enters execution; expiry surfaces as
+    /// [`crate::MediatorError::DeadlineExceeded`] instead of hanging.
+    pub deadline_secs: Option<f64>,
 }
 
 impl Default for ExecPolicy {
@@ -105,6 +109,7 @@ impl Default for ExecPolicy {
             retry: RetryPolicy::default(),
             scheduling: Scheduling::default(),
             threads: 1,
+            deadline_secs: None,
         }
     }
 }
@@ -126,6 +131,10 @@ impl From<&ExecPolicy> for ExecOptions {
             pace: None,
             shipcut: None,
             threads: policy.threads.max(1),
+            // The deadline clock starts per request, not per policy: the
+            // caller binds it (see `Mediator::request`).
+            deadline: None,
+            gate: None,
         }
     }
 }

@@ -12,12 +12,13 @@
 
 use crate::error::MediatorError;
 use crate::exec::ExecOptions;
-use crate::faults::FaultPlan;
+use crate::faults::{Deadline, FaultPlan};
 use crate::obs::{CacheObs, Phases, RunReport};
 use crate::pipeline::{MediatorOptions, MediatorRun};
 use crate::plan::{ExecPolicy, ExecuteOutcome, PlanOptions, PreparedPlan};
+use crate::schedule::EdfGate;
 use aig_core::spec::Aig;
-use aig_relstore::{Catalog, Value};
+use aig_relstore::{Catalog, Database, SourceId, Table, Value};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -123,6 +124,53 @@ pub struct CacheStats {
     /// Plans currently resident.
     pub entries: usize,
     pub capacity: usize,
+}
+
+/// Per-request overrides the server layer stacks on top of the service's
+/// configured policy: a deadline budget, a cross-request EDF gate, and the
+/// circuit-breaker routing decisions (fail fast to a replica, or degrade by
+/// skipping a source entirely).
+#[derive(Debug, Clone, Default)]
+pub struct RequestCtx {
+    /// Deadline budget in seconds for this request; None falls back to the
+    /// policy's [`ExecPolicy::deadline_secs`]. The clock starts when
+    /// [`Mediator::request_with`] is called.
+    pub deadline_secs: Option<f64>,
+    /// Sources treated as hard-down for this request only (circuit-breaker
+    /// fail-fast: execution reroutes their tasks to replicas before the
+    /// first attempt instead of burning retries).
+    pub extra_outages: Vec<String>,
+    /// Sources this request *skips* (graceful degradation): their tables
+    /// read as empty views, no fault of any kind fires there, and the run
+    /// completes with the skipped subtree labels reported. Output
+    /// validation and the document constraint check are disabled for the
+    /// run — both are specified against full source data, so a partial
+    /// document must not be held to them.
+    pub skip_sources: Vec<String>,
+    /// Cross-request earliest-deadline-first arbitration of source access,
+    /// shared by every concurrent request of one server.
+    pub gate: Option<Arc<EdfGate>>,
+}
+
+impl RequestCtx {
+    fn is_default(&self) -> bool {
+        self.deadline_secs.is_none()
+            && self.extra_outages.is_empty()
+            && self.skip_sources.is_empty()
+            && self.gate.is_none()
+    }
+}
+
+/// The outcome of [`Mediator::request_with`]: the run plus the subtrees
+/// degradation skipped (empty = the document reflects full source data and
+/// is byte-identical to a plain [`Mediator::request`]).
+#[derive(Debug)]
+pub struct ServedRequest {
+    pub run: MediatorRun,
+    pub report: RunReport,
+    /// Task labels of the subtrees served from empty degraded views, in
+    /// task-graph order.
+    pub skipped: Vec<String>,
 }
 
 /// A long-lived mediator service: catalog + plan cache + request driver.
@@ -283,6 +331,68 @@ impl Mediator {
         aig: &Aig,
         args: &[(&str, Value)],
     ) -> Result<(MediatorRun, RunReport), MediatorError> {
+        self.request_with(aig, args, &RequestCtx::default())
+            .map(|served| (served.run, served.report))
+    }
+
+    /// Like [`Mediator::request`] with per-request overrides: the deadline
+    /// clock starts here, extra outages re-bind the fault plan so breaker
+    /// fail-fast reroutes before the first attempt, and skipped sources are
+    /// served as empty views with all their faults suppressed (the mediator
+    /// never contacts them). With a default [`RequestCtx`] and no policy
+    /// deadline this is exactly [`Mediator::request`] — same plan cache,
+    /// same execution, byte-identical documents.
+    pub fn request_with(
+        &self,
+        aig: &Aig,
+        args: &[(&str, Value)],
+        ctx: &RequestCtx,
+    ) -> Result<ServedRequest, MediatorError> {
+        let skipped_ids = self.resolve_sources(&ctx.skip_sources)?;
+        let degraded = !skipped_ids.is_empty();
+        let budget = ctx.deadline_secs.or(self.policy.deadline_secs);
+
+        // Build per-request overrides only when something actually differs
+        // from the service configuration: the common clean path serves
+        // straight from the shared state with zero clones.
+        let mut policy_owned: Option<ExecPolicy> = None;
+        let mut opts_owned: Option<ExecOptions> = None;
+        let mut catalog_owned: Option<Catalog> = None;
+        if !ctx.is_default() || budget.is_some() {
+            let mut opts = self.exec_opts.clone();
+            opts.gate = ctx.gate.clone();
+            opts.deadline = budget.map(Deadline::starting_now);
+            if !ctx.extra_outages.is_empty() {
+                // Re-bind the fault plan with the breaker-declared outages
+                // folded in; with no configured faults the default config's
+                // zero rates leave outage routing as the only live machinery.
+                let mut cfg = self.policy.faults.clone().unwrap_or_default();
+                cfg.outages.extend(ctx.extra_outages.iter().cloned());
+                opts.faults = Some(FaultPlan::new(&cfg, &self.catalog)?);
+            }
+            if degraded {
+                if let Some(plan) = opts.faults.take() {
+                    opts.faults = Some(plan.with_skipped(&skipped_ids));
+                }
+                opts.check_integrity = false;
+                opts.check_guards = false;
+                let mut policy = self.policy.clone();
+                // Output validation, the document constraint check, and the
+                // compiled-constraint guards are all specified against the
+                // *full* source data; a partial document legitimately
+                // violates them, so they are scoped out of degraded runs.
+                policy.check_guards = false;
+                policy.validate_output = false;
+                policy.check_integrity = false;
+                policy_owned = Some(policy);
+                catalog_owned = Some(self.degraded_catalog(&skipped_ids));
+            }
+            opts_owned = Some(opts);
+        }
+        let policy = policy_owned.as_ref().unwrap_or(&self.policy);
+        let exec_opts = opts_owned.as_ref().unwrap_or(&self.exec_opts);
+        let catalog = catalog_owned.as_ref().unwrap_or(&self.catalog);
+
         let mut phases = Phases::new();
         let fp = phases.time("plan_cache", || aig.fingerprint());
         let mut depth = self.starting_depth(fp);
@@ -299,15 +409,29 @@ impl Mediator {
             let cache_obs = self.cache_obs(first_lookup_hit == Some(true), promoted);
             match crate::plan::execute_prepared(
                 &plan,
-                &self.catalog,
+                catalog,
                 args,
-                &self.policy,
-                &self.exec_opts,
+                policy,
+                exec_opts,
                 &mut phases,
                 rounds,
                 cache_obs,
             )? {
-                ExecuteOutcome::Complete(done) => return Ok(*done),
+                ExecuteOutcome::Complete(done) => {
+                    let (run, report) = *done;
+                    let skipped = plan
+                        .graph
+                        .tasks
+                        .iter()
+                        .filter(|t| skipped_ids.contains(&t.source))
+                        .map(|t| t.label.clone())
+                        .collect();
+                    return Ok(ServedRequest {
+                        run,
+                        report,
+                        skipped,
+                    });
+                }
                 ExecuteOutcome::FrontierExtend => {
                     if plan.depth >= self.plan_options.max_depth {
                         return Err(MediatorError::RecursionBudget {
@@ -320,6 +444,45 @@ impl Mediator {
                 }
             }
         }
+    }
+
+    /// Resolves source names to ids, rejecting the mediator pseudo-source
+    /// (it cannot be degraded away — it assembles the document).
+    fn resolve_sources(&self, names: &[String]) -> Result<Vec<SourceId>, MediatorError> {
+        let mut ids = Vec::with_capacity(names.len());
+        for name in names {
+            let sid = self.catalog.source_id(name).map_err(MediatorError::Store)?;
+            if sid.is_mediator() {
+                return Err(MediatorError::Internal(
+                    "cannot skip the mediator pseudo-source".to_string(),
+                ));
+            }
+            ids.push(sid);
+        }
+        Ok(ids)
+    }
+
+    /// A catalog clone where every skipped source keeps its schema but
+    /// serves zero rows. The schema fingerprint is data-independent, so
+    /// cached plans (keyed on it) remain valid for degraded requests.
+    fn degraded_catalog(&self, skipped: &[SourceId]) -> Catalog {
+        let mut catalog = self.catalog.clone();
+        for &sid in skipped {
+            let source = self.catalog.source(sid);
+            let mut empty = Database::new(source.name());
+            for name in source.table_names() {
+                let schema = source
+                    .table(name)
+                    .expect("listed table exists")
+                    .schema()
+                    .clone();
+                empty
+                    .add_table(Table::new(schema))
+                    .expect("unique table names per source");
+            }
+            *catalog.source_mut(sid) = empty;
+        }
+        catalog
     }
 
     /// Evaluates a batch of argument bindings for one AIG concurrently, one

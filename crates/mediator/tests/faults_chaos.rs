@@ -447,7 +447,7 @@ fn pipeline_reports_resilience_and_preserves_the_document() {
         // The JSON serialization carries the section.
         let json = report.to_json().to_pretty();
         assert!(json.contains("\"resilience\""));
-        assert!(json.contains("\"schema_version\": 6"));
+        assert!(json.contains("\"schema_version\": 7"));
         // The seed is emitted losslessly as a decimal string.
         assert!(json.contains("\"seed\": \"11\""));
     }

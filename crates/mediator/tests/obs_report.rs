@@ -266,6 +266,125 @@ fn json_v6_reaches_a_fixpoint_with_integrity_ledger_and_big_seed() {
     }
 }
 
+/// Schema v7 round-trip: a report with a *populated* server section (the
+/// overload server's ledgers and percentiles) reaches a serialization
+/// fixpoint, and the server seed — above 2^53 like the fault seed — travels
+/// losslessly through the decimal-string path.
+#[test]
+fn json_v7_reaches_a_fixpoint_with_server_ledgers_and_big_seed() {
+    let seed = (1u64 << 61) + 11; // > 2^53: unrepresentable as f64
+    let server = aig_mediator::ServerObs {
+        enabled: true,
+        seed,
+        offered: 120,
+        admitted: 100,
+        rejected: 20,
+        rejected_queue: 12,
+        rejected_in_flight: 3,
+        rejected_tenant: 5,
+        completed: 70,
+        deadline_exceeded: 14,
+        degraded: 9,
+        failed: 7,
+        breaker_trips: 4,
+        breaker_probes: 6,
+        breaker_closes: 3,
+        max_queue_depth: 17,
+        max_in_flight: 4,
+        p50_secs: 0.125,
+        p95_secs: 0.75,
+        p99_secs: 1.5,
+        balanced: true,
+    };
+    let report = RunReport::server_summary(server.clone());
+    assert_eq!(report.schema_version, aig_mediator::SCHEMA_VERSION);
+    assert_eq!(report.server, server);
+
+    let value = report.to_json();
+    let pretty = value.to_pretty();
+    let decoded = json::parse(&pretty).unwrap();
+    assert_eq!(decoded, value, "decode changed the report");
+    assert_eq!(
+        decoded.to_pretty(),
+        pretty,
+        "pretty encoding is not a fixpoint"
+    );
+    let compact = value.to_compact();
+    assert_eq!(
+        json::parse(&compact).unwrap().to_compact(),
+        compact,
+        "compact encoding is not a fixpoint"
+    );
+
+    assert_eq!(
+        decoded.get("schema_version").and_then(|v| v.as_f64()),
+        Some(aig_mediator::SCHEMA_VERSION as f64)
+    );
+    let section = decoded.get("server").expect("v7 carries a server section");
+    assert_eq!(section.get("enabled").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        section.get("balanced").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    let emitted = section
+        .get("seed")
+        .and_then(|s| s.as_str())
+        .expect("server seed must be a string");
+    assert_ne!(
+        seed as f64 as u64, seed,
+        "seed must exercise the string path"
+    );
+    assert_eq!(emitted.parse::<u64>().unwrap(), seed);
+    for (field, expect) in [
+        ("offered", server.offered),
+        ("admitted", server.admitted),
+        ("rejected", server.rejected),
+        ("rejected_queue", server.rejected_queue),
+        ("rejected_in_flight", server.rejected_in_flight),
+        ("rejected_tenant", server.rejected_tenant),
+        ("completed", server.completed),
+        ("deadline_exceeded", server.deadline_exceeded),
+        ("degraded", server.degraded),
+        ("failed", server.failed),
+        ("breaker_trips", server.breaker_trips),
+        ("breaker_probes", server.breaker_probes),
+        ("breaker_closes", server.breaker_closes),
+        ("max_queue_depth", server.max_queue_depth as u64),
+        ("max_in_flight", server.max_in_flight as u64),
+    ] {
+        assert_eq!(
+            section.get(field).and_then(|v| v.as_f64()),
+            Some(expect as f64),
+            "{field}"
+        );
+    }
+    for (field, expect) in [
+        ("p50_secs", server.p50_secs),
+        ("p95_secs", server.p95_secs),
+        ("p99_secs", server.p99_secs),
+    ] {
+        assert_eq!(
+            section.get(field).and_then(|v| v.as_f64()),
+            Some(expect),
+            "{field}"
+        );
+    }
+
+    // Both ledger identities hold on the fixture — mirroring the invariant
+    // the server's `finish` computes `balanced` from.
+    assert_eq!(server.offered, server.admitted + server.rejected);
+    assert_eq!(
+        server.admitted,
+        server.completed + server.deadline_exceeded + server.degraded + server.failed
+    );
+
+    // The rendered report surfaces the server section.
+    let text = aig_mediator::render_report(&report);
+    assert!(text.contains("server (seed"), "{text}");
+    assert!(text.contains("breakers: 4 trips"), "{text}");
+    assert!(text.contains("p95 0.750s"), "{text}");
+}
+
 #[test]
 fn merge_decisions_agree_with_the_outcome() {
     let (run, report) = tiny_report(1, &det_options(4));

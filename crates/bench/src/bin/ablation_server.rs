@@ -66,7 +66,9 @@ fn main() {
         tenant_quota: 16,
         default_deadline_secs: None,
         breaker_threshold: 3,
-        breaker_cooldown_secs: 120.0,
+        // The cooldown must fit the (now ~3x shorter) horizon so the
+        // breaker's probe/close lifecycle is exercised, not just the trip.
+        breaker_cooldown_secs: 30.0,
         degrade: true,
     };
     let server = MediatorServer::new(catalog, &options, config.clone()).expect("server");
@@ -77,10 +79,13 @@ fn main() {
     let mut at = 0.0f64;
     let mut arrivals: Vec<Arrival> = Vec::with_capacity(ARRIVALS);
     for _ in 0..ARRIVALS {
+        // Offered load tracks the service rate: dictionary-encoded ship
+        // accounting cut simulated service times ~3x, so the gaps are ~3x
+        // tighter than the row-major era to keep the system overloaded.
         at += if rng.gen_bool(0.2) {
             0.0 // burst: simultaneous with the previous arrival
         } else {
-            rng.gen_range(0.1..1.0)
+            rng.gen_range(0.03..0.35)
         };
         let tenant = if rng.gen_bool(0.4) {
             "alpha"
@@ -89,8 +94,8 @@ fn main() {
         };
         let deadline_secs = match rng.gen_range(0.0f64..1.0) {
             r if r < 0.3 => None,
-            r if r < 0.65 => Some(rng.gen_range(4.0..12.0)),
-            _ => Some(rng.gen_range(12.0..40.0)),
+            r if r < 0.65 => Some(rng.gen_range(1.5..4.5)),
+            _ => Some(rng.gen_range(4.5..15.0)),
         };
         let date = &data.dates[rng.gen_range(0..data.dates.len())];
         arrivals.push(Arrival {

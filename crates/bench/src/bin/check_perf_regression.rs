@@ -4,8 +4,8 @@
 //!
 //! Compares freshly regenerated `BENCH_fig10.json`,
 //! `BENCH_ablation_dynamic_live.json`, `BENCH_ablation_plan_cache.json`,
-//! `BENCH_shipcut.json`, `BENCH_integrity.json` and `BENCH_server.json`
-//! against the committed baselines. The
+//! `BENCH_shipcut.json`, `BENCH_columnar.json`, `BENCH_integrity.json` and
+//! `BENCH_server.json` against the committed baselines. The
 //! simulated quantities (merging ratios, predicted speedups) are
 //! deterministic and get a tight relative band; wall-clock quantities
 //! (phase timers, live speedups) vary with the machine, so they only fail
@@ -236,6 +236,82 @@ fn check_shipcut(gate: &mut Gate, baseline: &Json, current: &Json) {
     );
 }
 
+fn check_columnar(gate: &mut Gate, baseline: &Json, current: &Json, fig10_current: &Json) {
+    // Hard, machine-independent claims of the columnar storage: the
+    // dictionary-encoded wire representation is strictly smaller than the
+    // raw row-major bytes of the same shipments, the interned kernels beat
+    // their row-major emulations, and the document does not depend on the
+    // thread count.
+    gate.require(
+        "columnar: wire size no longer strictly below the row-major bytes",
+        num(current, "wire_bytes") < num(current, "row_major_bytes"),
+    );
+    gate.require(
+        "columnar: DISTINCT no longer beats the row-major emulation",
+        num(current, "distinct_speedup") > 1.0,
+    );
+    gate.require(
+        "columnar: projection no longer beats the row-major emulation",
+        num(current, "project_speedup") > 1.0,
+    );
+    gate.require(
+        "columnar: documents are no longer byte-identical across threads",
+        current
+            .get("docs_identical")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    );
+    // Tie the run to the committed Fig. 10 workload: the same (dataset,
+    // unfold) cell must exist and the columnar response must not regress
+    // past it beyond the simulated-drift band.
+    let dataset = current.get("dataset").and_then(Json::as_str).unwrap_or("?");
+    let unfold = num(current, "unfold");
+    let cell = fig10_current
+        .get("cells")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .find(|c| {
+            c.get("dataset").and_then(Json::as_str) == Some(dataset)
+                && c.get("unfold").and_then(Json::as_f64) == Some(unfold)
+        })
+        .cloned();
+    match cell {
+        Some(cell) => gate.require(
+            "columnar: response regressed past the Fig. 10 cell",
+            num(current, "response_merged_secs")
+                <= num(&cell, "response_merged_secs") * (1.0 + SIM_TOLERANCE),
+        ),
+        None => gate.require(
+            &format!("columnar: no Fig. 10 cell for {dataset}/unfold {unfold}"),
+            false,
+        ),
+    }
+    // Byte counts are deterministic; walls only fail on large factors.
+    gate.within(
+        "columnar wire bytes",
+        num(baseline, "wire_bytes"),
+        num(current, "wire_bytes"),
+        SIM_TOLERANCE,
+    );
+    gate.within(
+        "columnar response merged",
+        num(baseline, "response_merged_secs"),
+        num(current, "response_merged_secs"),
+        SIM_TOLERANCE,
+    );
+    gate.bounded(
+        "columnar cold wall",
+        num(baseline, "cold_wall_secs"),
+        num(current, "cold_wall_secs"),
+    );
+    gate.bounded(
+        "columnar DISTINCT kernel",
+        num(baseline, "columnar_distinct_secs"),
+        num(current, "columnar_distinct_secs"),
+    );
+}
+
 fn check_integrity(gate: &mut Gate, baseline: &Json, current: &Json) {
     // The headline claims are machine-independent hard requirements: the
     // sweep injects corruption, none of it goes undetected, every defended
@@ -347,10 +423,11 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let mut gate = Gate::new();
+    let fig10_current = load(current_dir, "BENCH_fig10.json");
     check_fig10(
         &mut gate,
         &load(baseline_dir, "BENCH_fig10.json"),
-        &load(current_dir, "BENCH_fig10.json"),
+        &fig10_current,
     );
     check_dynamic_live(
         &mut gate,
@@ -366,6 +443,12 @@ fn main() -> ExitCode {
         &mut gate,
         &load(baseline_dir, "BENCH_shipcut.json"),
         &load(current_dir, "BENCH_shipcut.json"),
+    );
+    check_columnar(
+        &mut gate,
+        &load(baseline_dir, "BENCH_columnar.json"),
+        &load(current_dir, "BENCH_columnar.json"),
+        &fig10_current,
     );
     check_integrity(
         &mut gate,

@@ -18,7 +18,7 @@ use crate::spec::{
     Aig, ElemIdx, FieldRule, Generator, GuardKind, ParamSource, Prod, QueryRule, SetExpr, SynRule,
     ValueExpr,
 };
-use aig_relstore::{Catalog, Relation, Value};
+use aig_relstore::{Catalog, Relation, Sym, Value};
 use aig_sql::{execute, ParamValue, Params};
 use aig_xml::{NodeId, XmlTree};
 use std::collections::HashSet;
@@ -208,14 +208,14 @@ impl Evaluator<'_> {
                             })
                             .collect::<Result<_, AigError>>()?;
                         let mut syns = Vec::with_capacity(rel.len());
-                        for row in rel.rows() {
+                        for r in 0..rel.len() {
                             let mut fields: Vec<FieldValue> = child_info
                                 .inh
                                 .iter()
                                 .map(|d| FieldValue::default_for(&d.ty))
                                 .collect();
                             for (pos, col) in &col_map {
-                                fields[*pos] = FieldValue::Scalar(row[*col].clone());
+                                fields[*pos] = FieldValue::Scalar(rel.cell(r, *col).clone());
                             }
                             for (pos, v) in &broadcast {
                                 fields[*pos] = v.clone();
@@ -321,14 +321,16 @@ impl Evaluator<'_> {
         let info = self.aig.elem_info(idx);
         match &guard.kind {
             GuardKind::Unique { field } => {
+                // Interned cells make row identity a symbol-tuple compare.
                 let rel = syn.rel(&info.syn, field)?;
-                let mut seen: HashSet<&Vec<Value>> = HashSet::with_capacity(rel.len());
-                for row in rel.rows() {
-                    if !seen.insert(row) {
+                let mut seen: HashSet<Vec<Sym>> = HashSet::with_capacity(rel.len());
+                for r in 0..rel.len() {
+                    let key: Vec<Sym> = (0..rel.arity()).map(|c| rel.sym(r, c)).collect();
+                    if !seen.insert(key) {
                         return Err(AigError::ConstraintViolation {
                             constraint: guard.label.clone(),
                             context: self.tree.path(node),
-                            value: format!("{row:?}"),
+                            value: format!("{:?}", rel.row(r)),
                         });
                     }
                 }
@@ -337,13 +339,16 @@ impl Evaluator<'_> {
             GuardKind::Subset { sub, sup } => {
                 let sub_rel = syn.rel(&info.syn, sub)?;
                 let sup_rel = syn.rel(&info.syn, sup)?;
-                let sup_set: HashSet<&Vec<Value>> = sup_rel.rows().iter().collect();
-                for row in sub_rel.rows() {
-                    if !sup_set.contains(row) {
+                let sup_set: HashSet<Vec<Sym>> = (0..sup_rel.len())
+                    .map(|r| (0..sup_rel.arity()).map(|c| sup_rel.sym(r, c)).collect())
+                    .collect();
+                for r in 0..sub_rel.len() {
+                    let key: Vec<Sym> = (0..sub_rel.arity()).map(|c| sub_rel.sym(r, c)).collect();
+                    if !sup_set.contains(&key) {
                         return Err(AigError::ConstraintViolation {
                             constraint: guard.label.clone(),
                             context: self.tree.path(node),
-                            value: format!("{row:?}"),
+                            value: format!("{:?}", sub_rel.row(r)),
                         });
                     }
                 }
@@ -598,7 +603,7 @@ fn condition_value(rel: &Relation) -> Result<i64, String> {
     if rel.arity() != 1 {
         return Err(format!("expected exactly one column, got {}", rel.arity()));
     }
-    match &rel.rows()[0][0] {
+    match rel.cell(0, 0) {
         Value::Int(i) => Ok(*i),
         Value::Str(s) => s
             .parse::<i64>()

@@ -19,9 +19,10 @@ use aig_core::attrs::FieldType;
 use aig_core::copyelim::{resolve_scalar, ResolvedScalar};
 use aig_core::spec::{Aig, ElemIdx, FieldRule, GuardKind, Prod, SetExpr, ValueExpr};
 use aig_core::AigError;
-use aig_relstore::par::stable_sort_rows;
+use aig_relstore::intern;
+use aig_relstore::par::stable_sort_rows_with;
 use aig_relstore::{Catalog, Relation, SourceId, Value};
-use aig_sql::{execute_with as sql_execute_with, ParamValue, Params};
+use aig_sql::{execute_tuned as sql_execute_tuned, ParamValue, Params};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -119,6 +120,10 @@ pub struct ExecOptions {
     /// build/probe, canonical sort, dedup) may use per task. `1` keeps
     /// every kernel sequential; results are byte-identical regardless.
     pub threads: usize,
+    /// Minimum input size (rows) before a partitioned kernel engages;
+    /// below it every kernel stays sequential regardless of `threads`.
+    /// Byte-identical for any value (see [`aig_relstore::par`]).
+    pub par_threshold: usize,
     /// Per-request deadline budget: no task attempt starts past it, sleeps
     /// are clamped to it, and expiry surfaces as
     /// [`MediatorError::DeadlineExceeded`]. Bound per request (the
@@ -144,6 +149,7 @@ impl Default for ExecOptions {
             pace: None,
             shipcut: None,
             threads: 1,
+            par_threshold: aig_relstore::par::PAR_THRESHOLD,
             deadline: None,
             gate: None,
         }
@@ -157,9 +163,16 @@ pub struct Measured {
     pub secs: f64,
     pub out_rows: f64,
     pub out_bytes: f64,
+    /// Dictionary-encoded wire size of the full output relation — what an
+    /// unpruned shipment of the output would cost on the wire. Note this can
+    /// exceed the raw `out_bytes` for small all-distinct relations (the
+    /// dictionary is the data plus per-row codes).
+    pub wire_bytes: f64,
     /// Bytes of the output's *ship image*: the column-pruned (and, for
     /// duplicate-insensitive consumers, deduplicated) relation a ship-cut
-    /// shipper puts on the wire. Equal to `out_bytes` when ship-cut is off.
+    /// shipper puts on the wire. Equal to `wire_bytes` when ship-cut is off;
+    /// never exceeds it (pruning drops columns and rows, and the dictionary
+    /// encoding is monotone under both).
     pub ship_bytes: f64,
     /// Rows read from dependency relations (distinct input relations).
     pub in_rows: f64,
@@ -421,10 +434,10 @@ pub fn execute_graph(
             )?
         };
         let secs = start.elapsed().as_secs_f64();
-        let (rows, bytes) = output
+        let (rows, bytes, wire) = output
             .as_ref()
-            .map(|r| (r.len() as f64, r.byte_size() as f64))
-            .unwrap_or((0.0, 0.0));
+            .map(|r| (r.len() as f64, r.byte_size() as f64, r.wire_bytes() as f64))
+            .unwrap_or((0.0, 0.0, 0.0));
         let ship_bytes = output
             .as_ref()
             .map(|r| ship_image_bytes(opts, id, r))
@@ -436,6 +449,7 @@ pub fn execute_graph(
             secs,
             out_rows: rows,
             out_bytes: bytes,
+            wire_bytes: wire,
             ship_bytes,
             in_rows,
             wait_secs: 0.0,
@@ -455,11 +469,13 @@ pub fn execute_graph(
 }
 
 /// The ship-image size of a task's output under the active ship-cut
-/// profiles; the full relation size when ship-cut is off.
+/// profiles; the dictionary-encoded wire size of the full relation when
+/// ship-cut is off (both arms report wire bytes, so on/off comparisons
+/// measure pruning, not encoding).
 pub(crate) fn ship_image_bytes(opts: &ExecOptions, task_id: usize, rel: &Relation) -> f64 {
     match &opts.shipcut {
         Some(cut) => cut.ship_bytes(task_id, rel) as f64,
-        None => rel.byte_size() as f64,
+        None => rel.wire_bytes() as f64,
     }
 }
 
@@ -558,8 +574,8 @@ impl<S: RelSource> Executor<'_, S> {
                 // Column positions in the raw output.
                 let parent_col = raw.col("__parent")?;
                 let mut rows: Vec<Vec<Value>> = Vec::with_capacity(raw.len());
-                for raw_row in raw.rows() {
-                    let parent_id = raw_row[parent_col].clone();
+                for r in 0..raw.len() {
+                    let parent_id = raw.cell(r, parent_col).clone();
                     let parent_idx = base_rows.get(&parent_id).copied().ok_or_else(|| {
                         MediatorError::Internal("generator row with unknown parent".into())
                     })?;
@@ -567,11 +583,11 @@ impl<S: RelSource> Executor<'_, S> {
                     for field in &scalar_fields {
                         if generated_fields.iter().any(|g| g == field) {
                             let c = raw.col(field)?;
-                            row.push(raw_row[c].clone());
+                            row.push(raw.cell(r, c).clone());
                         } else if let Some((_, bind)) = broadcast.iter().find(|(n, _)| n == field) {
                             row.push(match bind {
                                 ScalarBind::Const(v) => v.clone(),
-                                ScalarBind::Col(c) => base.rows()[parent_idx][base.col(c)?].clone(),
+                                ScalarBind::Col(c) => base.cell(parent_idx, base.col(c)?).clone(),
                             });
                         } else {
                             return Err(MediatorError::Internal(format!(
@@ -584,9 +600,12 @@ impl<S: RelSource> Executor<'_, S> {
                 // Canonical per-parent order: (parent, fields), then ordinal.
                 // Compared by reference — no per-comparison clones — and
                 // partitioned over the configured threads for large outputs.
-                stable_sort_rows(&mut rows, self.opts.threads, |a, b| {
-                    a[0].cmp(&b[0]).then_with(|| a[2..].cmp(&b[2..]))
-                });
+                stable_sort_rows_with(
+                    &mut rows,
+                    self.opts.threads,
+                    self.opts.par_threshold,
+                    |a, b| a[0].cmp(&b[0]).then_with(|| a[2..].cmp(&b[2..])),
+                );
                 let mut last_parent: Option<Value> = None;
                 let mut ord = 0i64;
                 let mut finished: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
@@ -616,7 +635,7 @@ impl<S: RelSource> Executor<'_, S> {
                 let info = self.aig.elem_info(binding.elem);
                 if let Some(decl) = info.inh.iter().find(|f| &f.name == field) {
                     if matches!(decl.ty, FieldType::Set(_)) {
-                        rel.dedup_parallel(self.opts.threads);
+                        rel.dedup_parallel_with(self.opts.threads, self.opts.par_threshold);
                     }
                 }
                 Ok(Some(rel))
@@ -636,16 +655,16 @@ impl<S: RelSource> Executor<'_, S> {
                             )))
                         }
                     };
-                    let part = self.store.rel(input)?.clone();
-                    for row in part.rows() {
+                    let part = self.store.rel(input)?;
+                    for r in 0..part.len() {
                         // part: __parent, __ord, fields…
-                        let mut out = Vec::with_capacity(row.len() + 2);
+                        let mut out = Vec::with_capacity(part.arity() + 2);
                         out.push(Value::int(rowid));
                         rowid += 1;
-                        out.push(row[0].clone());
-                        out.push(row[1].clone());
+                        out.push(part.cell(r, 0).clone());
+                        out.push(part.cell(r, 1).clone());
                         out.push(Value::str(occ_value.clone()));
-                        out.extend(row[2..].iter().cloned());
+                        out.extend((2..part.arity()).map(|c| part.cell(r, c).clone()));
                         rel.push(out);
                     }
                 }
@@ -664,10 +683,10 @@ impl<S: RelSource> Executor<'_, S> {
                         detail: format!("condition query returns {} columns", raw.arity() - 1),
                     }));
                 }
-                for row in raw.rows() {
+                for r in 0..raw.len() {
                     // `__parent` is always prepended first; the pick value
                     // is the remaining column.
-                    let pick = match &row[1] {
+                    let pick = match raw.cell(r, 1) {
                         Value::Int(i) => *i,
                         Value::Str(s) => s.parse::<i64>().map_err(|_| {
                             MediatorError::Aig(AigError::BadConditionResult {
@@ -682,7 +701,10 @@ impl<S: RelSource> Executor<'_, S> {
                             }))
                         }
                     };
-                    if picks.insert(row[parent_col].clone(), pick).is_some() {
+                    if picks
+                        .insert(raw.cell(r, parent_col).clone(), pick)
+                        .is_some()
+                    {
                         return Err(MediatorError::Aig(AigError::BadConditionResult {
                             elem: elem_name,
                             detail: "more than one row for an instance".to_string(),
@@ -701,8 +723,8 @@ impl<S: RelSource> Executor<'_, S> {
                 }
                 let mut rel = Relation::empty(vec!["__owner".into(), "__pick".into()]);
                 let rowid_col = base.col("__rowid")?;
-                for row in base.rows() {
-                    let owner = row[rowid_col].clone();
+                for r in 0..base.len() {
+                    let owner = base.cell(r, rowid_col).clone();
                     let pick = picks[&owner];
                     rel.push(vec![owner, Value::int(pick)]);
                 }
@@ -728,11 +750,11 @@ impl<S: RelSource> Executor<'_, S> {
                     .collect();
                 columns.extend(scalar_fields.iter().map(|s| s.to_string()));
                 let mut rel = Relation::empty(columns);
-                for row in picks.rows() {
-                    if row[1] != Value::int(*branch as i64 + 1) {
+                for r in 0..picks.len() {
+                    if picks.cell(r, 1) != &Value::int(*branch as i64 + 1) {
                         continue;
                     }
-                    let owner = row[0].clone();
+                    let owner = picks.cell(r, 0).clone();
                     let base_idx = base_rows[&owner];
                     let mut out = vec![owner, Value::int(0)];
                     for field in &scalar_fields {
@@ -796,11 +818,12 @@ impl<S: RelSource> Executor<'_, S> {
             };
             params.insert(name.clone(), ParamValue::Rel(rel));
         }
-        Ok(sql_execute_with(
+        Ok(sql_execute_tuned(
             &vq.query,
             self.catalog,
             &params,
             self.opts.threads,
+            self.opts.par_threshold,
         )?)
     }
 
@@ -816,7 +839,7 @@ impl<S: RelSource> Executor<'_, S> {
             Some(ResolvedScalar::Const(v)) => Ok(v),
             Some(ResolvedScalar::InhField(f)) => match binding.scalars.get(&f) {
                 Some(ScalarBind::Const(v)) => Ok(v.clone()),
-                Some(ScalarBind::Col(c)) => Ok(base.rows()[base_idx][base.col(c)?].clone()),
+                Some(ScalarBind::Col(c)) => Ok(base.cell(base_idx, base.col(c)?).clone()),
                 None => Err(MediatorError::Internal(format!(
                     "missing scalar binding `{f}`"
                 ))),
@@ -867,24 +890,13 @@ impl<S: RelSource> Executor<'_, S> {
                             let child_syn = self.store.rel(&key)?;
                             let t_child = self.store.rel(&RelKey::Instances(branch.elem))?;
                             let tag = branch_tag(self.aig, occ, bno);
-                            let mut parent_of: HashMap<Value, Value> = HashMap::new();
                             let (rc, pc, oc) = (
                                 t_child.col("__rowid")?,
                                 t_child.col("__parent")?,
                                 t_child.col("__occ")?,
                             );
-                            for row in t_child.rows() {
-                                if row[oc].as_str() == Some(tag.as_str()) {
-                                    parent_of.insert(row[rc].clone(), row[pc].clone());
-                                }
-                            }
-                            for row in child_syn.rows() {
-                                if let Some(owner) = parent_of.get(&row[0]) {
-                                    let mut r = vec![owner.clone()];
-                                    r.extend(row[1..].iter().cloned());
-                                    out.push(r);
-                                }
-                            }
+                            let parent_of = parents_by_tag(t_child, &tag, rc, pc, oc);
+                            rekey_to_owners(child_syn, &parent_of, &mut out);
                         }
                         _ => {
                             return Err(MediatorError::Unsupported(
@@ -910,7 +922,7 @@ impl<S: RelSource> Executor<'_, S> {
             }
         }
         if is_set {
-            out.dedup_parallel(self.opts.threads);
+            out.dedup_parallel_with(self.opts.threads, self.opts.par_threshold);
         }
         Ok(out)
     }
@@ -974,19 +986,23 @@ impl<S: RelSource> Executor<'_, S> {
                     let FieldRule::Scalar(child_expr) = &rule.rule else {
                         return Err(MediatorError::Internal("scalar decl, set rule".into()));
                     };
+                    let tag_sym = intern::lookup(&Value::str(tag.as_str()));
                     match resolve_scalar(self.aig, child_elem, child_expr) {
                         Some(ResolvedScalar::Const(v)) => {
-                            for row in t_child.rows() {
-                                if row[oc].as_str() == Some(tag.as_str()) {
-                                    out.push(vec![row[pc].clone(), v.clone()]);
+                            for r in 0..t_child.len() {
+                                if Some(t_child.sym(r, oc)) == tag_sym {
+                                    out.push(vec![t_child.cell(r, pc).clone(), v.clone()]);
                                 }
                             }
                         }
                         Some(ResolvedScalar::InhField(f)) => {
                             let c = t_child.col(&f)?;
-                            for row in t_child.rows() {
-                                if row[oc].as_str() == Some(tag.as_str()) {
-                                    out.push(vec![row[pc].clone(), row[c].clone()]);
+                            for r in 0..t_child.len() {
+                                if Some(t_child.sym(r, oc)) == tag_sym {
+                                    out.push(vec![
+                                        t_child.cell(r, pc).clone(),
+                                        t_child.cell(r, c).clone(),
+                                    ]);
                                 }
                             }
                         }
@@ -1008,19 +1024,8 @@ impl<S: RelSource> Executor<'_, S> {
                         field,
                     )?;
                     let child_syn = self.store.rel(&key)?;
-                    let mut parent_of: HashMap<Value, Value> = HashMap::new();
-                    for row in t_child.rows() {
-                        if row[oc].as_str() == Some(tag.as_str()) {
-                            parent_of.insert(row[rc].clone(), row[pc].clone());
-                        }
-                    }
-                    for row in child_syn.rows() {
-                        if let Some(owner) = parent_of.get(&row[0]) {
-                            let mut r = vec![owner.clone()];
-                            r.extend(row[1..].iter().cloned());
-                            out.push(r);
-                        }
-                    }
+                    let parent_of = parents_by_tag(t_child, &tag, rc, pc, oc);
+                    rekey_to_owners(child_syn, &parent_of, &mut out);
                 }
                 Ok(out)
             }
@@ -1037,8 +1042,8 @@ impl<S: RelSource> Executor<'_, S> {
                 let base = self.store.rel(&RelKey::Instances(binding.occ.base))?;
                 let rowid_col = base.col("__rowid")?;
                 let mut out = Relation::empty(columns);
-                for (idx, row) in base.rows().iter().enumerate() {
-                    let mut r = vec![row[rowid_col].clone()];
+                for idx in 0..base.len() {
+                    let mut r = vec![base.cell(idx, rowid_col).clone()];
                     for e in exprs {
                         r.push(self.scalar_at(binding, e, base, idx)?);
                     }
@@ -1058,13 +1063,19 @@ impl<S: RelSource> Executor<'_, S> {
                 let key =
                     resolve_syn_key(self.aig, &self.graph.bindings, occ, binding.elem, field)?;
                 let rel = self.store.rel(&key)?;
-                let mut seen: HashSet<&Vec<Value>> = HashSet::with_capacity(rel.len());
-                for row in rel.rows() {
-                    if !seen.insert(row) {
+                let mut seen: HashSet<Vec<aig_relstore::Sym>> = HashSet::with_capacity(rel.len());
+                for r in 0..rel.len() {
+                    let key: Vec<aig_relstore::Sym> =
+                        (0..rel.arity()).map(|c| rel.sym(r, c)).collect();
+                    if !seen.insert(key) {
                         return Err(MediatorError::Aig(AigError::ConstraintViolation {
                             constraint: g.label.clone(),
-                            context: format!("{} instance {}", info.tag(), row[0].to_text()),
-                            value: format!("{:?}", &row[1..]),
+                            context: format!(
+                                "{} instance {}",
+                                info.tag(),
+                                rel.cell(r, 0).to_text()
+                            ),
+                            value: format!("{:?}", &rel.row(r)[1..]),
                         }));
                     }
                 }
@@ -1077,13 +1088,21 @@ impl<S: RelSource> Executor<'_, S> {
                     resolve_syn_key(self.aig, &self.graph.bindings, occ, binding.elem, sup)?;
                 let sub_rel = self.store.rel(&sub_key)?;
                 let sup_rel = self.store.rel(&sup_key)?;
-                let sup_set: HashSet<&Vec<Value>> = sup_rel.rows().iter().collect();
-                for row in sub_rel.rows() {
-                    if !sup_set.contains(row) {
+                let sup_set: HashSet<Vec<aig_relstore::Sym>> = (0..sup_rel.len())
+                    .map(|r| (0..sup_rel.arity()).map(|c| sup_rel.sym(r, c)).collect())
+                    .collect();
+                for r in 0..sub_rel.len() {
+                    let key: Vec<aig_relstore::Sym> =
+                        (0..sub_rel.arity()).map(|c| sub_rel.sym(r, c)).collect();
+                    if !sup_set.contains(&key) {
                         return Err(MediatorError::Aig(AigError::ConstraintViolation {
                             constraint: g.label.clone(),
-                            context: format!("{} instance {}", info.tag(), row[0].to_text()),
-                            value: format!("{:?}", &row[1..]),
+                            context: format!(
+                                "{} instance {}",
+                                info.tag(),
+                                sub_rel.cell(r, 0).to_text()
+                            ),
+                            value: format!("{:?}", &sub_rel.row(r)[1..]),
                         }));
                     }
                 }
@@ -1113,10 +1132,45 @@ pub fn instance_columns(inh: &[aig_core::FieldDecl]) -> Vec<String> {
 /// Maps `__rowid` values to row positions.
 pub fn index_by_rowid(rel: &Relation) -> Result<HashMap<Value, usize>, MediatorError> {
     let c = rel.col("__rowid").map_err(MediatorError::Store)?;
-    Ok(rel
-        .rows()
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (r[c].clone(), i))
+    Ok((0..rel.len())
+        .map(|i| (rel.cell(i, c).clone(), i))
         .collect())
+}
+
+/// Maps child `__rowid` symbols to parent symbols for rows carrying the
+/// given `__occ` tag. Tag matching is one interner lookup plus per-row
+/// symbol compares; a never-interned tag matches no rows.
+fn parents_by_tag(
+    t_child: &Relation,
+    tag: &str,
+    rc: usize,
+    pc: usize,
+    oc: usize,
+) -> HashMap<aig_relstore::Sym, aig_relstore::Sym> {
+    let tag_sym = intern::lookup(&Value::str(tag));
+    let mut parent_of = HashMap::new();
+    if let Some(tag_sym) = tag_sym {
+        for r in 0..t_child.len() {
+            if t_child.sym(r, oc) == tag_sym {
+                parent_of.insert(t_child.sym(r, rc), t_child.sym(r, pc));
+            }
+        }
+    }
+    parent_of
+}
+
+/// Appends `child_syn` rows re-keyed from child rowid to owner, dropping
+/// rows whose child is not in `parent_of`.
+fn rekey_to_owners(
+    child_syn: &Relation,
+    parent_of: &HashMap<aig_relstore::Sym, aig_relstore::Sym>,
+    out: &mut Relation,
+) {
+    for r in 0..child_syn.len() {
+        if let Some(&owner) = parent_of.get(&child_syn.sym(r, 0)) {
+            let mut row = vec![intern::resolve(owner).clone()];
+            row.extend((1..child_syn.arity()).map(|c| child_syn.cell(r, c).clone()));
+            out.push(row);
+        }
+    }
 }

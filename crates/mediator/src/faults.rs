@@ -1443,7 +1443,7 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(out.len() < 5, "stale replica must drop trailing rows");
-        assert_eq!(out.rows()[0][0], Value::int(0), "prefix preserved");
+        assert_eq!(out.cell(0, 0), &Value::int(0), "prefix preserved");
         assert_eq!(ledger.len(), 1);
         assert_eq!(ledger[0].kind.name(), "stale-replica");
         assert_eq!(ledger[0].outcome, IntegrityOutcome::Undetected);

@@ -20,7 +20,7 @@
 
 use crate::graph::{ScalarBind, Task, TaskKind, VectorQuery};
 use aig_prng::{Rng, StdRng};
-use aig_relstore::{Catalog, Relation, Value, ValueType};
+use aig_relstore::{Catalog, Relation, Sym, Value, ValueType};
 use aig_sql::{FromItem, Scalar};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
@@ -221,15 +221,8 @@ pub fn profile_task(task: &Task, catalog: &Catalog) -> Option<RelProfile> {
 /// violation: arity, type/NULL conformance, `(group, ord)` row identity,
 /// and per-group key-image uniqueness.
 pub fn check_relation(rel: &Relation, profile: &RelProfile) -> Option<IntegrityFinding> {
-    let arity = rel.arity();
-    for row in rel.rows() {
-        if row.len() != arity {
-            return Some(IntegrityFinding {
-                constraint: format!("arity({} = {arity})", profile.table),
-                value: format!("row with {} cells", row.len()),
-            });
-        }
-    }
+    // Arity is uniform by construction in columnar storage: every column
+    // holds exactly `len` symbols, so per-row arity cannot diverge.
 
     // Type/NULL conformance of columns with known provenance.
     let typed: Vec<(usize, &str, ValueType)> = rel
@@ -243,14 +236,14 @@ pub fn check_relation(rel: &Relation, profile: &RelProfile) -> Option<IntegrityF
                 .map(|ty| (i, name.as_str(), *ty))
         })
         .collect();
-    for row in rel.rows() {
+    for r in 0..rel.len() {
         for &(i, name, expected) in &typed {
-            match row[i].value_type() {
+            match rel.cell(r, i).value_type() {
                 Some(actual) if actual == expected => {}
                 Some(actual) => {
                     return Some(IntegrityFinding {
                         constraint: format!("type({}.{name}: {expected})", profile.table),
-                        value: format!("{} :: {actual}", row[i]),
+                        value: format!("{} :: {actual}", rel.cell(r, i)),
                     });
                 }
                 None => {
@@ -268,12 +261,12 @@ pub fn check_relation(rel: &Relation, profile: &RelProfile) -> Option<IntegrityF
     // Structural row identity: within a group, ordinals are unique — a
     // verbatim duplicate of a `(parent, ord, …)` row can never be genuine.
     if let (Some(g), Ok(o)) = (group, rel.col("__ord")) {
-        let mut seen: HashSet<(&Value, &Value)> = HashSet::new();
-        for row in rel.rows() {
-            if !seen.insert((&row[g], &row[o])) {
+        let mut seen: HashSet<(Sym, Sym)> = HashSet::new();
+        for r in 0..rel.len() {
+            if !seen.insert((rel.sym(r, g), rel.sym(r, o))) {
                 return Some(IntegrityFinding {
                     constraint: format!("row-identity({}: parent, ord)", profile.table),
-                    value: format!("({}, {})", row[g], row[o]),
+                    value: format!("({}, {})", rel.cell(r, g), rel.cell(r, o)),
                 });
             }
         }
@@ -287,19 +280,19 @@ pub fn check_relation(rel: &Relation, profile: &RelProfile) -> Option<IntegrityF
         .filter_map(|c| rel.col(c).ok())
         .collect();
     if !key_pos.is_empty() {
-        let mut seen: HashSet<Vec<&Value>> = HashSet::new();
-        for row in rel.rows() {
-            let mut image: Vec<&Value> = Vec::with_capacity(key_pos.len() + 1);
+        let mut seen: HashSet<Vec<Sym>> = HashSet::new();
+        for r in 0..rel.len() {
+            let mut image: Vec<Sym> = Vec::with_capacity(key_pos.len() + 1);
             if let Some(g) = group {
-                image.push(&row[g]);
+                image.push(rel.sym(r, g));
             }
-            image.extend(key_pos.iter().map(|&p| &row[p]));
+            image.extend(key_pos.iter().map(|&p| rel.sym(r, p)));
             if !seen.insert(image) {
                 return Some(IntegrityFinding {
                     constraint: format!("key({}[{}])", profile.table, profile.key_cols.join(", ")),
                     value: key_pos
                         .iter()
-                        .map(|&p| row[p].to_string())
+                        .map(|&p| rel.cell(r, p).to_string())
                         .collect::<Vec<_>>()
                         .join(", "),
                 });
@@ -358,8 +351,10 @@ fn flip_key(rel: &mut Relation, rng: &mut StdRng, profile: &RelProfile) -> bool 
     }
     let group = profile.group_col(rel);
     let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-    for (i, row) in rel.rows().iter().enumerate() {
-        let g = group.map(|g| row[g].to_string()).unwrap_or_default();
+    for i in 0..rel.len() {
+        let g = group
+            .map(|g| rel.cell(i, g).to_string())
+            .unwrap_or_default();
         groups.entry(g).or_default().push(i);
     }
     let candidates: Vec<&Vec<usize>> = groups.values().filter(|v| v.len() >= 2).collect();
@@ -372,11 +367,10 @@ fn flip_key(rel: &mut Relation, rng: &mut StdRng, profile: &RelProfile) -> bool 
     let (victim, donor) = (members[a], members[b]);
     let donor_key: Vec<Value> = key_pos
         .iter()
-        .map(|&p| rel.rows()[donor][p].clone())
+        .map(|&p| rel.cell(donor, p).clone())
         .collect();
-    let rows = rel.rows_mut();
     for (&p, v) in key_pos.iter().zip(donor_key) {
-        rows[victim][p] = v;
+        rel.set_cell(victim, p, v);
     }
     true
 }
@@ -386,7 +380,7 @@ fn null_column(rel: &mut Relation, rng: &mut StdRng, profile: &RelProfile) -> bo
     let Some((row, col)) = pick_typed_cell(rel, rng, profile) else {
         return false;
     };
-    rel.rows_mut()[row][col] = Value::Null;
+    rel.set_cell(row, col, Value::Null);
     true
 }
 
@@ -397,7 +391,7 @@ fn duplicate_row(rel: &mut Relation, rng: &mut StdRng) -> bool {
     if rel.col("__ord").is_err() || (rel.col("__parent").is_err() && rel.col("__owner").is_err()) {
         return false;
     }
-    let row = rel.rows()[rng.gen_range(0..rel.len())].clone();
+    let row = rel.row(rng.gen_range(0..rel.len()));
     rel.push(row);
     true
 }
@@ -408,12 +402,12 @@ fn type_confuse(rel: &mut Relation, rng: &mut StdRng, profile: &RelProfile) -> b
     let Some((row, col)) = pick_typed_cell(rel, rng, profile) else {
         return false;
     };
-    let cell = &mut rel.rows_mut()[row][col];
-    *cell = match &*cell {
+    let flipped = match rel.cell(row, col) {
         Value::Int(i) => Value::str(i.to_string()),
         Value::Str(s) => Value::int(s.len() as i64),
         Value::Null => return false,
     };
+    rel.set_cell(row, col, flipped);
     true
 }
 
@@ -439,14 +433,16 @@ fn pick_typed_cell(
     for _ in 0..16 {
         let row = rng.gen_range(0..rel.len());
         let col = typed[rng.gen_range(0..typed.len())];
-        if !rel.rows()[row][col].is_null() {
+        if !rel.cell(row, col).is_null() {
             return Some((row, col));
         }
     }
-    rel.rows()
-        .iter()
-        .enumerate()
-        .find_map(|(r, row)| typed.iter().find(|&&c| !row[c].is_null()).map(|&c| (r, c)))
+    (0..rel.len()).find_map(|r| {
+        typed
+            .iter()
+            .find(|&&c| !rel.cell(r, c).is_null())
+            .map(|&c| (r, c))
+    })
 }
 
 #[cfg(test)]
@@ -518,7 +514,7 @@ mod tests {
             let (mut a, mut b) = (genout(), genout());
             corrupt_relation(&mut a, kind, &mut StdRng::seed_from_u64(7), &profile());
             corrupt_relation(&mut b, kind, &mut StdRng::seed_from_u64(7), &profile());
-            assert_eq!(a.rows(), b.rows(), "{kind} mutation must be seeded");
+            assert_eq!(a, b, "{kind} mutation must be seeded");
         }
     }
 

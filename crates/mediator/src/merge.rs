@@ -99,12 +99,14 @@ pub fn merge_pair_into(
     }
     deps[keep] = best.into_iter().collect();
     deps[keep].sort_by_key(|(d, _)| *d);
-    // Remove the dead node by swapping in the last one.
+    // Remove the dead node by swapping in the last one. `swap_remove`
+    // discards the absorbed node's dependency list (already folded into
+    // `keep`) and moves the last node's list into its slot; every edge
+    // referencing the moved node is then re-pointed at its new index.
     let last = nodes.len() - 1;
     nodes.swap_remove(gone);
-    let moved_deps = deps.swap_remove(gone);
+    deps.swap_remove(gone);
     if gone != last {
-        // Fix references to the moved node (previously `last`).
         for dep_list in deps.iter_mut() {
             for (d, _) in dep_list.iter_mut() {
                 if *d == last {
@@ -112,10 +114,6 @@ pub fn merge_pair_into(
                 }
             }
         }
-        deps[gone] = moved_deps
-            .into_iter()
-            .map(|(d, b)| (if d == last { gone } else { d }, b))
-            .collect();
     }
     CostGraph { nodes, deps }
 }
@@ -274,6 +272,28 @@ mod tests {
         assert_eq!(merged.len(), 1);
         assert!(merged.deps[0].is_empty());
         assert!((merged.nodes[0].eval_secs - 2.5).abs() < 1e-9);
+    }
+
+    /// The estimate-phase ship-size fix matters: the same plan shape flips
+    /// its merge decision when the producer's edge carries the pruned
+    /// shipment size instead of the full-width relation. Two independent
+    /// S1 queries feed one mediator combine; `u` produces a wide relation
+    /// of which only a narrow slice ships. Priced at full width, merging
+    /// serializes `v` behind `u`'s huge transfer and is rejected; priced at
+    /// the pruned size, the transfer is negligible and the saved
+    /// per-statement overhead wins.
+    #[test]
+    fn pruned_shipment_estimates_flip_the_merge_decision() {
+        let graph_with_u_bytes = |bytes: f64| CostGraph {
+            nodes: vec![node(1, 1.0), node(1, 1.0), node(0, 0.1)],
+            deps: vec![vec![], vec![], vec![(0, bytes), (1, 1_000.0)]],
+        };
+        let net = NetworkModel::mbps(1.0);
+        let overhead = 0.5;
+        let full = merge(&graph_with_u_bytes(1_000_000.0), &net, overhead);
+        assert_eq!(full.merges, 0, "full-width estimate must reject the merge");
+        let pruned = merge(&graph_with_u_bytes(100.0), &net, overhead);
+        assert_eq!(pruned.merges, 1, "pruned estimate must accept the merge");
     }
 
     #[test]

@@ -104,8 +104,14 @@ pub struct TaskObs {
     pub in_rows: f64,
     pub out_rows: f64,
     pub out_bytes: f64,
+    /// Dictionary-encoded wire size of the full (unpruned) output — what
+    /// shipping the whole relation would cost. Can exceed `out_bytes` on
+    /// small all-distinct relations, where the dictionary is the data plus
+    /// per-row codes.
+    pub wire_bytes: f64,
     /// Bytes of the output's ship image after ship-cut column pruning
-    /// (equal to `out_bytes` when ship-cut is off or nothing was prunable).
+    /// (equal to `wire_bytes` when ship-cut is off or nothing was prunable;
+    /// never larger — pruning is monotone under the wire encoding).
     pub ship_bytes: f64,
     /// Bytes this task's output ships over the simulated network (its ship
     /// image, counted once per consumer at a different source).
@@ -182,8 +188,11 @@ pub struct PlanSeqObs {
 /// `integrity` section (the wrong-answer ledger: injected corruptions and
 /// how each was masked or detected); 7 = adds the `server` section (the
 /// overload-resilient server's admission/deadline/breaker ledgers and
-/// latency percentiles).
-pub const SCHEMA_VERSION: u32 = 7;
+/// latency percentiles); 8 = adds the per-task `wire_bytes` field
+/// (dictionary-encoded wire size of the full output under columnar
+/// storage) and re-bases the `shipcut` savings on it, so pruned and
+/// unpruned shipments compare under the same encoding.
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// Which stage of the prepared-plan split a phase belongs to: everything
 /// argument-independent (compilation through estimate-based planning, plus
@@ -591,7 +600,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
     } = inputs;
 
     let shipped = shipped_bytes(graph, measured);
-    let shipped_full = shipped_bytes_by(graph, measured, |m| m.out_bytes);
+    let shipped_full = shipped_bytes_by(graph, measured, |m| m.wire_bytes);
     let shipcut = ShipcutObs {
         enabled: shipcut_enabled,
         shipped_full_bytes: shipped_full.iter().fold(0.0, |a, b| a + b),
@@ -602,7 +611,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
             .fold(0.0, |a, (f, c)| a + (f - c)),
         pruned_tasks: measured
             .iter()
-            .filter(|m| m.ship_bytes < m.out_bytes)
+            .filter(|m| m.ship_bytes < m.wire_bytes)
             .count(),
     };
     let tasks: Vec<TaskObs> = graph
@@ -618,6 +627,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
             in_rows: measured[id].in_rows,
             out_rows: measured[id].out_rows,
             out_bytes: measured[id].out_bytes,
+            wire_bytes: measured[id].wire_bytes,
             ship_bytes: measured[id].ship_bytes,
             shipped_bytes: shipped[id],
             secs: measured[id].secs,
@@ -1169,6 +1179,7 @@ impl RunReport {
                                 ("in_rows", Json::num(t.in_rows)),
                                 ("out_rows", Json::num(t.out_rows)),
                                 ("out_bytes", Json::num(t.out_bytes)),
+                                ("wire_bytes", Json::num(t.wire_bytes)),
                                 ("ship_bytes", Json::num(t.ship_bytes)),
                                 ("shipped_bytes", Json::num(t.shipped_bytes)),
                                 ("secs", Json::num(t.secs)),

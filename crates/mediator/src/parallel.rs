@@ -574,13 +574,14 @@ fn run_round(
                             exec.run_task(task, args)
                         });
                         let secs = started.elapsed().as_secs_f64();
-                        let (out_rows, out_bytes, ship_bytes) = match &result {
+                        let (out_rows, out_bytes, wire_bytes, ship_bytes) = match &result {
                             Ok(Some(rel)) => (
                                 rel.len() as f64,
                                 rel.byte_size() as f64,
+                                rel.wire_bytes() as f64,
                                 crate::exec::ship_image_bytes(opts, task_id, rel),
                             ),
-                            _ => (0.0, 0.0, 0.0),
+                            _ => (0.0, 0.0, 0.0, 0.0),
                         };
                         let failed = result.is_err();
                         shared.complete(
@@ -591,6 +592,7 @@ fn run_round(
                                 secs,
                                 out_rows,
                                 out_bytes,
+                                wire_bytes,
                                 ship_bytes,
                                 in_rows,
                                 wait_secs,

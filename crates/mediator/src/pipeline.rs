@@ -73,6 +73,10 @@ pub struct MediatorOptions {
     /// canonical sort, dedup). `1` = sequential; results are byte-identical
     /// at any thread count.
     pub threads: usize,
+    /// Minimum input size (rows) before a partitioned kernel engages;
+    /// smaller inputs stay sequential. Byte-identical at any value — tests
+    /// pin it to force either kernel path on small fixtures.
+    pub par_threshold: usize,
     /// Per-request deadline budget in seconds (None = unbounded): no task
     /// attempt starts past it and expiry surfaces as
     /// [`crate::MediatorError::DeadlineExceeded`].
@@ -97,6 +101,7 @@ impl Default for MediatorOptions {
             scheduling: Scheduling::default(),
             shipcut: true,
             threads: 1,
+            par_threshold: aig_relstore::par::PAR_THRESHOLD,
             deadline_secs: None,
         }
     }
@@ -135,6 +140,7 @@ impl MediatorOptions {
             retry: self.retry.clone(),
             scheduling: self.scheduling,
             threads: self.threads,
+            par_threshold: self.par_threshold,
             deadline_secs: self.deadline_secs,
         }
     }
@@ -157,6 +163,7 @@ impl MediatorOptions {
             retry: policy.retry,
             scheduling: policy.scheduling,
             threads: policy.threads,
+            par_threshold: policy.par_threshold,
             deadline_secs: policy.deadline_secs,
         }
     }
@@ -266,6 +273,11 @@ impl MediatorOptionsBuilder {
 
     pub fn threads(mut self, threads: usize) -> Self {
         self.options.threads = threads.max(1);
+        self
+    }
+
+    pub fn par_threshold(mut self, threshold: usize) -> Self {
+        self.options.par_threshold = threshold.max(1);
         self
     }
 

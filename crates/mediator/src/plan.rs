@@ -91,6 +91,11 @@ pub struct ExecPolicy {
     /// canonical sort, dedup) inside each task. Results are byte-identical
     /// for any value; `1` keeps every kernel sequential.
     pub threads: usize,
+    /// Minimum input size (rows) before a partitioned kernel engages;
+    /// smaller inputs take the sequential path outright. Results are
+    /// byte-identical for any value — this only moves the crossover point
+    /// (tests pin it to force either path on small fixtures).
+    pub par_threshold: usize,
     /// Per-request deadline budget in seconds (None = unbounded). The
     /// clock starts when a request enters execution; expiry surfaces as
     /// [`crate::MediatorError::DeadlineExceeded`] instead of hanging.
@@ -109,6 +114,7 @@ impl Default for ExecPolicy {
             retry: RetryPolicy::default(),
             scheduling: Scheduling::default(),
             threads: 1,
+            par_threshold: aig_relstore::par::PAR_THRESHOLD,
             deadline_secs: None,
         }
     }
@@ -131,6 +137,7 @@ impl From<&ExecPolicy> for ExecOptions {
             pace: None,
             shipcut: None,
             threads: policy.threads.max(1),
+            par_threshold: policy.par_threshold.max(1),
             // The deadline clock starts per request, not per policy: the
             // caller binds it (see `Mediator::request`).
             deadline: None,
@@ -219,7 +226,9 @@ pub fn topo_per_source(graph: &TaskGraph) -> HashMap<SourceId, Vec<usize>> {
 /// multi-source queries, unfolds recursion to `depth`, builds the task
 /// graph, and computes the estimate-based schedule and merge. The phases
 /// are charged to `phases` under their pipeline names
-/// (`compile_constraints`, `decompose`, `unfold`, `graph_build`, `plan`).
+/// (`compile_constraints`, `decompose`, `unfold`, `graph_build`,
+/// `shipcut`, `plan` — liveness analysis precedes planning so the
+/// estimate-based cost model prices pruned shipments).
 pub fn prepare(
     aig: &Aig,
     catalog: &Catalog,
@@ -252,7 +261,7 @@ pub fn prepare(
 
 /// Re-unfolds an existing plan to a greater depth, reusing its compiled and
 /// decomposed AIG — the frontier-promotion path of the plan cache (§5.5):
-/// only `unfold`, `graph_build`, and `plan` run again.
+/// only `unfold`, `graph_build`, `shipcut`, and `plan` run again.
 pub fn deepen(
     plan: &PreparedPlan,
     catalog: &Catalog,
@@ -289,8 +298,24 @@ fn prepare_unfolded(
     let graph = phases.time("graph_build", || {
         build_graph(&unfolded.aig, catalog, &options.graph)
     })?;
+    // Liveness analysis runs *before* estimate-based planning: the cost
+    // model must see the shipment sizes a pruning shipper will actually put
+    // on the wire, or Merge/Schedule optimize against full-width relations
+    // that never cross the network.
+    let shipcut = options.shipcut.then(|| {
+        phases.time("shipcut", || {
+            Arc::new(crate::shipcut::ShipCut::analyze(&unfolded.aig, &graph))
+        })
+    });
     let (est_baseline, est_merged) = phases.time("plan", || {
-        let costs = estimated_costs(&graph);
+        let mut costs = estimated_costs(&graph);
+        if let Some(cut) = &shipcut {
+            for (id, cost) in costs.iter_mut().enumerate() {
+                if let Some(fraction) = cut.estimated_live_fraction(id, &unfolded.aig, &graph) {
+                    cost.out_bytes *= fraction;
+                }
+            }
+        }
         let cg = CostGraph::from_task_graph(&graph, &costs).contract_passthrough();
         let baseline = no_merge(&cg, net);
         let merged = if options.merging {
@@ -299,11 +324,6 @@ fn prepare_unfolded(
             baseline.clone()
         };
         (baseline, merged)
-    });
-    let shipcut = options.shipcut.then(|| {
-        phases.time("shipcut", || {
-            Arc::new(crate::shipcut::ShipCut::analyze(&unfolded.aig, &graph))
-        })
     });
     let per_source = topo_per_source(&graph);
     Ok(PreparedPlan {
@@ -535,8 +555,8 @@ mod tests {
                 "decompose",
                 "unfold",
                 "graph_build",
-                "plan",
-                "shipcut"
+                "shipcut",
+                "plan"
             ]
         );
         assert!(plan.shipcut.is_some());
@@ -564,7 +584,42 @@ mod tests {
             .iter()
             .map(|s| s.name.as_str())
             .collect();
-        assert_eq!(names, ["unfold", "graph_build", "plan", "shipcut"]);
+        assert_eq!(names, ["unfold", "graph_build", "shipcut", "plan"]);
+    }
+
+    /// With ship-cut on, the estimate-based cost graph prices pruned
+    /// shipments: at least one edge gets strictly cheaper than under the
+    /// full-width estimates, so Merge/Schedule optimize against what the
+    /// executors will actually account on the wire.
+    #[test]
+    fn estimates_price_pruned_shipments() {
+        let aig = sigma0().unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        let net = NetworkModel::default();
+        let on = PlanOptions::default();
+        let off = PlanOptions {
+            shipcut: false,
+            ..PlanOptions::default()
+        };
+        let plan_on = prepare(&aig, &catalog, 3, &on, &net, &mut Phases::new()).unwrap();
+        let plan_off = prepare(&aig, &catalog, 3, &off, &net, &mut Phases::new()).unwrap();
+        let edge_bytes = |p: &PreparedPlan| -> f64 {
+            p.est_baseline
+                .graph
+                .deps
+                .iter()
+                .flatten()
+                .map(|(_, b)| *b)
+                .sum()
+        };
+        assert!(
+            edge_bytes(&plan_on) < edge_bytes(&plan_off),
+            "no estimate-phase edge shrank under pruning: {} >= {}",
+            edge_bytes(&plan_on),
+            edge_bytes(&plan_off)
+        );
+        // Cheaper transfers can only help the estimate-based response time.
+        assert!(plan_on.predicted_response_secs() <= plan_off.predicted_response_secs() + 1e-12);
     }
 
     #[test]

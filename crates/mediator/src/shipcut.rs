@@ -35,7 +35,9 @@
 use crate::graph::{Occ, ParamInput, RelKey, ScalarBind, TaskGraph, TaskKind, VectorQuery};
 use aig_core::copyelim::{resolve_scalar, ResolvedScalar};
 use aig_core::spec::{Aig, FieldRule, Prod};
-use aig_relstore::{Relation, Value};
+use aig_relstore::Relation;
+#[cfg(test)]
+use aig_relstore::Value;
 use aig_sql::{FromItem, Pred, QualCol, Scalar};
 use std::collections::{BTreeSet, HashSet};
 
@@ -224,31 +226,69 @@ impl ShipCut {
             .collect()
     }
 
-    /// Bytes a pruning shipper would put on the wire for `rel`: the live
-    /// columns only, duplicates collapsed when every costed consumer is
-    /// duplicate-insensitive. Never larger than `rel.byte_size()`.
+    /// Dictionary-encoded wire bytes a pruning shipper would put on the
+    /// wire for `rel`: the live columns only, duplicates collapsed when
+    /// every costed consumer is duplicate-insensitive. Projection is pure
+    /// column selection (shared `Arc` column buffers), so no cells are
+    /// copied to measure the image. Never larger than `rel.wire_bytes()`.
     pub fn ship_bytes(&self, task: usize, rel: &Relation) -> usize {
         let profile = &self.profiles[task];
         let cols = self.live_columns(task, rel);
         if cols.len() == rel.arity() && !profile.dedup {
-            return rel.byte_size();
+            return rel.wire_bytes();
         }
-        if !profile.dedup {
-            return rel
-                .rows()
-                .iter()
-                .map(|r| cols.iter().map(|&c| r[c].width()).sum::<usize>())
-                .sum();
+        let image = rel.project_positions(&cols);
+        if profile.dedup {
+            image.distinct().wire_bytes()
+        } else {
+            image.wire_bytes()
         }
-        let mut seen: HashSet<Vec<&Value>> = HashSet::with_capacity(rel.len());
-        let mut bytes = 0usize;
-        for row in rel.rows() {
-            let image: Vec<&Value> = cols.iter().map(|&c| &row[c]).collect();
-            if seen.insert(image) {
-                bytes += cols.iter().map(|&c| row[c].width()).sum::<usize>();
+    }
+
+    /// Estimate-phase counterpart of [`ShipCut::ship_bytes`]: the fraction
+    /// of `task`'s output columns that survive pruning, computed from the
+    /// statically-known output schema (source queries carry theirs in the
+    /// rewritten SELECT list; instance tables follow the fixed
+    /// bookkeeping-plus-scalar-fields layout). `None` when nothing is
+    /// pruned or the schema is not statically known — callers leave the
+    /// size estimate untouched then. Feeding this into the estimate-based
+    /// cost model lets Merge/Schedule plan against the shipment sizes the
+    /// executors will actually account, instead of full-width relations
+    /// that never cross the wire.
+    pub fn estimated_live_fraction(
+        &self,
+        task: usize,
+        aig: &Aig,
+        graph: &TaskGraph,
+    ) -> Option<f64> {
+        let profile = &self.profiles[task];
+        if profile.ship_consumers == 0 || profile.live.all {
+            return None;
+        }
+        let columns = match &graph.tasks[task].kind {
+            TaskKind::Gen {
+                query: Some(vq), ..
             }
+            | TaskKind::InhSetQuery { query: vq, .. }
+            | TaskKind::Cond { query: vq, .. } => vq.query.output_columns(),
+            TaskKind::Root => crate::exec::instance_columns(&aig.elem_info(aig.root).inh),
+            TaskKind::Assemble { elem, .. } => {
+                crate::exec::instance_columns(&aig.elem_info(*elem).inh)
+            }
+            _ => return None,
+        };
+        if columns.is_empty() {
+            return None;
         }
-        bytes
+        let live = columns
+            .iter()
+            .enumerate()
+            .filter(|(pos, name)| profile.live.contains(name, *pos))
+            .count();
+        if live == columns.len() {
+            return None;
+        }
+        Some(live as f64 / columns.len() as f64)
     }
 }
 
@@ -551,10 +591,18 @@ mod tests {
         )
         .unwrap();
         // Projection keeps (__owner, keep); dedup collapses the first two
-        // rows; `drop`'s 4-byte strings never ship.
+        // rows; `drop`'s 4-byte strings never ship. The expected size is
+        // the dictionary wire size of the projected, deduplicated image.
         assert_eq!(cut.live_columns(0, &rel), vec![0, 1]);
-        let owner_width = Value::int(1).width();
-        assert_eq!(cut.ship_bytes(0, &rel), 2 * (owner_width + 1));
-        assert!(cut.ship_bytes(0, &rel) < rel.byte_size());
+        let image = Relation::new(
+            vec!["__owner".into(), "keep".into()],
+            vec![
+                vec![Value::int(1), Value::str("a")],
+                vec![Value::int(2), Value::str("b")],
+            ],
+        )
+        .unwrap();
+        assert_eq!(cut.ship_bytes(0, &rel), image.wire_bytes());
+        assert!(cut.ship_bytes(0, &rel) < rel.wire_bytes());
     }
 }

@@ -66,10 +66,10 @@ fn build_children_index(
             rel.col("__ord").map_err(MediatorError::Store)?,
         );
         let mut buckets: HashMap<(String, i64), Vec<(i64, usize)>> = HashMap::new();
-        for (pos, row) in rel.rows().iter().enumerate() {
-            let occ = row[oc].to_text();
-            let parent = row[pc].as_int().unwrap_or(-1);
-            let ord = row[ordc].as_int().unwrap_or(0);
+        for pos in 0..rel.len() {
+            let occ = rel.cell(pos, oc).to_text();
+            let parent = rel.cell(pos, pc).as_int().unwrap_or(-1);
+            let ord = rel.cell(pos, ordc).as_int().unwrap_or(0);
             buckets.entry((occ, parent)).or_default().push((ord, pos));
         }
         for ((occ, parent), mut entries) in buckets {
@@ -116,10 +116,10 @@ impl Tagger<'_> {
             }
             Prod::Items(items) => {
                 let base = self.store.get(&RelKey::Instances(binding.occ.base))?;
-                let rowid = base.rows()[base_idx]
-                    [base.col("__rowid").map_err(MediatorError::Store)?]
-                .as_int()
-                .unwrap_or(-1);
+                let rowid = base
+                    .cell(base_idx, base.col("__rowid").map_err(MediatorError::Store)?)
+                    .as_int()
+                    .unwrap_or(-1);
                 for (pos, item) in items.iter().enumerate() {
                     let child_info = self.aig.elem_info(item.elem);
                     if child_info.internal {
@@ -148,10 +148,10 @@ impl Tagger<'_> {
             }
             Prod::Choice { branches, .. } => {
                 let base = self.store.get(&RelKey::Instances(binding.occ.base))?;
-                let rowid = base.rows()[base_idx]
-                    [base.col("__rowid").map_err(MediatorError::Store)?]
-                .as_int()
-                .unwrap_or(-1);
+                let rowid = base
+                    .cell(base_idx, base.col("__rowid").map_err(MediatorError::Store)?)
+                    .as_int()
+                    .unwrap_or(-1);
                 for (bno, branch) in branches.iter().enumerate() {
                     let tag = branch_tag(self.aig, &binding.occ, bno);
                     if let Some(rows) = self.children_index.get(&(branch.elem, tag, rowid)) {
@@ -180,7 +180,9 @@ impl Tagger<'_> {
                 Some(ScalarBind::Const(v)) => Ok(v.clone()),
                 Some(ScalarBind::Col(c)) => {
                     let base: &Relation = self.store.get(&RelKey::Instances(binding.occ.base))?;
-                    Ok(base.rows()[base_idx][base.col(c).map_err(MediatorError::Store)?].clone())
+                    Ok(base
+                        .cell(base_idx, base.col(c).map_err(MediatorError::Store)?)
+                        .clone())
                 }
                 None => Err(MediatorError::Internal(format!(
                     "missing scalar binding `{f}`"

@@ -447,7 +447,10 @@ fn pipeline_reports_resilience_and_preserves_the_document() {
         // The JSON serialization carries the section.
         let json = report.to_json().to_pretty();
         assert!(json.contains("\"resilience\""));
-        assert!(json.contains("\"schema_version\": 7"));
+        assert!(json.contains(&format!(
+            "\"schema_version\": {}",
+            aig_mediator::SCHEMA_VERSION
+        )));
         // The seed is emitted losslessly as a decimal string.
         assert!(json.contains("\"seed\": \"11\""));
     }

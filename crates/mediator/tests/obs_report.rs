@@ -117,15 +117,16 @@ fn report_catalog_and_shipped_bytes_are_consistent() {
     }
 
     // Shipped bytes are a whole multiple of the *ship image* (one copy per
-    // distinct cross-source consumer) — the image never exceeds the produced
-    // bytes (ship-cut only prunes), and zero output ships nothing.
+    // distinct cross-source consumer) — the image never exceeds the full
+    // output's wire size (ship-cut only prunes, and the dictionary encoding
+    // is monotone under pruning), and zero output ships nothing.
     for task in &report.tasks {
         assert!(
-            task.ship_bytes <= task.out_bytes,
+            task.ship_bytes <= task.wire_bytes,
             "task {} ship image grew: {} > {}",
             task.id,
             task.ship_bytes,
-            task.out_bytes
+            task.wire_bytes
         );
         if task.ship_bytes > 0.0 {
             let copies = task.shipped_bytes / task.ship_bytes;
@@ -264,6 +265,58 @@ fn json_v6_reaches_a_fixpoint_with_integrity_ledger_and_big_seed() {
             Some(event.constraint.as_str())
         );
     }
+}
+
+/// Non-integral byte counts survive the JSON round trip exactly. Estimated
+/// and dictionary-amortized sizes are genuine fractions (an estimate-phase
+/// edge ships 130.1 B); `Json::num` must emit the shortest round-tripping
+/// decimal for them — not a rounded integer — and re-parsing must reach a
+/// fixpoint bit-for-bit.
+#[test]
+fn json_non_integral_ship_bytes_reach_a_fixpoint() {
+    let (_, mut report) = tiny_report(4, &det_options(2));
+    assert!(!report.tasks.is_empty());
+    // Perturb every task's wire accounting into non-integral territory,
+    // keeping the ship ≤ wire invariant intact.
+    for (i, task) in report.tasks.iter_mut().enumerate() {
+        task.ship_bytes += 0.1 + (i as f64) * 0.001;
+        task.wire_bytes = task.wire_bytes.max(task.ship_bytes) + 0.25;
+    }
+    let value = report.to_json();
+    let pretty = value.to_pretty();
+    let decoded = json::parse(&pretty).unwrap();
+    assert_eq!(decoded, value, "decode changed the report");
+    assert_eq!(
+        decoded.to_pretty(),
+        pretty,
+        "pretty encoding is not a fixpoint"
+    );
+    let compact = value.to_compact();
+    assert_eq!(
+        json::parse(&compact).unwrap().to_compact(),
+        compact,
+        "compact encoding is not a fixpoint"
+    );
+    // Bit-for-bit: every decoded ship/wire figure equals the in-memory f64.
+    let tasks = decoded
+        .get("tasks")
+        .and_then(|v| v.as_arr())
+        .expect("tasks array");
+    assert_eq!(tasks.len(), report.tasks.len());
+    for (json_task, task) in tasks.iter().zip(&report.tasks) {
+        for (field, expect) in [
+            ("ship_bytes", task.ship_bytes),
+            ("wire_bytes", task.wire_bytes),
+        ] {
+            let got = json_task.get(field).and_then(|v| v.as_f64()).unwrap();
+            assert_eq!(got.to_bits(), expect.to_bits(), "{field} drifted");
+        }
+    }
+    // The emitted text really carries fractional literals.
+    assert!(
+        compact.contains(".1") || compact.contains(".25"),
+        "no fractional byte count was emitted"
+    );
 }
 
 /// Schema v7 round-trip: a report with a *populated* server section (the

@@ -1,10 +1,14 @@
-//! Byte-identity property suite for the ship-cut optimization and the
-//! partitioned parallel kernels: across seeded datagen catalogs, the matrix
-//! {pruning on/off} × {1, N threads} × {Static, Dynamic scheduling} ×
-//! {faults on/off} must produce canonical documents and relation stores
-//! **byte-identical** to the sequential, unpruned baseline. Ship-cut is a
-//! measurement-time optimization (what crosses the wire), never a semantic
-//! one; the parallel kernels partition work but merge deterministically.
+//! Byte-identity property suite for the ship-cut optimization, the
+//! partitioned parallel kernels, and the columnar interned storage: across
+//! seeded datagen catalogs, the matrix {pruning on/off} × {1, N threads} ×
+//! {Static, Dynamic scheduling} × {faults on/off} must produce canonical
+//! documents and relation stores **byte-identical** to the sequential,
+//! unpruned baseline — and in every cell the column-major store must equal
+//! its row-major reconstruction (materialize rows, re-intern, compare).
+//! Ship-cut is a measurement-time optimization (what crosses the wire),
+//! never a semantic one; the parallel kernels partition work but merge
+//! deterministically; interning is canonical, so the columnar image carries
+//! exactly the row-major content.
 
 use aig_core::paper::sigma0;
 use aig_core::spec::Aig;
@@ -88,10 +92,27 @@ fn assert_identical(
     assert_eq!(base.1, cell.1, "document drifted: {what}");
     for task in &fx.graph.tasks {
         if let Some(key) = &task.output {
+            let rel = cell.0.store.get(key).unwrap();
             assert_eq!(
                 base.0.store.get(key).unwrap(),
-                cell.0.store.get(key).unwrap(),
+                rel,
                 "relation of {} drifted: {what}",
+                task.label
+            );
+            // Columnar vs row-major: materializing every row and
+            // re-interning must reproduce the column-major image exactly
+            // (same content, same order, same wire accounting).
+            let row_major =
+                aig_relstore::Relation::new(rel.columns().to_vec(), rel.rows_vec()).unwrap();
+            assert_eq!(
+                *rel, row_major,
+                "columnar image of {} diverged from its row-major reconstruction: {what}",
+                task.label
+            );
+            assert_eq!(
+                rel.wire_bytes(),
+                row_major.wire_bytes(),
+                "wire accounting of {} diverged across layouts: {what}",
                 task.label
             );
         }

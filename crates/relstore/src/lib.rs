@@ -15,6 +15,7 @@
 
 pub mod catalog;
 pub mod error;
+pub mod intern;
 pub mod par;
 pub mod relation;
 pub mod schema;
@@ -24,6 +25,7 @@ pub mod value;
 
 pub use catalog::{Catalog, Database, SourceId};
 pub use error::StoreError;
+pub use intern::Sym;
 pub use relation::Relation;
 pub use schema::{Column, TableSchema};
 pub use stats::TableStats;

@@ -1,30 +1,49 @@
-//! Schema-light relations: named columns plus rows.
+//! Schema-light relations: named columns plus rows, stored **column-major**
+//! over interned symbols.
 //!
 //! Query outputs, temporary tables shipped between sources, and set-valued
 //! semantic attributes are all [`Relation`]s: unlike a stored
 //! [`Table`] they carry no declared types or keys — just
 //! ordered, named columns. This mirrors the paper's temporary tables (`Tpatient`
 //! etc., §5.1) that cache query outputs at the mediator.
+//!
+//! Storage is a [`Sym`] vector per column behind an `Arc`:
+//!
+//! * projection is pointer selection — live columns are picked by cloning
+//!   their `Arc`s, no row is rewritten (the ship-cut fast path);
+//! * equality, hashing, dedup and join probes are integer operations, since
+//!   interning is canonical (`Sym` equality ⇔ [`Value`] equality);
+//! * mutation (push, dedup, corruption injection) goes through
+//!   `Arc::make_mut`, so shared columns copy-on-write.
+//!
+//! Row-major views ([`Relation::row`], [`Relation::rows_vec`]) materialize
+//! on demand for cold paths and tests.
 
 use crate::error::StoreError;
+use crate::intern::{self, Reader, Sym};
 use crate::table::Table;
 use crate::value::Value;
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
-/// A bag of rows with named columns.
+/// A bag of rows with named columns, stored column-major over interned
+/// symbols.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     columns: Vec<String>,
-    rows: Vec<Vec<Value>>,
+    cols: Vec<Arc<Vec<Sym>>>,
+    len: usize,
 }
 
 impl Relation {
     /// An empty relation with the given column names.
     pub fn empty(columns: Vec<String>) -> Relation {
+        let cols = columns.iter().map(|_| Arc::new(Vec::new())).collect();
         Relation {
             columns,
-            rows: Vec::new(),
+            cols,
+            len: 0,
         }
     }
 
@@ -42,20 +61,39 @@ impl Relation {
                 });
             }
         }
-        Ok(Relation { columns, rows })
+        let len = rows.len();
+        let mut cols: Vec<Vec<Sym>> = columns.iter().map(|_| Vec::with_capacity(len)).collect();
+        for row in rows {
+            for (c, value) in row.into_iter().enumerate() {
+                cols[c].push(intern::intern_owned(value));
+            }
+        }
+        Ok(Relation {
+            columns,
+            cols: cols.into_iter().map(Arc::new).collect(),
+            len,
+        })
     }
 
-    /// A relation with the full contents of a stored table.
-    pub fn from_table(table: &Table) -> Relation {
-        Relation {
-            columns: table
-                .schema()
-                .columns
-                .iter()
-                .map(|c| c.name.clone())
-                .collect(),
-            rows: table.rows().to_vec(),
+    /// Builds a relation directly from symbol columns (all the same length).
+    pub fn from_columns(columns: Vec<String>, cols: Vec<Vec<Sym>>) -> Relation {
+        assert_eq!(columns.len(), cols.len(), "one symbol vector per column");
+        let len = cols.first().map(|c| c.len()).unwrap_or(0);
+        for c in &cols {
+            assert_eq!(c.len(), len, "ragged symbol columns");
         }
+        Relation {
+            columns,
+            cols: cols.into_iter().map(Arc::new).collect(),
+            len,
+        }
+    }
+
+    /// A relation with the full contents of a stored table. The table's
+    /// interned columnar image is cached, so repeated conversions are
+    /// pointer clones.
+    pub fn from_table(table: &Table) -> Relation {
+        table.columnar().clone()
     }
 
     /// A single-column relation from an iterator of values.
@@ -63,9 +101,11 @@ impl Relation {
         name: impl Into<String>,
         values: impl IntoIterator<Item = Value>,
     ) -> Relation {
+        let col: Vec<Sym> = values.into_iter().map(intern::intern_owned).collect();
         Relation {
             columns: vec![name.into()],
-            rows: values.into_iter().map(|v| vec![v]).collect(),
+            len: col.len(),
+            cols: vec![Arc::new(col)],
         }
     }
 
@@ -75,38 +115,70 @@ impl Relation {
     }
 
     #[inline]
-    pub fn rows(&self) -> &[Vec<Value>] {
-        &self.rows
+    pub fn len(&self) -> usize {
+        self.len
     }
 
-    /// Mutable row access. Used by the mediator's chaos layer to apply
-    /// seeded wrong-answer corruptions to shipped relations; regular
-    /// operators never mutate rows in place.
     #[inline]
-    pub fn rows_mut(&mut self) -> &mut [Vec<Value>] {
-        &mut self.rows
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The symbol at row `r`, column `c`.
+    #[inline]
+    pub fn sym(&self, r: usize, c: usize) -> Sym {
+        self.cols[c][r]
+    }
+
+    /// The value at row `r`, column `c` (resolved from the arena, so the
+    /// reference is `'static`).
+    #[inline]
+    pub fn cell(&self, r: usize, c: usize) -> &'static Value {
+        intern::resolve(self.cols[c][r])
+    }
+
+    /// The symbol column at position `c`.
+    #[inline]
+    pub fn col_syms(&self, c: usize) -> &[Sym] {
+        &self.cols[c]
+    }
+
+    /// Materializes row `r` as owned values.
+    pub fn row(&self, r: usize) -> Vec<Value> {
+        self.cols
+            .iter()
+            .map(|c| intern::resolve(c[r]).clone())
+            .collect()
+    }
+
+    /// Materializes every row (row-major view for cold paths and tests).
+    pub fn rows_vec(&self) -> Vec<Vec<Value>> {
+        (0..self.len).map(|r| self.row(r)).collect()
+    }
+
+    /// Overwrites one cell. Used by the mediator's chaos layer to apply
+    /// seeded wrong-answer corruptions to shipped relations; regular
+    /// operators never mutate cells in place.
+    pub fn set_cell(&mut self, r: usize, c: usize, value: Value) {
+        Arc::make_mut(&mut self.cols[c])[r] = intern::intern_owned(value);
     }
 
     /// Drops all rows past the first `n` (no-op when `n >= len`), keeping
     /// columns intact — the shape of a stale replica that lags the primary
     /// by the truncated suffix.
     pub fn truncate(&mut self, n: usize) {
-        self.rows.truncate(n);
-    }
-
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    #[inline]
-    pub fn arity(&self) -> usize {
-        self.columns.len()
+        if n >= self.len {
+            return;
+        }
+        for col in &mut self.cols {
+            Arc::make_mut(col).truncate(n);
+        }
+        self.len = n;
     }
 
     /// Position of a column by name.
@@ -123,7 +195,19 @@ impl Relation {
     /// Appends a row (arity-checked).
     pub fn push(&mut self, row: Vec<Value>) {
         debug_assert_eq!(row.len(), self.columns.len());
-        self.rows.push(row);
+        for (col, value) in self.cols.iter_mut().zip(row) {
+            Arc::make_mut(col).push(intern::intern_owned(value));
+        }
+        self.len += 1;
+    }
+
+    /// Appends a row of already-interned symbols (arity-checked).
+    pub fn push_syms(&mut self, row: &[Sym]) {
+        debug_assert_eq!(row.len(), self.columns.len());
+        for (col, &sym) in self.cols.iter_mut().zip(row) {
+            Arc::make_mut(col).push(sym);
+        }
+        self.len += 1;
     }
 
     /// Appends all rows of `other`; column names must match exactly.
@@ -137,38 +221,90 @@ impl Relation {
                 ),
             });
         }
-        self.rows.extend(other.rows.iter().cloned());
+        if self.len == 0 {
+            // Pointer adoption: nothing of ours to keep.
+            self.cols = other.cols.clone();
+            self.len = other.len;
+            return Ok(());
+        }
+        for (col, theirs) in self.cols.iter_mut().zip(&other.cols) {
+            Arc::make_mut(col).extend_from_slice(theirs);
+        }
+        self.len += other.len;
         Ok(())
     }
 
-    /// Projects to the named columns (in the given order).
+    /// Projects to the named columns (in the given order). Pure pointer
+    /// selection: the surviving columns are shared, not copied.
     pub fn project(&self, cols: &[&str]) -> Result<Relation, StoreError> {
         let positions: Vec<usize> = cols
             .iter()
             .map(|&c| self.col(c))
             .collect::<Result<_, _>>()?;
-        Ok(Relation {
-            columns: cols.iter().map(|&c| c.to_string()).collect(),
-            rows: self
-                .rows
-                .iter()
-                .map(|r| positions.iter().map(|&i| r[i].clone()).collect())
-                .collect(),
-        })
+        Ok(self.project_positions(&positions))
+    }
+
+    /// Projects to the columns at `positions` (pointer selection).
+    pub fn project_positions(&self, positions: &[usize]) -> Relation {
+        Relation {
+            columns: positions.iter().map(|&i| self.columns[i].clone()).collect(),
+            cols: positions.iter().map(|&i| self.cols[i].clone()).collect(),
+            len: self.len,
+        }
+    }
+
+    /// Keeps only the rows at `keep` (in the given order), gathering every
+    /// column through the index vector.
+    pub fn gather(&mut self, keep: &[u32]) {
+        for col in &mut self.cols {
+            *col = Arc::new(crate::par::apply_perm(col, keep));
+        }
+        self.len = keep.len();
+    }
+
+    /// The flattened row-major symbol image (arity-sized chunks are rows) —
+    /// the key buffer for hash-based row operations. One allocation total,
+    /// no per-row key vectors.
+    fn flat_syms(&self) -> Vec<Sym> {
+        let mut flat = Vec::with_capacity(self.len * self.arity());
+        for r in 0..self.len {
+            for c in &self.cols {
+                flat.push(c[r]);
+            }
+        }
+        flat
     }
 
     /// Removes duplicate rows, preserving first-occurrence order
     /// (set semantics).
     pub fn dedup(&mut self) {
-        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(self.rows.len());
-        self.rows.retain(|row| seen.insert(row.clone()));
+        self.dedup_parallel_with(1, crate::par::PAR_THRESHOLD);
     }
 
     /// Removes duplicate rows like [`Relation::dedup`], partitioning the
     /// scan over up to `threads` threads for large relations. The result is
     /// byte-identical to the sequential dedup (see [`crate::par`]).
     pub fn dedup_parallel(&mut self, threads: usize) {
-        crate::par::dedup_rows(&mut self.rows, threads);
+        self.dedup_parallel_with(threads, crate::par::PAR_THRESHOLD);
+    }
+
+    /// [`Relation::dedup_parallel`] with an explicit sequential-fallback
+    /// threshold (the mediator's `ExecPolicy::par_threshold`).
+    pub fn dedup_parallel_with(&mut self, threads: usize, threshold: usize) {
+        if self.len < 2 {
+            return;
+        }
+        if self.arity() == 0 {
+            // Zero-width rows are all equal: one survives.
+            self.len = 1;
+            return;
+        }
+        let flat = self.flat_syms();
+        let keys: Vec<&[Sym]> = flat.chunks(self.arity()).collect();
+        let keep = crate::par::dedup_indices(&keys, threads, threshold);
+        if keep.len() != self.len {
+            self.gather(&keep);
+        }
     }
 
     /// Returns a deduplicated copy.
@@ -180,12 +316,35 @@ impl Relation {
 
     /// True if the relation contains `row` (set membership).
     pub fn contains(&self, row: &[Value]) -> bool {
-        self.rows.iter().any(|r| r == row)
+        if row.len() != self.arity() {
+            return false;
+        }
+        let Some(syms) = row
+            .iter()
+            .map(intern::lookup)
+            .collect::<Option<Vec<Sym>>>()
+        else {
+            // A never-interned value equals no stored cell.
+            return false;
+        };
+        (0..self.len).any(|r| self.cols.iter().zip(&syms).all(|(c, &s)| c[r] == s))
     }
 
-    /// Sorts rows lexicographically (canonical form for comparisons).
+    /// Sorts rows lexicographically by value order (canonical form for
+    /// comparisons).
     pub fn sort(&mut self) {
-        self.rows.sort();
+        if self.len < 2 {
+            return;
+        }
+        let reader = Reader::snapshot();
+        let perm = crate::par::sort_perm(self.len, 1, usize::MAX, |a, b| {
+            self.cols
+                .iter()
+                .map(|c| reader.cmp(c[a as usize], c[b as usize]))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.gather(&perm);
     }
 
     /// Set equality: same columns, same row *sets* (duplicates collapsed).
@@ -193,28 +352,62 @@ impl Relation {
         if self.columns != other.columns {
             return false;
         }
-        let a: HashSet<&Vec<Value>> = self.rows.iter().collect();
-        let b: HashSet<&Vec<Value>> = other.rows.iter().collect();
+        if self.arity() == 0 {
+            return self.is_empty() == other.is_empty();
+        }
+        let (fa, fb) = (self.flat_syms(), other.flat_syms());
+        let a: HashSet<&[Sym]> = fa.chunks(self.arity()).collect();
+        let b: HashSet<&[Sym]> = fb.chunks(self.arity()).collect();
         a == b
     }
 
     /// Bag equality up to row order: same columns, same multiset of rows.
     pub fn bag_eq(&self, other: &Relation) -> bool {
-        if self.columns != other.columns || self.rows.len() != other.rows.len() {
+        if self.columns != other.columns || self.len != other.len {
             return false;
         }
-        let mut a = self.rows.clone();
-        let mut b = other.rows.clone();
-        a.sort();
-        b.sort();
+        if self.arity() == 0 {
+            return true;
+        }
+        // Any consistent total order works for multiset comparison; raw
+        // symbol order avoids arena reads.
+        let (fa, fb) = (self.flat_syms(), other.flat_syms());
+        let mut a: Vec<&[Sym]> = fa.chunks(self.arity()).collect();
+        let mut b: Vec<&[Sym]> = fb.chunks(self.arity()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
         a == b
     }
 
-    /// Total payload size in bytes (for the transfer-cost model, §5.2).
+    /// Total payload size in bytes (for the transfer-cost model, §5.2):
+    /// the sum of every cell's value width, as if rows were shipped raw.
     pub fn byte_size(&self) -> usize {
-        self.rows
+        let reader = Reader::snapshot();
+        self.cols
             .iter()
-            .map(|r| r.iter().map(Value::width).sum::<usize>())
+            .map(|col| col.iter().map(|&s| reader.width(s)).sum::<usize>())
+            .sum()
+    }
+
+    /// Dictionary-encoded wire size in bytes: per column, the distinct
+    /// values' payloads once (the dictionary) plus one minimal-width code
+    /// per row (1 byte up to 256 distinct values, 2 up to 65 536, else 4).
+    /// This is what actually crosses the wire for a column store and is the
+    /// quantity the ship-byte accounting reports.
+    pub fn wire_bytes(&self) -> usize {
+        let reader = Reader::snapshot();
+        self.cols
+            .iter()
+            .map(|col| {
+                let distinct: HashSet<Sym> = col.iter().copied().collect();
+                let dict: usize = distinct.iter().map(|&s| reader.width(s)).sum();
+                let code = match distinct.len() {
+                    0..=256 => 1,
+                    257..=65_536 => 2,
+                    _ => 4,
+                };
+                dict + col.len() * code
+            })
             .sum()
     }
 
@@ -225,26 +418,23 @@ impl Relation {
         self
     }
 
-    /// Consumes the relation, returning its rows.
+    /// Consumes the relation, returning its rows (materialized).
     pub fn into_rows(self) -> Vec<Vec<Value>> {
-        self.rows
+        self.rows_vec()
     }
 }
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "({}) [{} rows]",
-            self.columns.join(", "),
-            self.rows.len()
-        )?;
-        for row in self.rows.iter().take(20) {
-            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        writeln!(f, "({}) [{} rows]", self.columns.join(", "), self.len)?;
+        for r in 0..self.len.min(20) {
+            let cells: Vec<String> = (0..self.arity())
+                .map(|c| self.cell(r, c).to_string())
+                .collect();
             writeln!(f, "  ({})", cells.join(", "))?;
         }
-        if self.rows.len() > 20 {
-            writeln!(f, "  … {} more", self.rows.len() - 20)?;
+        if self.len > 20 {
+            writeln!(f, "  … {} more", self.len - 20)?;
         }
         Ok(())
     }
@@ -279,7 +469,9 @@ mod tests {
         assert!(r.col("z").is_err());
         let p = r.project(&["b"]).unwrap();
         assert_eq!(p.columns(), &["b".to_string()]);
-        assert_eq!(p.rows()[1], vec![Value::int(2)]);
+        assert_eq!(p.row(1), vec![Value::int(2)]);
+        // Projection is pointer selection: the column is shared, not copied.
+        assert!(Arc::ptr_eq(&r.cols[1], &p.cols[0]));
     }
 
     #[test]
@@ -287,7 +479,7 @@ mod tests {
         let mut r = rel();
         r.dedup();
         assert_eq!(r.len(), 2);
-        assert_eq!(r.rows()[0][0], Value::str("x"));
+        assert_eq!(r.cell(0, 0), &Value::str("x"));
     }
 
     #[test]
@@ -325,7 +517,47 @@ mod tests {
     fn single_column_and_contains() {
         let r = Relation::single_column("id", [Value::str("a"), Value::str("b")]);
         assert!(r.contains(&[Value::str("a")]));
-        assert!(!r.contains(&[Value::str("z")]));
+        assert!(!r.contains(&[Value::str("zz-never-interned-7b1")]));
         assert_eq!(r.byte_size(), 2);
+    }
+
+    #[test]
+    fn interning_makes_equality_symbolic() {
+        let a = rel();
+        let b = rel();
+        assert_eq!(a, b);
+        // Identical cells share a symbol across relations.
+        assert_eq!(a.sym(0, 0), b.sym(2, 0));
+        assert_ne!(a.sym(0, 0), a.sym(1, 0));
+    }
+
+    #[test]
+    fn set_cell_copy_on_write() {
+        let r = rel();
+        let mut p = r.project(&["a", "b"]).unwrap();
+        p.set_cell(0, 0, Value::str("corrupted"));
+        assert_eq!(p.cell(0, 0), &Value::str("corrupted"));
+        // The original column is untouched (copy-on-write).
+        assert_eq!(r.cell(0, 0), &Value::str("x"));
+    }
+
+    #[test]
+    fn wire_bytes_dict_encodes_repeats() {
+        // 3 rows, column `a` has 2 distinct strings of width 1 → dict 2 +
+        // 3 codes; column `b` has 2 distinct ints (8 bytes) → dict 16 + 3.
+        let r = rel();
+        assert_eq!(r.wire_bytes(), (2 + 3) + (16 + 3));
+        // Raw size counts every cell: 3 strings + 3 ints.
+        assert_eq!(r.byte_size(), 3 + 24);
+    }
+
+    #[test]
+    fn truncate_drops_suffix() {
+        let mut r = rel();
+        r.truncate(1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0), vec![Value::str("x"), Value::int(1)]);
+        r.truncate(5);
+        assert_eq!(r.len(), 1);
     }
 }

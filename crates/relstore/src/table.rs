@@ -1,10 +1,12 @@
 //! Tables, rows, and hash indexes.
 
 use crate::error::StoreError;
+use crate::relation::Relation;
 use crate::schema::TableSchema;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A row of values. Arity always matches its table's schema.
 pub type Row = Vec<Value>;
@@ -12,12 +14,26 @@ pub type Row = Vec<Value>;
 /// An in-memory table: a schema plus rows in insertion order. Primary keys
 /// (when the schema declares one) are enforced on insert, mirroring the
 /// underlined keys of the paper's hospital schemas.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Table {
     schema: TableSchema,
     rows: Vec<Row>,
     /// Primary-key index (only when schema.key is non-empty).
     pk: Option<HashMap<Vec<Value>, usize>>,
+    /// Lazily-built interned columnar image of the rows, shared with every
+    /// [`Relation::from_table`] conversion; invalidated on insert.
+    columnar: OnceLock<Relation>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            pk: self.pk.clone(),
+            columnar: self.columnar.clone(),
+        }
+    }
 }
 
 impl Table {
@@ -32,6 +48,7 @@ impl Table {
             schema,
             rows: Vec::new(),
             pk,
+            columnar: OnceLock::new(),
         }
     }
 
@@ -67,6 +84,16 @@ impl Table {
     #[inline]
     pub fn rows(&self) -> &[Row] {
         &self.rows
+    }
+
+    /// The interned columnar image of the table, built on first use and
+    /// cached until the next insert. SQL executors scan this instead of the
+    /// row store, so base-table cells are interned exactly once.
+    pub fn columnar(&self) -> &Relation {
+        self.columnar.get_or_init(|| {
+            let columns = self.schema.columns.iter().map(|c| c.name.clone()).collect();
+            Relation::new(columns, self.rows.clone()).expect("rows match the schema arity")
+        })
     }
 
     /// Inserts a row, enforcing arity, column types (NULL always accepted)
@@ -106,6 +133,7 @@ impl Table {
             pk.insert(key, self.rows.len());
         }
         self.rows.push(row);
+        self.columnar = OnceLock::new();
         Ok(())
     }
 

@@ -36,7 +36,7 @@ fn reference_execute(query: &Query, catalog: &Catalog, params: &Params) -> Relat
             }
             FromItem::Param { name, alias } => {
                 let rel = params[name].as_rel().unwrap();
-                (alias.clone(), rel.columns().to_vec(), rel.rows().to_vec())
+                (alias.clone(), rel.columns().to_vec(), rel.rows_vec())
             }
         })
         .collect();
@@ -79,7 +79,8 @@ fn reference_execute(query: &Query, catalog: &Catalog, params: &Params) -> Relat
                         match set {
                             SetRef::Consts(vs) => vs.contains(&v),
                             SetRef::Param(p) => {
-                                params[p].as_rel().unwrap().rows().iter().any(|r| r[0] == v)
+                                let rel = params[p].as_rel().unwrap();
+                                (0..rel.len()).any(|i| rel.cell(i, 0) == &v)
                             }
                         }
                     }

@@ -135,11 +135,11 @@ fn main() {
     let predicted_dynamic = dynamic_response_time(&est, &actual, &net);
 
     let plan = schedule(&est, &net).per_source;
-    let opts = |scheduling| ExecOptions {
-        scheduling,
-        pace: Some(pace.clone()),
-        network: net.clone(),
-        ..ExecOptions::default()
+    let opts = |scheduling| {
+        let mut o = ExecOptions::default().with_scheduling(scheduling);
+        o.pace = Some(pace.clone());
+        o.policy.network = net.clone();
+        o
     };
     let runs = 3;
     let (live_static, _) = best_wall_secs(

@@ -100,7 +100,7 @@ fn main() {
     // Depth 1 with the frontier cut-off: the data's referral depth (3)
     // forces the cold pipeline through three prepare/execute rounds for d1,
     // while the service promotes its cached plan to depth 4 once.
-    let options = MediatorOptions::builder().unfold_depth(1).build();
+    let options = MediatorOptions::builder().unfold_depth(1).build().unwrap();
 
     let mediator = Mediator::new(catalog.clone(), &options).unwrap();
     // Warm-up request: prepares, hits the frontier, promotes 1 -> 2 -> 4.

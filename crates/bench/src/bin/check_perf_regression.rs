@@ -4,8 +4,9 @@
 //!
 //! Compares freshly regenerated `BENCH_fig10.json`,
 //! `BENCH_ablation_dynamic_live.json`, `BENCH_ablation_plan_cache.json`,
-//! `BENCH_shipcut.json`, `BENCH_columnar.json`, `BENCH_integrity.json` and
-//! `BENCH_server.json` against the committed baselines. The
+//! `BENCH_shipcut.json`, `BENCH_columnar.json`, `BENCH_integrity.json`,
+//! `BENCH_server.json` and `BENCH_streaming.json` against the committed
+//! baselines. The
 //! simulated quantities (merging ratios, predicted speedups) are
 //! deterministic and get a tight relative band; wall-clock quantities
 //! (phase timers, live speedups) vary with the machine, so they only fail
@@ -416,6 +417,53 @@ fn check_server(gate: &mut Gate, baseline: &Json, current: &Json) {
     }
 }
 
+fn check_streaming(gate: &mut Gate, baseline: &Json, current: &Json) {
+    // Machine-independent hard claims of chunked shipment: the document is
+    // byte-identical to the materializing run, 256-row chunks bound peak
+    // residency strictly below materializing the largest relation, and
+    // shrinking the chunk size increases the batch count.
+    gate.require(
+        "streaming: documents are no longer byte-identical across batch sizes",
+        current
+            .get("docs_identical")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    );
+    gate.require(
+        "streaming: 256-row chunks no longer bound peak residency below materializing",
+        num(current, "peak_256_rows") < num(current, "peak_mat_rows"),
+    );
+    gate.require(
+        "streaming: smaller chunks no longer yield more batches",
+        num(current, "batches_256") > num(current, "batches_2048"),
+    );
+    gate.require(
+        "streaming: the simulated pipelining credit went negative",
+        num(current, "overlap_256_secs") >= 0.0,
+    );
+    // Batch counts and peaks are pure functions of the (seeded) dataset and
+    // the chunk size; responses are simulated. Tight drift bands.
+    for key in [
+        "peak_256_rows",
+        "batches_256",
+        "response_mat_secs",
+        "response_256_secs",
+    ] {
+        gate.within(
+            &format!("streaming {key}"),
+            num(baseline, key),
+            num(current, key),
+            SIM_TOLERANCE,
+        );
+    }
+    // Wall clocks only fail on large factors.
+    gate.bounded(
+        "streaming wall (256-row chunks)",
+        num(baseline, "wall_256_secs"),
+        num(current, "wall_256_secs"),
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, baseline_dir, current_dir] = &args[..] else {
@@ -459,6 +507,11 @@ fn main() -> ExitCode {
         &mut gate,
         &load(baseline_dir, "BENCH_server.json"),
         &load(current_dir, "BENCH_server.json"),
+    );
+    check_streaming(
+        &mut gate,
+        &load(baseline_dir, "BENCH_streaming.json"),
+        &load(current_dir, "BENCH_streaming.json"),
     );
     if gate.failures.is_empty() {
         println!("perf regression gate: {} checks passed", gate.checks);

@@ -31,10 +31,7 @@ fn main() {
         &data.catalog,
         &graph,
         &[("date", Value::str(&data.dates[0]))],
-        &ExecOptions {
-            check_guards: true,
-            ..ExecOptions::default()
-        },
+        &ExecOptions::default(),
     )
     .unwrap();
     let costs = measured_costs(

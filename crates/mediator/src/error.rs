@@ -5,6 +5,56 @@ use aig_relstore::StoreError;
 use aig_sql::SqlError;
 use std::fmt;
 
+/// A contradiction or degenerate value in [`MediatorOptions`] caught at
+/// build time, before any planning or execution happens.
+///
+/// Historically the pipeline silently clamped degenerate knobs (`threads: 0`
+/// became 1 via `.max(1)`), which hid caller bugs: a config file that
+/// computed `threads` from a broken formula ran single-threaded forever
+/// without anyone noticing. The builder now refuses these values instead.
+///
+/// [`MediatorOptions`]: crate::pipeline::MediatorOptions
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `threads` was 0 — the executor needs at least one worker.
+    ZeroThreads,
+    /// `par_threshold` was 0 — every relation (even empty ones) would be
+    /// split for parallel dedup, which degenerates into pure overhead.
+    ZeroParThreshold,
+    /// `batch_rows` was 0 — batches could never make progress. Rejected
+    /// even when batching is off, so flipping `batching` on later cannot
+    /// surface a latent bad knob.
+    ZeroBatchRows,
+    /// `batching` was requested with `shipcut` disabled. Chunked shipment
+    /// slices the *ship image* that the ship-cut computes; without it the
+    /// batching knobs are dead weight and the caller almost certainly
+    /// misconfigured one of the two.
+    BatchingWithoutShipcut,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroThreads => {
+                write!(f, "invalid config: threads must be at least 1, got 0")
+            }
+            ConfigError::ZeroParThreshold => {
+                write!(f, "invalid config: par_threshold must be at least 1, got 0")
+            }
+            ConfigError::ZeroBatchRows => {
+                write!(f, "invalid config: batch_rows must be at least 1, got 0")
+            }
+            ConfigError::BatchingWithoutShipcut => write!(
+                f,
+                "invalid config: batching requires shipcut (chunked shipment \
+                 slices the ship image the ship-cut computes)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Errors from planning or executing an AIG through the mediator.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MediatorError {
@@ -13,6 +63,10 @@ pub enum MediatorError {
     Unsupported(String),
     /// An inconsistency in the built task graph.
     Internal(String),
+    /// The caller's [`MediatorOptions`] were rejected at validation time.
+    ///
+    /// [`MediatorOptions`]: crate::pipeline::MediatorOptions
+    Config(ConfigError),
     /// The recursion kept extending past the configured maximum depth.
     RecursionBudget {
         max_depth: usize,
@@ -80,6 +134,7 @@ impl fmt::Display for MediatorError {
                 write!(f, "unsupported by the set-oriented evaluator: {msg}")
             }
             MediatorError::Internal(msg) => write!(f, "mediator internal error: {msg}"),
+            MediatorError::Config(e) => e.fmt(f),
             MediatorError::RecursionBudget { max_depth } => write!(
                 f,
                 "recursive data exceeds the maximum unfolding depth {max_depth}"
@@ -145,6 +200,12 @@ impl fmt::Display for MediatorError {
 
 impl std::error::Error for MediatorError {}
 
+impl From<ConfigError> for MediatorError {
+    fn from(e: ConfigError) -> Self {
+        MediatorError::Config(e)
+    }
+}
+
 impl From<AigError> for MediatorError {
     fn from(e: AigError) -> Self {
         MediatorError::Aig(e)
@@ -180,6 +241,14 @@ mod tests {
             (
                 MediatorError::Internal("orphan task".into()),
                 &["internal error", "orphan task"],
+            ),
+            (
+                MediatorError::Config(ConfigError::ZeroBatchRows),
+                &["invalid config", "batch_rows"],
+            ),
+            (
+                MediatorError::Config(ConfigError::BatchingWithoutShipcut),
+                &["invalid config", "batching requires shipcut"],
             ),
             (
                 MediatorError::RecursionBudget { max_depth: 7 },

@@ -22,7 +22,10 @@ use aig_core::AigError;
 use aig_relstore::intern;
 use aig_relstore::par::stable_sort_rows_with;
 use aig_relstore::{Catalog, Relation, SourceId, Value};
-use aig_sql::{execute_tuned as sql_execute_tuned, ParamValue, Params};
+use aig_sql::{
+    execute_streamed as sql_execute_streamed, execute_tuned as sql_execute_tuned,
+    IncrementalDistinct, ParamValue, Params,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -78,30 +81,91 @@ impl SchedLog {
     }
 }
 
-/// Execution options.
+/// The per-request half of [`crate::pipeline::MediatorOptions`]: everything
+/// the **Execute** stage consumes, and the single source of truth for the
+/// executor switches (retry, scheduling, threads, integrity, batching). A
+/// change of policy never invalidates a cached plan — the same
+/// [`crate::plan::PreparedPlan`] serves strict and lenient requests alike.
+#[derive(Debug, Clone)]
+pub struct ExecPolicy {
+    /// Whether compiled-constraint guards abort the run.
+    pub check_guards: bool,
+    /// Whether the output is validated against the DTD (sanity check).
+    pub validate_output: bool,
+    /// Whether the integrity defense runs: per-task guard checks on shipped
+    /// relations plus the key/inclusion constraint check on the tagged
+    /// document, with detections recorded in the report's integrity ledger.
+    pub check_integrity: bool,
+    /// Execute with the per-source worker threads of [`crate::parallel`]
+    /// instead of the sequential executor.
+    pub parallel_exec: bool,
+    pub network: crate::sim::NetworkModel,
+    /// Deterministic fault injection for source tasks (None = no faults).
+    /// This is the *configuration*; the executors consume the bound
+    /// [`ExecOptions::faults`] plan.
+    pub faults: Option<crate::faults::FaultConfig>,
+    /// Retry/backoff/timeout policy when faults are injected.
+    pub retry: RetryPolicy,
+    /// Static (planned sequences) or dynamic (live ready-queue) scheduling
+    /// in the parallel executor; ignored by the sequential executor.
+    pub scheduling: Scheduling,
+    /// Worker-thread bound for the partitioned kernels (hash join,
+    /// canonical sort, dedup) inside each task. Results are byte-identical
+    /// for any value; `1` keeps every kernel sequential.
+    pub threads: usize,
+    /// Minimum input size (rows) before a partitioned kernel engages;
+    /// smaller inputs take the sequential path outright. Results are
+    /// byte-identical for any value — this only moves the crossover point
+    /// (tests pin it to force either path on small fixtures).
+    pub par_threshold: usize,
+    /// Per-request deadline budget in seconds (None = unbounded). The
+    /// clock starts when a request enters execution; expiry surfaces as
+    /// [`crate::MediatorError::DeadlineExceeded`] instead of hanging.
+    pub deadline_secs: Option<f64>,
+    /// Chunked shipment (streaming batch execution, see [`crate::batch`]):
+    /// task outputs cross the ship seam in `batch_rows`-row batches and
+    /// source queries feed hash-join builds and dedup incrementally.
+    /// Stores and documents are byte-identical either way; off by default.
+    pub batching: bool,
+    /// Batch size (rows) of the chunked shipment seam; only consulted when
+    /// `batching` is on. `usize::MAX` degenerates to the materializing
+    /// one-batch shipment.
+    pub batch_rows: usize,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            check_guards: true,
+            validate_output: true,
+            check_integrity: false,
+            parallel_exec: false,
+            network: crate::sim::NetworkModel::default(),
+            faults: None,
+            retry: RetryPolicy::default(),
+            scheduling: Scheduling::default(),
+            threads: 1,
+            par_threshold: aig_relstore::par::PAR_THRESHOLD,
+            deadline_secs: None,
+            batching: false,
+            batch_rows: 2048,
+        }
+    }
+}
+
+/// Execution options: a thin view of an [`ExecPolicy`] plus the per-run
+/// state the caller must bind (the catalog-bound fault plan, calibration,
+/// pacing, ship-cut profiles, the started deadline clock, and the
+/// cross-request gate). All policy switches are read through the accessor
+/// methods, so there is exactly one source of truth for them.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
-    /// Whether guard tasks abort on violations (disable for the constraint
-    /// ablation).
-    pub check_guards: bool,
-    /// Whether the per-task integrity guard checks shipped relations
-    /// against the catalog schema (key uniqueness, type/NULL and arity
-    /// conformance, row identity). Detections on non-final attempts retry;
-    /// final-attempt detections surface as
-    /// [`MediatorError::IntegrityViolation`]. Off by default: the checks
-    /// exist to measure the wrong-answer defense, not to tax clean runs.
-    pub check_integrity: bool,
-    /// Deterministic fault injection for source tasks (None = no faults).
+    /// The shared policy (retry, scheduling, threads, par_threshold,
+    /// guard/integrity switches, network model, batching knobs).
+    pub policy: ExecPolicy,
+    /// Deterministic fault injection bound to a catalog (None = no
+    /// faults). Bound by the caller from [`ExecPolicy::faults`].
     pub faults: Option<FaultPlan>,
-    /// Retry/backoff/timeout policy applied when faults are injected.
-    pub retry: RetryPolicy,
-    /// Network model used when an outage forces a re-plan of the surviving
-    /// subgraph and by the dynamic scheduler's priority recomputation
-    /// (parallel executor).
-    pub network: crate::sim::NetworkModel,
-    /// Static (planned sequences) or dynamic (ready-queue) scheduling in
-    /// the parallel executor. The sequential executor ignores this.
-    pub scheduling: Scheduling,
     /// Calibration factor converting measured wall-clock seconds into the
     /// task estimates' cost units when the dynamic scheduler patches
     /// actuals into its hybrid graph (mirrors
@@ -116,19 +180,11 @@ pub struct ExecOptions {
     /// (and possibly deduplicated) ship image of its output instead of the
     /// full relation. Stores and documents are unaffected either way.
     pub shipcut: Option<Arc<ShipCut>>,
-    /// Upper bound on worker threads the partitioned kernels (hash join
-    /// build/probe, canonical sort, dedup) may use per task. `1` keeps
-    /// every kernel sequential; results are byte-identical regardless.
-    pub threads: usize,
-    /// Minimum input size (rows) before a partitioned kernel engages;
-    /// below it every kernel stays sequential regardless of `threads`.
-    /// Byte-identical for any value (see [`aig_relstore::par`]).
-    pub par_threshold: usize,
     /// Per-request deadline budget: no task attempt starts past it, sleeps
     /// are clamped to it, and expiry surfaces as
-    /// [`MediatorError::DeadlineExceeded`]. Bound per request (the
-    /// service-level [`crate::plan::ExecPolicy::deadline_secs`] only
-    /// carries the budget; the clock starts when the request does).
+    /// [`MediatorError::DeadlineExceeded`]. Bound per request
+    /// ([`ExecPolicy::deadline_secs`] only carries the budget; the clock
+    /// starts when the request does).
     pub deadline: Option<crate::faults::Deadline>,
     /// Cross-request source arbiter: concurrent requests sharing a gate
     /// serialize same-source task execution, earliest absolute deadline
@@ -138,21 +194,95 @@ pub struct ExecOptions {
 
 impl Default for ExecOptions {
     fn default() -> Self {
+        ExecOptions::new(ExecPolicy::default())
+    }
+}
+
+impl ExecOptions {
+    /// Wraps a policy with nothing bound yet — the canonical constructor.
+    pub fn new(policy: ExecPolicy) -> ExecOptions {
         ExecOptions {
-            check_guards: true,
-            check_integrity: false,
+            policy,
             faults: None,
-            retry: RetryPolicy::default(),
-            network: crate::sim::NetworkModel::default(),
-            scheduling: Scheduling::default(),
             eval_scale: 1.0,
             pace: None,
             shipcut: None,
-            threads: 1,
-            par_threshold: aig_relstore::par::PAR_THRESHOLD,
             deadline: None,
             gate: None,
         }
+    }
+
+    pub fn check_guards(&self) -> bool {
+        self.policy.check_guards
+    }
+
+    pub fn check_integrity(&self) -> bool {
+        self.policy.check_integrity
+    }
+
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.policy.retry
+    }
+
+    pub fn network(&self) -> &crate::sim::NetworkModel {
+        &self.policy.network
+    }
+
+    pub fn scheduling(&self) -> Scheduling {
+        self.policy.scheduling
+    }
+
+    /// Kernel thread bound, floored at 1 as an executor safety net; the
+    /// options builder rejects zero outright (`ConfigError`).
+    pub fn threads(&self) -> usize {
+        self.policy.threads.max(1)
+    }
+
+    /// Partitioned-kernel crossover, floored at 1 as an executor safety
+    /// net; the options builder rejects zero outright (`ConfigError`).
+    pub fn par_threshold(&self) -> usize {
+        self.policy.par_threshold.max(1)
+    }
+
+    /// Whether chunked shipment (streaming batch execution) is on.
+    pub fn batching(&self) -> bool {
+        self.policy.batching
+    }
+
+    /// Batch size of the chunked shipment seam, floored at 1; the options
+    /// builder rejects zero outright (`ConfigError`).
+    pub fn batch_rows(&self) -> usize {
+        self.policy.batch_rows.max(1)
+    }
+
+    /// Returns the options with the scheduling mode replaced.
+    pub fn with_scheduling(mut self, scheduling: Scheduling) -> ExecOptions {
+        self.policy.scheduling = scheduling;
+        self
+    }
+
+    /// Returns the options with the kernel thread bound replaced.
+    pub fn with_threads(mut self, threads: usize) -> ExecOptions {
+        self.policy.threads = threads;
+        self
+    }
+
+    /// Returns the options with the chunked-shipment knobs replaced.
+    pub fn with_batching(mut self, batching: bool, batch_rows: usize) -> ExecOptions {
+        self.policy.batching = batching;
+        self.policy.batch_rows = batch_rows;
+        self
+    }
+}
+
+/// Legacy shim from the days when `ExecOptions` duplicated every policy
+/// field: equivalent to [`ExecOptions::new`] on a clone. Kept for one
+/// release so downstream callers migrate at leisure; prefer
+/// `ExecOptions::new(policy.clone())`. (Trait impls cannot carry
+/// `#[deprecated]`, hence this doc-level notice.)
+impl From<&ExecPolicy> for ExecOptions {
+    fn from(policy: &ExecPolicy) -> ExecOptions {
+        ExecOptions::new(policy.clone())
     }
 }
 
@@ -174,6 +304,10 @@ pub struct Measured {
     /// never exceeds it (pruning drops columns and rows, and the dictionary
     /// encoding is monotone under both).
     pub ship_bytes: f64,
+    /// Batches the output crossed the ship seam in: 1 per shipped output
+    /// when materializing, `ceil(image_rows / batch_rows)` under chunked
+    /// shipment (0 for guards and empty batched images).
+    pub batches: u64,
     /// Rows read from dependency relations (distinct input relations).
     pub in_rows: f64,
     /// Seconds the task spent waiting for its inputs before running
@@ -247,6 +381,9 @@ pub struct ExecResult {
     pub integrity: IntegrityLog,
     /// What the scheduler did (dynamic picks; empty under static).
     pub sched: SchedLog,
+    /// What the chunked-shipment seam did (batch counts, peak resident
+    /// rows); `enabled: false` with one batch per output when off.
+    pub batch: crate::batch::BatchLog,
 }
 
 /// The `__occ` tag of rows produced by the generator of `(occ, item)`.
@@ -319,11 +456,12 @@ pub fn execute_graph(
     let mut integrity_log = IntegrityLog::default();
     // Relation profiles only matter when corruptions can be injected or
     // the guard checks are on; clean runs skip the catalog lookups.
-    let profiling = opts.check_integrity
+    let profiling = opts.check_integrity()
         || opts
             .faults
             .as_ref()
             .is_some_and(|p| p.has_wrong_answer_faults());
+    let ledger = crate::batch::ShipLedger::default();
     let mut effective: Vec<SourceId> = graph.tasks.iter().map(|t| t.source).collect();
     let mut active = match &opts.faults {
         Some(plan) => resolve_outages(catalog, graph, plan, &mut effective)?,
@@ -332,7 +470,7 @@ pub fn execute_graph(
     let base_catalog = catalog;
     let env = FaultEnv {
         plan: opts.faults.as_ref(),
-        retry: &opts.retry,
+        retry: opts.retry(),
         deadline: opts.deadline.as_ref(),
     };
     // Per-source completed-task counters, consulted only when the fault
@@ -414,7 +552,7 @@ pub fn execute_graph(
                 table: integrity::task_table(task),
                 failed_over_from,
                 profile: profile.as_ref(),
-                check_integrity: opts.check_integrity,
+                check_integrity: opts.check_integrity(),
             };
             env.run_task(
                 &ctx,
@@ -438,10 +576,12 @@ pub fn execute_graph(
             .as_ref()
             .map(|r| (r.len() as f64, r.byte_size() as f64, r.wire_bytes() as f64))
             .unwrap_or((0.0, 0.0, 0.0));
-        let ship_bytes = output
+        let shipped = output
             .as_ref()
-            .map(|r| ship_image_bytes(opts, id, r))
-            .unwrap_or(0.0);
+            .map(|r| crate::batch::ship_output(opts, &ledger, id, r, |_, _| {}));
+        let (ship_bytes, batches) = shipped
+            .map(|s| (s.ship_bytes, s.batches))
+            .unwrap_or((0.0, 0));
         if let (Some(key), Some(rel)) = (task.output.clone(), output) {
             store.insert(key, rel);
         }
@@ -451,6 +591,7 @@ pub fn execute_graph(
             out_bytes: bytes,
             wire_bytes: wire,
             ship_bytes,
+            batches,
             in_rows,
             wait_secs: 0.0,
             start_secs,
@@ -465,6 +606,7 @@ pub fn execute_graph(
         resilience,
         integrity: integrity_log,
         sched: SchedLog::default(),
+        batch: crate::batch::BatchLog::from_ledger(opts, &ledger),
     })
 }
 
@@ -602,8 +744,8 @@ impl<S: RelSource> Executor<'_, S> {
                 // partitioned over the configured threads for large outputs.
                 stable_sort_rows_with(
                     &mut rows,
-                    self.opts.threads,
-                    self.opts.par_threshold,
+                    self.opts.threads(),
+                    self.opts.par_threshold(),
                     |a, b| a[0].cmp(&b[0]).then_with(|| a[2..].cmp(&b[2..])),
                 );
                 let mut last_parent: Option<Value> = None;
@@ -635,7 +777,7 @@ impl<S: RelSource> Executor<'_, S> {
                 let info = self.aig.elem_info(binding.elem);
                 if let Some(decl) = info.inh.iter().find(|f| &f.name == field) {
                     if matches!(decl.ty, FieldType::Set(_)) {
-                        rel.dedup_parallel_with(self.opts.threads, self.opts.par_threshold);
+                        self.dedup_output(&mut rel);
                     }
                 }
                 Ok(Some(rel))
@@ -777,7 +919,7 @@ impl<S: RelSource> Executor<'_, S> {
             }
             TaskKind::SynAgg { occ, field } => Ok(Some(self.compute_syn(occ, field)?)),
             TaskKind::Guard { occ, guard } => {
-                if self.opts.check_guards {
+                if self.opts.check_guards() {
                     self.check_guard(occ, *guard)?;
                 }
                 Ok(None)
@@ -818,13 +960,45 @@ impl<S: RelSource> Executor<'_, S> {
             };
             params.insert(name.clone(), ParamValue::Rel(rel));
         }
+        if self.opts.batching() {
+            // Streaming mode: hash-join builds and DISTINCT inside the
+            // query consume their inputs in `batch_rows` chunks
+            // (byte-identical results; see `aig_sql::execute_streamed`).
+            return Ok(sql_execute_streamed(
+                &vq.query,
+                self.catalog,
+                &params,
+                self.opts.threads(),
+                self.opts.par_threshold(),
+                self.opts.batch_rows(),
+            )?);
+        }
         Ok(sql_execute_tuned(
             &vq.query,
             self.catalog,
             &params,
-            self.opts.threads,
-            self.opts.par_threshold,
+            self.opts.threads(),
+            self.opts.par_threshold(),
         )?)
+    }
+
+    /// Set-semantics coercion of a task output. Materializing mode uses
+    /// the (possibly partitioned) one-shot dedup kernel; under chunked
+    /// execution, inputs below the partitioning crossover feed an
+    /// incremental distinct in `batch_rows` chunks instead — same
+    /// first-occurrence order, byte-identical output.
+    fn dedup_output(&self, rel: &mut Relation) {
+        let threads = self.opts.threads();
+        let threshold = self.opts.par_threshold();
+        if self.opts.batching() && !(threads > 1 && rel.len() >= threshold) {
+            let mut distinct = IncrementalDistinct::new(rel.columns().to_vec());
+            for batch in rel.batches(self.opts.batch_rows()) {
+                distinct.feed(&batch);
+            }
+            *rel = distinct.finish();
+        } else {
+            rel.dedup_parallel_with(threads, threshold);
+        }
     }
 
     /// Resolves a scalar rule expression for a specific base row.
@@ -922,7 +1096,7 @@ impl<S: RelSource> Executor<'_, S> {
             }
         }
         if is_set {
-            out.dedup_parallel_with(self.opts.threads, self.opts.par_threshold);
+            self.dedup_output(&mut out);
         }
         Ok(out)
     }

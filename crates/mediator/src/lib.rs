@@ -1,4 +1,5 @@
 //! The AIG mediator middleware (paper §5) — placeholder while modules land.
+pub mod batch;
 pub mod cost;
 pub mod error;
 pub mod exec;
@@ -20,8 +21,9 @@ pub mod sim;
 pub mod tagging;
 pub mod unfold;
 
+pub use batch::{BatchLog, BatchStream, RelationStream, ShipLedger};
 pub use cost::{response_time, CostGraph, Plan, TaskCost};
-pub use error::MediatorError;
+pub use error::{ConfigError, MediatorError};
 pub use exec::{
     execute_graph, ExecOptions, ExecResult, Measured, RelStore, SchedLog, Scheduling, TaskPick,
 };
@@ -35,7 +37,7 @@ pub use integrity::{CorruptionKind, IntegrityFinding, RelProfile};
 pub use json::Json;
 pub use merge::{merge, merge_pair, no_merge, MergeDecision, MergeOutcome};
 pub use obs::{
-    CacheObs, FaultEventObs, IntegrityEventObs, IntegrityObs, PhaseSample, Phases,
+    BatchingObs, CacheObs, FaultEventObs, IntegrityEventObs, IntegrityObs, PhaseSample, Phases,
     PlanDeviationObs, ResilienceObs, RunReport, SchedulerObs, ServerObs, ShipcutObs, SourceObs,
     TaskObs, SCHEMA_VERSION,
 };

@@ -116,6 +116,10 @@ pub struct TaskObs {
     /// Bytes this task's output ships over the simulated network (its ship
     /// image, counted once per consumer at a different source).
     pub shipped_bytes: f64,
+    /// Batches the task's output crossed the ship seam in: 1 per shipped
+    /// output on a materializing run, `ceil(image_rows / batch_rows)` under
+    /// chunked shipment, 0 for guards and empty outputs.
+    pub batches: u64,
     /// Actual in-process execution seconds.
     pub secs: f64,
     /// Queue/wait seconds before the task could start (parallel executor).
@@ -191,8 +195,11 @@ pub struct PlanSeqObs {
 /// latency percentiles); 8 = adds the per-task `wire_bytes` field
 /// (dictionary-encoded wire size of the full output under columnar
 /// storage) and re-bases the `shipcut` savings on it, so pruned and
-/// unpruned shipments compare under the same encoding.
-pub const SCHEMA_VERSION: u32 = 8;
+/// unpruned shipments compare under the same encoding; 9 = adds the
+/// `batching` section (chunked-shipment ledger: batch size, total batches,
+/// peak resident shipment rows, estimated pipelining savings) and the
+/// per-task `batches` field.
+pub const SCHEMA_VERSION: u32 = 9;
 
 /// Which stage of the prepared-plan split a phase belongs to: everything
 /// argument-independent (compilation through estimate-based planning, plus
@@ -386,6 +393,31 @@ pub struct ShipcutObs {
     pub pruned_tasks: usize,
 }
 
+/// The batching section: the chunked-shipment ledger (see [`crate::batch`]).
+/// `Default` (disabled, all zero) describes a materializing run; when
+/// enabled, task outputs crossed the ship seam in `batch_rows`-row batches
+/// and `peak_resident_rows` bounds how many shipment rows were ever in
+/// flight at once.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchingObs {
+    /// Whether chunked shipment was active for the run.
+    pub enabled: bool,
+    /// Configured batch size in rows (0 when disabled: the whole relation
+    /// is one unbounded "batch").
+    pub batch_rows: u64,
+    /// Batches shipped across all tasks (equals the shipped-task count on
+    /// a materializing run).
+    pub total_batches: u64,
+    /// High-water mark of shipment rows resident at once. Batching bounds
+    /// this at the double-buffer window (≈ 2 × `batch_rows` per concurrent
+    /// task) instead of the largest relation.
+    pub peak_resident_rows: u64,
+    /// Estimated seconds pipelining overlapped away on the simulated wire
+    /// ([`crate::sim::NetworkModel::overlap_savings`]); zeroed in redacted
+    /// reports — it derives from wall-clock-calibrated evaluation times.
+    pub overlap_savings_secs: f64,
+}
+
 /// The server section: what the overload-resilient request server saw over
 /// one open-loop workload. `Default` (disabled, all zero) describes a
 /// per-request report — the section only carries data on the server-level
@@ -492,6 +524,8 @@ pub struct RunReport {
     pub cache: CacheObs,
     /// What ship-cut column pruning saved on the simulated wire.
     pub shipcut: ShipcutObs,
+    /// The chunked-shipment ledger (default on materializing runs).
+    pub batching: BatchingObs,
     /// The overload-resilient server's ledgers (default on per-request
     /// reports; populated on server-level summary reports).
     pub server: ServerObs,
@@ -522,6 +556,8 @@ pub(crate) struct ReportInputs<'a> {
     pub cache: CacheObs,
     /// Whether ship-cut liveness pruning was active during execution.
     pub shipcut_enabled: bool,
+    /// The chunked-shipment ledger of the final execution round.
+    pub batch: crate::batch::BatchLog,
 }
 
 fn kind_tag(kind: &TaskKind) -> &'static str {
@@ -597,6 +633,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         sched,
         cache,
         shipcut_enabled,
+        batch,
     } = inputs;
 
     let shipped = shipped_bytes(graph, measured);
@@ -614,6 +651,32 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
             .filter(|m| m.ship_bytes < m.wire_bytes)
             .count(),
     };
+    let batching = {
+        // Pipelining overlaps simulated wire time with simulated (calibrated)
+        // evaluation time; a single-hop bulk estimate is enough for the
+        // headline number — per-edge routing detail lives in the plan section.
+        let ship_secs = if net.bandwidth_bytes_per_sec.is_finite() {
+            shipped.iter().fold(0.0, |a, b| a + b) / net.bandwidth_bytes_per_sec
+        } else {
+            0.0
+        };
+        let eval_secs = costs.iter().map(|c| c.eval_secs).fold(0.0, |a, s| a + s);
+        BatchingObs {
+            enabled: batch.enabled,
+            batch_rows: if batch.enabled {
+                batch.batch_rows as u64
+            } else {
+                0
+            },
+            total_batches: batch.total_batches,
+            peak_resident_rows: batch.peak_resident_rows,
+            overlap_savings_secs: if batch.enabled {
+                net.overlap_savings(ship_secs, eval_secs, batch.total_batches)
+            } else {
+                0.0
+            },
+        }
+    };
     let tasks: Vec<TaskObs> = graph
         .tasks
         .iter()
@@ -630,6 +693,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
             wire_bytes: measured[id].wire_bytes,
             ship_bytes: measured[id].ship_bytes,
             shipped_bytes: shipped[id],
+            batches: measured[id].batches,
             secs: measured[id].secs,
             wait_secs: measured[id].wait_secs,
             start_secs: measured[id].start_secs,
@@ -806,6 +870,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         scheduler,
         cache,
         shipcut,
+        batching,
         server: ServerObs::default(),
     }
 }
@@ -866,6 +931,7 @@ impl RunReport {
             scheduler: SchedulerObs::default(),
             cache: CacheObs::default(),
             shipcut: ShipcutObs::default(),
+            batching: BatchingObs::default(),
             server,
         }
     }
@@ -930,6 +996,10 @@ impl RunReport {
         for deviation in &mut report.scheduler.deviations {
             deviation.priority = 0.0;
         }
+        // The pipelining estimate folds in calibrated (wall-clock-derived)
+        // evaluation times; the batch/row counts themselves are deterministic
+        // and stay.
+        report.batching.overlap_savings_secs = 0.0;
         report
     }
 
@@ -973,6 +1043,25 @@ impl RunReport {
                     ),
                     ("saved_bytes", Json::num(self.shipcut.saved_bytes)),
                     ("pruned_tasks", Json::num(self.shipcut.pruned_tasks as f64)),
+                ]),
+            ),
+            (
+                "batching",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(self.batching.enabled)),
+                    ("batch_rows", Json::num(self.batching.batch_rows as f64)),
+                    (
+                        "total_batches",
+                        Json::num(self.batching.total_batches as f64),
+                    ),
+                    (
+                        "peak_resident_rows",
+                        Json::num(self.batching.peak_resident_rows as f64),
+                    ),
+                    (
+                        "overlap_savings_secs",
+                        Json::num(self.batching.overlap_savings_secs),
+                    ),
                 ]),
             ),
             (
@@ -1182,6 +1271,7 @@ impl RunReport {
                                 ("wire_bytes", Json::num(t.wire_bytes)),
                                 ("ship_bytes", Json::num(t.ship_bytes)),
                                 ("shipped_bytes", Json::num(t.shipped_bytes)),
+                                ("batches", Json::num(t.batches as f64)),
                                 ("secs", Json::num(t.secs)),
                                 ("wait_secs", Json::num(t.wait_secs)),
                                 ("start_secs", Json::num(t.start_secs)),
@@ -1340,6 +1430,7 @@ mod tests {
             scheduler: SchedulerObs::default(),
             cache: CacheObs::default(),
             shipcut: ShipcutObs::default(),
+            batching: BatchingObs::default(),
             server: ServerObs::default(),
         };
         report.prepend_phase("parse", 0.05);
@@ -1380,6 +1471,7 @@ mod tests {
             scheduler: SchedulerObs::default(),
             cache: CacheObs::default(),
             shipcut: ShipcutObs::default(),
+            batching: BatchingObs::default(),
             server: ServerObs::default(),
         };
         report.resilience.enabled = true;

@@ -235,6 +235,23 @@ impl SharedStore<'_> {
         }
     }
 
+    /// Chunked-shipment progress: patches a task's partial shipped bytes
+    /// into its consumers' edges of the dynamic scheduler's hybrid graph,
+    /// so the next pick re-prioritizes among partially complete tasks
+    /// (a consumer whose producer has most of its batches on the wire
+    /// outranks one whose producer barely started). No-op under static
+    /// scheduling; the final [`SharedStore::complete`] overwrites the
+    /// edges with the task's full measured shipment.
+    fn note_batch(&self, task: usize, shipped_so_far: f64) {
+        let mut state = self.state.lock().expect("store mutex");
+        if let Some(sched) = state.dyn_sched.as_mut() {
+            for &(consumer, pos) in &sched.consumers[task] {
+                sched.hybrid.deps[consumer][pos].1 = shipped_so_far;
+            }
+            sched.stale = true;
+        }
+    }
+
     fn complete(
         &self,
         task: usize,
@@ -326,6 +343,7 @@ pub fn execute_graph_parallel(
         wake: Condvar::new(),
     };
     let epoch = Instant::now();
+    let ship_ledger = crate::batch::ShipLedger::default();
     let mut effective: Vec<SourceId> = graph.tasks.iter().map(|t| t.source).collect();
     let mut active_catalog: Option<Catalog> = None;
     let mut plan = per_source.clone();
@@ -340,11 +358,21 @@ pub fn execute_graph_parallel(
     // round ended in exactly one failover.
     for replans in 0..catalog.len() + 1 {
         let cat: &Catalog = active_catalog.as_ref().unwrap_or(catalog);
-        if opts.scheduling == Scheduling::Dynamic {
+        if opts.scheduling() == Scheduling::Dynamic {
             prime_dynamic(&shared, graph, &plan, &effective, opts);
         }
         run_round(
-            aig, cat, graph, args, opts, &shared, &plan, &effective, &topo_pos, &epoch,
+            aig,
+            cat,
+            graph,
+            args,
+            opts,
+            &shared,
+            &plan,
+            &effective,
+            &topo_pos,
+            &epoch,
+            &ship_ledger,
         );
 
         let halted = {
@@ -375,9 +403,10 @@ pub fn execute_graph_parallel(
                     events: state.integrity,
                 },
                 sched: SchedLog {
-                    dynamic: opts.scheduling == Scheduling::Dynamic,
+                    dynamic: opts.scheduling() == Scheduling::Dynamic,
                     picks: state.picks,
                 },
+                batch: crate::batch::BatchLog::from_ledger(opts, &ship_ledger),
             });
         };
 
@@ -416,7 +445,7 @@ pub fn execute_graph_parallel(
                 *eff = replica;
             }
         }
-        plan = replan_surviving(graph, &done, &effective, &opts.network);
+        plan = replan_surviving(graph, &done, &effective, opts.network());
     }
     Err(MediatorError::Internal(
         "failover rounds exceeded the source count".to_string(),
@@ -474,7 +503,7 @@ fn prime_dynamic(
         }
         *remaining.entry(effective[task]).or_insert(0) += 1;
     }
-    let priority = levels(&hybrid, &opts.network);
+    let priority = levels(&hybrid, opts.network());
     state.dyn_sched = Some(DynSched {
         hybrid,
         consumers,
@@ -506,8 +535,9 @@ fn run_round(
     effective: &[SourceId],
     topo_pos: &[usize],
     epoch: &Instant,
+    ship_ledger: &crate::batch::ShipLedger,
 ) {
-    let profiling = opts.check_integrity
+    let profiling = opts.check_integrity()
         || opts
             .faults
             .as_ref()
@@ -528,7 +558,7 @@ fn run_round(
                     };
                     let env = FaultEnv {
                         plan: opts.faults.as_ref(),
-                        retry: &opts.retry,
+                        retry: opts.retry(),
                         deadline: opts.deadline.as_ref(),
                     };
                     // Runs one task and records its measurements; returns
@@ -558,7 +588,7 @@ fn run_round(
                             table: integrity::task_table(task),
                             failed_over_from,
                             profile: profile.as_ref(),
-                            check_integrity: opts.check_integrity,
+                            check_integrity: opts.check_integrity(),
                         };
                         let result = env.run_task(&ctx, &mut events, &mut ledger, || {
                             // Cross-request EDF arbitration per attempt
@@ -574,14 +604,26 @@ fn run_round(
                             exec.run_task(task, args)
                         });
                         let secs = started.elapsed().as_secs_f64();
-                        let (out_rows, out_bytes, wire_bytes, ship_bytes) = match &result {
-                            Ok(Some(rel)) => (
-                                rel.len() as f64,
-                                rel.byte_size() as f64,
-                                rel.wire_bytes() as f64,
-                                crate::exec::ship_image_bytes(opts, task_id, rel),
-                            ),
-                            _ => (0.0, 0.0, 0.0, 0.0),
+                        let (out_rows, out_bytes, wire_bytes, ship_bytes, batches) = match &result {
+                            Ok(Some(rel)) => {
+                                let shipped = crate::batch::ship_output(
+                                    opts,
+                                    ship_ledger,
+                                    task_id,
+                                    rel,
+                                    |_, bytes| {
+                                        shared.note_batch(task_id, bytes);
+                                    },
+                                );
+                                (
+                                    rel.len() as f64,
+                                    rel.byte_size() as f64,
+                                    rel.wire_bytes() as f64,
+                                    shipped.ship_bytes,
+                                    shipped.batches,
+                                )
+                            }
+                            _ => (0.0, 0.0, 0.0, 0.0, 0),
                         };
                         let failed = result.is_err();
                         shared.complete(
@@ -594,6 +636,7 @@ fn run_round(
                                 out_bytes,
                                 wire_bytes,
                                 ship_bytes,
+                                batches,
                                 in_rows,
                                 wait_secs,
                                 start_secs,
@@ -603,7 +646,7 @@ fn run_round(
                         );
                         !failed
                     };
-                    match opts.scheduling {
+                    match opts.scheduling() {
                         Scheduling::Static => {
                             for task_id in sequence {
                                 if shared.is_done(task_id) {
@@ -632,7 +675,7 @@ fn run_round(
                         Scheduling::Dynamic => loop {
                             let queued = Instant::now();
                             let Some(task_id) =
-                                shared.pick_next(source, &opts.network, topo_pos, env.plan)
+                                shared.pick_next(source, opts.network(), topo_pos, env.plan)
                             else {
                                 return; // drained, halted, or failed
                             };
@@ -716,10 +759,7 @@ mod tests {
         let args = [("date", Value::str("d1"))];
         let sequential =
             execute_graph(&aig, &catalog, &graph, &args, &ExecOptions::default()).unwrap();
-        let opts = ExecOptions {
-            scheduling: Scheduling::Dynamic,
-            ..ExecOptions::default()
-        };
+        let opts = ExecOptions::default().with_scheduling(Scheduling::Dynamic);
         let plan = topo_plan(&graph);
         let dynamic = execute_graph_parallel(&aig, &catalog, &graph, &args, &opts, &plan).unwrap();
         for task in &graph.tasks {
@@ -757,10 +797,7 @@ mod tests {
         for seq in plan.values_mut() {
             seq.reverse();
         }
-        let opts = ExecOptions {
-            scheduling: Scheduling::Dynamic,
-            ..ExecOptions::default()
-        };
+        let opts = ExecOptions::default().with_scheduling(Scheduling::Dynamic);
         let dynamic = execute_graph_parallel(&aig, &catalog, &graph, &args, &opts, &plan).unwrap();
         for task in &graph.tasks {
             if let Some(key) = &task.output {

@@ -15,7 +15,7 @@
 //! Long-lived callers should use [`crate::service::Mediator`], which caches
 //! prepared plans across requests.
 
-use crate::error::MediatorError;
+use crate::error::{ConfigError, MediatorError};
 use crate::exec::{ExecOptions, Scheduling};
 use crate::faults::{FaultConfig, FaultPlan, RetryPolicy};
 use crate::graph::GraphOptions;
@@ -81,6 +81,16 @@ pub struct MediatorOptions {
     /// attempt starts past it and expiry surfaces as
     /// [`crate::MediatorError::DeadlineExceeded`].
     pub deadline_secs: Option<f64>,
+    /// Chunked shipment (streaming batch execution, see [`crate::batch`]):
+    /// task outputs cross the ship seam in `batch_rows`-row batches and
+    /// source queries feed hash-join builds and dedup incrementally, so
+    /// peak resident shipment rows are bounded by the batch size instead
+    /// of the largest relation. Stores and the final document are
+    /// byte-identical either way. Off by default.
+    pub batching: bool,
+    /// Batch size (rows) of the chunked shipment seam; only consulted when
+    /// `batching` is on. Must be nonzero (validated at build time).
+    pub batch_rows: usize,
 }
 
 impl Default for MediatorOptions {
@@ -103,6 +113,8 @@ impl Default for MediatorOptions {
             threads: 1,
             par_threshold: aig_relstore::par::PAR_THRESHOLD,
             deadline_secs: None,
+            batching: false,
+            batch_rows: 2048,
         }
     }
 }
@@ -113,6 +125,26 @@ impl MediatorOptions {
         MediatorOptionsBuilder {
             options: MediatorOptions::default(),
         }
+    }
+
+    /// Structural validation, applied by [`MediatorOptionsBuilder::build`]
+    /// and by the run entry points (so hand-assembled options are caught
+    /// too): zero knobs that would otherwise be silently clamped, and
+    /// contradictory switch combinations, surface as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if self.par_threshold == 0 {
+            return Err(ConfigError::ZeroParThreshold);
+        }
+        if self.batch_rows == 0 {
+            return Err(ConfigError::ZeroBatchRows);
+        }
+        if self.batching && !self.shipcut {
+            return Err(ConfigError::BatchingWithoutShipcut);
+        }
+        Ok(())
     }
 
     /// The argument-independent half: what the **Prepare** stage consumes
@@ -142,6 +174,8 @@ impl MediatorOptions {
             threads: self.threads,
             par_threshold: self.par_threshold,
             deadline_secs: self.deadline_secs,
+            batching: self.batching,
+            batch_rows: self.batch_rows,
         }
     }
 
@@ -165,6 +199,8 @@ impl MediatorOptions {
             threads: policy.threads,
             par_threshold: policy.par_threshold,
             deadline_secs: policy.deadline_secs,
+            batching: policy.batching,
+            batch_rows: policy.batch_rows,
         }
     }
 }
@@ -181,113 +217,294 @@ impl From<&MediatorOptions> for ExecPolicy {
     }
 }
 
-/// Chainable construction of [`MediatorOptions`]:
+/// Chainable construction of [`MediatorOptions`]. [`build`] validates the
+/// assembled options and returns [`ConfigError`] on degenerate knobs or
+/// contradictory switches — nothing is silently clamped:
 ///
 /// ```
-/// use aig_mediator::{CutOff, MediatorOptions, Scheduling};
+/// use aig_mediator::{ConfigError, CutOff, MediatorOptions, Scheduling};
 ///
 /// let options = MediatorOptions::builder()
 ///     .unfold_depth(1)
 ///     .cutoff(CutOff::Frontier)
 ///     .parallel_exec(true)
 ///     .scheduling(Scheduling::Dynamic)
-///     .build();
+///     .build()
+///     .unwrap();
 /// assert_eq!(options.unfold_depth, 1);
 /// assert!(options.parallel_exec);
+///
+/// let err = MediatorOptions::builder().threads(0).build().unwrap_err();
+/// assert_eq!(err, ConfigError::ZeroThreads);
 /// ```
+///
+/// [`build`]: MediatorOptionsBuilder::build
 #[derive(Debug, Clone)]
 pub struct MediatorOptionsBuilder {
     options: MediatorOptions,
 }
 
 impl MediatorOptionsBuilder {
+    /// Initial unfolding depth for recursive AIGs (§5.5).
+    ///
+    /// ```
+    /// use aig_mediator::MediatorOptions;
+    /// let o = MediatorOptions::builder().unfold_depth(5).build().unwrap();
+    /// assert_eq!(o.unfold_depth, 5);
+    /// ```
     pub fn unfold_depth(mut self, depth: usize) -> Self {
         self.options.unfold_depth = depth;
         self
     }
 
+    /// Upper bound for frontier-driven re-unfolding.
+    ///
+    /// ```
+    /// use aig_mediator::MediatorOptions;
+    /// let o = MediatorOptions::builder().max_depth(8).build().unwrap();
+    /// assert_eq!(o.max_depth, 8);
+    /// ```
     pub fn max_depth(mut self, depth: usize) -> Self {
         self.options.max_depth = depth;
         self
     }
 
+    /// Truncate at the unfolding depth or detect-and-extend the frontier.
+    ///
+    /// ```
+    /// use aig_mediator::{CutOff, MediatorOptions};
+    /// let o = MediatorOptions::builder().cutoff(CutOff::Truncate).build().unwrap();
+    /// assert_eq!(o.cutoff, CutOff::Truncate);
+    /// ```
     pub fn cutoff(mut self, cutoff: CutOff) -> Self {
         self.options.cutoff = cutoff;
         self
     }
 
+    /// Whether query merging (§5.4) is applied.
+    ///
+    /// ```
+    /// use aig_mediator::MediatorOptions;
+    /// let o = MediatorOptions::builder().merging(false).build().unwrap();
+    /// assert!(!o.merging);
+    /// ```
     pub fn merging(mut self, merging: bool) -> Self {
         self.options.merging = merging;
         self
     }
 
+    /// Whether compiled-constraint guards abort the run.
+    ///
+    /// ```
+    /// use aig_mediator::MediatorOptions;
+    /// let o = MediatorOptions::builder().check_guards(false).build().unwrap();
+    /// assert!(!o.check_guards);
+    /// ```
     pub fn check_guards(mut self, check: bool) -> Self {
         self.options.check_guards = check;
         self
     }
 
+    /// Whether the output document is validated against the DTD.
+    ///
+    /// ```
+    /// use aig_mediator::MediatorOptions;
+    /// let o = MediatorOptions::builder().validate_output(false).build().unwrap();
+    /// assert!(!o.validate_output);
+    /// ```
     pub fn validate_output(mut self, validate: bool) -> Self {
         self.options.validate_output = validate;
         self
     }
 
+    /// Whether the runtime integrity defense checks shipped relations.
+    ///
+    /// ```
+    /// use aig_mediator::MediatorOptions;
+    /// let o = MediatorOptions::builder().check_integrity(true).build().unwrap();
+    /// assert!(o.check_integrity);
+    /// ```
     pub fn check_integrity(mut self, check: bool) -> Self {
         self.options.check_integrity = check;
         self
     }
 
+    /// Execute with the per-source worker threads of [`crate::parallel`].
+    ///
+    /// ```
+    /// use aig_mediator::MediatorOptions;
+    /// let o = MediatorOptions::builder().parallel_exec(true).build().unwrap();
+    /// assert!(o.parallel_exec);
+    /// ```
     pub fn parallel_exec(mut self, parallel: bool) -> Self {
         self.options.parallel_exec = parallel;
         self
     }
 
+    /// The simulated source ↔ mediator network.
+    ///
+    /// ```
+    /// use aig_mediator::{MediatorOptions, NetworkModel};
+    /// let o = MediatorOptions::builder().network(NetworkModel::mbps(8.0)).build().unwrap();
+    /// assert_eq!(o.network.bandwidth_bytes_per_sec, 1_000_000.0);
+    /// ```
     pub fn network(mut self, network: NetworkModel) -> Self {
         self.options.network = network;
         self
     }
 
+    /// Task-graph construction knobs (cost model calibration).
+    ///
+    /// ```
+    /// use aig_mediator::{GraphOptions, MediatorOptions};
+    /// let mut g = GraphOptions::default();
+    /// g.eval_scale = 2.0;
+    /// let o = MediatorOptions::builder().graph(g).build().unwrap();
+    /// assert_eq!(o.graph.eval_scale, 2.0);
+    /// ```
     pub fn graph(mut self, graph: GraphOptions) -> Self {
         self.options.graph = graph;
         self
     }
 
+    /// Deterministic fault injection for source tasks (`None` = no faults).
+    ///
+    /// ```
+    /// use aig_mediator::{FaultConfig, MediatorOptions};
+    /// let o = MediatorOptions::builder().faults(Some(FaultConfig::default())).build().unwrap();
+    /// assert!(o.faults.is_some());
+    /// ```
     pub fn faults(mut self, faults: Option<FaultConfig>) -> Self {
         self.options.faults = faults;
         self
     }
 
+    /// Retry/backoff/timeout policy when faults are injected.
+    ///
+    /// ```
+    /// use aig_mediator::{MediatorOptions, RetryPolicy};
+    /// let mut r = RetryPolicy::default();
+    /// r.max_attempts = 7;
+    /// let o = MediatorOptions::builder().retry(r).build().unwrap();
+    /// assert_eq!(o.retry.max_attempts, 7);
+    /// ```
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.options.retry = retry;
         self
     }
 
+    /// Static (planned sequences) or dynamic (live ready-queue) scheduling.
+    ///
+    /// ```
+    /// use aig_mediator::{MediatorOptions, Scheduling};
+    /// let o = MediatorOptions::builder().scheduling(Scheduling::Dynamic).build().unwrap();
+    /// assert_eq!(o.scheduling, Scheduling::Dynamic);
+    /// ```
     pub fn scheduling(mut self, scheduling: Scheduling) -> Self {
         self.options.scheduling = scheduling;
         self
     }
 
+    /// Column-liveness pruning at ship boundaries.
+    ///
+    /// ```
+    /// use aig_mediator::MediatorOptions;
+    /// let o = MediatorOptions::builder().shipcut(false).build().unwrap();
+    /// assert!(!o.shipcut);
+    /// ```
     pub fn shipcut(mut self, shipcut: bool) -> Self {
         self.options.shipcut = shipcut;
         self
     }
 
+    /// Worker threads for the partitioned in-process kernels. Zero is
+    /// rejected by [`build`](MediatorOptionsBuilder::build) — it is no
+    /// longer silently clamped to 1.
+    ///
+    /// ```
+    /// use aig_mediator::{ConfigError, MediatorOptions};
+    /// let o = MediatorOptions::builder().threads(4).build().unwrap();
+    /// assert_eq!(o.threads, 4);
+    /// let err = MediatorOptions::builder().threads(0).build().unwrap_err();
+    /// assert_eq!(err, ConfigError::ZeroThreads);
+    /// ```
     pub fn threads(mut self, threads: usize) -> Self {
-        self.options.threads = threads.max(1);
+        self.options.threads = threads;
         self
     }
 
+    /// Minimum input rows before a partitioned kernel engages. Zero is
+    /// rejected by [`build`](MediatorOptionsBuilder::build).
+    ///
+    /// ```
+    /// use aig_mediator::{ConfigError, MediatorOptions};
+    /// let o = MediatorOptions::builder().par_threshold(64).build().unwrap();
+    /// assert_eq!(o.par_threshold, 64);
+    /// let err = MediatorOptions::builder().par_threshold(0).build().unwrap_err();
+    /// assert_eq!(err, ConfigError::ZeroParThreshold);
+    /// ```
     pub fn par_threshold(mut self, threshold: usize) -> Self {
-        self.options.par_threshold = threshold.max(1);
+        self.options.par_threshold = threshold;
         self
     }
 
+    /// Per-request deadline budget in seconds (`None` = unbounded).
+    ///
+    /// ```
+    /// use aig_mediator::MediatorOptions;
+    /// let o = MediatorOptions::builder().deadline_secs(Some(0.5)).build().unwrap();
+    /// assert_eq!(o.deadline_secs, Some(0.5));
+    /// ```
     pub fn deadline_secs(mut self, budget: Option<f64>) -> Self {
         self.options.deadline_secs = budget;
         self
     }
 
-    pub fn build(self) -> MediatorOptions {
-        self.options
+    /// Chunked shipment (streaming batch execution, [`crate::batch`]).
+    /// Requires `shipcut`; the contradiction is rejected at build time.
+    ///
+    /// ```
+    /// use aig_mediator::{ConfigError, MediatorOptions};
+    /// let o = MediatorOptions::builder().batching(true).build().unwrap();
+    /// assert!(o.batching);
+    /// let err = MediatorOptions::builder()
+    ///     .batching(true)
+    ///     .shipcut(false)
+    ///     .build()
+    ///     .unwrap_err();
+    /// assert_eq!(err, ConfigError::BatchingWithoutShipcut);
+    /// ```
+    pub fn batching(mut self, batching: bool) -> Self {
+        self.options.batching = batching;
+        self
+    }
+
+    /// Batch size (rows) of the chunked shipment seam. Zero is rejected at
+    /// build time even when batching is off, so flipping `batching` on
+    /// later cannot surface a latent bad knob.
+    ///
+    /// ```
+    /// use aig_mediator::{ConfigError, MediatorOptions};
+    /// let o = MediatorOptions::builder().batch_rows(256).build().unwrap();
+    /// assert_eq!(o.batch_rows, 256);
+    /// let err = MediatorOptions::builder().batch_rows(0).build().unwrap_err();
+    /// assert_eq!(err, ConfigError::ZeroBatchRows);
+    /// ```
+    pub fn batch_rows(mut self, rows: usize) -> Self {
+        self.options.batch_rows = rows;
+        self
+    }
+
+    /// Validates ([`MediatorOptions::validate`]) and returns the assembled
+    /// options.
+    ///
+    /// ```
+    /// use aig_mediator::MediatorOptions;
+    /// assert!(MediatorOptions::builder().build().is_ok());
+    /// ```
+    pub fn build(self) -> Result<MediatorOptions, ConfigError> {
+        self.options.validate()?;
+        Ok(self.options)
     }
 }
 
@@ -363,6 +580,9 @@ pub fn run_with_report(
     args: &[(&str, Value)],
     options: &MediatorOptions,
 ) -> Result<(MediatorRun, RunReport), MediatorError> {
+    // Validate here too, not just in the builder: hand-assembled options
+    // (struct literals, mutated defaults) take the same gate.
+    options.validate()?;
     let mut phases = Phases::new();
     let plan_options = options.plan_options();
     let policy = options.exec_policy();
@@ -370,7 +590,7 @@ pub fn run_with_report(
     // Derive the executor options once (not per unfold round); bind the
     // fault model once so every round replays the same fault stream, and
     // carry the evaluation-scale calibration from the plan-side options.
-    let mut exec_opts = ExecOptions::from(&policy);
+    let mut exec_opts = ExecOptions::new(policy.clone());
     exec_opts.eval_scale = plan_options.graph.eval_scale;
     exec_opts.faults = match &policy.faults {
         Some(cfg) => Some(FaultPlan::new(cfg, catalog)?),
@@ -475,7 +695,7 @@ mod tests {
     fn frontier_mode_extends_until_data_depth() {
         let aig = sigma0().unwrap();
         let catalog = mini_hospital_catalog().unwrap();
-        let options = MediatorOptions::builder().unfold_depth(1).build();
+        let options = MediatorOptions::builder().unfold_depth(1).build().unwrap();
         let run = run(&aig, &catalog, &[("date", Value::str("d1"))], &options).unwrap();
         // Data depth is 3 (t1 -> t4 -> t5): depth 1 -> 2 -> 4.
         assert!(run.depth >= 3, "depth {}", run.depth);
@@ -490,7 +710,8 @@ mod tests {
         let options = MediatorOptions::builder()
             .unfold_depth(1)
             .cutoff(CutOff::Truncate)
-            .build();
+            .build()
+            .unwrap();
         let run = run(&aig, &catalog, &[("date", Value::str("d1"))], &options);
         // Truncation drops t4/t5; the inclusion constraint *still holds*
         // (billing covers all), but t4/t5 items disappear because the bill
@@ -548,7 +769,10 @@ mod tests {
             "{err}"
         );
         // With guards disabled the run completes.
-        let options = MediatorOptions::builder().check_guards(false).build();
+        let options = MediatorOptions::builder()
+            .check_guards(false)
+            .build()
+            .unwrap();
         assert!(run_ok(&aig, &catalog, &options));
     }
 
@@ -602,7 +826,8 @@ mod tests {
             .scheduling(Scheduling::Dynamic)
             .shipcut(false)
             .threads(4)
-            .build();
+            .build()
+            .unwrap();
         let rebuilt = MediatorOptions::from_parts(options.plan_options(), options.exec_policy());
         assert_eq!(rebuilt.unfold_depth, 2);
         assert_eq!(rebuilt.max_depth, 16);

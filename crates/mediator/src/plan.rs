@@ -12,8 +12,8 @@
 
 use crate::cost::{estimated_costs, measured_costs, CostGraph};
 use crate::error::MediatorError;
-use crate::exec::{execute_graph, ExecOptions, ExecResult, Scheduling};
-use crate::faults::{FaultConfig, IntegrityOutcome, RetryPolicy};
+use crate::exec::{execute_graph, ExecOptions, ExecResult};
+use crate::faults::IntegrityOutcome;
 use crate::graph::{build_graph, source_histogram, GraphOptions, Occ, RelKey, TaskGraph};
 use crate::merge::{merge, no_merge, MergeOutcome};
 use crate::obs::{build_report, CacheObs, Phases, ReportInputs, RunReport};
@@ -62,89 +62,11 @@ impl Default for PlanOptions {
     }
 }
 
-/// The per-request half of [`crate::pipeline::MediatorOptions`]: everything
-/// the **Execute** stage consumes. A change of policy never invalidates a
-/// cached plan — the same [`PreparedPlan`] serves strict and lenient
-/// requests alike.
-#[derive(Debug, Clone)]
-pub struct ExecPolicy {
-    /// Whether compiled-constraint guards abort the run.
-    pub check_guards: bool,
-    /// Whether the output is validated against the DTD (sanity check).
-    pub validate_output: bool,
-    /// Whether the integrity defense runs: per-task guard checks on shipped
-    /// relations plus the key/inclusion constraint check on the tagged
-    /// document, with detections recorded in the report's integrity ledger.
-    pub check_integrity: bool,
-    /// Execute with the per-source worker threads of [`crate::parallel`]
-    /// instead of the sequential executor.
-    pub parallel_exec: bool,
-    pub network: NetworkModel,
-    /// Deterministic fault injection for source tasks (None = no faults).
-    pub faults: Option<FaultConfig>,
-    /// Retry/backoff/timeout policy when faults are injected.
-    pub retry: RetryPolicy,
-    /// Static (planned sequences) or dynamic (live ready-queue) scheduling
-    /// in the parallel executor; ignored by the sequential executor.
-    pub scheduling: Scheduling,
-    /// Worker-thread bound for the partitioned kernels (hash join,
-    /// canonical sort, dedup) inside each task. Results are byte-identical
-    /// for any value; `1` keeps every kernel sequential.
-    pub threads: usize,
-    /// Minimum input size (rows) before a partitioned kernel engages;
-    /// smaller inputs take the sequential path outright. Results are
-    /// byte-identical for any value — this only moves the crossover point
-    /// (tests pin it to force either path on small fixtures).
-    pub par_threshold: usize,
-    /// Per-request deadline budget in seconds (None = unbounded). The
-    /// clock starts when a request enters execution; expiry surfaces as
-    /// [`crate::MediatorError::DeadlineExceeded`] instead of hanging.
-    pub deadline_secs: Option<f64>,
-}
-
-impl Default for ExecPolicy {
-    fn default() -> Self {
-        ExecPolicy {
-            check_guards: true,
-            validate_output: true,
-            check_integrity: false,
-            parallel_exec: false,
-            network: NetworkModel::default(),
-            faults: None,
-            retry: RetryPolicy::default(),
-            scheduling: Scheduling::default(),
-            threads: 1,
-            par_threshold: aig_relstore::par::PAR_THRESHOLD,
-            deadline_secs: None,
-        }
-    }
-}
-
-/// Derives the executor options from a policy once per run, instead of
-/// hand-copying fields at every unfold round. The fault plan (which must be
-/// bound to a catalog) and the evaluation-scale calibration (which lives
-/// with the plan-side [`GraphOptions`]) are filled in by the caller.
-impl From<&ExecPolicy> for ExecOptions {
-    fn from(policy: &ExecPolicy) -> ExecOptions {
-        ExecOptions {
-            check_guards: policy.check_guards,
-            check_integrity: policy.check_integrity,
-            faults: None,
-            retry: policy.retry.clone(),
-            network: policy.network.clone(),
-            scheduling: policy.scheduling,
-            eval_scale: 1.0,
-            pace: None,
-            shipcut: None,
-            threads: policy.threads.max(1),
-            par_threshold: policy.par_threshold.max(1),
-            // The deadline clock starts per request, not per policy: the
-            // caller binds it (see `Mediator::request`).
-            deadline: None,
-            gate: None,
-        }
-    }
-}
+/// The per-request execution policy now lives beside the options it backs
+/// (see [`crate::exec::ExecPolicy`]); re-exported here because the policy
+/// is the per-request half of [`crate::pipeline::MediatorOptions`] and
+/// callers have always imported it from this module.
+pub use crate::exec::ExecPolicy;
 
 /// An immutable, argument-independent evaluation plan: the unfolded AIG,
 /// its task graph, the per-source execution sequences, and the
@@ -510,6 +432,7 @@ pub fn execute_prepared(
             sched: &exec.sched,
             cache,
             shipcut_enabled: plan.shipcut.is_some(),
+            batch: exec.batch,
         },
         std::mem::take(phases),
         total_secs,

@@ -182,7 +182,7 @@ pub struct ServedRequest {
 ///
 /// let aig = sigma0().unwrap();
 /// let catalog = mini_hospital_catalog().unwrap();
-/// let options = MediatorOptions::builder().unfold_depth(4).build();
+/// let options = MediatorOptions::builder().unfold_depth(4).build().unwrap();
 /// let mediator = Mediator::new(catalog, &options).unwrap();
 ///
 /// let (_, report) = mediator.request(&aig, &[("date", Value::str("d1"))]).unwrap();
@@ -237,9 +237,10 @@ impl Mediator {
         options: &MediatorOptions,
         capacity: usize,
     ) -> Result<Mediator, MediatorError> {
+        options.validate().map_err(MediatorError::from)?;
         let plan_options = options.plan_options();
         let policy = options.exec_policy();
-        let mut exec_opts = ExecOptions::from(&policy);
+        let mut exec_opts = ExecOptions::new(policy.clone());
         exec_opts.eval_scale = plan_options.graph.eval_scale;
         exec_opts.faults = match &policy.faults {
             Some(cfg) => Some(FaultPlan::new(cfg, &catalog)?),
@@ -374,8 +375,8 @@ impl Mediator {
                 if let Some(plan) = opts.faults.take() {
                     opts.faults = Some(plan.with_skipped(&skipped_ids));
                 }
-                opts.check_integrity = false;
-                opts.check_guards = false;
+                opts.policy.check_integrity = false;
+                opts.policy.check_guards = false;
                 let mut policy = self.policy.clone();
                 // Output validation, the document constraint check, and the
                 // compiled-constraint guards are all specified against the
@@ -633,7 +634,7 @@ mod tests {
         let catalog = mini_hospital_catalog().unwrap();
         // Depth 4 exceeds the data depth (3), so no frontier extension
         // muddies the counters: exactly one plan is ever prepared.
-        let options = MediatorOptions::builder().unfold_depth(4).build();
+        let options = MediatorOptions::builder().unfold_depth(4).build().unwrap();
         let mediator = Mediator::new(catalog, &options).unwrap();
         let (_, cold) = mediator
             .request(&aig, &[("date", Value::str("d1"))])
@@ -656,7 +657,7 @@ mod tests {
     fn frontier_promotion_updates_hint_and_serves_later_requests_deep() {
         let aig = sigma0().unwrap();
         let catalog = mini_hospital_catalog().unwrap();
-        let options = MediatorOptions::builder().unfold_depth(1).build();
+        let options = MediatorOptions::builder().unfold_depth(1).build().unwrap();
         let mediator = Mediator::new(catalog, &options).unwrap();
 
         // Cold request: depth 1 hits the frontier twice (data depth 3),
@@ -684,7 +685,7 @@ mod tests {
     fn lru_cache_evicts_at_capacity() {
         let aig = sigma0().unwrap();
         let catalog = mini_hospital_catalog().unwrap();
-        let options = MediatorOptions::builder().unfold_depth(1).build();
+        let options = MediatorOptions::builder().unfold_depth(1).build().unwrap();
         // Capacity 1: each promotion evicts the shallower plan.
         let mediator = Mediator::with_cache_capacity(catalog, &options, 1).unwrap();
         mediator
@@ -708,7 +709,7 @@ mod tests {
     fn schema_change_invalidates_cached_plans() {
         let aig = sigma0().unwrap();
         let catalog = mini_hospital_catalog().unwrap();
-        let options = MediatorOptions::builder().unfold_depth(4).build();
+        let options = MediatorOptions::builder().unfold_depth(4).build().unwrap();
         let mut mediator = Mediator::new(catalog, &options).unwrap();
 
         mediator

@@ -52,11 +52,12 @@ fn fast_retry(max_attempts: usize) -> RetryPolicy {
 }
 
 fn faulted_opts(plan: FaultPlan, retry: RetryPolicy) -> ExecOptions {
-    ExecOptions {
+    let mut opts = ExecOptions {
         faults: Some(plan),
-        retry,
         ..ExecOptions::default()
-    }
+    };
+    opts.policy.retry = retry;
+    opts
 }
 
 /// Every output relation of `faulted` equals the clean run's, byte for byte.
@@ -145,21 +146,15 @@ fn chaos_matrix_is_byte_identical_with_threads_and_shipcut() {
             ..FaultConfig::default()
         };
         let plan = FaultPlan::new(&cfg, &catalog).unwrap();
-        let opts = ExecOptions {
-            threads: 4,
-            shipcut: Some(shipcut.clone()),
-            ..faulted_opts(plan, fast_retry(6))
-        };
+        let mut opts = faulted_opts(plan, fast_retry(6)).with_threads(4);
+        opts.shipcut = Some(shipcut.clone());
 
         let seq = execute_graph(&aig, &catalog, &graph, &args, &opts).unwrap();
         assert_stores_identical(&graph, &clean, &seq);
         assert_accounted(&seq);
 
         for scheduling in [Scheduling::Static, Scheduling::Dynamic] {
-            let opts = ExecOptions {
-                scheduling,
-                ..opts.clone()
-            };
+            let opts = opts.clone().with_scheduling(scheduling);
             let par =
                 execute_graph_parallel(&aig, &catalog, &graph, &args, &opts, &topo_plan(&graph))
                     .unwrap();
@@ -334,10 +329,7 @@ fn mid_run_outage_fails_over_in_every_executor() {
     assert_eq!(seq.resilience.replans, 1);
 
     for scheduling in [Scheduling::Static, Scheduling::Dynamic] {
-        let opts = ExecOptions {
-            scheduling,
-            ..faulted_opts(fault_plan.clone(), fast_retry(3))
-        };
+        let opts = faulted_opts(fault_plan.clone(), fast_retry(3)).with_scheduling(scheduling);
         let par = execute_graph_parallel(&aig, &catalog, &graph, &args, &opts, &topo_plan(&graph))
             .unwrap();
         assert_stores_identical(&graph, &clean, &par);

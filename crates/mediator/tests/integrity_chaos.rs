@@ -59,12 +59,11 @@ fn fast_retry(max_attempts: usize) -> RetryPolicy {
 
 /// Fault injection with the integrity defense switched on.
 fn defended_opts(plan: FaultPlan, retry: RetryPolicy) -> ExecOptions {
-    ExecOptions {
-        check_integrity: true,
-        faults: Some(plan),
-        retry,
-        ..ExecOptions::default()
-    }
+    let mut opts = ExecOptions::default();
+    opts.policy.check_integrity = true;
+    opts.faults = Some(plan);
+    opts.policy.retry = retry;
+    opts
 }
 
 /// The mini hospital catalog with a byte-identical replica of `name` added
@@ -175,11 +174,10 @@ fn corruption_matrix_is_masked_or_detected_never_silent() {
                         &catalog,
                         &graph,
                         &args,
-                        &ExecOptions {
-                            threads: 4,
-                            scheduling: Scheduling::Dynamic,
-                            ..opts.clone()
-                        },
+                        &opts
+                            .clone()
+                            .with_threads(4)
+                            .with_scheduling(Scheduling::Dynamic),
                         &topo_plan(&graph),
                     ),
                 ];
@@ -264,13 +262,11 @@ fn defense_off_lets_corruption_through_and_the_ledger_says_so() {
         ..FaultConfig::default()
     };
     let plan = FaultPlan::new(&cfg, &catalog).unwrap();
-    let opts = ExecOptions {
-        check_integrity: false,
-        check_guards: false,
-        faults: Some(plan),
-        retry: fast_retry(6),
-        ..ExecOptions::default()
-    };
+    let mut opts = ExecOptions::default();
+    opts.policy.check_integrity = false;
+    opts.policy.check_guards = false;
+    opts.faults = Some(plan);
+    opts.policy.retry = fast_retry(6);
     let result = execute_graph(&aig, &catalog, &graph, &args, &opts).unwrap();
     let log = &result.integrity;
     assert!(log.undetected() > 0, "no corruption flowed through");
@@ -372,10 +368,8 @@ fn stale_replica_passes_the_relation_guard_but_is_ledgered() {
         ..FaultConfig::default()
     };
     let plan = FaultPlan::new(&cfg, &catalog).unwrap();
-    let opts = ExecOptions {
-        check_guards: false,
-        ..defended_opts(plan, fast_retry(3))
-    };
+    let mut opts = defended_opts(plan, fast_retry(3));
+    opts.policy.check_guards = false;
     let result = execute_graph(&aig, &catalog, &graph, &args, &opts).unwrap();
     let stale: Vec<_> = result
         .integrity
@@ -587,11 +581,10 @@ fn fault_schedules_are_deterministic_across_executors_and_repeats() {
         (4, Scheduling::Static),
         (4, Scheduling::Dynamic),
     ] {
-        let opts = ExecOptions {
-            threads,
-            scheduling,
-            ..opts.clone()
-        };
+        let opts = opts
+            .clone()
+            .with_threads(threads)
+            .with_scheduling(scheduling);
         let par = execute_graph_parallel(&aig, &catalog, &graph, &args, &opts, &topo_plan(&graph))
             .unwrap();
         ledgers.push(par.integrity.sorted_events());

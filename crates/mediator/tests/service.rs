@@ -134,7 +134,8 @@ fn run_many_matches_sequential_loops_under_schedulers_and_faults() {
                 .scheduling(scheduling)
                 .faults(inject.then(|| faults.clone()))
                 .retry(fast_retry(6))
-                .build();
+                .build()
+                .unwrap();
             let mediator = Mediator::new(catalog.clone(), &options).unwrap();
             let results = mediator.run_many(&aig, &batch);
             assert_eq!(results.len(), batch.len());
@@ -166,7 +167,10 @@ fn run_many_matches_sequential_loops_under_schedulers_and_faults() {
 fn run_many_matches_sequential_on_generated_data() {
     let aig = sigma0().unwrap();
     let data = HospitalConfig::tiny(42).generate().unwrap();
-    let options = MediatorOptions::builder().parallel_exec(true).build();
+    let options = MediatorOptions::builder()
+        .parallel_exec(true)
+        .build()
+        .unwrap();
     let mediator = Mediator::new(data.catalog.clone(), &options).unwrap();
     let batch: Vec<Vec<(String, Value)>> = data
         .dates
@@ -191,7 +195,7 @@ fn run_many_matches_sequential_on_generated_data() {
 fn cache_promotion_serves_shallow_requests_from_the_deeper_plan() {
     let aig = sigma0().unwrap();
     let catalog = mini_hospital_catalog().unwrap();
-    let options = MediatorOptions::builder().unfold_depth(1).build();
+    let options = MediatorOptions::builder().unfold_depth(1).build().unwrap();
     let mediator = Mediator::new(catalog.clone(), &options).unwrap();
 
     // Cold: three rounds (1 -> 2 -> 4), two promotions.
@@ -227,7 +231,7 @@ fn serve_caches_plans_per_aig() {
     let aig_b = sigma0().unwrap(); // same structure: same fingerprint
     assert_eq!(aig_a.fingerprint(), aig_b.fingerprint());
     let catalog = mini_hospital_catalog().unwrap();
-    let options = MediatorOptions::builder().unfold_depth(4).build();
+    let options = MediatorOptions::builder().unfold_depth(4).build().unwrap();
     let mediator = Mediator::new(catalog, &options).unwrap();
     let requests: Vec<(&Aig, Vec<(String, Value)>)> = (0..8)
         .map(|i| {

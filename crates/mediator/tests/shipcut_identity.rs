@@ -131,11 +131,8 @@ fn matrix_is_byte_identical_to_the_sequential_unpruned_baseline() {
         for prune in [false, true] {
             for threads in [1usize, 4] {
                 for faults in [false, true] {
-                    let mut opts = ExecOptions {
-                        shipcut: prune.then(|| shipcut.clone()),
-                        threads,
-                        ..ExecOptions::default()
-                    };
+                    let mut opts = ExecOptions::default().with_threads(threads);
+                    opts.shipcut = prune.then(|| shipcut.clone());
                     if faults {
                         let cfg = FaultConfig {
                             seed: rng.gen_range(1u64..1 << 32),
@@ -145,7 +142,7 @@ fn matrix_is_byte_identical_to_the_sequential_unpruned_baseline() {
                             ..FaultConfig::default()
                         };
                         opts.faults = Some(FaultPlan::new(&cfg, &fx.catalog).unwrap());
-                        opts.retry = RetryPolicy {
+                        opts.policy.retry = RetryPolicy {
                             max_attempts: 6,
                             backoff_base_secs: 0.0001,
                             backoff_cap_secs: 0.001,
@@ -158,10 +155,7 @@ fn matrix_is_byte_identical_to_the_sequential_unpruned_baseline() {
                     let seq = run_cell(&fx, &opts, false);
                     assert_identical(&fx, &baseline, &seq, &format!("{what} sequential"));
                     for scheduling in [Scheduling::Static, Scheduling::Dynamic] {
-                        let opts = ExecOptions {
-                            scheduling,
-                            ..opts.clone()
-                        };
+                        let opts = opts.clone().with_scheduling(scheduling);
                         let par = run_cell(&fx, &opts, true);
                         assert_identical(
                             &fx,

@@ -26,7 +26,7 @@ pub mod value;
 pub use catalog::{Catalog, Database, SourceId};
 pub use error::StoreError;
 pub use intern::Sym;
-pub use relation::Relation;
+pub use relation::{payload_scans, Batches, Relation};
 pub use schema::{Column, TableSchema};
 pub use stats::TableStats;
 pub use table::{Index, Row, Table};

@@ -25,16 +25,50 @@ use crate::table::Table;
 use crate::value::Value;
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide count of full payload scans performed by [`Relation::byte_size`]
+/// and [`Relation::wire_bytes`] cache misses. Diagnostics only: the
+/// memoization regression tests assert repeated size queries on an
+/// unchanged relation do not rescan its payload.
+static PAYLOAD_SCANS: AtomicU64 = AtomicU64::new(0);
+
+/// Total payload scans since process start (see [`Relation::byte_size`] /
+/// [`Relation::wire_bytes`] memoization).
+pub fn payload_scans() -> u64 {
+    PAYLOAD_SCANS.load(Ordering::Relaxed)
+}
+
+/// Memoized sizes of one `(columns, len)` generation of a relation. Clones
+/// share the cache (they observe the same bytes); every mutation *replaces*
+/// it — never clears in place — so outstanding clones keep the generation
+/// they were created from.
+#[derive(Debug, Default)]
+struct SizeCache {
+    byte_size: OnceLock<usize>,
+    wire_bytes: OnceLock<usize>,
+}
 
 /// A bag of rows with named columns, stored column-major over interned
 /// symbols.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     columns: Vec<String>,
     cols: Vec<Arc<Vec<Sym>>>,
     len: usize,
+    /// Size memoization for the current copy-on-write generation; not part
+    /// of equality.
+    sizes: Arc<SizeCache>,
 }
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.columns == other.columns && self.len == other.len && self.cols == other.cols
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// An empty relation with the given column names.
@@ -44,7 +78,16 @@ impl Relation {
             columns,
             cols,
             len: 0,
+            sizes: Arc::default(),
         }
+    }
+
+    /// Starts a fresh size-cache generation; called by every mutator. The
+    /// old cache `Arc` is replaced, not cleared, so clones sharing it keep
+    /// their (still valid) memoized sizes.
+    #[inline]
+    fn touch(&mut self) {
+        self.sizes = Arc::default();
     }
 
     /// Builds a relation, checking that every row has the right arity.
@@ -72,6 +115,7 @@ impl Relation {
             columns,
             cols: cols.into_iter().map(Arc::new).collect(),
             len,
+            sizes: Arc::default(),
         })
     }
 
@@ -86,6 +130,7 @@ impl Relation {
             columns,
             cols: cols.into_iter().map(Arc::new).collect(),
             len,
+            sizes: Arc::default(),
         }
     }
 
@@ -106,6 +151,7 @@ impl Relation {
             columns: vec![name.into()],
             len: col.len(),
             cols: vec![Arc::new(col)],
+            sizes: Arc::default(),
         }
     }
 
@@ -166,6 +212,7 @@ impl Relation {
     /// operators never mutate cells in place.
     pub fn set_cell(&mut self, r: usize, c: usize, value: Value) {
         Arc::make_mut(&mut self.cols[c])[r] = intern::intern_owned(value);
+        self.touch();
     }
 
     /// Drops all rows past the first `n` (no-op when `n >= len`), keeping
@@ -179,6 +226,7 @@ impl Relation {
             Arc::make_mut(col).truncate(n);
         }
         self.len = n;
+        self.touch();
     }
 
     /// Position of a column by name.
@@ -199,6 +247,7 @@ impl Relation {
             Arc::make_mut(col).push(intern::intern_owned(value));
         }
         self.len += 1;
+        self.touch();
     }
 
     /// Appends a row of already-interned symbols (arity-checked).
@@ -208,6 +257,7 @@ impl Relation {
             Arc::make_mut(col).push(sym);
         }
         self.len += 1;
+        self.touch();
     }
 
     /// Appends all rows of `other`; column names must match exactly.
@@ -222,15 +272,18 @@ impl Relation {
             });
         }
         if self.len == 0 {
-            // Pointer adoption: nothing of ours to keep.
+            // Pointer adoption: nothing of ours to keep — and the other
+            // relation's memoized sizes describe exactly these columns.
             self.cols = other.cols.clone();
             self.len = other.len;
+            self.sizes = other.sizes.clone();
             return Ok(());
         }
         for (col, theirs) in self.cols.iter_mut().zip(&other.cols) {
             Arc::make_mut(col).extend_from_slice(theirs);
         }
         self.len += other.len;
+        self.touch();
         Ok(())
     }
 
@@ -246,10 +299,15 @@ impl Relation {
 
     /// Projects to the columns at `positions` (pointer selection).
     pub fn project_positions(&self, positions: &[usize]) -> Relation {
+        if positions.len() == self.arity() && positions.iter().enumerate().all(|(i, &p)| i == p) {
+            // Identity projection: the memoized sizes still apply.
+            return self.clone();
+        }
         Relation {
             columns: positions.iter().map(|&i| self.columns[i].clone()).collect(),
             cols: positions.iter().map(|&i| self.cols[i].clone()).collect(),
             len: self.len,
+            sizes: Arc::default(),
         }
     }
 
@@ -260,6 +318,7 @@ impl Relation {
             *col = Arc::new(crate::par::apply_perm(col, keep));
         }
         self.len = keep.len();
+        self.touch();
     }
 
     /// The flattened row-major symbol image (arity-sized chunks are rows) —
@@ -319,11 +378,7 @@ impl Relation {
         if row.len() != self.arity() {
             return false;
         }
-        let Some(syms) = row
-            .iter()
-            .map(intern::lookup)
-            .collect::<Option<Vec<Sym>>>()
-        else {
+        let Some(syms) = row.iter().map(intern::lookup).collect::<Option<Vec<Sym>>>() else {
             // A never-interned value equals no stored cell.
             return false;
         };
@@ -381,12 +436,19 @@ impl Relation {
 
     /// Total payload size in bytes (for the transfer-cost model, §5.2):
     /// the sum of every cell's value width, as if rows were shipped raw.
+    ///
+    /// Memoized per copy-on-write generation: the first call scans the
+    /// payload, later calls on the same (unmutated) relation — or on clones
+    /// sharing its columns — are a load. See [`payload_scans`].
     pub fn byte_size(&self) -> usize {
-        let reader = Reader::snapshot();
-        self.cols
-            .iter()
-            .map(|col| col.iter().map(|&s| reader.width(s)).sum::<usize>())
-            .sum()
+        *self.sizes.byte_size.get_or_init(|| {
+            PAYLOAD_SCANS.fetch_add(1, Ordering::Relaxed);
+            let reader = Reader::snapshot();
+            self.cols
+                .iter()
+                .map(|col| col.iter().map(|&s| reader.width(s)).sum::<usize>())
+                .sum()
+        })
     }
 
     /// Dictionary-encoded wire size in bytes: per column, the distinct
@@ -394,21 +456,74 @@ impl Relation {
     /// per row (1 byte up to 256 distinct values, 2 up to 65 536, else 4).
     /// This is what actually crosses the wire for a column store and is the
     /// quantity the ship-byte accounting reports.
+    ///
+    /// Memoized like [`Relation::byte_size`]: repeated ship decisions over
+    /// an unchanged relation do not rescan its payload.
     pub fn wire_bytes(&self) -> usize {
-        let reader = Reader::snapshot();
-        self.cols
-            .iter()
-            .map(|col| {
-                let distinct: HashSet<Sym> = col.iter().copied().collect();
-                let dict: usize = distinct.iter().map(|&s| reader.width(s)).sum();
-                let code = match distinct.len() {
-                    0..=256 => 1,
-                    257..=65_536 => 2,
-                    _ => 4,
-                };
-                dict + col.len() * code
-            })
-            .sum()
+        *self.sizes.wire_bytes.get_or_init(|| {
+            PAYLOAD_SCANS.fetch_add(1, Ordering::Relaxed);
+            let reader = Reader::snapshot();
+            self.cols
+                .iter()
+                .map(|col| {
+                    let distinct: HashSet<Sym> = col.iter().copied().collect();
+                    let dict: usize = distinct.iter().map(|&s| reader.width(s)).sum();
+                    let code = match distinct.len() {
+                        0..=256 => 1,
+                        257..=65_536 => 2,
+                        _ => 4,
+                    };
+                    dict + col.len() * code
+                })
+                .sum()
+        })
+    }
+
+    /// True once [`Relation::byte_size`] and/or [`Relation::wire_bytes`]
+    /// have been computed for the current generation (diagnostics for the
+    /// memoization tests).
+    pub fn sizes_memoized(&self) -> bool {
+        self.sizes.byte_size.get().is_some() || self.sizes.wire_bytes.get().is_some()
+    }
+
+    /// The rows `[start, start + rows)` as an independent relation — the
+    /// batch unit of the mediator's chunked shipment. Slicing the whole
+    /// relation (`start == 0`, `rows >= len`) is a pointer clone that keeps
+    /// the memoized sizes; a proper sub-range copies the column slices and
+    /// starts a fresh generation.
+    pub fn slice(&self, start: usize, rows: usize) -> Relation {
+        let end = start.saturating_add(rows).min(self.len);
+        let start = start.min(self.len);
+        if start == 0 && end == self.len {
+            return self.clone();
+        }
+        Relation {
+            columns: self.columns.clone(),
+            cols: self
+                .cols
+                .iter()
+                .map(|col| Arc::new(col[start..end].to_vec()))
+                .collect(),
+            len: end - start,
+            sizes: Arc::default(),
+        }
+    }
+
+    /// Iterates the relation as consecutive batches of at most `batch_rows`
+    /// rows (`usize::MAX` ≙ one whole-relation batch). An empty relation
+    /// yields no batches; `batch_rows == 0` is treated as 1. Concatenating
+    /// the batches in order reproduces the relation exactly.
+    pub fn batches(&self, batch_rows: usize) -> Batches<'_> {
+        Batches {
+            rel: self,
+            batch_rows: batch_rows.max(1),
+            next: 0,
+        }
+    }
+
+    /// Number of batches [`Relation::batches`] yields for `batch_rows`.
+    pub fn batch_count(&self, batch_rows: usize) -> usize {
+        self.len.div_ceil(batch_rows.max(1))
     }
 
     /// Renames the columns (arity must be unchanged).
@@ -423,6 +538,35 @@ impl Relation {
         self.rows_vec()
     }
 }
+
+/// Iterator over consecutive row batches of a relation
+/// (see [`Relation::batches`]).
+#[derive(Debug)]
+pub struct Batches<'a> {
+    rel: &'a Relation,
+    batch_rows: usize,
+    next: usize,
+}
+
+impl Iterator for Batches<'_> {
+    type Item = Relation;
+
+    fn next(&mut self) -> Option<Relation> {
+        if self.next >= self.rel.len() {
+            return None;
+        }
+        let batch = self.rel.slice(self.next, self.batch_rows);
+        self.next += batch.len();
+        Some(batch)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.rel.len() - self.next).div_ceil(self.batch_rows);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Batches<'_> {}
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -549,6 +693,63 @@ mod tests {
         assert_eq!(r.wire_bytes(), (2 + 3) + (16 + 3));
         // Raw size counts every cell: 3 strings + 3 ints.
         assert_eq!(r.byte_size(), 3 + 24);
+    }
+
+    #[test]
+    fn slice_and_batches_round_trip() {
+        let r = rel();
+        // Whole-relation slice is a pointer clone sharing the size cache.
+        let whole = r.slice(0, usize::MAX);
+        assert_eq!(whole, r);
+        assert!(Arc::ptr_eq(&r.cols[0], &whole.cols[0]));
+        // Proper sub-slices copy.
+        let tail = r.slice(1, 2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail.row(0), r.row(1));
+        assert_eq!(r.slice(5, 1).len(), 0);
+        // Batches concatenate back to the original, for every batch size.
+        for batch_rows in [1, 2, 3, usize::MAX] {
+            let mut rebuilt = Relation::empty(r.columns().to_vec());
+            let batches: Vec<Relation> = r.batches(batch_rows).collect();
+            assert_eq!(batches.len(), r.batch_count(batch_rows));
+            for b in &batches {
+                assert!(b.len() <= batch_rows);
+                rebuilt.extend(b).unwrap();
+            }
+            assert_eq!(rebuilt, r, "batch_rows={batch_rows}");
+        }
+        assert_eq!(Relation::empty(vec!["a".into()]).batches(2).count(), 0);
+    }
+
+    #[test]
+    fn sizes_are_memoized_per_generation() {
+        let mut r = rel();
+        assert!(!r.sizes_memoized());
+        let wire = r.wire_bytes();
+        let raw = r.byte_size();
+        assert!(r.sizes_memoized());
+        // Repeated queries are loads, not rescans: a thousand calls add at
+        // most a handful of scans (other test threads share the global
+        // counter, so the bound is loose but the claim is not).
+        let before = payload_scans();
+        for _ in 0..1000 {
+            assert_eq!(r.wire_bytes(), wire);
+            assert_eq!(r.byte_size(), raw);
+        }
+        assert!(
+            payload_scans() - before < 100,
+            "repeated size queries rescanned the payload"
+        );
+        // Clones share the memoized generation.
+        let clone = r.clone();
+        assert!(clone.sizes_memoized());
+        assert_eq!(clone.wire_bytes(), wire);
+        // Mutation starts a fresh generation; the clone keeps its own.
+        r.push(vec![Value::str("z"), Value::int(9)]);
+        assert!(!r.sizes_memoized());
+        assert!(r.wire_bytes() > wire);
+        assert!(clone.sizes_memoized());
+        assert_eq!(clone.wire_bytes(), wire);
     }
 
     #[test]

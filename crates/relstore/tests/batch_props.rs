@@ -1,0 +1,125 @@
+//! Property suite for the batch slicing seam: concatenating the batches of
+//! a relation reproduces it exactly — in content, column bookkeeping, and
+//! size accounting — for every batch size, including NULL-heavy columns and
+//! the mediator's `__owner`/`__ord` bookkeeping columns.
+
+use aig_prng::{Rng, SeedableRng, StdRng};
+use aig_relstore::{Relation, Value};
+
+/// A random relation shaped like the mediator's shipped temporaries: a
+/// couple of payload columns drawn from small pools (so dictionary encoding
+/// has repeats), a NULL-heavy column, and the `__owner`/`__ord` bookkeeping
+/// columns the assembly tasks rely on.
+fn random_relation(rng: &mut StdRng, rows: usize) -> Relation {
+    let columns = vec![
+        "__owner".to_string(),
+        "__ord".to_string(),
+        "payload".to_string(),
+        "maybe_null".to_string(),
+    ];
+    let mut rel = Relation::empty(columns);
+    for r in 0..rows {
+        let owner = Value::int(rng.gen_range(0..8i64));
+        let ord = Value::int(r as i64);
+        let payload = Value::str(format!("p{}", rng.gen_range(0..23u32)));
+        let maybe_null = if rng.gen_bool(0.4) {
+            Value::Null
+        } else {
+            Value::str(format!("v{}", rng.gen_range(0..5u32)))
+        };
+        rel.push(vec![owner, ord, payload, maybe_null]);
+    }
+    rel
+}
+
+fn concat(columns: &[String], batches: impl IntoIterator<Item = Relation>) -> Relation {
+    let mut out = Relation::empty(columns.to_vec());
+    for batch in batches {
+        out.extend(&batch).expect("batch columns match");
+    }
+    out
+}
+
+#[test]
+fn concat_of_slices_is_identity_in_content_and_accounting() {
+    let mut rng = StdRng::seed_from_u64(0x9a7c_2026);
+    for case in 0..40 {
+        let rows = rng.gen_range(0..300usize);
+        let rel = random_relation(&mut rng, rows);
+        let wire = rel.wire_bytes();
+        let raw = rel.byte_size();
+        for batch_rows in [1, 2, 7, 64, 256, usize::MAX] {
+            let batches: Vec<Relation> = rel.batches(batch_rows).collect();
+            assert_eq!(
+                batches.len(),
+                rel.batch_count(batch_rows),
+                "case {case}: batch count"
+            );
+            assert!(batches
+                .iter()
+                .all(|b| b.len() <= batch_rows && !b.is_empty()));
+            assert_eq!(
+                batches.iter().map(Relation::len).sum::<usize>(),
+                rel.len(),
+                "case {case}: rows partition"
+            );
+
+            // Raw payload is additive over batches. The dictionary-encoded
+            // wire size is not: each batch re-ships the distinct values its
+            // rows touch (pushing the sum up), while a batch with few
+            // distincts may use a narrower per-row code than the whole
+            // column (pulling it down by at most 3 bytes/row, the 4-byte vs
+            // 1-byte code gap). Both effects are bounded below by the
+            // whole-relation dictionaries.
+            let raw_sum: usize = batches.iter().map(Relation::byte_size).sum();
+            assert_eq!(
+                raw_sum, raw,
+                "case {case} batch_rows={batch_rows}: raw bytes"
+            );
+            let wire_sum: usize = batches.iter().map(Relation::wire_bytes).sum();
+            assert!(
+                wire_sum + 3 * rel.len() >= wire,
+                "case {case} batch_rows={batch_rows}: per-batch wire {wire_sum} \
+                 beats whole-relation wire {wire} by more than the code-width gap"
+            );
+
+            let rebuilt = concat(rel.columns(), batches);
+            assert_eq!(rebuilt, rel, "case {case} batch_rows={batch_rows}: content");
+            assert_eq!(
+                rebuilt.wire_bytes(),
+                wire,
+                "case {case} batch_rows={batch_rows}: rebuilt wire bytes"
+            );
+            assert_eq!(rebuilt.byte_size(), raw, "case {case}: rebuilt raw bytes");
+        }
+    }
+}
+
+#[test]
+fn all_null_columns_survive_batching() {
+    // A column of pure NULL (`Sym(0)`) cells: one distinct symbol, minimal
+    // dictionary — and batching must neither drop nor widen it.
+    let mut rel = Relation::empty(vec!["n".to_string()]);
+    for _ in 0..100 {
+        rel.push(vec![Value::Null]);
+    }
+    let rebuilt = concat(rel.columns(), rel.batches(9));
+    assert_eq!(rebuilt, rel);
+    assert_eq!(rebuilt.wire_bytes(), rel.wire_bytes());
+    assert_eq!(rebuilt.byte_size(), rel.byte_size());
+    assert!(rel.batches(9).all(|b| b.wire_bytes() > 0));
+}
+
+#[test]
+fn whole_relation_batch_is_the_materializing_case() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let rel = random_relation(&mut rng, 50);
+    let mut batches = rel.batches(usize::MAX);
+    let only = batches.next().expect("one batch");
+    assert!(batches.next().is_none());
+    assert_eq!(only, rel);
+    // The single batch shares the relation's columns and size cache: the
+    // materializing path pays nothing for going through the batch seam.
+    let _ = rel.wire_bytes();
+    assert!(rel.slice(0, usize::MAX).sizes_memoized());
+}

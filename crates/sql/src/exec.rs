@@ -121,6 +121,43 @@ pub fn execute_tuned(
     threads: usize,
     par_threshold: usize,
 ) -> Result<Relation, SqlError> {
+    execute_inner(query, catalog, params, threads, par_threshold, None)
+}
+
+/// [`execute_tuned`] in chunked-consumption mode (the mediator's
+/// `ExecPolicy::batching`): the sequential hash-join build and the DISTINCT
+/// dedup consume their inputs in batches of at most `batch_rows` rows
+/// through the incremental sinks ([`JoinBuild`], [`IncrementalDistinct`])
+/// instead of one whole-relation scan, so a consumer can start work on
+/// batch `k−1` while batch `k` is still in flight. Inputs large enough for
+/// the partitioned kernels still take them — those are batch-agnostic — and
+/// the output is **byte-identical** to [`execute_tuned`] either way.
+pub fn execute_streamed(
+    query: &Query,
+    catalog: &Catalog,
+    params: &Params,
+    threads: usize,
+    par_threshold: usize,
+    batch_rows: usize,
+) -> Result<Relation, SqlError> {
+    execute_inner(
+        query,
+        catalog,
+        params,
+        threads,
+        par_threshold,
+        Some(batch_rows.max(1)),
+    )
+}
+
+fn execute_inner(
+    query: &Query,
+    catalog: &Catalog,
+    params: &Params,
+    threads: usize,
+    par_threshold: usize,
+    batch_rows: Option<usize>,
+) -> Result<Relation, SqlError> {
     // -- Resolve FROM items --------------------------------------------------
     let mut inputs: Vec<Input<'_>> = Vec::with_capacity(query.from.len());
     for item in &query.from {
@@ -495,7 +532,19 @@ pub fn execute_tuned(
                 }
             };
             let mut table: HashMap<Key, Vec<u32>> = HashMap::with_capacity(next_input.live.len());
-            if threads > 1 && next_input.live.len() >= par_threshold {
+            if let (Some(batch), false) = (
+                batch_rows,
+                threads > 1 && next_input.live.len() >= par_threshold,
+            ) {
+                // Streamed consumption: the build side arrives in bounded
+                // batches and the table grows incrementally — identical to
+                // the one-shot scan because feed order is scan order.
+                let mut build = JoinBuild::with_capacity(next_input.live.len());
+                for rows in next_input.live.chunks(batch) {
+                    build.feed(rows.iter().map(|&r| (r, build_key(r))));
+                }
+                table = build.finish();
+            } else if threads > 1 && next_input.live.len() >= par_threshold {
                 let chunk = next_input.live.len().div_ceil(threads);
                 let build_key = &build_key;
                 let parts: Vec<HashMap<Key, Vec<u32>>> = std::thread::scope(|scope| {
@@ -659,9 +708,89 @@ pub fn execute_tuned(
     }
     let mut rel = Relation::from_columns(columns, out_cols);
     if query.distinct {
-        rel.dedup_parallel_with(threads, par_threshold);
+        match batch_rows {
+            // Streamed consumption below the partitioned-kernel threshold:
+            // dedup sees the output one bounded batch at a time.
+            Some(batch) if !(threads > 1 && rel.len() >= par_threshold) => {
+                let mut distinct = IncrementalDistinct::new(rel.columns().to_vec());
+                for b in rel.batches(batch) {
+                    distinct.feed(&b);
+                }
+                rel = distinct.finish();
+            }
+            _ => rel.dedup_parallel_with(threads, par_threshold),
+        }
     }
     Ok(rel)
+}
+
+/// Incremental build-side sink of the hash join: feed `(row, key)` pairs
+/// batch by batch; `finish` yields the same key → row-list table a one-shot
+/// scan produces, because rows are fed in scan order and NULL keys
+/// (`key == None`) are discarded exactly as the one-shot path discards them.
+struct JoinBuild {
+    table: HashMap<Key, Vec<u32>>,
+}
+
+impl JoinBuild {
+    fn with_capacity(rows: usize) -> JoinBuild {
+        JoinBuild {
+            table: HashMap::with_capacity(rows),
+        }
+    }
+
+    fn feed(&mut self, rows: impl Iterator<Item = (u32, Option<Key>)>) {
+        for (r, key) in rows {
+            if let Some(key) = key {
+                self.table.entry(key).or_default().push(r);
+            }
+        }
+    }
+
+    fn finish(self) -> HashMap<Key, Vec<u32>> {
+        self.table
+    }
+}
+
+/// Incremental DISTINCT over row batches: feeds preserve first-occurrence
+/// order across batch boundaries, so `finish` is byte-identical to
+/// materializing all batches and running [`Relation::dedup`] once.
+///
+/// This is the consumer side of the mediator's chunked shipment: dedup
+/// state (the seen-set) is bounded by the number of *distinct* rows, while
+/// each batch can be released as soon as it has been fed.
+pub struct IncrementalDistinct {
+    seen: HashSet<Vec<Sym>>,
+    out: Relation,
+}
+
+impl IncrementalDistinct {
+    pub fn new(columns: Vec<String>) -> IncrementalDistinct {
+        IncrementalDistinct {
+            seen: HashSet::new(),
+            out: Relation::empty(columns),
+        }
+    }
+
+    /// Feeds one batch; rows already seen (in this or any earlier batch)
+    /// are dropped.
+    pub fn feed(&mut self, batch: &Relation) {
+        debug_assert_eq!(batch.columns(), self.out.columns());
+        let arity = batch.arity();
+        let mut row = Vec::with_capacity(arity);
+        for r in 0..batch.len() {
+            row.clear();
+            row.extend((0..arity).map(|c| batch.sym(r, c)));
+            if self.seen.insert(row.clone()) {
+                self.out.push_syms(&row);
+            }
+        }
+    }
+
+    /// The deduplicated concatenation of every batch fed so far.
+    pub fn finish(self) -> Relation {
+        self.out
+    }
 }
 
 enum ResolvedItem {
@@ -977,6 +1106,77 @@ mod tests {
                     assert_eq!(seq, tuned, "n={n} threads={threads} sql={sql}");
                 }
             }
+        }
+    }
+
+    /// The chunked-consumption path is byte-identical to the materializing
+    /// path for every batch size — joins, DISTINCT, residual predicates,
+    /// and NULL-heavy keys included — at 1 and 4 threads.
+    #[test]
+    fn streamed_execution_is_byte_identical() {
+        let n = PAR_THRESHOLD * 2;
+        let mut c = Catalog::new();
+        let mut db = Database::new("D");
+        let mut left = Table::new(TableSchema::strings("l", &["k", "payload"], &[]));
+        let mut right = Table::new(TableSchema::strings("r", &["k", "tag"], &[]));
+        for i in 0..n {
+            let k = if i % 5 == 0 {
+                Value::Null
+            } else {
+                Value::str(format!("k{}", i % 89))
+            };
+            left.insert(vec![k.clone(), Value::str(format!("p{}", i % 11))])
+                .unwrap();
+            right
+                .insert(vec![k, Value::str(format!("t{}", i % 7))])
+                .unwrap();
+        }
+        db.add_table(left).unwrap();
+        db.add_table(right).unwrap();
+        c.add_source(db).unwrap();
+
+        for sql in [
+            "select l.payload, r.tag from D:l l, D:r r where l.k = r.k",
+            "select distinct l.payload, r.tag from D:l l, D:r r where l.k = r.k",
+            "select l.payload, r.tag from D:l l, D:r r where l.k = r.k and l.payload < r.tag",
+        ] {
+            let q = Query::parse(sql).unwrap();
+            let seq = execute_with(&q, &c, &Params::new(), 1).unwrap();
+            assert!(!seq.is_empty(), "fixture produced no rows for {sql}");
+            for threads in [1, 4] {
+                for batch_rows in [1, 7, 256, usize::MAX] {
+                    let streamed = execute_streamed(
+                        &q,
+                        &c,
+                        &Params::new(),
+                        threads,
+                        PAR_THRESHOLD,
+                        batch_rows,
+                    )
+                    .unwrap();
+                    assert_eq!(seq, streamed, "threads={threads} batch={batch_rows} {sql}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_distinct_matches_one_shot_dedup() {
+        let mut rel = Relation::empty(vec!["a".into(), "b".into()]);
+        for i in 0..200 {
+            rel.push(vec![
+                Value::str(format!("x{}", i % 13)),
+                Value::str(format!("y{}", i % 7)),
+            ]);
+        }
+        let mut expect = rel.clone();
+        expect.dedup();
+        for batch_rows in [1, 3, 64, usize::MAX] {
+            let mut sink = IncrementalDistinct::new(rel.columns().to_vec());
+            for batch in rel.batches(batch_rows) {
+                sink.feed(&batch);
+            }
+            assert_eq!(sink.finish(), expect, "batch_rows={batch_rows}");
         }
     }
 

@@ -34,4 +34,6 @@ pub mod parser;
 pub use ast::{CmpOp, FromItem, Pred, QualCol, Query, Scalar, SelectItem, SetRef};
 pub use cost::{CatalogStats, CostEstimate, CostModel, ParamStats};
 pub use error::SqlError;
-pub use exec::{execute, execute_tuned, execute_with, ParamValue, Params};
+pub use exec::{
+    execute, execute_streamed, execute_tuned, execute_with, IncrementalDistinct, ParamValue, Params,
+};

@@ -5,8 +5,8 @@
 //! Compares freshly regenerated `BENCH_fig10.json`,
 //! `BENCH_ablation_dynamic_live.json`, `BENCH_ablation_plan_cache.json`,
 //! `BENCH_shipcut.json`, `BENCH_columnar.json`, `BENCH_integrity.json`,
-//! `BENCH_server.json` and `BENCH_streaming.json` against the committed
-//! baselines. The
+//! `BENCH_server.json`, `BENCH_streaming.json` and `BENCH_deltas.json`
+//! against the committed baselines. The
 //! simulated quantities (merging ratios, predicted speedups) are
 //! deterministic and get a tight relative band; wall-clock quantities
 //! (phase timers, live speedups) vary with the machine, so they only fail
@@ -464,6 +464,73 @@ fn check_streaming(gate: &mut Gate, baseline: &Json, current: &Json) {
     );
 }
 
+fn check_deltas(gate: &mut Gate, baseline: &Json, current: &Json) {
+    let cell = |json: &Json, scope: &str| -> Json {
+        json.get(scope)
+            .cloned()
+            .unwrap_or_else(|| panic!("missing delta scope {scope}"))
+    };
+    // Machine-independent hard claims of incremental re-evaluation: the
+    // incremental document is byte-identical to a cold full run over the
+    // post-delta catalog in every scope, an empty delta re-runs nothing,
+    // single-/few-table deltas re-run strictly less than the whole graph,
+    // and the re-run count is monotone across the nested widening scopes.
+    gate.require(
+        "deltas: incremental documents are no longer byte-identical to cold runs",
+        current
+            .get("identical")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    );
+    let none = cell(current, "none");
+    let price = cell(current, "price");
+    let price_cover = cell(current, "price_cover");
+    let all = cell(current, "price_cover_visits");
+    gate.require(
+        "deltas: an empty delta re-ran tasks",
+        num(&none, "tasks_rerun") == 0.0,
+    );
+    gate.require(
+        "deltas: a price delta no longer re-runs a small subgraph (< 1/3 of tasks)",
+        num(&price, "tasks_rerun") * 3.0 < num(&price, "tasks_total"),
+    );
+    gate.require(
+        "deltas: a table delta re-ran the whole graph",
+        num(&all, "tasks_rerun") < num(&all, "tasks_total"),
+    );
+    gate.require(
+        "deltas: re-run counts are not monotone across widening scopes",
+        num(&none, "tasks_rerun") <= num(&price, "tasks_rerun")
+            && num(&price, "tasks_rerun") <= num(&price_cover, "tasks_rerun")
+            && num(&price_cover, "tasks_rerun") <= num(&all, "tasks_rerun"),
+    );
+    gate.require(
+        "deltas: the price-delta retag no longer reuses most document nodes",
+        num(&price, "nodes_reused") > num(&price, "nodes_rebuilt"),
+    );
+    // Re-run counts and splice sizes are pure functions of the seeded
+    // dataset and the seeded deltas. Tight drift bands.
+    for key in ["tasks_rerun", "rows_spliced", "nodes_reused"] {
+        gate.within(
+            &format!("deltas price {key}"),
+            num(&cell(baseline, "price"), key),
+            num(&price, key),
+            SIM_TOLERANCE,
+        );
+    }
+    // Wall clocks only fail on large factors.
+    gate.bounded(
+        "deltas incremental wall (price scope)",
+        num(&cell(baseline, "price"), "wall_incr_secs"),
+        num(&price, "wall_incr_secs"),
+    );
+    gate.bounded(
+        "deltas full-run wall (price scope)",
+        num(&cell(baseline, "price"), "wall_full_secs"),
+        num(&price, "wall_full_secs"),
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, baseline_dir, current_dir] = &args[..] else {
@@ -512,6 +579,11 @@ fn main() -> ExitCode {
         &mut gate,
         &load(baseline_dir, "BENCH_streaming.json"),
         &load(current_dir, "BENCH_streaming.json"),
+    );
+    check_deltas(
+        &mut gate,
+        &load(baseline_dir, "BENCH_deltas.json"),
+        &load(current_dir, "BENCH_deltas.json"),
     );
     if gate.failures.is_empty() {
         println!("perf regression gate: {} checks passed", gate.checks);

@@ -19,6 +19,8 @@
 //! §6: "the cardinality of a 3-way self join of the procedure table is 4055,
 //! whereas the cardinality of a 4-way self join is 6837" for Large).
 
+pub mod deltas;
 pub mod hospital;
 
+pub use deltas::{cover_delta, price_delta, visit_delta};
 pub use hospital::{DatasetSize, HospitalConfig, HospitalData};

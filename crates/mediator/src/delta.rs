@@ -1,0 +1,520 @@
+//! Incremental re-evaluation on source deltas: task-level dependency
+//! tracking and subgraph re-execution.
+//!
+//! The mediator's evaluation is a task graph whose leaves are source
+//! queries (paper §5.1). When a source table changes by a small delta, a
+//! full re-run repeats every task even though most of them read tables the
+//! delta never touched. This module makes re-evaluation proportional to
+//! the delta's *reach* instead:
+//!
+//! 1. **Read-sets** ([`ReadSets::analyze`]): a static scan of the prepared
+//!    plan's query ASTs records, per task, which `(source, table)` pairs —
+//!    and which columns of each — the task's queries consume. Computed
+//!    once at prepare time and cached on the [`crate::plan::PreparedPlan`].
+//! 2. **Seeding** ([`ReadSets::seeds`]): after a
+//!    [`aig_relstore::SourceDelta`] is applied, the delta's touched tables
+//!    are intersected with the read-sets; tasks that read a dirty table
+//!    are the re-run seeds.
+//! 3. **Closure** ([`rerun_mask`]): the seeds' downstream closure over the
+//!    task graph (every task that transitively consumes a seed's output)
+//!    is the subgraph that must re-run; everything else reuses its cached
+//!    output relation unchanged.
+//! 4. **Splice** ([`execute_incremental`]): the re-run subgraph executes
+//!    in topological order against the post-delta catalog — re-shipping
+//!    its outputs through the same batch/ship seam as a cold run — and the
+//!    resulting relations are spliced into the cached store next to the
+//!    reused ones.
+//!
+//! The byte-identity invariant carries over from the executors: a spliced
+//! store is relation-for-relation equal to a cold run's store, so the
+//! retagged document ([`crate::tagging::retag_document`]) and every
+//! downstream artifact are byte-identical to a cold full run. Fault
+//! injection replays deterministically per `(task, attempt)`, so transient
+//! and latency faults re-run identically; mid-run outage plans
+//! (`dies_after`) depend on global per-source completion counts and take
+//! the full-run path instead (see [`crate::service::Mediator`]).
+
+use crate::error::MediatorError;
+use crate::exec::{
+    input_rows, resolve_outages, ExecOptions, ExecResult, Executor, Measured, RelStore,
+};
+use crate::faults::{FaultEnv, IntegrityLog, ResilienceLog, TaskFaultCtx};
+use crate::graph::{RelKey, TaskGraph, TaskKind, VectorQuery};
+use crate::integrity;
+use aig_core::spec::{Aig, ElemIdx, Prod};
+use aig_relstore::{Catalog, SourceId, Value};
+use aig_sql::{FromItem, Pred, Scalar};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::time::Instant;
+
+/// A `(source name, table name)` pair — the granularity deltas are tracked
+/// at.
+pub type TableRef = (String, String);
+
+/// Per-task read-sets of a prepared plan: which stored tables (and which
+/// columns of each) every task's queries consume. Tasks without source
+/// queries (assembles, guards, aggregations) have empty read-sets — they
+/// are reached through the downstream closure instead.
+#[derive(Debug, Clone, Default)]
+pub struct ReadSets {
+    /// Per task: the `(source, table)` pairs read by its queries.
+    tables: Vec<BTreeSet<TableRef>>,
+    /// Per task: the columns referenced per table (alias-resolved from the
+    /// query AST). Observability and ship-cut cross-checks; matching is
+    /// table-level because deltas carry whole rows.
+    columns: Vec<BTreeMap<TableRef, BTreeSet<String>>>,
+}
+
+impl ReadSets {
+    /// Scans the task graph's query ASTs and records each task's reads.
+    pub fn analyze(graph: &TaskGraph) -> ReadSets {
+        let mut tables = vec![BTreeSet::new(); graph.tasks.len()];
+        let mut columns = vec![BTreeMap::new(); graph.tasks.len()];
+        for (id, task) in graph.tasks.iter().enumerate() {
+            let vq: Option<&VectorQuery> = match &task.kind {
+                TaskKind::Gen { query, .. } => query.as_ref(),
+                TaskKind::InhSetQuery { query, .. } => Some(query),
+                TaskKind::Cond { query, .. } => Some(query),
+                _ => None,
+            };
+            if let Some(vq) = vq {
+                record_query(vq, &mut tables[id], &mut columns[id]);
+            }
+        }
+        ReadSets { tables, columns }
+    }
+
+    /// The `(source, table)` pairs task `id` reads.
+    pub fn tables(&self, id: usize) -> &BTreeSet<TableRef> {
+        &self.tables[id]
+    }
+
+    /// The columns task `id` reads, per table.
+    pub fn columns(&self, id: usize) -> &BTreeMap<TableRef, BTreeSet<String>> {
+        &self.columns[id]
+    }
+
+    /// Union of all tasks' read tables (what the plan depends on at all).
+    pub fn tracked(&self) -> BTreeSet<TableRef> {
+        self.tables.iter().flatten().cloned().collect()
+    }
+
+    /// Tasks whose read-sets intersect the dirty tables — the re-run
+    /// seeds of an incremental evaluation.
+    pub fn seeds(&self, dirty: &BTreeSet<TableRef>) -> Vec<usize> {
+        self.tables
+            .iter()
+            .enumerate()
+            .filter(|(_, reads)| reads.iter().any(|t| dirty.contains(t)))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Records one vectorized query's table and column reads. Columns resolve
+/// through the FROM aliases; references to relation-parameter aliases
+/// (shipped intermediates) are dependency-edge territory, not source
+/// reads, and are skipped.
+fn record_query(
+    vq: &VectorQuery,
+    tables: &mut BTreeSet<TableRef>,
+    columns: &mut BTreeMap<TableRef, BTreeSet<String>>,
+) {
+    let mut by_alias: HashMap<&str, TableRef> = HashMap::new();
+    for item in &vq.query.from {
+        if let FromItem::Table {
+            source,
+            table,
+            alias,
+        } = item
+        {
+            let key = (source.clone(), table.clone());
+            tables.insert(key.clone());
+            columns.entry(key.clone()).or_default();
+            by_alias.insert(alias.as_str(), key);
+        }
+    }
+    let mut record_col = |qualifier: &str, column: &str| {
+        if let Some(key) = by_alias.get(qualifier) {
+            columns
+                .entry(key.clone())
+                .or_default()
+                .insert(column.to_string());
+        }
+    };
+    for item in &vq.query.select {
+        if let Scalar::Col(c) = &item.expr {
+            record_col(&c.qualifier, &c.column);
+        }
+    }
+    for pred in &vq.query.preds {
+        match pred {
+            Pred::Cmp { lhs, rhs, .. } => {
+                for side in [lhs, rhs] {
+                    if let Scalar::Col(c) = side {
+                        record_col(&c.qualifier, &c.column);
+                    }
+                }
+            }
+            Pred::In { col, .. } => record_col(&col.qualifier, &col.column),
+        }
+    }
+}
+
+/// The downstream closure of `seeds` over the task graph: `mask[id]` is
+/// true for every seed and every task that transitively consumes a
+/// masked task's output — the subgraph an incremental evaluation re-runs.
+pub fn rerun_mask(graph: &TaskGraph, seeds: &[usize]) -> Vec<bool> {
+    let succ = graph.successors();
+    let mut mask = vec![false; graph.tasks.len()];
+    let mut stack: Vec<usize> = seeds.to_vec();
+    while let Some(id) = stack.pop() {
+        if mask[id] {
+            continue;
+        }
+        mask[id] = true;
+        for &next in &succ[id] {
+            if !mask[next] {
+                stack.push(next);
+            }
+        }
+    }
+    mask
+}
+
+/// Materialized elements whose instance tables the re-run subgraph
+/// produces — the taint set of the document retag: everything below these
+/// elements rebuilds from the spliced store, everything else copies
+/// verbatim from the cached tree.
+pub(crate) fn tainted_elems(graph: &TaskGraph, rerun: &[bool]) -> HashSet<ElemIdx> {
+    graph
+        .materialized
+        .iter()
+        .copied()
+        .filter(|&elem| {
+            graph
+                .producer
+                .get(&RelKey::Instances(elem))
+                .is_some_and(|&id| rerun[id])
+        })
+        .collect()
+}
+
+/// Element tags reachable from the tainted elements through the unfolded
+/// productions (internal computation states are never tagged and are not
+/// descended into) — the scope of the incremental constraint re-check: a
+/// constraint none of whose tags appear here touches only verbatim-copied
+/// subtrees with unchanged values, so its previously-checked result holds.
+pub(crate) fn scope_tags(aig: &Aig, tainted: &HashSet<ElemIdx>) -> HashSet<String> {
+    let mut seen: HashSet<ElemIdx> = HashSet::new();
+    let mut stack: Vec<ElemIdx> = tainted.iter().copied().collect();
+    while let Some(elem) = stack.pop() {
+        if !seen.insert(elem) {
+            continue;
+        }
+        match &aig.elem_info(elem).prod {
+            Prod::Items(items) => {
+                for item in items {
+                    if !aig.elem_info(item.elem).internal {
+                        stack.push(item.elem);
+                    }
+                }
+            }
+            Prod::Choice { branches, .. } => {
+                for branch in branches {
+                    stack.push(branch.elem);
+                }
+            }
+            _ => {}
+        }
+    }
+    seen.iter()
+        .map(|&e| aig.elem_info(e).tag().to_string())
+        .collect()
+}
+
+/// What [`execute_incremental`] produced: the spliced execution result
+/// plus the splice accounting for the report's `incremental` section.
+pub(crate) struct Spliced {
+    pub exec: ExecResult,
+    /// Rows of re-run task outputs spliced into the cached store.
+    pub rows_spliced: u64,
+}
+
+/// Re-runs only the masked subgraph against the post-delta catalog and
+/// splices its outputs into a copy of the cached store; unmasked tasks
+/// reuse their cached output relations and measurements unchanged.
+///
+/// The walk is sequential-topological — valid for every policy cell
+/// because stores and documents are byte-identical across the sequential
+/// and parallel executors (see `parallel_equiv`). Per-`(task, attempt)`
+/// fault injection (transient, latency, corruption) replays
+/// deterministically; the caller must route mid-run outage plans
+/// (`dies_after`, which depend on global completion counts) to the
+/// full-run path instead.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_incremental(
+    aig: &Aig,
+    catalog: &Catalog,
+    graph: &TaskGraph,
+    args: &[(&str, Value)],
+    opts: &ExecOptions,
+    prev_store: &RelStore,
+    prev_measured: &[Measured],
+    rerun: &[bool],
+) -> Result<Spliced, MediatorError> {
+    debug_assert!(
+        !opts
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.has_mid_run_outages()),
+        "mid-run outage plans must take the full-run path"
+    );
+    let mut store = RelStore::default();
+    let mut measured = vec![Measured::default(); graph.tasks.len()];
+    let mut resilience = ResilienceLog::default();
+    let mut integrity_log = IntegrityLog::default();
+    let mut rows_spliced: u64 = 0;
+    let profiling = opts.check_integrity()
+        || opts
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.has_wrong_answer_faults());
+    let ledger = crate::batch::ShipLedger::default();
+    let mut effective: Vec<SourceId> = graph.tasks.iter().map(|t| t.source).collect();
+    let active = match &opts.faults {
+        Some(plan) => resolve_outages(catalog, graph, plan, &mut effective)?,
+        None => None,
+    };
+    let env = FaultEnv {
+        plan: opts.faults.as_ref(),
+        retry: opts.retry(),
+        deadline: opts.deadline.as_ref(),
+    };
+    let epoch = Instant::now();
+    for &id in &graph.topo {
+        let task = &graph.tasks[id];
+        if !rerun[id] {
+            // Reused task: its inputs are unchanged by construction, so
+            // its cached output relation and measurements carry over.
+            if let Some(key) = task.output.clone() {
+                store.insert(key.clone(), prev_store.get(&key)?.clone());
+            }
+            measured[id] = prev_measured[id];
+            continue;
+        }
+        let catalog = active.as_ref().unwrap_or(catalog);
+        let in_rows = input_rows(task, &store);
+        let start = Instant::now();
+        let start_secs = (start - epoch).as_secs_f64();
+        let failed_over_from =
+            (effective[id] != task.source).then(|| catalog.source(task.source).name());
+        let profile = if profiling {
+            integrity::profile_task(task, catalog)
+        } else {
+            None
+        };
+        let output = {
+            let exec = Executor {
+                aig,
+                catalog,
+                graph,
+                store: &store,
+                opts,
+            };
+            if let Some(secs) = opts.pace.as_ref().and_then(|p| p.get(id)) {
+                crate::faults::sleep_secs(*secs);
+            }
+            let ctx = TaskFaultCtx {
+                task_id: id,
+                label: &task.label,
+                source: effective[id],
+                source_name: catalog.source(effective[id]).name(),
+                table: integrity::task_table(task),
+                failed_over_from,
+                profile: profile.as_ref(),
+                check_integrity: opts.check_integrity(),
+            };
+            env.run_task(
+                &ctx,
+                &mut resilience.events,
+                &mut integrity_log.events,
+                || {
+                    let _slot = opts
+                        .gate
+                        .as_ref()
+                        .filter(|_| !effective[id].is_mediator())
+                        .map(|gate| gate.acquire(effective[id], opts.deadline.as_ref()));
+                    exec.run_task(task, args)
+                },
+            )?
+        };
+        let secs = start.elapsed().as_secs_f64();
+        let (rows, bytes, wire) = output
+            .as_ref()
+            .map(|r| (r.len() as f64, r.byte_size() as f64, r.wire_bytes() as f64))
+            .unwrap_or((0.0, 0.0, 0.0));
+        // Re-run outputs re-ship through the same chunked seam a cold run
+        // uses; reused outputs never touch the wire again, so the batch
+        // ledger reflects only the re-shipped sub-relations.
+        let shipped = output
+            .as_ref()
+            .map(|r| crate::batch::ship_output(opts, &ledger, id, r, |_, _| {}));
+        let (ship_bytes, batches) = shipped
+            .map(|s| (s.ship_bytes, s.batches))
+            .unwrap_or((0.0, 0));
+        if let (Some(key), Some(rel)) = (task.output.clone(), output) {
+            rows_spliced += rel.len() as u64;
+            store.insert(key, rel);
+        }
+        measured[id] = Measured {
+            secs,
+            out_rows: rows,
+            out_bytes: bytes,
+            wire_bytes: wire,
+            ship_bytes,
+            batches,
+            in_rows,
+            wait_secs: 0.0,
+            start_secs,
+        };
+    }
+    Ok(Spliced {
+        exec: ExecResult {
+            store,
+            measured,
+            resilience,
+            integrity: integrity_log,
+            sched: crate::exec::SchedLog::default(),
+            batch: crate::batch::BatchLog::from_ledger(opts, &ledger),
+        },
+        rows_spliced,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{build_graph, GraphOptions};
+    use crate::unfold::{unfold, CutOff};
+    use aig_core::paper::{mini_hospital_catalog, sigma0};
+    use aig_core::spec::Aig;
+    use aig_core::{compile_constraints, decompose_queries};
+
+    fn unfolded_fixture() -> (Aig, aig_relstore::Catalog, TaskGraph) {
+        let aig = sigma0().unwrap();
+        let catalog = mini_hospital_catalog().unwrap();
+        let compiled = compile_constraints(&aig).unwrap();
+        let (specialized, _) = decompose_queries(&compiled).unwrap();
+        let unfolded = unfold(&specialized, 3, CutOff::Frontier).unwrap();
+        let graph = build_graph(&unfolded.aig, &catalog, &GraphOptions::default()).unwrap();
+        (unfolded.aig, catalog, graph)
+    }
+
+    #[test]
+    fn read_sets_cover_every_source_query_and_only_those() {
+        let (_aig, _catalog, graph) = unfolded_fixture();
+        let read_sets = ReadSets::analyze(&graph);
+        for (id, task) in graph.tasks.iter().enumerate() {
+            let has_query = matches!(
+                &task.kind,
+                TaskKind::Gen { query: Some(_), .. }
+                    | TaskKind::InhSetQuery { .. }
+                    | TaskKind::Cond { .. }
+            );
+            let queries_tables = match &task.kind {
+                TaskKind::Gen { query: Some(q), .. } => !q.query.sources().is_empty(),
+                TaskKind::InhSetQuery { query, .. } => !query.query.sources().is_empty(),
+                TaskKind::Cond { query, .. } => !query.query.sources().is_empty(),
+                _ => false,
+            };
+            assert_eq!(
+                !read_sets.tables(id).is_empty(),
+                queries_tables,
+                "task {id} ({}) read-set mismatch",
+                task.label
+            );
+            if !has_query {
+                assert!(read_sets.tables(id).is_empty());
+            }
+        }
+        // The mini-hospital plan reads the visit table somewhere.
+        assert!(read_sets
+            .tracked()
+            .iter()
+            .any(|(_, table)| table == "visitInfo"));
+    }
+
+    #[test]
+    fn column_read_sets_resolve_aliases_to_tables() {
+        let (_aig, _catalog, graph) = unfolded_fixture();
+        let read_sets = ReadSets::analyze(&graph);
+        let mut saw_columns = false;
+        for id in 0..graph.tasks.len() {
+            for (table, cols) in read_sets.columns(id) {
+                assert!(
+                    read_sets.tables(id).contains(table),
+                    "column entry for untracked table {table:?}"
+                );
+                saw_columns |= !cols.is_empty();
+            }
+        }
+        assert!(saw_columns, "no column reads recorded at all");
+    }
+
+    #[test]
+    fn rerun_mask_is_the_downstream_closure_of_the_seeds() {
+        let (_aig, _catalog, graph) = unfolded_fixture();
+        let read_sets = ReadSets::analyze(&graph);
+        let dirty: BTreeSet<TableRef> = [("DB1".to_string(), "visitInfo".to_string())].into();
+        let seeds = read_sets.seeds(&dirty);
+        assert!(!seeds.is_empty(), "no task reads DB1.visitInfo");
+        let mask = rerun_mask(&graph, &seeds);
+        // Closure property: a task is masked iff it is a seed or depends
+        // on a masked task.
+        for (id, task) in graph.tasks.iter().enumerate() {
+            let dep_masked = task.deps.iter().any(|(dep, _)| mask[*dep]);
+            if dep_masked {
+                assert!(mask[id], "task {id} consumes a masked task but is unmasked");
+            }
+            if mask[id] && !seeds.contains(&id) {
+                assert!(dep_masked, "masked task {id} has no masked dependency");
+            }
+        }
+        // A single-table delta must not re-run the whole plan.
+        let rerun = mask.iter().filter(|&&m| m).count();
+        assert!(
+            rerun < graph.tasks.len(),
+            "single-table delta re-runs everything ({rerun}/{})",
+            graph.tasks.len()
+        );
+        assert!(rerun >= seeds.len());
+    }
+
+    #[test]
+    fn untouched_tables_seed_nothing() {
+        let (_aig, _catalog, graph) = unfolded_fixture();
+        let read_sets = ReadSets::analyze(&graph);
+        let dirty: BTreeSet<TableRef> = [("DB9".to_string(), "nonexistent".to_string())].into();
+        assert!(read_sets.seeds(&dirty).is_empty());
+    }
+
+    #[test]
+    fn tainted_elems_track_rerun_instance_producers() {
+        let (aig, _catalog, graph) = unfolded_fixture();
+        let read_sets = ReadSets::analyze(&graph);
+        let dirty: BTreeSet<TableRef> = [("DB1".to_string(), "visitInfo".to_string())].into();
+        let mask = rerun_mask(&graph, &read_sets.seeds(&dirty));
+        let tainted = tainted_elems(&graph, &mask);
+        assert!(!tainted.is_empty());
+        // The root is produced by the argument-binding task, which reads
+        // no source table and sits upstream of everything.
+        assert!(!tainted.contains(&aig.root));
+        let scope = scope_tags(&aig, &tainted);
+        assert!(!scope.is_empty());
+        // Scope is closed downward: every tainted element's own tag is in.
+        for &e in &tainted {
+            assert!(scope.contains(aig.elem_info(e).tag()));
+        }
+    }
+}

@@ -131,6 +131,15 @@ pub struct ExecPolicy {
     /// `batching` is on. `usize::MAX` degenerates to the materializing
     /// one-batch shipment.
     pub batch_rows: usize,
+    /// Incremental re-evaluation on source deltas (see [`crate::delta`]):
+    /// when on, the [`crate::service::Mediator`] keeps a post-run snapshot
+    /// (store + document + per-task read-sets) per prepared plan and, after
+    /// a [`aig_relstore::SourceDelta`], re-runs only the task subgraph
+    /// whose read-sets intersect the delta's touched tables — splicing the
+    /// re-shipped sub-relations into the cached store and re-tagging only
+    /// the affected document subtrees. Documents are byte-identical to a
+    /// cold full run either way; off by default.
+    pub incremental: bool,
 }
 
 impl Default for ExecPolicy {
@@ -149,6 +158,7 @@ impl Default for ExecPolicy {
             deadline_secs: None,
             batching: false,
             batch_rows: 2048,
+            incremental: false,
         }
     }
 }
@@ -255,6 +265,11 @@ impl ExecOptions {
         self.policy.batch_rows.max(1)
     }
 
+    /// Whether incremental re-evaluation on source deltas is on.
+    pub fn incremental(&self) -> bool {
+        self.policy.incremental
+    }
+
     /// Returns the options with the scheduling mode replaced.
     pub fn with_scheduling(mut self, scheduling: Scheduling) -> ExecOptions {
         self.policy.scheduling = scheduling;
@@ -272,17 +287,6 @@ impl ExecOptions {
         self.policy.batching = batching;
         self.policy.batch_rows = batch_rows;
         self
-    }
-}
-
-/// Legacy shim from the days when `ExecOptions` duplicated every policy
-/// field: equivalent to [`ExecOptions::new`] on a clone. Kept for one
-/// release so downstream callers migrate at leisure; prefer
-/// `ExecOptions::new(policy.clone())`. (Trait impls cannot carry
-/// `#[deprecated]`, hence this doc-level notice.)
-impl From<&ExecPolicy> for ExecOptions {
-    fn from(policy: &ExecPolicy) -> ExecOptions {
-        ExecOptions::new(policy.clone())
     }
 }
 
@@ -324,8 +328,11 @@ pub trait RelSource {
     fn rel(&self, key: &RelKey) -> Result<&Relation, MediatorError>;
 }
 
-/// All relations produced by an execution.
-#[derive(Debug, Default)]
+/// All relations produced by an execution. `Clone` so the service can
+/// retain a completed run's store as the splice base of incremental
+/// re-evaluation (relations are columnar-interned; cloning is cheap
+/// relative to re-running the graph).
+#[derive(Debug, Clone, Default)]
 pub struct RelStore {
     rels: HashMap<RelKey, Relation>,
 }

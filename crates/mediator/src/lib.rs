@@ -1,6 +1,7 @@
 //! The AIG mediator middleware (paper §5) — placeholder while modules land.
 pub mod batch;
 pub mod cost;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod explain;
@@ -23,6 +24,7 @@ pub mod unfold;
 
 pub use batch::{BatchLog, BatchStream, RelationStream, ShipLedger};
 pub use cost::{response_time, CostGraph, Plan, TaskCost};
+pub use delta::{rerun_mask, ReadSets, TableRef};
 pub use error::{ConfigError, MediatorError};
 pub use exec::{
     execute_graph, ExecOptions, ExecResult, Measured, RelStore, SchedLog, Scheduling, TaskPick,
@@ -37,9 +39,9 @@ pub use integrity::{CorruptionKind, IntegrityFinding, RelProfile};
 pub use json::Json;
 pub use merge::{merge, merge_pair, no_merge, MergeDecision, MergeOutcome};
 pub use obs::{
-    BatchingObs, CacheObs, FaultEventObs, IntegrityEventObs, IntegrityObs, PhaseSample, Phases,
-    PlanDeviationObs, ResilienceObs, RunReport, SchedulerObs, ServerObs, ShipcutObs, SourceObs,
-    TaskObs, SCHEMA_VERSION,
+    BatchingObs, CacheObs, FaultEventObs, IncrementalObs, IntegrityEventObs, IntegrityObs,
+    PhaseSample, Phases, PlanDeviationObs, ResilienceObs, RunReport, SchedulerObs, ServerObs,
+    ShipcutObs, SourceObs, TaskObs, SCHEMA_VERSION,
 };
 pub use parallel::execute_graph_parallel;
 pub use pipeline::{

@@ -198,8 +198,11 @@ pub struct PlanSeqObs {
 /// unpruned shipments compare under the same encoding; 9 = adds the
 /// `batching` section (chunked-shipment ledger: batch size, total batches,
 /// peak resident shipment rows, estimated pipelining savings) and the
-/// per-task `batches` field.
-pub const SCHEMA_VERSION: u32 = 9;
+/// per-task `batches` field; 10 = adds the `incremental` section (delta
+/// re-evaluation ledger: snapshot hit, tasks re-run vs reused, dirty
+/// tables, rows spliced, document nodes reused vs rebuilt, and the scoped
+/// constraint-check counts).
+pub const SCHEMA_VERSION: u32 = 10;
 
 /// Which stage of the prepared-plan split a phase belongs to: everything
 /// argument-independent (compilation through estimate-based planning, plus
@@ -418,6 +421,43 @@ pub struct BatchingObs {
     pub overlap_savings_secs: f64,
 }
 
+/// The incremental section: the delta re-evaluation ledger (see
+/// [`crate::delta`]). `Default` (disabled, all zero) describes a run with
+/// incremental re-evaluation off; `enabled` without `snapshot_hit`
+/// describes the cold run that seeds the snapshot; a hit re-ran only
+/// `tasks_rerun` of `tasks_total` tasks and spliced their outputs into the
+/// cached store. Every field is deterministic (no wall-clock derivation),
+/// so redacted reports keep the section verbatim.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IncrementalObs {
+    /// Whether incremental re-evaluation was active for the request.
+    pub enabled: bool,
+    /// Whether a cached snapshot was found and spliced (false on the cold
+    /// run that seeds the snapshot).
+    pub snapshot_hit: bool,
+    /// Tasks in the prepared plan's graph.
+    pub tasks_total: usize,
+    /// Tasks whose read-sets intersected the delta's dirty tables, plus
+    /// their downstream closure — the subgraph that actually re-ran.
+    pub tasks_rerun: usize,
+    /// Tasks whose cached output relations were reused unchanged.
+    pub tasks_reused: usize,
+    /// Dirty `source.table` pairs the snapshot had accumulated since the
+    /// previous run (sorted).
+    pub dirty_tables: Vec<String>,
+    /// Rows of re-run task outputs spliced into the cached store.
+    pub rows_spliced: u64,
+    /// Document nodes copied verbatim from the cached tree during retag.
+    pub nodes_reused: usize,
+    /// Document nodes rebuilt from the spliced store during retag.
+    pub nodes_rebuilt: usize,
+    /// Constraints whose element tags intersected the retag scope (the
+    /// subset the scoped integrity check evaluated).
+    pub constraints_scoped: usize,
+    /// Constraints in the AIG's constraint set.
+    pub constraints_total: usize,
+}
+
 /// The server section: what the overload-resilient request server saw over
 /// one open-loop workload. `Default` (disabled, all zero) describes a
 /// per-request report — the section only carries data on the server-level
@@ -526,6 +566,8 @@ pub struct RunReport {
     pub shipcut: ShipcutObs,
     /// The chunked-shipment ledger (default on materializing runs).
     pub batching: BatchingObs,
+    /// The delta re-evaluation ledger (default on non-incremental runs).
+    pub incremental: IncrementalObs,
     /// The overload-resilient server's ledgers (default on per-request
     /// reports; populated on server-level summary reports).
     pub server: ServerObs,
@@ -558,6 +600,8 @@ pub(crate) struct ReportInputs<'a> {
     pub shipcut_enabled: bool,
     /// The chunked-shipment ledger of the final execution round.
     pub batch: crate::batch::BatchLog,
+    /// The delta re-evaluation ledger (default on non-incremental runs).
+    pub incremental: IncrementalObs,
 }
 
 fn kind_tag(kind: &TaskKind) -> &'static str {
@@ -634,6 +678,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         cache,
         shipcut_enabled,
         batch,
+        incremental,
     } = inputs;
 
     let shipped = shipped_bytes(graph, measured);
@@ -871,6 +916,7 @@ pub(crate) fn build_report(inputs: ReportInputs<'_>, phases: Phases, total_secs:
         cache,
         shipcut,
         batching,
+        incremental,
         server: ServerObs::default(),
     }
 }
@@ -932,6 +978,7 @@ impl RunReport {
             cache: CacheObs::default(),
             shipcut: ShipcutObs::default(),
             batching: BatchingObs::default(),
+            incremental: IncrementalObs::default(),
             server,
         }
     }
@@ -1061,6 +1108,55 @@ impl RunReport {
                     (
                         "overlap_savings_secs",
                         Json::num(self.batching.overlap_savings_secs),
+                    ),
+                ]),
+            ),
+            (
+                "incremental",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(self.incremental.enabled)),
+                    ("snapshot_hit", Json::Bool(self.incremental.snapshot_hit)),
+                    (
+                        "tasks_total",
+                        Json::num(self.incremental.tasks_total as f64),
+                    ),
+                    (
+                        "tasks_rerun",
+                        Json::num(self.incremental.tasks_rerun as f64),
+                    ),
+                    (
+                        "tasks_reused",
+                        Json::num(self.incremental.tasks_reused as f64),
+                    ),
+                    (
+                        "dirty_tables",
+                        Json::Arr(
+                            self.incremental
+                                .dirty_tables
+                                .iter()
+                                .map(Json::str)
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "rows_spliced",
+                        Json::num(self.incremental.rows_spliced as f64),
+                    ),
+                    (
+                        "nodes_reused",
+                        Json::num(self.incremental.nodes_reused as f64),
+                    ),
+                    (
+                        "nodes_rebuilt",
+                        Json::num(self.incremental.nodes_rebuilt as f64),
+                    ),
+                    (
+                        "constraints_scoped",
+                        Json::num(self.incremental.constraints_scoped as f64),
+                    ),
+                    (
+                        "constraints_total",
+                        Json::num(self.incremental.constraints_total as f64),
                     ),
                 ]),
             ),
@@ -1431,6 +1527,7 @@ mod tests {
             cache: CacheObs::default(),
             shipcut: ShipcutObs::default(),
             batching: BatchingObs::default(),
+            incremental: IncrementalObs::default(),
             server: ServerObs::default(),
         };
         report.prepend_phase("parse", 0.05);
@@ -1472,6 +1569,7 @@ mod tests {
             cache: CacheObs::default(),
             shipcut: ShipcutObs::default(),
             batching: BatchingObs::default(),
+            incremental: IncrementalObs::default(),
             server: ServerObs::default(),
         };
         report.resilience.enabled = true;

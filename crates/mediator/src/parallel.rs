@@ -11,6 +11,11 @@
 //! The parallel executor produces exactly the relations of the sequential
 //! one (see the equivalence tests); response-time *accounting* stays with
 //! the simulation in [`crate::cost`], which models the paper's network.
+//! That byte-identity is also what lets incremental re-evaluation
+//! ([`crate::delta`]) re-run delta-touched subgraphs with a single
+//! sequential topological walk regardless of which executor produced the
+//! snapshot being spliced: the relations it splices into are the same
+//! either way.
 
 use crate::cost::{estimated_costs, CostGraph};
 use crate::error::MediatorError;

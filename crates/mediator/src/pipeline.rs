@@ -91,6 +91,12 @@ pub struct MediatorOptions {
     /// Batch size (rows) of the chunked shipment seam; only consulted when
     /// `batching` is on. Must be nonzero (validated at build time).
     pub batch_rows: usize,
+    /// Incremental re-evaluation on source deltas ([`crate::delta`]): the
+    /// `Mediator` service keeps a post-run snapshot per plan and, after a
+    /// row delta, re-runs only the affected task subgraph. One-shot `run`
+    /// calls ignore the flag (there is no snapshot to reuse); documents
+    /// are byte-identical either way. Off by default.
+    pub incremental: bool,
 }
 
 impl Default for MediatorOptions {
@@ -115,6 +121,7 @@ impl Default for MediatorOptions {
             deadline_secs: None,
             batching: false,
             batch_rows: 2048,
+            incremental: false,
         }
     }
 }
@@ -176,6 +183,7 @@ impl MediatorOptions {
             deadline_secs: self.deadline_secs,
             batching: self.batching,
             batch_rows: self.batch_rows,
+            incremental: self.incremental,
         }
     }
 
@@ -201,6 +209,7 @@ impl MediatorOptions {
             deadline_secs: policy.deadline_secs,
             batching: policy.batching,
             batch_rows: policy.batch_rows,
+            incremental: policy.incremental,
         }
     }
 }
@@ -495,6 +504,19 @@ impl MediatorOptionsBuilder {
         self
     }
 
+    /// Incremental re-evaluation on source deltas (served requests reuse
+    /// the previous run's snapshot after a delta; see [`crate::delta`]).
+    ///
+    /// ```
+    /// use aig_mediator::MediatorOptions;
+    /// let o = MediatorOptions::builder().incremental(true).build().unwrap();
+    /// assert!(o.incremental);
+    /// ```
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.options.incremental = incremental;
+        self
+    }
+
     /// Validates ([`MediatorOptions::validate`]) and returns the assembled
     /// options.
     ///
@@ -508,8 +530,10 @@ impl MediatorOptionsBuilder {
     }
 }
 
-/// The result of a mediator run.
-#[derive(Debug)]
+/// The result of a mediator run. `Clone` so the service's snapshot store
+/// can retain the last completed run per (plan, arguments) for delta
+/// re-evaluation.
+#[derive(Debug, Clone)]
 pub struct MediatorRun {
     /// The final document.
     pub tree: XmlTree,

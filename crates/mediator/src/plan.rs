@@ -16,7 +16,7 @@ use crate::exec::{execute_graph, ExecOptions, ExecResult};
 use crate::faults::IntegrityOutcome;
 use crate::graph::{build_graph, source_histogram, GraphOptions, Occ, RelKey, TaskGraph};
 use crate::merge::{merge, no_merge, MergeOutcome};
-use crate::obs::{build_report, CacheObs, Phases, ReportInputs, RunReport};
+use crate::obs::{build_report, CacheObs, IncrementalObs, Phases, ReportInputs, RunReport};
 use crate::parallel::execute_graph_parallel;
 use crate::pipeline::MediatorRun;
 use crate::sim::NetworkModel;
@@ -103,6 +103,10 @@ pub struct PreparedPlan {
     /// Ship-cut column-liveness profiles of the task graph (None when
     /// `options.shipcut` is off). Shared with every execution's options.
     pub shipcut: Option<Arc<crate::shipcut::ShipCut>>,
+    /// Per-task read-sets: which `(source, table)` pairs (and columns) each
+    /// task's queries consume — the dependency index of incremental
+    /// re-evaluation on source deltas (see [`crate::delta`]).
+    pub read_sets: crate::delta::ReadSets,
     /// Wall-clock seconds preparation took (the cost a cache hit saves).
     pub prepare_secs: f64,
 }
@@ -248,6 +252,11 @@ fn prepare_unfolded(
         (baseline, merged)
     });
     let per_source = topo_per_source(&graph);
+    // Read-set analysis is a linear scan of the task kinds' query ASTs —
+    // cheap enough to run untimed (the pinned prepare phase list stays
+    // exactly `compile_constraints, decompose, unfold, graph_build,
+    // shipcut, plan`).
+    let read_sets = crate::delta::ReadSets::analyze(&graph);
     Ok(PreparedPlan {
         fingerprint,
         depth,
@@ -262,6 +271,7 @@ fn prepare_unfolded(
         est_baseline,
         est_merged,
         shipcut,
+        read_sets,
         prepare_secs: start.elapsed().as_secs_f64(),
     })
 }
@@ -276,11 +286,29 @@ pub enum ExecuteOutcome {
     FrontierExtend,
 }
 
+/// A completed execution with its relation store and per-task measurements
+/// still attached — what the incremental-snapshot path of
+/// [`crate::service::Mediator`] caches alongside the run.
+#[derive(Debug)]
+pub(crate) struct ExecutedRun {
+    pub run: MediatorRun,
+    pub report: RunReport,
+    pub store: crate::exec::RelStore,
+    pub measured: Vec<crate::exec::Measured>,
+}
+
+/// [`ExecuteOutcome`] with the store/measurements retained (crate-internal:
+/// the public API returns only the run and report).
+pub(crate) enum FullOutcome {
+    Complete(Box<ExecutedRun>),
+    FrontierExtend,
+}
+
 /// The **Execute** stage: binds `args`, runs the plan's task graph through
 /// the sequential or parallel executor, checks the recursion frontier, tags
 /// the document, validates it, and runs the measured-cost response-time
-/// simulation. `exec_opts` should be derived once per run via
-/// [`From<&ExecPolicy>`] (with the fault plan bound and `eval_scale`
+/// simulation. `exec_opts` should be built once per run via
+/// [`ExecOptions::new`] (with the fault plan bound and `eval_scale`
 /// copied from the plan-side graph options). `rounds` counts the
 /// prepare/execute rounds of the enclosing request; `cache` is the plan
 /// cache's observability snapshot (default when no cache is involved).
@@ -295,13 +323,48 @@ pub fn execute_prepared(
     rounds: usize,
     cache: CacheObs,
 ) -> Result<ExecuteOutcome, MediatorError> {
+    match execute_prepared_full(
+        plan,
+        catalog,
+        args,
+        policy,
+        exec_opts,
+        phases,
+        rounds,
+        cache,
+        IncrementalObs::default(),
+    )? {
+        FullOutcome::Complete(done) => {
+            Ok(ExecuteOutcome::Complete(Box::new((done.run, done.report))))
+        }
+        FullOutcome::FrontierExtend => Ok(ExecuteOutcome::FrontierExtend),
+    }
+}
+
+/// [`execute_prepared`] with the relation store and per-task measurements
+/// retained in the outcome — the execution path the service's incremental
+/// snapshot cache runs, so a completed run can seed a snapshot. The
+/// `incremental` ledger is threaded into the report verbatim (default on
+/// non-incremental requests).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_prepared_full(
+    plan: &PreparedPlan,
+    catalog: &Catalog,
+    args: &[(&str, Value)],
+    policy: &ExecPolicy,
+    exec_opts: &ExecOptions,
+    phases: &mut Phases,
+    rounds: usize,
+    cache: CacheObs,
+    incremental: IncrementalObs,
+) -> Result<FullOutcome, MediatorError> {
     // The liveness profiles are part of the prepared plan; bind them into
     // this run's options so both executors account ship images with them.
     let exec_opts = &ExecOptions {
         shipcut: plan.shipcut.clone(),
         ..exec_opts.clone()
     };
-    let mut exec: ExecResult = phases.time("execute", || {
+    let exec: ExecResult = phases.time("execute", || {
         if policy.parallel_exec {
             execute_graph_parallel(
                 &plan.aig,
@@ -315,6 +378,70 @@ pub fn execute_prepared(
             execute_graph(&plan.aig, catalog, &plan.graph, args, exec_opts)
         }
     })?;
+    finish_run(FinishInputs {
+        plan,
+        catalog,
+        policy,
+        exec_opts,
+        phases,
+        rounds,
+        cache,
+        exec,
+        tree_override: None,
+        scope: None,
+        incremental,
+    })
+}
+
+/// Everything the shared run finisher consumes (see [`finish_run`]).
+pub(crate) struct FinishInputs<'a> {
+    pub plan: &'a PreparedPlan,
+    pub catalog: &'a Catalog,
+    pub policy: &'a ExecPolicy,
+    pub exec_opts: &'a ExecOptions,
+    pub phases: &'a mut Phases,
+    pub rounds: usize,
+    pub cache: CacheObs,
+    pub exec: ExecResult,
+    /// A pre-built document (the incremental retag path); `None` tags from
+    /// the store under the `tag` phase.
+    pub tree_override: Option<aig_xml::XmlTree>,
+    /// When `Some`, the document-level integrity check runs only the
+    /// constraints whose element tags intersect this scope (the incremental
+    /// path's changed-subtree tags); `None` checks the full set.
+    pub scope: Option<std::collections::HashSet<String>>,
+    /// The delta re-evaluation ledger for the report.
+    pub incremental: IncrementalObs,
+}
+
+/// The shared tail of every execution path — frontier check, tagging (or
+/// the supplied retagged tree), validation, the document-level constraint
+/// check (full or scoped), the measured-cost response-time simulation, and
+/// report construction. Both the cold full run ([`execute_prepared_full`])
+/// and the incremental subgraph re-execution ([`crate::delta`]) end here,
+/// so the two paths cannot drift apart.
+pub(crate) fn finish_run(inputs: FinishInputs<'_>) -> Result<FullOutcome, MediatorError> {
+    let FinishInputs {
+        plan,
+        catalog,
+        policy,
+        exec_opts,
+        phases,
+        rounds,
+        cache,
+        exec,
+        tree_override,
+        scope,
+        incremental,
+    } = inputs;
+    let ExecResult {
+        store,
+        measured,
+        resilience,
+        mut integrity,
+        sched,
+        batch,
+    } = exec;
 
     // Frontier check: if the deepest unfolded level still produced
     // instances, the data recurses deeper than the plan's depth — the
@@ -334,7 +461,7 @@ pub fn execute_prepared(
                     .find(|(_, b)| b.elem == parent)
                     .map(|(occ, _)| occ.clone())
                     .unwrap_or(Occ::mat(parent));
-                let base = exec.store.get(&RelKey::Instances(occ.base))?;
+                let base = store.get(&RelKey::Instances(occ.base))?;
                 if !base.is_empty() {
                     return Ok(true);
                 }
@@ -342,14 +469,17 @@ pub fn execute_prepared(
             Ok(false)
         })?;
         if extend {
-            return Ok(ExecuteOutcome::FrontierExtend);
+            return Ok(FullOutcome::FrontierExtend);
         }
     }
 
     // -- Tagging -------------------------------------------------------------
-    let tree = phases.time("tag", || {
-        crate::tagging::tag_document(&plan.aig, &plan.graph, &exec.store)
-    })?;
+    let tree = match tree_override {
+        Some(tree) => tree,
+        None => phases.time("tag", || {
+            crate::tagging::tag_document(&plan.aig, &plan.graph, &store)
+        })?,
+    };
     if policy.validate_output {
         phases.time("validate", || {
             validate(&tree, &plan.dtd)
@@ -363,15 +493,19 @@ pub fn execute_prepared(
     // the relation boundary, e.g. a stale replica whose truncated answer
     // breaks an inclusion between elements assembled from different tables.
     if policy.check_integrity {
-        let violation = phases.time("constraint_check", || {
-            plan.aig.constraints.check_first(&tree)
+        let violation = phases.time("constraint_check", || match &scope {
+            // The incremental path narrows the check to the constraints
+            // whose element tags intersect the retagged subtrees; elements
+            // outside the scope are verbatim copies of an already-checked
+            // document.
+            Some(tags) => plan.aig.constraints.scoped(tags).check_first(&tree),
+            None => plan.aig.constraints.check_first(&tree),
         });
         if let Some(v) = violation {
             // Reconcile the ledger before surfacing: any injection still
             // marked undetected is claimed by the constraint layer.
-            exec.integrity.resolve_undetected(&v.constraint);
-            let culprit = exec
-                .integrity
+            integrity.resolve_undetected(&v.constraint);
+            let culprit = integrity
                 .events
                 .iter()
                 .find(|e| e.outcome == IntegrityOutcome::DetectedByConstraint);
@@ -391,7 +525,7 @@ pub fn execute_prepared(
     let (costs, cg) = phases.time("simulate", || {
         let costs = measured_costs(
             &plan.graph,
-            &exec.measured,
+            &measured,
             plan.options.graph.cost_model.per_query_overhead_secs,
             plan.options.graph.eval_scale,
         );
@@ -410,14 +544,14 @@ pub fn execute_prepared(
             baseline.clone()
         }
     });
-    let exec_secs: f64 = exec.measured.iter().map(|m| m.secs).sum();
+    let exec_secs: f64 = measured.iter().map(|m| m.secs).sum();
     let per_source = source_histogram(&plan.graph, catalog);
     let total_secs = phases.elapsed_secs();
     let report = build_report(
         ReportInputs {
             graph: &plan.graph,
             catalog,
-            measured: &exec.measured,
+            measured: &measured,
             costs: &costs,
             baseline: &baseline,
             merged: &merged,
@@ -425,14 +559,15 @@ pub fn execute_prepared(
             depth: plan.depth,
             unfold_rounds: rounds,
             parallel_exec: policy.parallel_exec,
-            resilience: &exec.resilience,
-            integrity: &exec.integrity,
+            resilience: &resilience,
+            integrity: &integrity,
             check_integrity: policy.check_integrity,
             fault_seed: exec_opts.faults.as_ref().map(|p| p.seed()),
-            sched: &exec.sched,
+            sched: &sched,
             cache,
             shipcut_enabled: plan.shipcut.is_some(),
-            batch: exec.batch,
+            batch,
+            incremental,
         },
         std::mem::take(phases),
         total_secs,
@@ -448,7 +583,12 @@ pub fn execute_prepared(
         per_source,
         exec_secs,
     };
-    Ok(ExecuteOutcome::Complete(Box::new((run, report))))
+    Ok(FullOutcome::Complete(Box::new(ExecutedRun {
+        run,
+        report,
+        store,
+        measured,
+    })))
 }
 
 #[cfg(test)]

@@ -9,17 +9,27 @@
 //! path: when a depth-d plan's frontier still produces data, the request
 //! deepens the plan to depth 2d, caches it, and records a depth hint so
 //! later requests for the same AIG skip the shallow plan entirely.
+//!
+//! With [`ExecPolicy::incremental`] on, the service additionally retains a
+//! **run snapshot** per (plan, argument binding): the relation store, the
+//! per-task measurements, and the completed run. [`Mediator::apply_delta`]
+//! marks the delta's `(source, table)` pairs dirty on every snapshot; the
+//! next request for a dirtied snapshot re-runs only the task subgraph
+//! downstream of the dirty tables ([`crate::delta`]), splices the re-run
+//! relations into the cached store, retags only the affected document
+//! subtrees, and scope-checks only the constraints those subtrees touch —
+//! producing a document byte-identical to a cold full run.
 
 use crate::error::MediatorError;
-use crate::exec::ExecOptions;
+use crate::exec::{ExecOptions, Measured, RelStore};
 use crate::faults::{Deadline, FaultPlan};
-use crate::obs::{CacheObs, Phases, RunReport};
+use crate::obs::{CacheObs, IncrementalObs, Phases, RunReport};
 use crate::pipeline::{MediatorOptions, MediatorRun};
-use crate::plan::{ExecPolicy, ExecuteOutcome, PlanOptions, PreparedPlan};
+use crate::plan::{ExecPolicy, ExecutedRun, FullOutcome, PlanOptions, PreparedPlan};
 use crate::schedule::EdfGate;
 use aig_core::spec::Aig;
-use aig_relstore::{Catalog, Database, SourceId, Table, Value};
-use std::collections::HashMap;
+use aig_relstore::{Catalog, Database, DeltaApplied, SourceDelta, SourceId, Table, Value};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
 
 /// Default number of prepared plans the cache retains.
@@ -108,6 +118,79 @@ impl PlanCache {
                 stamp: self.tick,
             },
         );
+    }
+}
+
+/// Key of one retained run snapshot: the plan identity plus a fingerprint
+/// of the bound arguments — a delta can only be spliced into a run of the
+/// *same* plan evaluated with the *same* arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SnapKey {
+    plan: PlanKey,
+    args: u64,
+}
+
+/// The state a completed run leaves behind for incremental re-evaluation:
+/// the relation store (splice base), the per-task measurements (reused
+/// tasks keep their costs), the run itself (the retag walk copies
+/// unaffected document subtrees from its tree), and the set of
+/// `(source, table)` pairs dirtied by deltas since the run completed.
+#[derive(Debug, Clone)]
+struct RunSnapshot {
+    store: RelStore,
+    measured: Vec<Measured>,
+    run: MediatorRun,
+    dirty: BTreeSet<(String, String)>,
+    /// Last-use stamp for LRU eviction.
+    stamp: u64,
+}
+
+/// Bounded LRU map of run snapshots, keyed by (plan, arguments).
+#[derive(Debug)]
+struct SnapshotStore {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<SnapKey, RunSnapshot>,
+}
+
+impl SnapshotStore {
+    fn new(capacity: usize) -> SnapshotStore {
+        SnapshotStore {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &SnapKey) -> Option<RunSnapshot> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|snap| {
+            snap.stamp = tick;
+            snap.clone()
+        })
+    }
+
+    fn insert(&mut self, key: SnapKey, mut snap: RunSnapshot) {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.tick += 1;
+        snap.stamp = self.tick;
+        self.entries.insert(key, snap);
+    }
+
+    fn mark_dirty(&mut self, touched: &BTreeSet<(String, String)>) {
+        for snap in self.entries.values_mut() {
+            snap.dirty.extend(touched.iter().cloned());
+        }
     }
 }
 
@@ -207,6 +290,31 @@ pub struct Mediator {
     /// deterministic fault stream) and the eval-scale calibration applied.
     exec_opts: ExecOptions,
     cache: Mutex<PlanCache>,
+    /// Retained run snapshots for incremental re-evaluation; only consulted
+    /// when [`ExecPolicy::incremental`] is on, but always maintained so
+    /// enabling the policy mid-stream needs no special casing.
+    snapshots: Mutex<SnapshotStore>,
+}
+
+/// FNV-1a over the sorted argument bindings — the snapshot-key component
+/// that ties a retained run to the request parameters it was evaluated
+/// with. Order-insensitive: `[("a",1),("b",2)]` and the reverse hash alike.
+fn args_fingerprint(args: &[(&str, Value)]) -> u64 {
+    let mut rendered: Vec<String> = args
+        .iter()
+        .map(|(name, value)| format!("{name}\u{1}{}", value.to_text()))
+        .collect();
+    rendered.sort();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for item in &rendered {
+        for b in item.as_bytes() {
+            hash ^= *b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= 0x1e;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// FNV-1a over the plan-side options that determine a plan's shape. The
@@ -256,6 +364,7 @@ impl Mediator {
             cat_fp,
             exec_opts,
             cache: Mutex::new(PlanCache::new(capacity)),
+            snapshots: Mutex::new(SnapshotStore::new(capacity)),
         })
     }
 
@@ -275,6 +384,10 @@ impl Mediator {
         f: impl FnOnce(&mut Catalog) -> T,
     ) -> Result<T, MediatorError> {
         let out = f(&mut self.catalog);
+        // Arbitrary mutation bypasses delta tracking, so every retained
+        // snapshot may silently embed stale data: drop them all. Deltas
+        // that want snapshots kept warm go through [`Mediator::apply_delta`].
+        self.lock_snapshots().entries.clear();
         let cat_fp = self.catalog.schema_fingerprint();
         if cat_fp != self.cat_fp {
             self.cat_fp = cat_fp;
@@ -288,6 +401,34 @@ impl Mediator {
             cache.invalidations += 1;
         }
         Ok(out)
+    }
+
+    /// Applies a row-level [`SourceDelta`] to the owned catalog and marks
+    /// the touched `(source, table)` pairs dirty in every retained run
+    /// snapshot. Row deltas never move the schema fingerprint, so cached
+    /// plans stay warm — with [`ExecPolicy::incremental`] on, the next
+    /// request for a dirtied snapshot re-runs only the tasks whose
+    /// read-sets intersect the dirty tables (plus their downstream
+    /// closure) instead of the whole graph.
+    pub fn apply_delta(&mut self, delta: &SourceDelta) -> Result<DeltaApplied, MediatorError> {
+        let applied = self
+            .catalog
+            .apply_delta(delta)
+            .map_err(MediatorError::Store)?;
+        debug_assert_eq!(
+            self.cat_fp,
+            self.catalog.schema_fingerprint(),
+            "row deltas must not move the schema fingerprint"
+        );
+        if !applied.touched.is_empty() {
+            self.lock_snapshots().mark_dirty(&applied.touched);
+        }
+        Ok(applied)
+    }
+
+    /// Run snapshots currently retained for incremental re-evaluation.
+    pub fn snapshot_count(&self) -> usize {
+        self.lock_snapshots().entries.len()
     }
 
     pub fn plan_options(&self) -> &PlanOptions {
@@ -394,6 +535,20 @@ impl Mediator {
         let exec_opts = opts_owned.as_ref().unwrap_or(&self.exec_opts);
         let catalog = catalog_owned.as_ref().unwrap_or(&self.catalog);
 
+        // Incremental re-evaluation engages only for plain requests — no
+        // per-request overrides, no deadline budget — and only when the
+        // fault plan has no mid-run outages (`dies_after` triggers on
+        // *global* per-source completion counts, which a partial re-run
+        // would shift; those plans must replay the full graph).
+        let incremental_mode = self.policy.incremental && ctx.is_default() && budget.is_none();
+        let use_snapshots = incremental_mode
+            && !self
+                .exec_opts
+                .faults
+                .as_ref()
+                .is_some_and(|p| p.has_mid_run_outages());
+        let args_fp = args_fingerprint(args);
+
         let mut phases = Phases::new();
         let fp = phases.time("plan_cache", || aig.fingerprint());
         let mut depth = self.starting_depth(fp);
@@ -408,18 +563,83 @@ impl Mediator {
                 first_lookup_hit = Some(hit);
             }
             let cache_obs = self.cache_obs(first_lookup_hit == Some(true), promoted);
-            match crate::plan::execute_prepared(
-                &plan,
-                catalog,
-                args,
-                policy,
-                exec_opts,
-                &mut phases,
-                rounds,
-                cache_obs,
-            )? {
-                ExecuteOutcome::Complete(done) => {
-                    let (run, report) = *done;
+            let snap_key = SnapKey {
+                plan: PlanKey {
+                    aig: fp,
+                    depth: plan.depth,
+                    opts: self.opts_fp,
+                    cat: self.cat_fp,
+                },
+                args: args_fp,
+            };
+            let snapshot = if use_snapshots {
+                self.lock_snapshots().get(&snap_key)
+            } else {
+                None
+            };
+            let outcome = match snapshot {
+                Some(snap) => self.run_incremental(
+                    &plan,
+                    catalog,
+                    args,
+                    policy,
+                    &snap,
+                    &mut phases,
+                    rounds,
+                    cache_obs,
+                )?,
+                None => {
+                    // Cold (or incremental-ineligible) full run. In
+                    // incremental mode the ledger still reports: every task
+                    // ran, no snapshot was available.
+                    let incremental = if incremental_mode {
+                        let total = plan.graph.tasks.len();
+                        IncrementalObs {
+                            enabled: true,
+                            snapshot_hit: false,
+                            tasks_total: total,
+                            tasks_rerun: total,
+                            tasks_reused: 0,
+                            constraints_scoped: plan.aig.constraints.len(),
+                            constraints_total: plan.aig.constraints.len(),
+                            ..IncrementalObs::default()
+                        }
+                    } else {
+                        IncrementalObs::default()
+                    };
+                    crate::plan::execute_prepared_full(
+                        &plan,
+                        catalog,
+                        args,
+                        policy,
+                        exec_opts,
+                        &mut phases,
+                        rounds,
+                        cache_obs,
+                        incremental,
+                    )?
+                }
+            };
+            match outcome {
+                FullOutcome::Complete(done) => {
+                    let ExecutedRun {
+                        run,
+                        report,
+                        store,
+                        measured,
+                    } = *done;
+                    if use_snapshots {
+                        self.lock_snapshots().insert(
+                            snap_key,
+                            RunSnapshot {
+                                store,
+                                measured,
+                                run: run.clone(),
+                                dirty: BTreeSet::new(),
+                                stamp: 0,
+                            },
+                        );
+                    }
                     let skipped = plan
                         .graph
                         .tasks
@@ -433,7 +653,7 @@ impl Mediator {
                         skipped,
                     });
                 }
-                ExecuteOutcome::FrontierExtend => {
+                FullOutcome::FrontierExtend => {
                     if plan.depth >= self.plan_options.max_depth {
                         return Err(MediatorError::RecursionBudget {
                             max_depth: self.plan_options.max_depth,
@@ -445,6 +665,89 @@ impl Mediator {
                 }
             }
         }
+    }
+
+    /// The incremental execute path: seeds the re-run mask from the
+    /// snapshot's dirty tables and the plan's read-sets, re-runs only that
+    /// downstream task closure ([`crate::delta::execute_incremental`]),
+    /// retags only the document subtrees the re-run instances can reach
+    /// ([`crate::tagging::retag_document`]), and finishes through the same
+    /// [`crate::plan::finish_run`] tail as a cold run — with the
+    /// constraint check scoped to the retagged subtrees' tags.
+    #[allow(clippy::too_many_arguments)]
+    fn run_incremental(
+        &self,
+        plan: &PreparedPlan,
+        catalog: &Catalog,
+        args: &[(&str, Value)],
+        policy: &ExecPolicy,
+        snap: &RunSnapshot,
+        phases: &mut Phases,
+        rounds: usize,
+        cache: CacheObs,
+    ) -> Result<FullOutcome, MediatorError> {
+        let seeds = plan.read_sets.seeds(&snap.dirty);
+        let rerun = crate::delta::rerun_mask(&plan.graph, &seeds);
+        let tasks_total = plan.graph.tasks.len();
+        let tasks_rerun = rerun.iter().filter(|&&r| r).count();
+        // Bind the plan's liveness profiles exactly as the full path does.
+        let opts = ExecOptions {
+            shipcut: plan.shipcut.clone(),
+            ..self.exec_opts.clone()
+        };
+        let spliced = phases.time("execute", || {
+            crate::delta::execute_incremental(
+                &plan.aig,
+                catalog,
+                &plan.graph,
+                args,
+                &opts,
+                &snap.store,
+                &snap.measured,
+                &rerun,
+            )
+        })?;
+        let tainted = crate::delta::tainted_elems(&plan.graph, &rerun);
+        let tags = crate::delta::scope_tags(&plan.aig, &tainted);
+        let (tree, retag) = phases.time("tag", || {
+            crate::tagging::retag_document(
+                &plan.aig,
+                &plan.graph,
+                &spliced.exec.store,
+                &snap.run.tree,
+                &tainted,
+            )
+        })?;
+        let incremental = IncrementalObs {
+            enabled: true,
+            snapshot_hit: true,
+            tasks_total,
+            tasks_rerun,
+            tasks_reused: tasks_total - tasks_rerun,
+            dirty_tables: snap
+                .dirty
+                .iter()
+                .map(|(source, table)| format!("{source}.{table}"))
+                .collect(),
+            rows_spliced: spliced.rows_spliced,
+            nodes_reused: retag.nodes_reused,
+            nodes_rebuilt: retag.nodes_rebuilt,
+            constraints_scoped: plan.aig.constraints.scoped(&tags).len(),
+            constraints_total: plan.aig.constraints.len(),
+        };
+        crate::plan::finish_run(crate::plan::FinishInputs {
+            plan,
+            catalog,
+            policy,
+            exec_opts: &opts,
+            phases,
+            rounds,
+            cache,
+            exec: spliced.exec,
+            tree_override: Some(tree),
+            scope: Some(tags),
+            incremental,
+        })
     }
 
     /// Resolves source names to ids, rejecting the mediator pseudo-source
@@ -544,6 +847,10 @@ impl Mediator {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, PlanCache> {
         self.cache.lock().expect("plan cache lock poisoned")
+    }
+
+    fn lock_snapshots(&self) -> std::sync::MutexGuard<'_, SnapshotStore> {
+        self.snapshots.lock().expect("snapshot store lock poisoned")
     }
 
     /// The depth a request for `fp` should start at: the configured

@@ -11,6 +11,8 @@ pub enum StoreError {
     KeyViolation { table: String, key: String },
     /// A named table does not exist in the database.
     NoSuchTable { database: String, table: String },
+    /// An exact-match delete found no such row in the table.
+    NoSuchRow { table: String, row: String },
     /// A named database/source does not exist in the catalog.
     NoSuchSource(String),
     /// A named column does not exist in a schema.
@@ -30,6 +32,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::NoSuchTable { database, table } => {
                 write!(f, "no table `{table}` in database `{database}`")
+            }
+            StoreError::NoSuchRow { table, row } => {
+                write!(f, "no row {row} in table `{table}` to delete")
             }
             StoreError::NoSuchSource(name) => write!(f, "no data source named `{name}`"),
             StoreError::NoSuchColumn { table, column } => {

@@ -14,6 +14,7 @@
 //!   average widths) that back the cost-estimation API of paper §5.2.
 
 pub mod catalog;
+pub mod delta;
 pub mod error;
 pub mod intern;
 pub mod par;
@@ -24,6 +25,7 @@ pub mod table;
 pub mod value;
 
 pub use catalog::{Catalog, Database, SourceId};
+pub use delta::{DeltaApplied, RowBatch, SourceDelta};
 pub use error::StoreError;
 pub use intern::Sym;
 pub use relation::{payload_scans, Batches, Relation};

@@ -509,6 +509,50 @@ impl Relation {
         }
     }
 
+    /// Replaces the rows `[start, start + rows)` with the rows of
+    /// `replacement` (column names must match) — the splice primitive the
+    /// incremental mediator uses to patch a re-shipped sub-relation into a
+    /// cached store. The result is an independent relation on a fresh
+    /// size-cache generation: its `wire_bytes`/`byte_size` memos start
+    /// cold, so spliced contents can never report stale sizes, while the
+    /// source relation (and any clones) keep theirs.
+    pub fn splice(
+        &self,
+        start: usize,
+        rows: usize,
+        replacement: &Relation,
+    ) -> Result<Relation, StoreError> {
+        if self.columns != replacement.columns {
+            return Err(StoreError::SchemaMismatch {
+                table: "<relation>".to_string(),
+                msg: format!(
+                    "cannot splice columns {:?} into {:?}",
+                    replacement.columns, self.columns
+                ),
+            });
+        }
+        let start = start.min(self.len);
+        let end = start.saturating_add(rows).min(self.len);
+        let cols = self
+            .cols
+            .iter()
+            .zip(&replacement.cols)
+            .map(|(ours, theirs)| {
+                let mut col = Vec::with_capacity(self.len - (end - start) + replacement.len);
+                col.extend_from_slice(&ours[..start]);
+                col.extend_from_slice(theirs);
+                col.extend_from_slice(&ours[end..]);
+                Arc::new(col)
+            })
+            .collect();
+        Ok(Relation {
+            columns: self.columns.clone(),
+            cols,
+            len: self.len - (end - start) + replacement.len,
+            sizes: Arc::default(),
+        })
+    }
+
     /// Iterates the relation as consecutive batches of at most `batch_rows`
     /// rows (`usize::MAX` ≙ one whole-relation batch). An empty relation
     /// yields no batches; `batch_rows == 0` is treated as 1. Concatenating

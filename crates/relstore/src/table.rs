@@ -137,6 +137,33 @@ impl Table {
         Ok(())
     }
 
+    /// Deletes one row by exact match, removing the **last** occurrence so
+    /// that inserting rows and then deleting the same rows restores the
+    /// original table even in the presence of duplicates (the delta
+    /// identity the incremental mediator relies on). Rebuilds the
+    /// primary-key index (positions shift) and invalidates the columnar
+    /// image, exactly like [`Table::insert`].
+    pub fn delete(&mut self, row: &[Value]) -> Result<(), StoreError> {
+        let pos = self
+            .rows
+            .iter()
+            .rposition(|r| r.as_slice() == row)
+            .ok_or_else(|| StoreError::NoSuchRow {
+                table: self.schema.name.clone(),
+                row: format!("{row:?}"),
+            })?;
+        self.rows.remove(pos);
+        if let Some(pk) = &mut self.pk {
+            pk.clear();
+            for (i, r) in self.rows.iter().enumerate() {
+                let key: Vec<Value> = self.schema.key.iter().map(|&k| r[k].clone()).collect();
+                pk.insert(key, i);
+            }
+        }
+        self.columnar = OnceLock::new();
+        Ok(())
+    }
+
     /// Looks up a row by primary key.
     pub fn get_by_key(&self, key: &[Value]) -> Option<&Row> {
         let pk = self.pk.as_ref()?;

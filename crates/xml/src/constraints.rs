@@ -106,6 +106,24 @@ impl Constraint {
             Constraint::Inclusion(i) => &i.context,
         }
     }
+
+    /// Every element tag this constraint reads: the context plus the
+    /// keyed/contained/containing element types and their value-carrying
+    /// subelements. A document change that touches none of these tags
+    /// cannot flip the constraint's verdict — the basis of the scoped
+    /// re-check ([`ConstraintSet::scoped`]).
+    pub fn element_tags(&self) -> Vec<&str> {
+        match self {
+            Constraint::Key(k) => vec![&k.context, &k.target, &k.field],
+            Constraint::Inclusion(i) => vec![
+                &i.context,
+                &i.lhs_elem,
+                &i.lhs_field,
+                &i.rhs_elem,
+                &i.rhs_field,
+            ],
+        }
+    }
 }
 
 /// A set of constraints, checked together over a document.
@@ -180,6 +198,32 @@ impl ConstraintSet {
 
     pub fn len(&self) -> usize {
         self.constraints.len()
+    }
+
+    /// The subset of constraints whose [`Constraint::element_tags`]
+    /// intersect `changed_tags` — the constraints an incremental re-check
+    /// must re-evaluate after a change confined to those element types.
+    ///
+    /// Callers must pass **every** tag occurring in a rebuilt subtree (not
+    /// just the subtree roots): a constraint is skipped only when none of
+    /// the element types it reads could have changed. The full
+    /// [`ConstraintSet::check`] remains the oracle the scoped check is
+    /// tested against.
+    pub fn scoped(&self, changed_tags: &HashSet<String>) -> ConstraintSet {
+        ConstraintSet {
+            constraints: self
+                .constraints
+                .iter()
+                .filter(|c| c.element_tags().iter().any(|t| changed_tags.contains(*t)))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// [`ConstraintSet::check`] restricted to the constraints that read a
+    /// changed element tag (see [`ConstraintSet::scoped`]).
+    pub fn check_scoped(&self, tree: &XmlTree, changed_tags: &HashSet<String>) -> Vec<Violation> {
+        self.scoped(changed_tags).check(tree)
     }
 }
 
@@ -690,6 +734,36 @@ mod tests {
         assert!(set.satisfied(&good));
         let bad = report_tree(&[("t1", "10"), ("t1", "5")], &["t3"]);
         assert_eq!(set.check(&bad).len(), 2);
+    }
+
+    #[test]
+    fn scoped_check_matches_the_full_oracle_on_its_subset() {
+        let set = ConstraintSet::new(vec![
+            Constraint::Key(key()),
+            Constraint::Inclusion(inclusion()),
+        ]);
+        // Doc violating both constraints.
+        let bad = report_tree(&[("t1", "10"), ("t1", "5")], &["t3"]);
+        let full = set.check(&bad);
+        assert_eq!(full.len(), 2);
+
+        // A change scope touching `item` selects both constraints (both
+        // read item.trId); the scoped result equals the full oracle.
+        let item_scope: HashSet<String> = ["item".to_string()].into();
+        assert_eq!(set.check_scoped(&bad, &item_scope), full);
+
+        // A scope touching only `treatment` selects just the inclusion
+        // constraint.
+        let tr_scope: HashSet<String> = ["treatment".to_string()].into();
+        assert_eq!(set.scoped(&tr_scope).len(), 1);
+        let scoped = set.check_scoped(&bad, &tr_scope);
+        assert_eq!(scoped.len(), 1);
+        assert!(scoped[0].constraint.contains("<="));
+
+        // A scope touching none of the constraint tags checks nothing.
+        let off_scope: HashSet<String> = ["price".to_string()].into();
+        assert!(set.scoped(&off_scope).is_empty());
+        assert!(set.check_scoped(&bad, &off_scope).is_empty());
     }
 
     #[test]
